@@ -1,0 +1,159 @@
+// E8 — Ablations.
+//
+// (a) Load-factor imbalance sweep (the paper's Section VI-B narrative):
+//     fix n_x = 10,000, sweep d = n_y/n_x, and report estimation error
+//     and preserved privacy for FBM (one m sized by the privacy cap at
+//     the lightest RSU) vs VLM (per-RSU sizing at f̄). Shows where and
+//     how the baseline breaks as heterogeneity grows.
+//
+// (b) Slot-selection rule: the paper's literal formula selects the
+//     logical slot as X[H(R_x) mod s] — a function of the RSU alone — so
+//     for a fixed RSU pair either EVERY common vehicle shares its slot
+//     across the two RSUs or NONE does, while the analysis (Eq. 6)
+//     needs per-vehicle probability 1/s. This ablation measures both
+//     readings; the literal one produces wildly bimodal estimates, which
+//     is why the library defaults to the per-vehicle reading.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "core/privacy_model.h"
+#include "core/sizing.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace vlm;
+
+double mean_abs_error(core::SlotSelection slot, std::uint32_t s,
+                      const core::PairWorkload& w, std::size_t m_x,
+                      std::size_t m_y, int trials, std::uint64_t seed,
+                      std::uint64_t rsu_salt) {
+  core::Encoder enc(core::EncoderConfig{s, 0x5EEDBA5EBA11AD00ull, slot});
+  core::PairEstimator est(s);
+  stats::RunningStats err;
+  for (int t = 0; t < trials; ++t) {
+    // Vary the RSU ids across trials so the literal rule's per-pair slot
+    // collision (probability 1/s over id draws) is sampled too.
+    const core::RsuId rx{common::mix64(rsu_salt + 2u * static_cast<std::uint64_t>(t))};
+    const core::RsuId ry{common::mix64(rsu_salt + 2u * static_cast<std::uint64_t>(t) + 1)};
+    const auto states =
+        core::simulate_pair(enc, w, m_x, m_y, seed + 97u * static_cast<std::uint64_t>(t), rx, ry);
+    const auto e = est.estimate(states.x, states.y);
+    err.push(std::fabs(e.n_c_hat - double(w.n_c)) / double(w.n_c));
+  }
+  return err.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_ablation_imbalance",
+                           "ablations: volume imbalance and slot selection");
+  parser.add_int("trials", 12, "runs per configuration");
+  parser.add_int("seed", 77, "base seed");
+  if (!parser.parse(argc, argv)) return 0;
+  const int trials = static_cast<int>(parser.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  const std::uint32_t s = 2;
+  const std::uint64_t n_x = 10'000;
+  const double f_bar = 8.0, cap = 15.0;
+  const core::VlmSizingPolicy vlm_sizing(f_bar);
+  const auto fbm_sizing =
+      core::FbmSizingPolicy::for_min_volume(double(n_x), cap);
+
+  std::printf("(a) imbalance sweep: n_x = %llu, n_c = 0.2 n_x, s = %u, "
+              "%d trials/point\n",
+              static_cast<unsigned long long>(n_x), s, trials);
+  common::TextTable table({"d", "mean |err| FBM", "mean |err| VLM",
+                           "privacy FBM (light RSU)", "privacy VLM"});
+  for (double d : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const auto n_y = static_cast<std::uint64_t>(d * double(n_x));
+    const core::PairWorkload w{n_x, n_y, n_x / 5};
+    core::Encoder enc(core::EncoderConfig{s});
+    core::PairEstimator est(s);
+
+    stats::RunningStats err_fbm, err_vlm;
+    const std::size_t m_f = fbm_sizing.array_size();
+    const std::size_t m_vx = vlm_sizing.array_size_for(double(n_x));
+    const std::size_t m_vy = vlm_sizing.array_size_for(double(n_y));
+    for (int t = 0; t < trials; ++t) {
+      const auto sf = core::simulate_pair(enc, w, m_f, m_f, seed + 13u * static_cast<std::uint64_t>(t));
+      const auto sv = core::simulate_pair(enc, w, m_vx, m_vy, seed + 13u * static_cast<std::uint64_t>(t));
+      err_fbm.push(std::fabs(est.estimate(sf.x, sf.y).n_c_hat - double(w.n_c)) /
+                   double(w.n_c));
+      err_vlm.push(std::fabs(est.estimate(sv.x, sv.y).n_c_hat - double(w.n_c)) /
+                   double(w.n_c));
+    }
+    // Privacy of the LIGHT RSU pairing: FBM runs it at load m_f/n_x... the
+    // pair-level privacy formula uses both volumes.
+    const double p_fbm = core::PrivacyModel::preserved_privacy(
+        core::PairScenario{double(n_x), double(n_y), double(w.n_c), m_f, m_f, s});
+    const double p_vlm = core::PrivacyModel::preserved_privacy(
+        core::PairScenario{double(n_x), double(n_y), double(w.n_c), m_vx, m_vy, s});
+    table.add_row({common::TextTable::fmt(d, 0),
+                   common::TextTable::fmt_percent(err_fbm.mean(), 2),
+                   common::TextTable::fmt_percent(err_vlm.mean(), 2),
+                   common::TextTable::fmt(p_fbm, 3),
+                   common::TextTable::fmt(p_vlm, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\n(b) slot-selection rule (d = 10, n_c = 0.2 n_x):\n");
+  common::TextTable slots({"slot rule", "mean |err|"});
+  const core::PairWorkload w{n_x, 10 * n_x, n_x / 5};
+  const std::size_t m_x = vlm_sizing.array_size_for(double(n_x));
+  const std::size_t m_y = vlm_sizing.array_size_for(10.0 * double(n_x));
+  slots.add_row({"per-vehicle (default, matches Eq. 6)",
+                 common::TextTable::fmt_percent(
+                     mean_abs_error(core::SlotSelection::kPerVehicleUniform, s,
+                                    w, m_x, m_y, 4 * trials, seed, 0xF00), 2)});
+  slots.add_row({"literal per-RSU (paper text)",
+                 common::TextTable::fmt_percent(
+                     mean_abs_error(core::SlotSelection::kLiteralPerRsu, s, w,
+                                    m_x, m_y, 4 * trials, seed, 0xF00), 2)});
+  std::printf("%s", slots.to_string().c_str());
+  std::printf(
+      "\nThe literal rule collapses the per-vehicle slot randomness the MLE"
+      "\nderivation assumes, so its estimates are bimodal (near 0 or ~s*n_c)"
+      "\nand the mean error is large. See core/encoder.h.\n");
+
+  // (c) load-factor sweep: accuracy and privacy as f̄ varies, fixed
+  // workload (d = 10, n_c = 0.2 n_x). The paper picks f̄ by privacy
+  // alone; this shows the accuracy side of the trade-off (estimation
+  // error keeps improving past the privacy optimum f* ~ 2-4, so a
+  // deployment picks the largest f̄ its privacy floor allows).
+  std::printf("\n(c) load-factor trade-off (d = 10, n_c = 0.2 n_x):\n");
+  common::TextTable lf({"f̄", "mean |err| VLM", "model sigma",
+                        "privacy (exact)"});
+  for (double f : {1.0, 2.0, 4.0, 8.0, 15.0}) {
+    const core::VlmSizingPolicy sizing(f);
+    const std::size_t fm_x = sizing.array_size_for(double(n_x));
+    const std::size_t fm_y = sizing.array_size_for(10.0 * double(n_x));
+    core::Encoder enc(core::EncoderConfig{s});
+    core::PairEstimator est(s);
+    stats::RunningStats err;
+    const core::PairWorkload w10{n_x, 10 * n_x, n_x / 5};
+    for (int t = 0; t < trials; ++t) {
+      const auto sv = core::simulate_pair(
+          enc, w10, fm_x, fm_y, seed + 41u * static_cast<std::uint64_t>(t));
+      err.push(std::fabs(est.estimate(sv.x, sv.y).n_c_hat - double(w10.n_c)) /
+               double(w10.n_c));
+    }
+    const core::PairScenario sc{double(n_x), 10.0 * double(n_x),
+                                double(w10.n_c), fm_x, fm_y, s};
+    lf.add_row({common::TextTable::fmt(f, 0),
+                common::TextTable::fmt_percent(err.mean(), 2),
+                common::TextTable::fmt_percent(
+                    core::AccuracyModel::predict(sc).stddev_ratio, 2),
+                common::TextTable::fmt(
+                    core::PrivacyModel::evaluate_exact(sc).p, 3)});
+  }
+  std::printf("%s", lf.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E7 — Section V validation: analytical bias/stddev vs Monte Carlo.
+//
+// For a grid of scenarios, runs R protocol-exact simulations and compares
+// the empirical mean and standard deviation of n̂_c/n_c against BOTH
+// analytical models: the paper's published Eqs. 25-36 (binomial zero
+// counts) and this library's occupancy-exact correction. Reproduction
+// finding: the paper's formula over-predicts the spread several-fold at
+// healthy load factors because zero counts are not binomial (each vehicle
+// sets exactly one bit) and because V_c's fluctuations largely cancel
+// against V_x, V_y in the estimator. The occupancy-exact model matches
+// simulation closely everywhere.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "core/accuracy_model.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "stats/descriptive.h"
+
+int main(int argc, char** argv) {
+  using namespace vlm;
+  common::ArgParser parser("bench_accuracy_model",
+                           "Section V analytical accuracy vs simulation");
+  parser.add_int("trials", 80, "Monte-Carlo runs per scenario");
+  parser.add_int("seed", 31, "base seed");
+  if (!parser.parse(argc, argv)) return 0;
+  const int trials = static_cast<int>(parser.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  struct Case {
+    const char* label;
+    core::PairScenario sc;
+  };
+  const std::vector<Case> cases = {
+      {"equal, f=13", {10'000, 10'000, 2'000, 1 << 17, 1 << 17, 2}},
+      {"equal, small n_c", {10'000, 10'000, 500, 1 << 17, 1 << 17, 2}},
+      {"d=10", {10'000, 100'000, 2'000, 1 << 17, 1 << 20, 2}},
+      {"d=10, s=5", {10'000, 100'000, 2'000, 1 << 17, 1 << 20, 5}},
+      {"d=50", {10'000, 500'000, 2'000, 1 << 17, 1 << 22, 2}},
+      {"FBM-starved d=50", {10'000, 500'000, 2'000, 1 << 17, 1 << 17, 2}},
+      {"tight arrays f=3", {10'000, 10'000, 1'000, 1 << 15, 1 << 15, 2}},
+  };
+
+  common::TextTable table({"scenario", "bias(sim)", "bias(paper)",
+                           "bias(exact)", "sd(sim)", "sd(paper)",
+                           "sd(exact)", "sd paper/sim", "sd exact/sim"});
+  for (const Case& c : cases) {
+    core::Encoder enc(core::EncoderConfig{c.sc.s});
+    core::PairEstimator est(c.sc.s);
+    // Trials are independent and per-index seeded; run them across cores
+    // (results identical to the sequential loop by construction).
+    std::vector<double> trial_ratios(static_cast<std::size_t>(trials));
+    common::parallel_for(
+        trial_ratios.size(), common::default_worker_count(),
+        [&](std::size_t t) {
+          const auto states = core::simulate_pair(
+              enc,
+              core::PairWorkload{static_cast<std::uint64_t>(c.sc.n_x),
+                                 static_cast<std::uint64_t>(c.sc.n_y),
+                                 static_cast<std::uint64_t>(c.sc.n_c)},
+              c.sc.m_x, c.sc.m_y,
+              seed + 1000u * static_cast<std::uint64_t>(t));
+          trial_ratios[t] = est.estimate(states.x, states.y).n_c_hat / c.sc.n_c;
+        });
+    stats::RunningStats ratios;
+    for (double r : trial_ratios) ratios.push(r);
+    const auto paper =
+        core::AccuracyModel::predict(c.sc, core::VarianceModel::kPaperBinomial);
+    const auto exact = core::AccuracyModel::predict(
+        c.sc, core::VarianceModel::kOccupancyExact);
+    table.add_row({c.label, common::TextTable::fmt(ratios.mean() - 1.0, 4),
+                   common::TextTable::fmt(paper.bias_ratio, 4),
+                   common::TextTable::fmt(exact.bias_ratio, 4),
+                   common::TextTable::fmt(ratios.stddev(), 4),
+                   common::TextTable::fmt(paper.stddev_ratio, 4),
+                   common::TextTable::fmt(exact.stddev_ratio, 4),
+                   common::TextTable::fmt(paper.stddev_ratio / ratios.stddev(), 2),
+                   common::TextTable::fmt(exact.stddev_ratio / ratios.stddev(), 2)});
+  }
+  std::printf("Section V validation (%d trials/scenario):\n%s", trials,
+              table.to_string().c_str());
+  std::printf(
+      "\n'paper' = Eqs. 25-36 as published (binomial U). 'exact' = occupancy-"
+      "exact second moments.\nA healthy model has sd/sim ratio ~1.0.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Baseline comparison — HyperLogLog inclusion-exclusion vs the paper's
+// bitmap masking, at EQUAL memory per RSU.
+//
+// Two questions:
+//   1. Accuracy: for the same bits of RSU state, which estimator of
+//      |S_x ∩ S_y| has lower error? (HLL-IE's error scales with the
+//      UNION cardinality; the bitmap MLE reads the intersection signal
+//      directly, so bitmap wins whenever n_c << n_x + n_y — the
+//      operating regime of point-to-point traffic.)
+//   2. Privacy: HLL-IE requires every RSU to insert the SAME hash for
+//      the same vehicle, so the vehicle's submission is a stable
+//      (bucket, rank) pseudo-identifier. We compute the fraction of
+//      vehicles whose submission is UNIQUE within the period — those are
+//      exactly linkable across RSUs. Under the bitmap scheme the
+//      corresponding quantity is the preserved-privacy p of Section VI.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/hashing.h"
+#include "common/table.h"
+#include "core/encoder.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "core/privacy_model.h"
+#include "sketch/hll.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace vlm;
+
+std::uint64_t stable_vehicle_hash(std::uint64_t seed, std::uint64_t i) {
+  return common::mix64(common::mix64(seed) + (i + 1) * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_baseline_hll",
+                           "HLL inclusion-exclusion vs bitmap masking");
+  parser.add_int("trials", 12, "runs per configuration");
+  parser.add_int("seed", 606, "base seed");
+  if (!parser.parse(argc, argv)) return 0;
+  const int trials = static_cast<int>(parser.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  // Equal memory: bitmap m bits == HLL with m/8 one-byte registers.
+  struct Case {
+    const char* label;
+    std::uint64_t n_x, n_y, n_c;
+    std::size_t bitmap_bits;
+    unsigned hll_precision;  // 8 * 2^p bits
+  };
+  const Case cases[] = {
+      {"n=10k/10k, n_c=2k, 128Kbit", 10'000, 10'000, 2'000, 1 << 17, 14},
+      {"n=10k/10k, n_c=200, 128Kbit", 10'000, 10'000, 200, 1 << 17, 14},
+      {"n=10k/100k, n_c=2k, 1Mbit", 10'000, 100'000, 2'000, 1 << 20, 17},
+      {"n=50k/50k, n_c=25k, 512Kbit", 50'000, 50'000, 25'000, 1 << 19, 16},
+  };
+
+  core::Encoder enc(core::EncoderConfig{});
+  core::PairEstimator bitmap_est(2);
+
+  common::TextTable table({"case", "|err| bitmap", "|err| HLL-IE",
+                           "bitmap privacy p", "HLL linkable vehicles"});
+  for (const Case& c : cases) {
+    stats::RunningStats bitmap_err, hll_err;
+    double linkable_fraction = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t trial_seed =
+          seed + 7'000u * static_cast<std::uint64_t>(t);
+      // Bitmap run (protocol-exact).
+      const auto states = core::simulate_pair(
+          enc, core::PairWorkload{c.n_x, c.n_y, c.n_c}, c.bitmap_bits,
+          c.bitmap_bits, trial_seed);
+      bitmap_err.push(
+          std::fabs(bitmap_est.estimate(states.x, states.y).n_c_hat -
+                    double(c.n_c)) /
+          double(c.n_c));
+
+      // HLL run: same vehicle population, STABLE per-vehicle hash (the
+      // requirement that breaks privacy).
+      sketch::HyperLogLog hx(c.hll_precision), hy(c.hll_precision);
+      for (std::uint64_t i = 0; i < c.n_x; ++i) {
+        hx.add_hash(stable_vehicle_hash(trial_seed, i));
+      }
+      // Common vehicles are the first n_c of x's population.
+      for (std::uint64_t i = 0; i < c.n_c; ++i) {
+        hy.add_hash(stable_vehicle_hash(trial_seed, i));
+      }
+      for (std::uint64_t i = c.n_x; i < c.n_x + (c.n_y - c.n_c); ++i) {
+        hy.add_hash(stable_vehicle_hash(trial_seed, i));
+      }
+      hll_err.push(std::fabs(sketch::HyperLogLog::intersection(hx, hy) -
+                             double(c.n_c)) /
+                   double(c.n_c));
+
+      // Linkability: fraction of x's vehicles whose (bucket, rank) pair
+      // is unique within the RSU's period — a tracker matching the same
+      // pair at another RSU identifies the vehicle.
+      if (t == 0) {
+        std::vector<std::uint32_t> counts(
+            std::size_t{1} << (c.hll_precision + 6), 0);
+        auto key = [&](std::uint64_t h) {
+          const std::size_t bucket = h >> (64 - c.hll_precision);
+          const std::uint64_t suffix = h << c.hll_precision;
+          const unsigned rank =
+              suffix == 0 ? 64 - c.hll_precision + 1
+                          : static_cast<unsigned>(std::countl_zero(suffix)) + 1;
+          return (bucket << 6) | std::min(rank, 63u);
+        };
+        for (std::uint64_t i = 0; i < c.n_x; ++i) {
+          ++counts[key(stable_vehicle_hash(trial_seed, i))];
+        }
+        std::uint64_t unique = 0;
+        for (std::uint64_t i = 0; i < c.n_x; ++i) {
+          if (counts[key(stable_vehicle_hash(trial_seed, i))] == 1) ++unique;
+        }
+        linkable_fraction = double(unique) / double(c.n_x);
+      }
+    }
+    const double p = core::PrivacyModel::evaluate_exact(core::PairScenario{
+        double(c.n_x), double(c.n_y), double(c.n_c), c.bitmap_bits,
+        c.bitmap_bits, 2}).p;
+    table.add_row({c.label,
+                   common::TextTable::fmt_percent(bitmap_err.mean(), 2),
+                   common::TextTable::fmt_percent(hll_err.mean(), 2),
+                   common::TextTable::fmt(p, 3),
+                   common::TextTable::fmt_percent(linkable_fraction, 1)});
+  }
+  std::printf("HLL-IE vs bitmap masking at equal memory (%d trials):\n%s",
+              trials, table.to_string().c_str());
+  std::printf(
+      "\n'HLL linkable vehicles': share of vehicles whose (bucket, rank)\n"
+      "submission is unique at the RSU — matching it at another RSU links\n"
+      "the trip. The bitmap scheme's replies are single masked bit indices\n"
+      "with preserved privacy p (Section VI); HLL-IE trades privacy away\n"
+      "and is STILL less accurate in the small-intersection regime.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Extension bench — three-point intersection estimation.
+//
+// Not a paper artifact: the paper estimates pairs only. This harness
+// quantifies the natural extension implemented in core/triple_estimator
+// (unfold-all + triple OR + generalized MLE): estimation quality of
+// |S_x ∩ S_y ∩ S_z| across overlap levels and array-size mixes, with and
+// without plugging in true pairwise values (isolating the noise the
+// pairwise stage contributes).
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/hashing.h"
+#include "common/table.h"
+#include "core/encoder.h"
+#include "core/pair_simulation.h"
+#include "core/triple_estimator.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace vlm;
+
+struct TripleWorkload {
+  std::uint64_t only[3];
+  std::uint64_t pure_pair[3];  // xy, xz, yz
+  std::uint64_t triple;
+};
+
+struct TripleStates {
+  core::RsuState x, y, z;
+};
+
+TripleStates simulate(const core::Encoder& enc, const TripleWorkload& w,
+                      std::size_t m_x, std::size_t m_y, std::size_t m_z,
+                      std::uint64_t seed) {
+  TripleStates st{core::RsuState(m_x), core::RsuState(m_y),
+                  core::RsuState(m_z)};
+  const core::RsuId rx{0xA1}, ry{0xB2}, rz{0xC3};
+  std::uint64_t index = 0;
+  auto drive = [&](bool hx, bool hy, bool hz, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const core::VehicleIdentity v = core::synthetic_vehicle(seed, index++);
+      if (hx) st.x.record(enc.bit_index(v, rx, m_x));
+      if (hy) st.y.record(enc.bit_index(v, ry, m_y));
+      if (hz) st.z.record(enc.bit_index(v, rz, m_z));
+    }
+  };
+  drive(true, false, false, w.only[0]);
+  drive(false, true, false, w.only[1]);
+  drive(false, false, true, w.only[2]);
+  drive(true, true, false, w.pure_pair[0]);
+  drive(true, false, true, w.pure_pair[1]);
+  drive(false, true, true, w.pure_pair[2]);
+  drive(true, true, true, w.triple);
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_extension_triple",
+                           "three-point intersection estimation quality");
+  parser.add_int("trials", 16, "runs per configuration");
+  parser.add_int("seed", 4242, "base seed");
+  if (!parser.parse(argc, argv)) return 0;
+  const int trials = static_cast<int>(parser.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  core::Encoder enc((core::EncoderConfig{2}));
+  core::TripleEstimator est(2);
+
+  struct Case {
+    const char* label;
+    TripleWorkload w;
+    std::size_t m_x, m_y, m_z;
+  };
+  const Case cases[] = {
+      {"equal, triple 6k",
+       {{16'000, 16'000, 16'000}, {4'000, 4'000, 4'000}, 6'000},
+       1 << 18, 1 << 18, 1 << 18},
+      {"equal, triple 1.5k",
+       {{16'000, 16'000, 16'000}, {4'000, 4'000, 4'000}, 1'500},
+       1 << 18, 1 << 18, 1 << 18},
+      {"sizes 2^17/2^18/2^20",
+       {{6'000, 20'000, 60'000}, {3'000, 3'000, 3'000}, 4'000},
+       1 << 17, 1 << 18, 1 << 20},
+  };
+
+  common::TextTable table({"configuration", "true n_xyz", "mean ratio (full)",
+                           "|err| (full)", "mean ratio (known pairs)",
+                           "|err| (known pairs)"});
+  for (const Case& c : cases) {
+    vlm::stats::RunningStats full, known;
+    const double truth = static_cast<double>(c.w.triple);
+    for (int t = 0; t < trials; ++t) {
+      const TripleStates st = simulate(
+          enc, c.w, c.m_x, c.m_y, c.m_z,
+          seed + 1000u * static_cast<std::uint64_t>(t));
+      full.push(est.estimate(st.x, st.y, st.z).n_xyz_hat / truth);
+      known.push(est.estimate_with_known_pairs(
+                        st.x, st.y, st.z,
+                        double(c.w.pure_pair[0] + c.w.triple),
+                        double(c.w.pure_pair[1] + c.w.triple),
+                        double(c.w.pure_pair[2] + c.w.triple))
+                     .n_xyz_hat /
+                 truth);
+    }
+    table.add_row({c.label, common::TextTable::fmt(truth, 0),
+                   common::TextTable::fmt(full.mean(), 3),
+                   common::TextTable::fmt_percent(
+                       std::fabs(full.mean() - 1.0) + full.stddev(), 1),
+                   common::TextTable::fmt(known.mean(), 3),
+                   common::TextTable::fmt_percent(
+                       std::fabs(known.mean() - 1.0) + known.stddev(), 1)});
+  }
+  std::printf("Three-point intersection extension (%d trials/case):\n%s",
+              trials, table.to_string().c_str());
+  std::printf(
+      "\nThe triple-overlap signal per vehicle is K ~ -1/(s^2 m_z) — s times\n"
+      "weaker than the pairwise one — so expect noisier estimates; the\n"
+      "'known pairs' columns isolate the triple stage from pairwise noise.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// E4 — Figure 4: measurement accuracy of the FBM baseline (ref. [9]).
+//
+// One global bit-array size m for every RSU, bounded by the privacy rule
+// m <= privacy_cap * n_min (n_min = n_x here), i.e. the largest power of
+// two not exceeding 15 * 10,000 -> 2^17 for the defaults. The three plots
+// reproduce n_y = n_x, 10 n_x, 50 n_x. Expected shape: near-perfect for
+// equal volumes, visibly degraded at 10x, scattered at 50x (B_y is ~98%
+// full).
+#include <cinttypes>
+#include <cstdio>
+
+#include "core/sizing.h"
+#include "figure_common.h"
+
+int main(int argc, char** argv) {
+  using namespace vlm;
+  auto parser = bench::make_figure_parser(
+      "bench_fig4_fbm_accuracy",
+      "Figure 4: accuracy scatter of the fixed-length baseline (FBM)");
+  parser.add_double("privacy-cap", 15.0,
+                    "max load factor at the lightest RSU (privacy >= 0.5)");
+  if (!parser.parse(argc, argv)) return 0;
+  const auto config = bench::figure_config_from(parser);
+  const double cap = parser.get_double("privacy-cap");
+
+  std::printf("Figure 4 reproduction: FBM baseline, s = %u\n", config.s);
+  const auto sizing = [&](double n_x, double /*n_y*/) {
+    const auto policy = core::FbmSizingPolicy::for_min_volume(n_x, cap);
+    return std::make_pair(policy.array_size(), policy.array_size());
+  };
+  for (double ratio : {1.0, 10.0, 50.0}) {
+    bench::run_accuracy_plot(config, ratio, sizing,
+                             "fig4_ratio" + std::to_string(int(ratio)));
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// E6 — Section IV-E computation overhead, as google-benchmark
+// microbenchmarks.
+//
+// Claims under test:
+//   - vehicle work per query: O(1) (two hashes);
+//   - RSU work per reply: O(1) (counter + one bit);
+//   - server work per pair: O(m_y) (unfold + OR + three popcounts), and
+//     VLM is comparable to FBM at equal m_y.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bit_array.h"
+#include "core/encoder.h"
+#include "core/estimator.h"
+#include "core/accuracy_model.h"
+#include "core/pair_simulation.h"
+#include "core/privacy_model.h"
+#include "vcps/pki.h"
+#include "vcps/rsu.h"
+#include "vcps/vehicle.h"
+
+namespace {
+
+using namespace vlm;
+
+void BM_VehicleEncode(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  core::Encoder enc(core::EncoderConfig{});
+  core::VehicleIdentity v{core::VehicleId{123}, 456};
+  std::uint64_t r = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.bit_index(v, core::RsuId{r++}, m));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VehicleEncode)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 22);
+
+void BM_VehicleFullQueryPath(benchmark::State& state) {
+  // Includes certificate verification, as the deployed vehicle would.
+  core::Encoder enc(core::EncoderConfig{});
+  vcps::CertificateAuthority ca(9);
+  vcps::Vehicle vehicle({core::VehicleId{123}, 456}, enc, ca, 1);
+  vcps::Rsu rsu(core::RsuId{5}, ca.issue(core::RsuId{5}, 1000), 1 << 17);
+  const vcps::Query query = rsu.make_query(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vehicle.handle_query(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VehicleFullQueryPath);
+
+void BM_RsuRecord(benchmark::State& state) {
+  core::RsuState rsu(1 << 20);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rsu.record(i = (i * 2654435761u + 1) & ((1 << 20) - 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RsuRecord);
+
+// Server decode for one pair: unfold + OR + zero counts + Eq. 5. The
+// argument pair is (log2 m_x, log2 m_y); equal sizes model FBM, unequal
+// sizes model VLM with the same m_y. Expect O(m_y) scaling and near-equal
+// cost for FBM vs VLM at the same m_y.
+void BM_ServerEstimatePair(benchmark::State& state) {
+  const std::size_t m_x = std::size_t{1} << state.range(0);
+  const std::size_t m_y = std::size_t{1} << state.range(1);
+  core::Encoder enc(core::EncoderConfig{});
+  const auto states = core::simulate_pair(
+      enc, core::PairWorkload{m_x / 8, m_y / 8, m_x / 32}, m_x, m_y, 42);
+  core::PairEstimator est(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate(states.x, states.y));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(m_y / 8));
+}
+BENCHMARK(BM_ServerEstimatePair)
+    ->Args({17, 17})   // FBM at 2^17
+    ->Args({14, 17})   // VLM, same m_y
+    ->Args({20, 20})   // FBM at 2^20
+    ->Args({17, 20})   // VLM, same m_y
+    ->Args({17, 22})
+    ->Args({22, 22});
+
+void BM_Unfold(benchmark::State& state) {
+  const std::size_t m_x = std::size_t{1} << state.range(0);
+  const std::size_t m_y = std::size_t{1} << state.range(1);
+  common::BitArray bits(m_x);
+  for (std::size_t i = 0; i < m_x; i += 7) bits.set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bits.unfolded(m_y));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(m_y / 8));
+}
+BENCHMARK(BM_Unfold)->Args({14, 20})->Args({17, 20})->Args({17, 22});
+
+void BM_ReportSerialization(benchmark::State& state) {
+  const std::size_t m = std::size_t{1} << state.range(0);
+  common::BitArray bits(m);
+  for (std::size_t i = 0; i < m; i += 9) bits.set(i);
+  for (auto _ : state) {
+    const auto bytes = bits.to_bytes();
+    benchmark::DoNotOptimize(common::BitArray::from_bytes(m, bytes));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(m / 8));
+}
+BENCHMARK(BM_ReportSerialization)->Arg(17)->Arg(20)->Arg(22);
+
+// Planning-model costs: how expensive are the closed-form analyses the
+// central server runs per pair (interval construction evaluates the
+// occupancy model once per estimate).
+void BM_AccuracyModelPredict(benchmark::State& state) {
+  const core::PairScenario sc{10'000, 100'000, 2'000, 1 << 17, 1 << 20, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::AccuracyModel::predict(sc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccuracyModelPredict);
+
+void BM_PrivacyEvaluateExact(benchmark::State& state) {
+  const core::PairScenario sc{10'000, 100'000, 2'000, 1 << 17, 1 << 20, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PrivacyModel::evaluate_exact(sc));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrivacyEvaluateExact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,233 @@
+// E3 — Table I: point-to-point volumes on the Sioux Falls network.
+//
+// Two trajectory models:
+//
+//   --trajectories=od (default, matches the paper): each trip in the
+//     canonical table is one vehicle that reports to exactly its origin
+//     and destination RSUs. Cross-checking our transcribed table against
+//     the paper's Table I shows this is precisely what the authors did —
+//     their n_x values equal the table's per-node demand sums (node 15:
+//     213, node 3: 28, ...) and their n_c values equal the OD entries
+//     T(x, 10) — so this mode reproduces the paper's d and n_c/n_x
+//     structure exactly (up to demand rescaling to n_y = 451k).
+//
+//   --trajectories=routed (extension): trips are routed by Frank-Wolfe
+//     user equilibrium (LeBlanc 1975) and vehicles report to EVERY RSU en
+//     route, which is what a deployed system would see. Through-traffic
+//     makes volumes more homogeneous (d tops out near 7).
+//
+// Both schemes run on the same vehicle stream: FBM with one global m
+// capped by the privacy rule at the lightest RSU, VLM with per-RSU
+// sizing at f̄. The error ratio r = |n̂_c − n_c| / n_c follows the
+// paper's Table I definition (single measurement period, like the
+// paper's table). The "floor" column is the standard deviation lower
+// bound sqrt(n_c (s−1)) / n_c imposed by the logical-slot randomness —
+// no single-run error can be expected below it (see EXPERIMENTS.md for
+// why the paper's sub-0.3%% entries are below this bound).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/encoder.h"
+#include "core/accuracy_model.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "core/sizing.h"
+#include "roadnet/assignment.h"
+#include "roadnet/sioux_falls.h"
+#include "roadnet/trajectory.h"
+
+namespace {
+
+using namespace vlm;
+
+// The paper's R_x selection, sorted by traffic difference ratio.
+constexpr int kPaperRxNodes[] = {15, 12, 7, 24, 6, 18, 2, 3};
+constexpr int kRyNode = 10;
+
+using VehicleStream =
+    std::function<void(const std::function<void(std::span<const roadnet::NodeIndex>)>&)>;
+
+// OD-endpoint stream: T(o, d) vehicles visiting {o, d}, demands scaled.
+VehicleStream od_stream(const roadnet::TripTable& trips, double scale) {
+  return [&trips, scale](const auto& visit) {
+    for (roadnet::NodeIndex o = 0; o < trips.node_count(); ++o) {
+      for (roadnet::NodeIndex d = 0; d < trips.node_count(); ++d) {
+        const auto count =
+            static_cast<std::uint64_t>(std::llround(trips.demand(o, d) * scale));
+        const roadnet::NodeIndex nodes[2] = {o, d};
+        for (std::uint64_t v = 0; v < count; ++v) {
+          visit(std::span<const roadnet::NodeIndex>(nodes, 2));
+        }
+      }
+    }
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_table1_sioux_falls",
+                           "Table I: Sioux Falls point-to-point volumes");
+  parser.add_int("s", 2, "logical bit array size (paper: 2)");
+  parser.add_double("load-factor", 8.0, "VLM global load factor f̄");
+  parser.add_double("privacy-cap", 15.0,
+                    "FBM load-factor cap at the lightest RSU (privacy 0.5)");
+  parser.add_double("target-ny", 451'000.0,
+                    "daily volume to calibrate node 10 to (paper: 451k)");
+  parser.add_string("trajectories", "od",
+                    "'od' = origin/destination only (paper); 'routed' = "
+                    "user-equilibrium routes, reporting at every node");
+  parser.add_int("seed", 20150702, "trajectory sampling seed");
+  parser.add_int("fw-iterations", 40, "Frank-Wolfe iterations (routed mode)");
+  if (!parser.parse(argc, argv)) return 0;
+  const auto s = static_cast<std::uint32_t>(parser.get_int("s"));
+  const double f_bar = parser.get_double("load-factor");
+  const double cap = parser.get_double("privacy-cap");
+  const double target_ny = parser.get_double("target-ny");
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  const bool routed = parser.get_string("trajectories") == "routed";
+
+  const roadnet::Graph graph = roadnet::sioux_falls_network();
+  roadnet::TripTable trips = roadnet::sioux_falls_trip_table();
+
+  // Build the vehicle stream and the per-node expected volumes used as
+  // sizing history.
+  std::vector<double> history(24, 0.0);
+  VehicleStream stream;
+  roadnet::AssignmentResult assignment;  // kept alive for routed mode
+  std::unique_ptr<roadnet::TrajectorySampler> sampler;
+  if (routed) {
+    roadnet::AssignmentOptions options;
+    options.method = roadnet::AssignmentMethod::kFrankWolfe;
+    options.max_iterations = static_cast<int>(parser.get_int("fw-iterations"));
+    assignment = roadnet::assign(graph, trips, options);
+    const double scale =
+        target_ny / assignment.expected_node_volume(kRyNode - 1);
+    trips.scale(scale);
+    assignment = roadnet::assign(graph, trips, options);
+    std::printf(
+        "routed mode: FW gap %.1e, demand scaled by %.3f (node 10: %.0f)\n",
+        assignment.relative_gap, scale,
+        assignment.expected_node_volume(kRyNode - 1));
+    for (roadnet::NodeIndex n = 0; n < 24; ++n) {
+      history[n] = assignment.expected_node_volume(n);
+    }
+    sampler = std::make_unique<roadnet::TrajectorySampler>(assignment, seed);
+    stream = [&sampler](const auto& visit) { sampler->for_each_vehicle(visit); };
+  } else {
+    const double unscaled_ny = trips.node_demand(kRyNode - 1);
+    const double scale = target_ny / unscaled_ny;
+    std::printf(
+        "od mode: demand scaled by %.3f so node 10 sees %.0f reports/day\n",
+        scale, unscaled_ny * scale);
+    for (roadnet::NodeIndex n = 0; n < 24; ++n) {
+      history[n] = trips.node_demand(n) * scale;
+    }
+    stream = od_stream(trips, scale);
+  }
+
+  double min_volume = 1e18;
+  for (double h : history) min_volume = std::min(min_volume, h);
+
+  const core::VlmSizingPolicy vlm_sizing(f_bar);
+  const auto fbm_sizing =
+      core::FbmSizingPolicy::for_min_volume(min_volume, cap);
+  std::printf("FBM: m = %zu for all RSUs (n_min = %.0f, cap %.0f)\n",
+              fbm_sizing.array_size(), min_volume, cap);
+
+  core::Encoder encoder((core::EncoderConfig{s}));
+  core::PairEstimator estimator(s);
+  std::vector<core::RsuState> vlm_states, fbm_states;
+  for (roadnet::NodeIndex n = 0; n < 24; ++n) {
+    vlm_states.emplace_back(vlm_sizing.array_size_for(history[n]));
+    fbm_states.emplace_back(fbm_sizing.array_size());
+  }
+
+  // One day of traffic: every vehicle answers every RSU it passes, for
+  // both schemes, while ground truth accumulates.
+  std::vector<std::uint64_t> true_volume(24, 0);
+  std::vector<std::uint64_t> true_common(24, 0);  // vs node 10
+  std::uint64_t vehicle_counter = 0;
+  stream([&](std::span<const roadnet::NodeIndex> nodes) {
+    ++vehicle_counter;
+    const core::VehicleIdentity v =
+        core::synthetic_vehicle(seed, vehicle_counter);
+    const bool hits_ry =
+        std::find(nodes.begin(), nodes.end(), kRyNode - 1) != nodes.end();
+    for (roadnet::NodeIndex node : nodes) {
+      ++true_volume[node];
+      if (hits_ry && node != kRyNode - 1) ++true_common[node];
+      const core::RsuId rsu{node + 1u};
+      vlm_states[node].record(
+          encoder.bit_index(v, rsu, vlm_states[node].array_size()));
+      fbm_states[node].record(
+          encoder.bit_index(v, rsu, fbm_states[node].array_size()));
+    }
+  });
+  std::printf("simulated %llu vehicles; node 10 realized volume %llu\n\n",
+              static_cast<unsigned long long>(vehicle_counter),
+              static_cast<unsigned long long>(true_volume[kRyNode - 1]));
+
+  common::TextTable table({"R_x", "n_x", "d", "n_c", "n_c^ (FBM)",
+                           "n_c^ (VLM)", "r (FBM)", "r (VLM)", "sigma (FBM)",
+                           "sigma (VLM)", "floor"});
+  const double n_y = static_cast<double>(true_volume[kRyNode - 1]);
+  double worst_fbm = 0.0, worst_vlm = 0.0;
+  for (int rx : kPaperRxNodes) {
+    const auto node = static_cast<roadnet::NodeIndex>(rx - 1);
+    const double n_x = static_cast<double>(true_volume[node]);
+    const double n_c = static_cast<double>(true_common[node]);
+    const auto fbm_est =
+        estimator.estimate(fbm_states[node], fbm_states[kRyNode - 1]);
+    const auto vlm_est =
+        estimator.estimate(vlm_states[node], vlm_states[kRyNode - 1]);
+    const double r_fbm = std::fabs(fbm_est.n_c_hat - n_c) / n_c;
+    const double r_vlm = std::fabs(vlm_est.n_c_hat - n_c) / n_c;
+    // Occupancy-exact predicted spread of a single-period estimate; the
+    // scheme with the smaller sigma wins in expectation even when one
+    // realization (the r columns) says otherwise.
+    const auto sigma_fbm =
+        core::AccuracyModel::predict(
+            core::PairScenario{n_x, n_y, n_c, fbm_states[node].array_size(),
+                               fbm_states[kRyNode - 1].array_size(), s})
+            .stddev_ratio;
+    const auto sigma_vlm =
+        core::AccuracyModel::predict(
+            core::PairScenario{n_x, n_y, n_c, vlm_states[node].array_size(),
+                               vlm_states[kRyNode - 1].array_size(), s})
+            .stddev_ratio;
+    const double floor = std::sqrt(n_c * (double(s) - 1.0)) / n_c;
+    worst_fbm = std::max(worst_fbm, r_fbm);
+    worst_vlm = std::max(worst_vlm, r_vlm);
+    table.add_row({std::to_string(rx), common::TextTable::fmt(n_x / 1000, 0),
+                   common::TextTable::fmt(n_y / n_x, 3),
+                   common::TextTable::fmt(n_c / 1000, 1),
+                   common::TextTable::fmt(fbm_est.n_c_hat / 1000, 3),
+                   common::TextTable::fmt(vlm_est.n_c_hat / 1000, 3),
+                   common::TextTable::fmt_percent(r_fbm, 3),
+                   common::TextTable::fmt_percent(r_vlm, 3),
+                   common::TextTable::fmt_percent(sigma_fbm, 2),
+                   common::TextTable::fmt_percent(sigma_vlm, 2),
+                   common::TextTable::fmt_percent(floor, 2)});
+  }
+  std::printf(
+      "Table I reproduction (volumes in thousands/day; R_y = node 10, "
+      "n_y = %.0fk, m_y(VLM) = %zu):\n%s",
+      n_y / 1000, vlm_states[kRyNode - 1].array_size(),
+      table.to_string().c_str());
+  std::printf(
+      "worst single-run error ratio: FBM %.2f%%, VLM %.2f%%\n"
+      "'sigma' = predicted single-run StdDev[n̂_c/n_c] (occupancy-exact "
+      "model);\n'floor' = sqrt(n_c (s-1))/n_c, the spread imposed by "
+      "logical-slot randomness\nalone — single-run errors below it (as in "
+      "the paper's Table I) are not\nstatistically reachable; see "
+      "EXPERIMENTS.md.\n",
+      worst_fbm * 100, worst_vlm * 100);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared harness for the Figure 4/5 accuracy scatter benches.
+//
+// Both figures run the same sweep (Section VII-B): n_x = 10,000,
+// n_y ∈ {1, 10, 50} * n_x, n_c from 0.01 n_x to 0.5 n_x, s = 2, with
+// sizing chosen to guarantee minimum privacy 0.5. They differ ONLY in the
+// sizing rule: FBM uses one global m derived from n_min = n_x; VLM sizes
+// each RSU at load factor f̄. Each sweep point is a single protocol-exact
+// simulation run (the paper's figures are scatter plots of single runs).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "stats/descriptive.h"
+#include "traffic/sweeps.h"
+
+namespace vlm::bench {
+
+struct FigureConfig {
+  std::uint32_t s = 2;
+  double c_step_frac = 0.01;  // default coarse grid; --step=0.001 = paper
+  std::uint64_t n_x = 10'000;
+  std::uint64_t seed = 20150701;
+  std::string csv_path;  // empty = no csv
+};
+
+inline common::ArgParser make_figure_parser(const std::string& name,
+                                            const std::string& what) {
+  common::ArgParser parser(name, what);
+  parser.add_int("s", 2, "logical bit array size (paper uses 2, 5, 10)");
+  parser.add_double("step", 0.01,
+                    "n_c sweep step as a fraction of n_x (paper: 0.001)");
+  parser.add_int("n-x", 10'000, "point volume at the light RSU");
+  parser.add_int("seed", 20150701, "simulation seed");
+  parser.add_string("csv", "", "optional CSV output path prefix");
+  return parser;
+}
+
+inline FigureConfig figure_config_from(const common::ArgParser& parser) {
+  FigureConfig config;
+  config.s = static_cast<std::uint32_t>(parser.get_int("s"));
+  config.c_step_frac = parser.get_double("step");
+  config.n_x = static_cast<std::uint64_t>(parser.get_int("n-x"));
+  config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  config.csv_path = parser.get_string("csv");
+  return config;
+}
+
+// Sizing callback: (n_x, n_y) -> (m_x, m_y).
+using SizingRule =
+    std::function<std::pair<std::size_t, std::size_t>(double, double)>;
+
+// Runs one plot (one n_y/n_x ratio) and prints the scatter plus summary.
+inline void run_accuracy_plot(const FigureConfig& config, double ratio_y,
+                              const SizingRule& sizing,
+                              const std::string& plot_label) {
+  traffic::FigureSweepSpec spec;
+  spec.n_x = config.n_x;
+  spec.ratio_y = ratio_y;
+  spec.c_step_frac = config.c_step_frac;
+  const auto sweep = traffic::build_figure_sweep(spec);
+
+  core::Encoder encoder(core::EncoderConfig{
+      config.s, 0x5EEDBA5EBA11AD00ull, core::SlotSelection::kPerVehicleUniform});
+  core::PairEstimator estimator(config.s);
+
+  const auto [m_x, m_y] = sizing(static_cast<double>(config.n_x),
+                                 ratio_y * static_cast<double>(config.n_x));
+
+  std::unique_ptr<common::CsvWriter> csv;
+  if (!config.csv_path.empty()) {
+    csv = std::make_unique<common::CsvWriter>(
+        config.csv_path + "_" + plot_label + ".csv",
+        std::vector<std::string>{"n_c", "n_c_hat", "ratio"});
+  }
+
+  common::TextTable table({"n_c", "n_c_hat", "ratio", "error"});
+  stats::RunningStats ratio_stats, abs_err_stats;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const core::PairWorkload& w = sweep[i];
+    const auto states = core::simulate_pair(
+        encoder, w, m_x, m_y, config.seed + i * 7919);
+    const auto e = estimator.estimate(states.x, states.y);
+    const double nc = static_cast<double>(w.n_c);
+    const double ratio = e.n_c_hat / nc;
+    ratio_stats.push(ratio);
+    abs_err_stats.push(std::fabs(e.n_c_hat - nc) / nc);
+    if (csv) {
+      csv->add_row({common::TextTable::fmt(nc, 0),
+                    common::TextTable::fmt(e.n_c_hat, 2),
+                    common::TextTable::fmt(ratio, 5)});
+    }
+    // Keep the printed table readable: ~16 evenly spaced rows.
+    if (i % std::max<std::size_t>(1, sweep.size() / 16) == 0 ||
+        i + 1 == sweep.size()) {
+      table.add_row({common::TextTable::fmt(nc, 0),
+                     common::TextTable::fmt(e.n_c_hat, 1),
+                     common::TextTable::fmt(ratio, 3),
+                     common::TextTable::fmt_percent(
+                         std::fabs(e.n_c_hat - nc) / nc, 2)});
+    }
+  }
+
+  std::printf("\n--- %s: n_y = %.0f n_x, m_x = %zu, m_y = %zu, s = %u ---\n",
+              plot_label.c_str(), ratio_y, m_x, m_y, config.s);
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "summary over %zu points: mean ratio %.4f, ratio stddev %.4f, "
+      "mean |error| %.2f%%, max |error| %.2f%%\n",
+      sweep.size(), ratio_stats.mean(), ratio_stats.stddev(),
+      abs_err_stats.mean() * 100.0, abs_err_stats.max() * 100.0);
+}
+
+}  // namespace vlm::bench

@@ -1,0 +1,94 @@
+// Quickstart: measure point-to-point traffic between two RSUs with the
+// core VLM API, no road network or radio simulation involved.
+//
+//   $ ./quickstart
+//
+// Walks through the full life of one measurement period:
+//   1. configure the scheme (s, load factor f̄),
+//   2. size each RSU's bit array from its historical volume,
+//   3. online coding: vehicles report one masked bit index per RSU,
+//   4. offline decoding: unfold + OR + Eq. 5 MLE at the central server,
+//   5. compare against the ground truth and the analytical error model.
+#include <cstdio>
+
+#include "common/hashing.h"
+#include "core/accuracy_model.h"
+#include "core/privacy_model.h"
+#include "core/scheme.h"
+
+int main() {
+  using namespace vlm;
+
+  // 1. A complete scheme object: encoder (vehicle side), sizing policy,
+  // and pairwise estimator (server side).
+  core::VlmScheme scheme(core::VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+
+  // 2. Two RSUs with very different historical volumes: a light suburban
+  // intersection and a 12x busier arterial one.
+  const double history_a = 10'000, history_b = 120'000;
+  core::RsuState rsu_a = scheme.make_rsu_state(history_a);
+  core::RsuState rsu_b = scheme.make_rsu_state(history_b);
+  std::printf("RSU A: m = %zu bits for ~%.0f vehicles/day\n",
+              rsu_a.array_size(), history_a);
+  std::printf("RSU B: m = %zu bits for ~%.0f vehicles/day\n",
+              rsu_b.array_size(), history_b);
+
+  // 3. Online coding. Of today's traffic, 3,000 vehicles pass both RSUs,
+  // 7,000 pass only A, and 117,000 pass only B. Each vehicle computes its
+  // reply with two hashes; the RSU sets one bit. No identifier is ever
+  // transmitted — the same vehicle is unlinkable across RSUs except
+  // through the aggregate statistics the estimator exploits.
+  const core::RsuId id_a{1}, id_b{2};
+  const std::uint64_t n_common = 3'000, n_a_only = 7'000, n_b_only = 117'000;
+  std::uint64_t next_vehicle = 0;
+  auto fresh_vehicle = [&next_vehicle] {
+    core::VehicleIdentity v;
+    v.id = core::VehicleId{
+        common::mix64(common::mix64(0xAB5E9D) + next_vehicle * 0x9E3779B97F4A7C15ull)};
+    v.private_key = common::mix64(common::mix64(0xFEED) +
+                                  next_vehicle * 0xC2B2AE3D27D4EB4Full);
+    ++next_vehicle;
+    return v;
+  };
+  for (std::uint64_t i = 0; i < n_common; ++i) {
+    const core::VehicleIdentity v = fresh_vehicle();
+    rsu_a.record(scheme.encoder().bit_index(v, id_a, rsu_a.array_size()));
+    rsu_b.record(scheme.encoder().bit_index(v, id_b, rsu_b.array_size()));
+  }
+  for (std::uint64_t i = 0; i < n_a_only; ++i) {
+    const core::VehicleIdentity v = fresh_vehicle();
+    rsu_a.record(scheme.encoder().bit_index(v, id_a, rsu_a.array_size()));
+  }
+  for (std::uint64_t i = 0; i < n_b_only; ++i) {
+    const core::VehicleIdentity v = fresh_vehicle();
+    rsu_b.record(scheme.encoder().bit_index(v, id_b, rsu_b.array_size()));
+  }
+  std::printf("\nonline coding done: counter A = %llu, counter B = %llu\n",
+              static_cast<unsigned long long>(rsu_a.counter()),
+              static_cast<unsigned long long>(rsu_b.counter()));
+
+  // 4. Offline decoding at the central server: unfold the smaller array
+  // onto the larger, OR them, read the three zero fractions, apply Eq. 5.
+  const core::PairEstimate estimate =
+      scheme.estimator().estimate(rsu_a, rsu_b);
+  std::printf("zero fractions: V_A = %.4f, V_B = %.4f, V_combined = %.4f\n",
+              estimate.v_x, estimate.v_y, estimate.v_c);
+  std::printf("estimated common traffic n_c^ = %.1f (truth: %llu)\n",
+              estimate.n_c_hat, static_cast<unsigned long long>(n_common));
+
+  // 5. What the analysis predicts for this configuration: estimation
+  // error band (Section V) and preserved privacy (Section VI).
+  const core::PairScenario scenario{
+      static_cast<double>(rsu_a.counter()),
+      static_cast<double>(rsu_b.counter()),
+      static_cast<double>(n_common),
+      rsu_a.array_size(),
+      rsu_b.array_size(),
+      2};
+  const auto accuracy = core::AccuracyModel::predict(scenario);
+  const double privacy = core::PrivacyModel::preserved_privacy(scenario);
+  std::printf(
+      "\nanalysis: expected ratio %.4f +- %.4f, preserved privacy %.3f\n",
+      1.0 + accuracy.bias_ratio, accuracy.stddev_ratio, privacy);
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "common/bit_array.h"
+
+#include <bit>
+
+#include "common/require.h"
+
+namespace vlm::common {
+
+BitArray::BitArray(std::size_t bit_count)
+    : bit_count_(bit_count), words_(word_count_for(bit_count), 0) {
+  VLM_REQUIRE(bit_count > 0, "bit array must have at least one bit");
+}
+
+void BitArray::set(std::size_t index) {
+  VLM_REQUIRE(index < bit_count_, "bit index out of range");
+  words_[index / kWordBits] |= std::uint64_t{1} << (index % kWordBits);
+}
+
+bool BitArray::test(std::size_t index) const {
+  VLM_REQUIRE(index < bit_count_, "bit index out of range");
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1u;
+}
+
+void BitArray::reset() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t BitArray::count_ones() const {
+  std::size_t ones = 0;
+  for (std::uint64_t w : words_) {
+    ones += static_cast<std::size_t>(std::popcount(w));
+  }
+  return ones;
+}
+
+double BitArray::zero_fraction() const {
+  VLM_REQUIRE(bit_count_ > 0, "zero_fraction of an empty array is undefined");
+  return static_cast<double>(count_zeros()) / static_cast<double>(bit_count_);
+}
+
+BitArray BitArray::unfolded(std::size_t target_size) const {
+  VLM_REQUIRE(bit_count_ > 0, "cannot unfold an empty array");
+  VLM_REQUIRE(target_size >= bit_count_ && target_size % bit_count_ == 0,
+              "unfold target must be a positive multiple of the array size");
+  BitArray out(target_size);
+  // Word-level fast path when the source is word-aligned; bit-level
+  // otherwise (sizes below 64 bits, which the sizing policy can produce for
+  // very light RSUs).
+  if (bit_count_ % kWordBits == 0) {
+    const std::size_t src_words = words_.size();
+    for (std::size_t w = 0; w < out.words_.size(); ++w) {
+      out.words_[w] = words_[w % src_words];
+    }
+  } else {
+    for (std::size_t i = 0; i < target_size; ++i) {
+      if (test(i % bit_count_)) out.set(i);
+    }
+  }
+  return out;
+}
+
+BitArray& BitArray::operator|=(const BitArray& other) {
+  VLM_REQUIRE(bit_count_ == other.bit_count_,
+              "bitwise OR requires equal-sized arrays (unfold first)");
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+std::vector<std::uint8_t> BitArray::to_bytes() const {
+  std::vector<std::uint8_t> bytes((bit_count_ + 7) / 8, 0);
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    bytes[b] = static_cast<std::uint8_t>(
+        (words_[b / 8] >> ((b % 8) * 8)) & 0xFFu);
+  }
+  return bytes;
+}
+
+BitArray BitArray::from_bytes(std::size_t bit_count,
+                              std::span<const std::uint8_t> bytes) {
+  VLM_REQUIRE(bytes.size() == (bit_count + 7) / 8,
+              "byte buffer does not match the declared bit count");
+  BitArray out(bit_count);
+  for (std::size_t b = 0; b < bytes.size(); ++b) {
+    out.words_[b / 8] |= static_cast<std::uint64_t>(bytes[b]) << ((b % 8) * 8);
+  }
+  // Trailing bits past bit_count must stay zero; reject buffers that set
+  // them, since they would silently corrupt zero counting.
+  const std::size_t tail = bit_count % kWordBits;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    VLM_REQUIRE((out.words_.back() & ~mask) == 0,
+                "byte buffer sets bits past the declared bit count");
+  }
+  return out;
+}
+
+}  // namespace vlm::common

@@ -1,0 +1,76 @@
+// Dense bit array: the storage primitive of both masking schemes.
+//
+// An RSU's state in the paper is exactly one of these plus a counter. The
+// operations the decoding phase needs — zero counting, bitwise OR, and the
+// paper's "unfolding" expansion (Section IV-C, Eq. 3) — are all word-level
+// and O(m/64).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlm::common {
+
+class BitArray {
+ public:
+  BitArray() = default;
+
+  // Creates an all-zero array of `bit_count` bits. `bit_count` may be any
+  // positive value; the power-of-two restriction the paper imposes is a
+  // property of the sizing policy (core/sizing.h), not of the container.
+  explicit BitArray(std::size_t bit_count);
+
+  std::size_t size() const { return bit_count_; }
+  bool empty() const { return bit_count_ == 0; }
+
+  void set(std::size_t index);
+  bool test(std::size_t index) const;
+
+  // Clears every bit (start of a new measurement period).
+  void reset();
+
+  std::size_t count_ones() const;
+  std::size_t count_zeros() const { return size() - count_ones(); }
+
+  // V_x in the paper: the fraction of '0' bits. Requires a non-empty array.
+  double zero_fraction() const;
+
+  // The paper's "unfolding" technique (Eq. 3): returns an array of
+  // `target_size` bits with B^u[i] = B[i mod m]. Requires `target_size`
+  // to be a positive multiple of size(). Unfolding to size() returns a
+  // copy. The zero fraction is invariant under unfolding.
+  BitArray unfolded(std::size_t target_size) const;
+
+  // Bitwise OR (Eq. 4). Both operands must have equal size.
+  BitArray& operator|=(const BitArray& other);
+  friend BitArray operator|(BitArray lhs, const BitArray& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const BitArray& a, const BitArray& b) {
+    return a.bit_count_ == b.bit_count_ && a.words_ == b.words_;
+  }
+
+  // Raw 64-bit words, little-endian bit order within a word; trailing bits
+  // past size() are guaranteed zero. Exposed for serialization and tests.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  // Serialization for RSU -> central-server reports.
+  std::vector<std::uint8_t> to_bytes() const;
+  static BitArray from_bytes(std::size_t bit_count,
+                             std::span<const std::uint8_t> bytes);
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  static std::size_t word_count_for(std::size_t bits) {
+    return (bits + kWordBits - 1) / kWordBits;
+  }
+
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace vlm::common

@@ -1,0 +1,139 @@
+#include "common/cli.h"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/require.h"
+
+namespace vlm::common {
+
+ArgParser::ArgParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void ArgParser::add_option(const std::string& name, Kind kind,
+                           std::string default_text, const std::string& help) {
+  VLM_REQUIRE(!name.empty(), "flag name must be non-empty");
+  VLM_REQUIRE(options_.find(name) == options_.end(),
+              "duplicate flag registration: " + name);
+  options_[name] = Option{kind, help, std::move(default_text)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, bool default_value,
+                         const std::string& help) {
+  add_option(name, Kind::kFlag, default_value ? "true" : "false", help);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help) {
+  add_option(name, Kind::kInt, std::to_string(default_value), help);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  add_option(name, Kind::kDouble, os.str(), help);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  add_option(name, Kind::kString, default_value, help);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help_text();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name + "\n" +
+                                  help_text());
+    }
+    if (!have_value) {
+      if (it->second.kind == Kind::kFlag) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag --" + name + " requires a value");
+        }
+        value = argv[++i];
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::lookup(const std::string& name,
+                                           Kind kind) const {
+  auto it = options_.find(name);
+  VLM_REQUIRE(it != options_.end(), "flag not registered: " + name);
+  VLM_REQUIRE(it->second.kind == kind, "flag accessed with wrong type: " + name);
+  return it->second;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kFlag).value;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::invalid_argument("flag --" + name + " expects true/false, got " + v);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kInt).value;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got " + v);
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& v = lookup(name, Kind::kDouble).value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got " + v);
+  }
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  return lookup(name, Kind::kString).value;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream os;
+  os << program_name_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name << " (default: " << opt.value << ")\n      "
+       << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vlm::common

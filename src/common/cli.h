@@ -1,0 +1,59 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Every
+// binary registers its flags with defaults and help text; `--help` prints
+// them and exits. Unknown flags are an error so typos in sweep scripts
+// fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vlm::common {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program_name, std::string description);
+
+  // Registration (call before parse()).
+  void add_flag(const std::string& name, bool default_value,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Parses argv. Returns false if `--help` was requested (help text already
+  // printed); throws std::invalid_argument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  bool get_flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // textual; typed getters convert
+  };
+
+  const Option& lookup(const std::string& name, Kind kind) const;
+  void add_option(const std::string& name, Kind kind, std::string default_text,
+                  const std::string& help);
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace vlm::common

@@ -1,0 +1,44 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+#include "common/require.h"
+
+namespace vlm::common {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  VLM_REQUIRE(!header.empty(), "csv needs at least one column");
+  if (!out_) {
+    throw std::runtime_error("cannot open csv output file: " + path);
+  }
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) out_ << ",";
+    out_ << escape(header[c]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  VLM_REQUIRE(cells.size() == columns_, "csv row width mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ",";
+    out_ << escape(cells[c]);
+  }
+  out_ << "\n";
+  ++rows_written_;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace vlm::common

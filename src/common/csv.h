@@ -1,0 +1,31 @@
+// CSV emission for figure-series output.
+//
+// Each figure bench can additionally dump its series as CSV (via
+// --csv=<path>) so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vlm::common {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  // Row width must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  std::size_t row_count() const { return rows_written_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_written_ = 0;
+};
+
+}  // namespace vlm::common

@@ -1,0 +1,46 @@
+// Hash machinery behind the paper's masking protocol.
+//
+// The paper writes the bit a vehicle reports to RSU R_x as
+//     b   = H(v ⊕ K_v ⊕ X[H(R_x) mod s])          (logical-bit selection)
+//     b_x = b mod m_x                              (fold into R_x's array)
+// where H is a hash with range [0, m_o), X is a public array of random
+// salts, v the vehicle id and K_v its private key. We realize H as a
+// 64-bit finalizer (splitmix64's avalanche function) reduced modulo the
+// range; all of the paper's probabilistic analysis only needs H to behave
+// uniformly, which these mixers do to measurable accuracy (see
+// tests/common/hashing_test.cpp for chi-square checks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlm::common {
+
+// SplitMix64 step: advances `state` and returns a mixed 64-bit value.
+// Used for seeding and for deriving per-entity keys.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+// Stateless avalanche mix of a 64-bit value (the finalizer of splitmix64).
+// This is the paper's H before range reduction.
+std::uint64_t mix64(std::uint64_t x);
+
+// Hash a 64-bit value into [0, bound). bound must be positive. Uses the
+// full mixed value modulo bound; for power-of-two bounds (the only bounds
+// the schemes use) this is an exact uniform reduction of the low bits.
+std::uint64_t hash_to_range(std::uint64_t x, std::uint64_t bound);
+
+// The public salt array X of the paper: `s` random 64-bit constants shared
+// by every vehicle, generated deterministically from a seed so that
+// simulations are reproducible.
+class SaltArray {
+ public:
+  SaltArray(std::size_t count, std::uint64_t seed);
+
+  std::size_t size() const { return salts_.size(); }
+  std::uint64_t operator[](std::size_t i) const;
+
+ private:
+  std::vector<std::uint64_t> salts_;
+};
+
+}  // namespace vlm::common

@@ -1,0 +1,49 @@
+// Minimal leveled logger for harness binaries.
+//
+// Controlled by set_log_level() or the VLM_LOG environment variable
+// ("debug", "info", "warn", "error", "off"). Library code logs sparingly;
+// benches and examples use it to narrate long runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vlm::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses a level name; returns kInfo for unrecognized names.
+LogLevel parse_log_level(const std::string& name);
+
+// Emits `message` to stderr if `level` is at or above the current level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace vlm::common

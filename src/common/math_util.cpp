@@ -1,0 +1,43 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::common {
+
+double pow_one_minus(double x, double n) {
+  VLM_REQUIRE(x >= 0.0 && x < 1.0, "pow_one_minus requires x in [0, 1)");
+  VLM_REQUIRE(n >= 0.0, "pow_one_minus requires a non-negative exponent");
+  if (n == 0.0) return 1.0;
+  return std::exp(n * std::log1p(-x));
+}
+
+double log_one_minus(double x) {
+  VLM_REQUIRE(x >= 0.0 && x < 1.0, "log_one_minus requires x in [0, 1)");
+  return std::log1p(-x);
+}
+
+bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && std::has_single_bit(v);
+}
+
+std::uint64_t ceil_pow2(std::uint64_t v) {
+  VLM_REQUIRE(v >= 1, "ceil_pow2 requires v >= 1");
+  VLM_REQUIRE(v <= (std::uint64_t{1} << 63), "ceil_pow2 would overflow");
+  return std::bit_ceil(v);
+}
+
+unsigned ceil_log2(std::uint64_t v) {
+  VLM_REQUIRE(v >= 1, "ceil_log2 requires v >= 1");
+  return static_cast<unsigned>(std::bit_width(ceil_pow2(v)) - 1);
+}
+
+double relative_difference(double a, double b, double floor) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), floor});
+  return std::fabs(a - b) / scale;
+}
+
+}  // namespace vlm::common

@@ -1,0 +1,32 @@
+// Numerically careful kernels shared by the analysis models.
+//
+// The paper's formulas are full of terms like (1 - 1/m)^n with m up to 2^21
+// and n up to 5*10^5; evaluating them naively as std::pow(1 - 1/m, n) loses
+// precision exactly where the privacy/accuracy curves are interesting.
+// Everything here routes through log1p/expm1.
+#pragma once
+
+#include <cstdint>
+
+namespace vlm::common {
+
+// (1 - x)^n for x in [0, 1), n >= 0, computed as exp(n * log1p(-x)).
+double pow_one_minus(double x, double n);
+
+// ln(1 - x) for x in [0, 1), i.e. log1p(-x).
+double log_one_minus(double x);
+
+// True iff v is a power of two (v > 0).
+bool is_power_of_two(std::uint64_t v);
+
+// Smallest power of two >= v (v >= 1). This is the paper's
+// 2^ceil(log2(...)) sizing step. Requires v <= 2^63.
+std::uint64_t ceil_pow2(std::uint64_t v);
+
+// ceil(log2(v)) for v >= 1.
+unsigned ceil_log2(std::uint64_t v);
+
+// Relative difference |a - b| / max(|a|, |b|, floor); handy in tests.
+double relative_difference(double a, double b, double floor = 1e-300);
+
+}  // namespace vlm::common

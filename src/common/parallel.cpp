@@ -1,0 +1,52 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/require.h"
+
+namespace vlm::common {
+
+unsigned default_worker_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_for(std::size_t count, unsigned workers,
+                  const std::function<void(std::size_t)>& body) {
+  VLM_REQUIRE(workers >= 1, "need at least one worker");
+  if (count == 0) return;
+  const unsigned used = static_cast<unsigned>(
+      std::min<std::size_t>(workers, count));
+  if (used == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto run_slice = [&](std::size_t begin, std::size_t end) {
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(used);
+  const std::size_t chunk = (count + used - 1) / used;
+  for (unsigned w = 0; w < used; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back(run_slice, begin, end);
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace vlm::common

@@ -1,0 +1,28 @@
+// Deterministic parallel-for over an index range.
+//
+// Monte-Carlo sweeps dominate the bench wall-clock; their trials are
+// independent and seeded per index, so they parallelize trivially AND
+// deterministically: the result for index i must not depend on which
+// thread ran it. This helper slices [0, count) across a fixed number of
+// worker threads. The callback must only write to per-index state (the
+// callers collect into pre-sized vectors).
+//
+// Exceptions: the first exception thrown by any worker is rethrown on
+// the calling thread after all workers join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace vlm::common {
+
+// Number of workers the machine suggests (hardware_concurrency, floored
+// at 1).
+unsigned default_worker_count();
+
+// Runs body(i) for every i in [0, count), distributed over `workers`
+// threads (contiguous slices). workers == 1 runs inline.
+void parallel_for(std::size_t count, unsigned workers,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace vlm::common

@@ -1,0 +1,42 @@
+// Precondition checking for public API boundaries.
+//
+// Library entry points validate their arguments with VLM_REQUIRE and throw
+// std::invalid_argument on violation; internal invariants use VLM_ASSERT,
+// which throws std::logic_error (kept on in all build types — this library
+// is a measurement tool, not a hot kernel, except where noted).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vlm::common {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& what) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement `" + expr + "` failed: " + what);
+}
+
+[[noreturn]] inline void throw_assertion_failure(const char* expr,
+                                                 const char* file, int line) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": internal invariant `" + expr + "` violated");
+}
+
+}  // namespace vlm::common
+
+#define VLM_REQUIRE(expr, what)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::vlm::common::throw_requirement_failure(#expr, __FILE__, __LINE__,    \
+                                               (what));                      \
+    }                                                                        \
+  } while (false)
+
+#define VLM_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::vlm::common::throw_assertion_failure(#expr, __FILE__, __LINE__);     \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generation for simulations.
+//
+// Self-contained xoshiro256** implementation (Blackman & Vigna). Every
+// experiment harness takes an explicit seed so that paper figures are
+// regenerated bit-for-bit across runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vlm::common {
+
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface so <random> distributions work too.
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
+
+  // Uniform integer in [0, bound). bound must be positive. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double uniform_double();
+
+  // Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  // Forks an independent stream (for per-entity generators) by mixing the
+  // current state with `stream_id`.
+  Xoshiro256ss fork(std::uint64_t stream_id);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace vlm::common

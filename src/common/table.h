@@ -1,0 +1,37 @@
+// Aligned text-table printer for bench harnesses.
+//
+// The benches print the same rows/series the paper's tables and figures
+// report; this keeps their output readable in a terminal and diffable in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vlm::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Row width must equal the header width.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience cell formatting.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+  static std::string fmt_percent(double fraction, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vlm::common

@@ -1,0 +1,92 @@
+#include "core/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.h"
+#include "common/require.h"
+#include "core/accuracy_model.h"
+#include "core/privacy_model.h"
+#include "core/sizing.h"
+
+namespace vlm::core {
+
+namespace {
+
+// Worst-case privacy of the configuration over the profile's extreme
+// pairs, accounting for power-of-two rounding (realized f ∈ [f̄, 2f̄)).
+double worst_privacy(double f, double n_lo, double n_hi,
+                     double common_fraction, std::uint32_t s) {
+  double worst = 1.0;
+  const double pairs[3][2] = {{n_lo, n_lo}, {n_lo, n_hi}, {n_hi, n_hi}};
+  for (const auto& pair : pairs) {
+    for (double realized : {f, 2.0 * f}) {
+      worst = std::min(worst, PrivacyModel::privacy_at_load_factor(
+                                  realized, pair[0], pair[1],
+                                  common_fraction, s));
+    }
+  }
+  return worst;
+}
+
+double predicted_error(double f, double n_lo, double n_hi,
+                       double common_fraction, std::uint32_t s) {
+  const VlmSizingPolicy sizing(f);
+  const std::size_t m_lo = sizing.array_size_for(n_lo);
+  const std::size_t m_hi = sizing.array_size_for(n_hi);
+  if (static_cast<std::size_t>(s) >= m_lo) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const PairScenario scenario{n_lo, n_hi,
+                              std::max(1.0, common_fraction * n_lo), m_lo,
+                              m_hi, s};
+  return AccuracyModel::predict(scenario).stddev_ratio;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_deployment(const CalibrationRequest& request) {
+  VLM_REQUIRE(request.min_volume > 0.0 &&
+                  request.max_volume >= request.min_volume,
+              "volume profile must satisfy 0 < min <= max");
+  VLM_REQUIRE(request.min_privacy > 0.0 && request.min_privacy < 1.0,
+              "privacy floor must be in (0, 1)");
+  VLM_REQUIRE(request.common_fraction > 0.0 && request.common_fraction <= 1.0,
+              "common fraction must be in (0, 1]");
+  VLM_REQUIRE(0.0 < request.f_lo && request.f_lo < request.f_hi,
+              "need 0 < f_lo < f_hi");
+  VLM_REQUIRE(request.f_grid_steps >= 2, "grid needs at least two steps");
+  VLM_REQUIRE(!request.s_candidates.empty(), "no s candidates given");
+
+  CalibrationResult best;
+  best.predicted_error = std::numeric_limits<double>::infinity();
+  const double log_step = std::log(request.f_hi / request.f_lo) /
+                          static_cast<double>(request.f_grid_steps - 1);
+  for (std::uint32_t s : request.s_candidates) {
+    VLM_REQUIRE(s >= 2, "s candidates must be >= 2");
+    for (int i = 0; i < request.f_grid_steps; ++i) {
+      const double f = request.f_lo * std::exp(log_step * i);
+      const double privacy =
+          worst_privacy(f, request.min_volume, request.max_volume,
+                        request.common_fraction, s);
+      if (privacy < request.min_privacy) continue;
+      const double error =
+          predicted_error(f, request.min_volume, request.max_volume,
+                          request.common_fraction, s);
+      if (error < best.predicted_error) {
+        best.s = s;
+        best.load_factor = f;
+        best.worst_privacy = privacy;
+        best.predicted_error = error;
+      }
+    }
+  }
+  if (best.s == 0) {
+    throw std::invalid_argument(
+        "no (s, f) configuration meets the privacy floor for this profile");
+  }
+  return best;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,46 @@
+// Deployment calibration: choose (s, f̄) jointly from a traffic profile.
+//
+// The paper fixes s ∈ {2, 5, 10} and picks f̄ by eyeballing the privacy
+// curves. A real deployment has a volume profile [n_min, n_max], a hard
+// privacy floor, and wants the most accurate configuration that floor
+// allows. This calibrator grid-searches s and f̄, evaluating
+//
+//   - privacy with the EXACT closed form over the profile's extreme
+//     pairs — (n_min, n_min), (n_min, n_max), (n_max, n_max) — at both
+//     realized load factors f̄ and 2f̄ (power-of-two sizing keeps every
+//     RSU's realized factor inside [f̄, 2f̄));
+//   - accuracy with the occupancy-exact model on the hardest pair
+//     (n_min vs n_max, the paper's Table I stress case);
+//
+// and returns the feasible configuration with the lowest predicted
+// error. Throws if no configuration meets the privacy floor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlm::core {
+
+struct CalibrationRequest {
+  double min_volume = 1'000.0;   // lightest RSU's per-period volume
+  double max_volume = 100'000.0; // heaviest RSU's per-period volume
+  // Representative common fraction n_c / n_min for privacy and accuracy
+  // evaluation (the paper's curves correspond to 0.1).
+  double common_fraction = 0.1;
+  double min_privacy = 0.5;      // hard floor over all evaluated pairs
+  std::vector<std::uint32_t> s_candidates = {2, 3, 5, 8, 10};
+  double f_lo = 0.5;
+  double f_hi = 32.0;
+  int f_grid_steps = 25;  // multiplicative grid resolution
+};
+
+struct CalibrationResult {
+  std::uint32_t s = 0;
+  double load_factor = 0.0;
+  double worst_privacy = 0.0;     // min over profile pairs and rounding
+  double predicted_error = 0.0;   // stddev ratio on the hardest pair
+};
+
+CalibrationResult calibrate_deployment(const CalibrationRequest& request);
+
+}  // namespace vlm::core

@@ -1,0 +1,44 @@
+#include "core/encoder.h"
+
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+namespace {
+// Domain-separation constant for the slot-selection hash so it cannot
+// collide with the logical-bit hash.
+constexpr std::uint64_t kSlotDomain = 0xC2B2AE3D27D4EB4Full;
+}  // namespace
+
+Encoder::Encoder(const EncoderConfig& config)
+    : config_(config), salts_(config.s, config.salt_seed) {
+  VLM_REQUIRE(config.s >= 2,
+              "logical bit arrays need s >= 2 bits (s = 1 carries no mask)");
+}
+
+std::uint32_t Encoder::slot_for(const VehicleIdentity& vehicle,
+                                RsuId rsu) const {
+  const std::uint64_t input =
+      config_.slot_selection == SlotSelection::kPerVehicleUniform
+          ? vehicle.masked_key() ^ rsu.value ^ kSlotDomain
+          : rsu.value ^ kSlotDomain;
+  return static_cast<std::uint32_t>(
+      common::hash_to_range(input, config_.s));
+}
+
+std::uint64_t Encoder::logical_bit(const VehicleIdentity& vehicle,
+                                   std::uint32_t slot) const {
+  VLM_REQUIRE(slot < config_.s, "logical slot out of range");
+  return common::mix64(vehicle.masked_key() ^ salts_[slot]);
+}
+
+std::size_t Encoder::bit_index(const VehicleIdentity& vehicle, RsuId rsu,
+                               std::size_t array_size) const {
+  VLM_REQUIRE(common::is_power_of_two(array_size),
+              "bit array sizes must be powers of two (Section IV-A)");
+  const std::uint64_t b = logical_bit(vehicle, slot_for(vehicle, rsu));
+  return static_cast<std::size_t>(b & (array_size - 1));
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,64 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+PairEstimator::PairEstimator(std::uint32_t s) : s_(s) {
+  VLM_REQUIRE(s >= 2, "estimator requires s >= 2");
+}
+
+double PairEstimator::log_ratio_denominator(std::size_t m_y) const {
+  VLM_REQUIRE(m_y > 1, "larger array must have more than one bit");
+  VLM_REQUIRE(static_cast<std::size_t>(s_) < m_y,
+              "Eq. 5 requires s < m_y (otherwise the MLE degenerates)");
+  const double my = static_cast<double>(m_y);
+  const double s = static_cast<double>(s_);
+  return common::log_one_minus((s - 1.0) / (s * my)) -
+         common::log_one_minus(1.0 / my);
+}
+
+PairEstimate PairEstimator::estimate(const RsuState& x,
+                                     const RsuState& y) const {
+  const RsuState& small = x.array_size() <= y.array_size() ? x : y;
+  const RsuState& large = x.array_size() <= y.array_size() ? y : x;
+  const std::size_t m_x = small.array_size();
+  const std::size_t m_y = large.array_size();
+  VLM_REQUIRE(m_y % m_x == 0,
+              "array sizes must divide (powers of two guarantee this)");
+
+  // Equal sizes (the FBM case and same-volume VLM pairs) need no unfold;
+  // skip the copy that unfolded() would make.
+  const common::BitArray combined =
+      m_x == m_y ? small.bits() | large.bits()
+                 : small.bits().unfolded(m_y) | large.bits();
+
+  PairEstimate out;
+  out.m_x = m_x;
+  out.m_y = m_y;
+
+  // Floor zero counts at half a bit so a fully saturated array yields a
+  // finite (if unreliable) estimate instead of -inf logs; flag it.
+  auto fraction = [&](std::size_t zeros, std::size_t size, bool& saturated) {
+    if (zeros == 0) {
+      saturated = true;
+      return 0.5 / static_cast<double>(size);
+    }
+    return static_cast<double>(zeros) / static_cast<double>(size);
+  };
+  out.v_x = fraction(small.bits().count_zeros(), m_x, out.saturated);
+  out.v_y = fraction(large.bits().count_zeros(), m_y, out.saturated);
+  out.v_c = fraction(combined.count_zeros(), m_y, out.saturated);
+
+  const double numerator =
+      std::log(out.v_c) - std::log(out.v_x) - std::log(out.v_y);
+  out.raw = numerator / log_ratio_denominator(m_y);
+  out.n_c_hat = std::max(0.0, out.raw);
+  return out;
+}
+
+}  // namespace vlm::core

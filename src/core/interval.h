@@ -1,0 +1,48 @@
+// Confidence intervals for pair estimates.
+//
+// The paper reports point estimates only; a deployment needs to know how
+// much to trust them. Given the two RSU states and a point estimate, we
+// evaluate the occupancy-exact accuracy model at the estimated
+// intersection to obtain the sampling standard deviation, and report a
+// normal-approximation interval plus the slot-randomness floor
+// sqrt(n_c (s-1)) (the component no array size can remove).
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimator.h"
+#include "core/rsu_state.h"
+
+namespace vlm::core {
+
+struct EstimateInterval {
+  double n_c_hat = 0.0;   // point estimate (clamped to >= 0)
+  double stddev = 0.0;    // predicted StdDev[n̂_c] at the estimate
+  double lower = 0.0;     // max(0, n̂_c − z·stddev)
+  double upper = 0.0;     // n̂_c + z·stddev
+  double floor_stddev = 0.0;  // sqrt(n̂_c (s−1)): slot-randomness floor
+  // True when the interval is unreliable: a saturated array, or an
+  // estimate so small that the model was evaluated at the floor value.
+  bool degraded = false;
+};
+
+class IntervalEstimator {
+ public:
+  // `z` is the normal quantile for the desired coverage (1.96 ~ 95%).
+  explicit IntervalEstimator(std::uint32_t s, double z = 1.96);
+
+  // Point estimate + interval in one pass. Counters must be consistent
+  // with the arrays (enforced by RsuState).
+  EstimateInterval estimate(const RsuState& x, const RsuState& y) const;
+
+  // Annotates an existing estimate. `n_x`/`n_y` are the RSU counters.
+  EstimateInterval annotate(const PairEstimate& estimate, double n_x,
+                            double n_y) const;
+
+ private:
+  PairEstimator estimator_;
+  std::uint32_t s_;
+  double z_;
+};
+
+}  // namespace vlm::core

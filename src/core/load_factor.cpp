@@ -1,0 +1,63 @@
+#include "core/load_factor.h"
+
+#include <cmath>
+
+#include "common/require.h"
+#include "core/privacy_model.h"
+
+namespace vlm::core {
+
+LoadFactorPlan plan_load_factor(std::uint32_t s, double n_x, double ratio_y,
+                                double common_fraction, double min_privacy,
+                                double f_lo, double f_hi) {
+  VLM_REQUIRE(0.0 < f_lo && f_lo < f_hi, "need 0 < f_lo < f_hi");
+  VLM_REQUIRE(min_privacy > 0.0 && min_privacy < 1.0,
+              "minimum privacy must be in (0, 1)");
+  VLM_REQUIRE(ratio_y >= 1.0, "convention: n_y >= n_x");
+  auto privacy = [&](double f) {
+    return PrivacyModel::privacy_at_load_factor(f, n_x, ratio_y * n_x,
+                                                common_fraction, s);
+  };
+
+  // Golden-section search for the maximum. The privacy curve is
+  // unimodal in f (rises to f*, decays toward saturation of the mask).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = f_lo, b = f_hi;
+  double c = b - phi * (b - a), d = a + phi * (b - a);
+  double pc = privacy(c), pd = privacy(d);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (pc > pd) {
+      b = d;
+      d = c;
+      pd = pc;
+      c = b - phi * (b - a);
+      pc = privacy(c);
+    } else {
+      a = c;
+      c = d;
+      pc = pd;
+      d = a + phi * (b - a);
+      pd = privacy(d);
+    }
+  }
+  LoadFactorPlan plan;
+  plan.optimal_f = 0.5 * (a + b);
+  plan.optimal_p = privacy(plan.optimal_f);
+  VLM_REQUIRE(plan.optimal_p >= min_privacy,
+              "requested minimum privacy is unattainable for this profile");
+
+  // Largest f on the decreasing branch with privacy >= min_privacy.
+  if (privacy(f_hi) >= min_privacy) {
+    plan.max_f_for_min_privacy = f_hi;
+  } else {
+    double lo = plan.optimal_f, hi = f_hi;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (privacy(mid) >= min_privacy ? lo : hi) = mid;
+    }
+    plan.max_f_for_min_privacy = lo;
+  }
+  return plan;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,30 @@
+// Load-factor planning utilities (the deployment-facing face of
+// Section VI).
+//
+// The paper eyeballs the optimal load factor from Fig. 2's curves
+// ("approximately from 2 to 4") and the privacy cap from where the
+// curve crosses 0.5. These functions compute both exactly from the
+// closed-form privacy model, so a deployment can derive its f̄ and its
+// FBM-comparison cap from its own traffic profile.
+#pragma once
+
+#include <cstdint>
+
+namespace vlm::core {
+
+struct LoadFactorPlan {
+  double optimal_f = 0.0;   // argmax of preserved privacy
+  double optimal_p = 0.0;   // the privacy there
+  double max_f_for_min_privacy = 0.0;  // largest f with p >= p_min
+};
+
+// Finds the privacy-optimal load factor for a pair profile
+// (n_y = ratio_y * n_x, n_c = common_fraction * n_x) by golden-section
+// search over f in [f_lo, f_hi], and the largest f at which privacy
+// still meets `min_privacy` (by bisection on the decreasing branch).
+// Throws if even the optimum cannot reach `min_privacy`.
+LoadFactorPlan plan_load_factor(std::uint32_t s, double n_x, double ratio_y,
+                                double common_fraction, double min_privacy,
+                                double f_lo = 0.25, double f_hi = 64.0);
+
+}  // namespace vlm::core

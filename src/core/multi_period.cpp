@@ -1,0 +1,37 @@
+#include "core/multi_period.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::core {
+
+MultiPeriodAggregator::MultiPeriodAggregator(double z) : z_(z) {
+  VLM_REQUIRE(z > 0.0, "interval width multiplier must be positive");
+}
+
+void MultiPeriodAggregator::add_period(const EstimateInterval& estimate) {
+  // Guard the weighting against degenerate inputs: an estimate reported
+  // with stddev 0 either comes from an idle RSU pair (no information) or
+  // a caller bug; treat the floor as the minimum believable spread.
+  const double stddev = std::max(estimate.stddev,
+                                 std::max(estimate.floor_stddev, 1e-6));
+  const double variance = stddev * stddev;
+  weight_sum_ += 1.0 / variance;
+  weighted_estimate_ += estimate.n_c_hat / variance;
+  ++periods_;
+}
+
+AggregateEstimate MultiPeriodAggregator::aggregate() const {
+  VLM_REQUIRE(periods_ > 0, "no periods have been added");
+  AggregateEstimate out;
+  out.periods = periods_;
+  out.n_c_hat = weighted_estimate_ / weight_sum_;
+  out.stddev = std::sqrt(1.0 / weight_sum_);
+  out.lower = std::max(0.0, out.n_c_hat - z_ * out.stddev);
+  out.upper = out.n_c_hat + z_ * out.stddev;
+  return out;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,47 @@
+// Multi-period aggregation of pair estimates.
+//
+// A single measurement period's estimate carries sampling noise with a
+// hard floor (the logical-slot randomness). Periods are independent —
+// fresh bit arrays, fresh slot draws — so combining P periods by
+// inverse-variance weighting shrinks the error ~1/sqrt(P). This is the
+// natural "future work" extension of the paper for standing deployments
+// (e.g. averaging a month of daily measurements).
+#pragma once
+
+#include <cstdint>
+
+#include "core/interval.h"
+
+namespace vlm::core {
+
+struct AggregateEstimate {
+  double n_c_hat = 0.0;   // inverse-variance weighted mean
+  double stddev = 0.0;    // of the aggregate
+  double lower = 0.0;     // normal interval at the configured z
+  double upper = 0.0;
+  std::size_t periods = 0;
+};
+
+class MultiPeriodAggregator {
+ public:
+  explicit MultiPeriodAggregator(double z = 1.96);
+
+  // Adds one period's estimate. Degraded intervals (saturated arrays,
+  // at-floor evaluations) are accepted but down-weighted by their own
+  // (large) variance; zero-variance estimates are rejected as malformed.
+  void add_period(const EstimateInterval& estimate);
+
+  std::size_t periods() const { return periods_; }
+  bool empty() const { return periods_ == 0; }
+
+  // Throws if no period has been added.
+  AggregateEstimate aggregate() const;
+
+ private:
+  double z_;
+  std::size_t periods_ = 0;
+  double weight_sum_ = 0.0;           // sum of 1/var
+  double weighted_estimate_ = 0.0;    // sum of estimate/var
+};
+
+}  // namespace vlm::core

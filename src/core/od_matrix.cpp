@@ -1,0 +1,48 @@
+#include "core/od_matrix.h"
+
+#include "common/require.h"
+
+namespace vlm::core {
+
+OdMatrix::OdMatrix(std::size_t rsu_count, std::uint32_t s, double z)
+    : k_(rsu_count), cells_(rsu_count * (rsu_count - 1) / 2) {
+  (void)s;
+  (void)z;
+  VLM_REQUIRE(rsu_count >= 2, "an OD matrix needs at least two RSUs");
+}
+
+EstimateInterval& OdMatrix::cell(std::size_t a, std::size_t b) {
+  return const_cast<EstimateInterval&>(
+      static_cast<const OdMatrix*>(this)->at(a, b));
+}
+
+const EstimateInterval& OdMatrix::at(std::size_t a, std::size_t b) const {
+  VLM_REQUIRE(a < k_ && b < k_ && a != b,
+              "OD matrix lookup needs two distinct RSU positions");
+  const std::size_t lo = a < b ? a : b;
+  const std::size_t hi = a < b ? b : a;
+  // Row-major upper triangle: offset(lo) = lo*k - lo(lo+1)/2 relative
+  // to column lo+1.
+  const std::size_t row_start = lo * k_ - lo * (lo + 1) / 2;
+  return cells_[row_start + (hi - lo - 1)];
+}
+
+double OdMatrix::total_estimated_common() const {
+  double total = 0.0;
+  for (const EstimateInterval& e : cells_) total += e.n_c_hat;
+  return total;
+}
+
+OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
+                            double z) {
+  OdMatrix matrix(states.size(), s, z);
+  const IntervalEstimator estimator(s, z);
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    for (std::size_t b = a + 1; b < states.size(); ++b) {
+      matrix.cell(a, b) = estimator.estimate(states[a], states[b]);
+    }
+  }
+  return matrix;
+}
+
+}  // namespace vlm::core

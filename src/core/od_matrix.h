@@ -1,0 +1,45 @@
+// Full origin-destination matrix estimation over a deployment of K RSUs.
+//
+// The paper estimates one pair at a time; a transportation study wants
+// the whole K×K point-to-point matrix. This runs the pair estimator
+// (with intervals) over every unordered pair — O(K² m_max) total, which
+// the Section IV-E per-pair bound makes practical (24 RSUs at m = 2^22
+// decode in well under a second; see bench_overhead).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/rsu_state.h"
+
+namespace vlm::core {
+
+class OdMatrix {
+ public:
+  OdMatrix(std::size_t rsu_count, std::uint32_t s, double z);
+
+  std::size_t rsu_count() const { return k_; }
+
+  const EstimateInterval& at(std::size_t a, std::size_t b) const;
+
+  // Sum of all pairwise point estimates (an aggregate mobility index).
+  double total_estimated_common() const;
+
+ private:
+  friend OdMatrix estimate_od_matrix(std::span<const RsuState>, std::uint32_t,
+                                     double);
+  EstimateInterval& cell(std::size_t a, std::size_t b);
+
+  std::size_t k_;
+  std::vector<EstimateInterval> cells_;  // upper triangle, row-major
+};
+
+// Estimates every unordered pair among `states`. Requires >= 2 RSUs.
+// Symmetric: at(a, b) == at(b, a); the diagonal is invalid to query.
+OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
+                            double z = 1.96);
+
+}  // namespace vlm::core

@@ -1,0 +1,46 @@
+#include "core/pair_simulation.h"
+
+#include "common/hashing.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+VehicleIdentity synthetic_vehicle(std::uint64_t seed, std::uint64_t index) {
+  VehicleIdentity v;
+  v.id = VehicleId{
+      common::mix64(common::mix64(seed) + (index + 1) * 0x9E3779B97F4A7C15ull)};
+  v.private_key = common::mix64(common::mix64(seed ^ 0xD1B54A32D192ED03ull) +
+                                (index + 1) * 0xC2B2AE3D27D4EB4Full);
+  return v;
+}
+
+PairStates simulate_pair(const Encoder& encoder, const PairWorkload& workload,
+                         std::size_t m_x, std::size_t m_y, std::uint64_t seed,
+                         RsuId rsu_x, RsuId rsu_y) {
+  VLM_REQUIRE(workload.n_c <= workload.n_x && workload.n_c <= workload.n_y,
+              "common volume cannot exceed either point volume");
+  VLM_REQUIRE(rsu_x != rsu_y, "pair simulation needs two distinct RSUs");
+
+  PairStates states{RsuState(m_x), RsuState(m_y)};
+  std::uint64_t vehicle_index = 0;
+
+  // Vehicles in S_x ∩ S_y: one reply to each RSU.
+  for (std::uint64_t i = 0; i < workload.n_c; ++i) {
+    const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
+    states.x.record(encoder.bit_index(v, rsu_x, m_x));
+    states.y.record(encoder.bit_index(v, rsu_y, m_y));
+  }
+  // Vehicles in S_x − S_y.
+  for (std::uint64_t i = workload.n_c; i < workload.n_x; ++i) {
+    const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
+    states.x.record(encoder.bit_index(v, rsu_x, m_x));
+  }
+  // Vehicles in S_y − S_x.
+  for (std::uint64_t i = workload.n_c; i < workload.n_y; ++i) {
+    const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
+    states.y.record(encoder.bit_index(v, rsu_y, m_y));
+  }
+  return states;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,160 @@
+#include "core/privacy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/require.h"
+#include "stats/distributions.h"
+
+namespace vlm::core {
+
+namespace {
+
+// The privacy formulas are valid for any real m > 1; the power-of-two
+// restriction is an implementability constraint of unfolding, not of the
+// math. Internally we evaluate over doubles so Fig. 2's continuous
+// load-factor sweeps can use the same code.
+struct RealScenario {
+  double n_x, n_y, n_c, m_x, m_y;
+  std::uint32_t s;
+};
+
+RealScenario normalized(RealScenario sc) {
+  if (sc.m_x > sc.m_y) {
+    std::swap(sc.m_x, sc.m_y);
+    std::swap(sc.n_x, sc.n_y);
+  }
+  VLM_REQUIRE(sc.m_x > 1.0, "privacy formulas require m_x > 1");
+  VLM_REQUIRE(sc.s >= 2, "privacy formulas require s >= 2");
+  VLM_REQUIRE(sc.n_c >= 0.0 && sc.n_c <= std::min(sc.n_x, sc.n_y),
+              "common volume must satisfy 0 <= n_c <= min(n_x, n_y)");
+  return sc;
+}
+
+RealScenario to_real(const PairScenario& sc) {
+  return normalized({sc.n_x, sc.n_y, sc.n_c, static_cast<double>(sc.m_x),
+                     static_cast<double>(sc.m_y), sc.s});
+}
+
+double pow_n(double one_minus_inv_m, double n, double m) {
+  (void)one_minus_inv_m;
+  return vlm::common::pow_one_minus(1.0 / m, n);
+}
+
+// Closed-form P(Ā), Eq. 40.
+double prob_not_both_one_real(const RealScenario& sc) {
+  const double s = static_cast<double>(sc.s);
+  const double gx = pow_n(0, sc.n_x, sc.m_x);  // (1 − 1/m_x)^{n_x}
+  const double gy = pow_n(0, sc.n_y, sc.m_y);  // (1 − 1/m_y)^{n_y}
+  const double c4 =
+      (1.0 / s) * (1.0 - 1.0 / sc.m_y) / (1.0 - 1.0 / sc.m_x) + (1.0 - 1.0 / s);
+  const double c5 = (1.0 / s) / (1.0 - 1.0 / sc.m_x) + (1.0 - 1.0 / s);
+  const double c4_pow = std::exp(sc.n_c * std::log(c4));
+  const double c5_pow = std::exp(sc.n_c * std::log(c5));
+  return gx * c4_pow + gy - gx * gy * c5_pow;
+}
+
+PrivacyBreakdown evaluate_real(const RealScenario& sc) {
+  PrivacyBreakdown out;
+  out.p_a = 1.0 - prob_not_both_one_real(sc);
+  // Eqs. 41-42.
+  const double gx_c = pow_n(0, sc.n_c, sc.m_x);
+  const double gy_c = pow_n(0, sc.n_c, sc.m_y);
+  const double gx_rest = pow_n(0, sc.n_x - sc.n_c, sc.m_x);
+  const double gy_rest = pow_n(0, sc.n_y - sc.n_c, sc.m_y);
+  out.p_ex = (1.0 - gx_rest) * gx_c;
+  out.p_ey = (1.0 - gy_rest) * gy_c;
+  // Eq. 43. Guard the degenerate no-signal corner P(A) = 0 (no traffic),
+  // where privacy is vacuously perfect.
+  out.p = out.p_a > 0.0 ? std::min(1.0, out.p_ex * out.p_ey / out.p_a) : 1.0;
+  return out;
+}
+
+PrivacyBreakdown evaluate_exact_real(const RealScenario& sc) {
+  const double s = static_cast<double>(sc.s);
+  const double w = (s - 1.0) / s;
+  const double A = 1.0 / sc.m_x;
+  const double B = 1.0 / sc.m_y;
+  auto powm = [](double one_minus, double n) {
+    return vlm::common::pow_one_minus(one_minus, n);
+  };
+  const double x_clear = powm(A, sc.n_x);
+  const double y_clear = powm(B, sc.n_y);
+  // Per common vehicle, P(avoids the x-residue AND bit b of B_y) is the
+  // same (1−A)(1−wB) factor as Eq. 6 — congruence protects the y side
+  // whenever the x side was avoided under a shared slot.
+  const double common_clear = powm(A, sc.n_c) * powm(w * B, sc.n_c);
+  const double both_clear =
+      powm(A, sc.n_x - sc.n_c) * powm(B, sc.n_y - sc.n_c) * common_clear;
+
+  PrivacyBreakdown out;
+  out.p_a = 1.0 - x_clear - y_clear + both_clear;
+  out.p_ex = (1.0 - powm(A, sc.n_x - sc.n_c)) * powm(A, sc.n_c);
+  out.p_ey = (1.0 - powm(B, sc.n_y - sc.n_c)) * powm(B, sc.n_c);
+  const double joint = (1.0 - powm(A, sc.n_x - sc.n_c)) *
+                       (1.0 - powm(B, sc.n_y - sc.n_c)) * common_clear;
+  out.p = out.p_a > 0.0 ? std::min(1.0, joint / out.p_a) : 1.0;
+  return out;
+}
+
+}  // namespace
+
+PrivacyBreakdown PrivacyModel::evaluate(const PairScenario& scenario) {
+  return evaluate_real(to_real(scenario));
+}
+
+PrivacyBreakdown PrivacyModel::evaluate_exact(const PairScenario& scenario) {
+  return evaluate_exact_real(to_real(scenario));
+}
+
+double PrivacyModel::preserved_privacy(const PairScenario& scenario) {
+  return evaluate(scenario).p;
+}
+
+double PrivacyModel::prob_not_both_one(const PairScenario& scenario) {
+  return prob_not_both_one_real(to_real(scenario));
+}
+
+double PrivacyModel::prob_not_both_one_exact(const PairScenario& scenario) {
+  const RealScenario sc = to_real(scenario);
+  const auto n_c = static_cast<std::uint64_t>(sc.n_c);
+  VLM_REQUIRE(static_cast<double>(n_c) == sc.n_c,
+              "exact sum needs an integer n_c");
+  // Eqs. 37-39: sum over the binomial count n_s of same-slot common cars.
+  double total = 0.0;
+  for (std::uint64_t z = 0; z <= n_c; ++z) {
+    const double zd = static_cast<double>(z);
+    const double q4 = pow_n(0, zd, sc.m_y);  // Eq. 38
+    const double q5 =
+        1.0 - (1.0 - pow_n(0, sc.n_x - zd, sc.m_x)) *
+                  (1.0 - pow_n(0, sc.n_y - zd, sc.m_y));  // Eq. 39
+    const double weight =
+        vlm::stats::binomial_pmf(n_c, 1.0 / static_cast<double>(sc.s), z);
+    total += q4 * q5 * weight;
+  }
+  return total;
+}
+
+double PrivacyModel::trajectory_privacy(std::span<const PairScenario> hops) {
+  VLM_REQUIRE(!hops.empty(), "a trajectory needs at least one hop");
+  double all_hops_linked = 1.0;
+  for (const PairScenario& hop : hops) {
+    all_hops_linked *= 1.0 - evaluate_exact(hop).p;
+  }
+  return 1.0 - all_hops_linked;
+}
+
+double PrivacyModel::privacy_at_load_factor(double f, double n_x, double n_y,
+                                            double common_fraction,
+                                            std::uint32_t s) {
+  VLM_REQUIRE(f > 0.0, "load factor must be positive");
+  VLM_REQUIRE(n_x > 0.0 && n_y > 0.0, "volumes must be positive");
+  VLM_REQUIRE(common_fraction >= 0.0 && common_fraction <= 1.0,
+              "common fraction must be in [0, 1]");
+  RealScenario sc{n_x, n_y, common_fraction * std::min(n_x, n_y), f * n_x,
+                  f * n_y, s};
+  return evaluate_real(normalized(sc)).p;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,81 @@
+// Preserved-privacy analysis (paper Section VI, Eqs. 37-43).
+//
+// The privacy metric p is the conditional probability that a bit position
+// observed '1' in both RSUs' (unfolded) arrays does NOT correspond to a
+// common vehicle:  p = P(E | A) = P(E_x) P(E_y) / P(A).  Larger p means a
+// tracker gains less from the published arrays. Setting m_x = m_y
+// recovers the baseline scheme's formula exactly (the paper notes FBM is
+// the special case of VLM).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/accuracy_model.h"
+
+namespace vlm::core {
+
+struct PrivacyBreakdown {
+  double p = 0.0;        // Eq. 43, the preserved privacy
+  double p_a = 0.0;      // P(A): bit '1' in both arrays (Eq. 40 complement)
+  double p_ex = 0.0;     // Eq. 41
+  double p_ey = 0.0;     // Eq. 42
+};
+
+class PrivacyModel {
+ public:
+  // Closed-form privacy via Eq. 40's binomial-collapsed constants C4, C5.
+  // Scenario roles are normalized so m_x <= m_y, like the decoder.
+  static PrivacyBreakdown evaluate(const PairScenario& scenario);
+
+  // Corrected closed form. The paper's Eq. 40 mis-models same-slot
+  // common vehicles when m_x < m_y: it assumes such a vehicle either
+  // hits "the bit" on both sides (probability 1/m_y) or neither, but in
+  // reality it sets the x-side residue with probability 1/m_x and then
+  // bit b of B_y only with conditional probability m_x/m_y — so it can
+  // mark the x side alone. Working per vehicle class with the true
+  // congruence semantics gives exact products (and P(E_x ∧ E_y) in
+  // closed form with NO independence approximation):
+  //   P(x side clear)  = (1 − 1/m_x)^{n_x}
+  //   P(y side clear)  = (1 − 1/m_y)^{n_y}
+  //   P(both clear)    = (1−1/m_x)^{n_x−n_c} (1−1/m_y)^{n_y−n_c}
+  //                      [(1−1/m_x)(1−(s−1)/(s m_y))]^{n_c}
+  //   P(A)             = 1 − P(x clear) − P(y clear) + P(both clear)
+  //   P(E_x ∧ E_y)     = (1−(1−1/m_x)^{n_x−n_c}) (1−(1−1/m_y)^{n_y−n_c})
+  //                      [(1−1/m_x)(1−(s−1)/(s m_y))]^{n_c}
+  // It coincides with Eq. 43 when m_x = m_y and is a few percentage
+  // points LOWER (less optimistic) for unfolded pairs; Monte-Carlo
+  // simulation sides with this version (tests/core/privacy_mc_test.cpp,
+  // EXPERIMENTS.md).
+  static PrivacyBreakdown evaluate_exact(const PairScenario& scenario);
+
+  // Convenience: just p (paper formula).
+  static double preserved_privacy(const PairScenario& scenario);
+
+  // Direct evaluation of P(Ā) by the explicit sum of Eqs. 37-39 over the
+  // binomial distribution of n_s. O(n_c) terms — used by tests to verify
+  // the closed form; requires integer n_c.
+  static double prob_not_both_one_exact(const PairScenario& scenario);
+
+  // Closed-form P(Ā) (first line of Eq. 40).
+  static double prob_not_both_one(const PairScenario& scenario);
+
+  // Trajectory-level privacy: a k-RSU trajectory is a chain of k−1
+  // consecutive pair traces; a tracker reconstructs the whole trajectory
+  // only if EVERY hop's doubly-set bit is a true common-vehicle bit. With
+  // p_i the per-hop preserved privacy, the probability that the full
+  // trajectory is NOT reconstructed is 1 − Π(1 − p_i). Uses the exact
+  // per-hop closed form. Requires at least one hop.
+  static double trajectory_privacy(std::span<const PairScenario> hops);
+
+  // Fig. 2 helper: privacy of a scheme where both RSUs run at load factor
+  // `f` (m = ceil_pow2 is NOT applied here — the paper's curves treat m as
+  // continuous m = f·n). `common_fraction` is n_c / n_x (the paper's
+  // curves correspond to 0.1; see EXPERIMENTS.md for the calibration).
+  static double privacy_at_load_factor(double f, double n_x, double n_y,
+                                       double common_fraction,
+                                       std::uint32_t s);
+};
+
+}  // namespace vlm::core

@@ -1,0 +1,64 @@
+#include "core/report_validator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+ReportValidator::ReportValidator(double tolerance_sigmas)
+    : tolerance_sigmas_(tolerance_sigmas) {
+  VLM_REQUIRE(tolerance_sigmas > 0.0, "tolerance must be positive");
+}
+
+double ReportValidator::expected_zero_count(std::uint64_t n, std::size_t m) {
+  const double md = static_cast<double>(m);
+  return md * common::pow_one_minus(1.0 / md, static_cast<double>(n));
+}
+
+double ReportValidator::zero_count_variance(std::uint64_t n, std::size_t m) {
+  // Var(U) = m q (1 − q) + m (m − 1) (J − q²), with q = (1 − 1/m)^n and
+  // J = (1 − 2/m)^n the probability two distinct bits both stay zero.
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double q = common::pow_one_minus(1.0 / md, nd);
+  // J − q² via expm1 in log space to keep the tiny difference exact.
+  const double log_ratio =
+      nd * (std::log1p(-2.0 / md) - 2.0 * std::log1p(-1.0 / md));
+  const double pair_term = q * q * std::expm1(log_ratio);
+  return std::max(0.0, md * q * (1.0 - q) + md * (md - 1.0) * pair_term);
+}
+
+ReportAssessment ReportValidator::assess(std::uint64_t counter,
+                                         std::size_t array_size,
+                                         std::size_t zero_count) const {
+  VLM_REQUIRE(array_size >= 4 && common::is_power_of_two(array_size),
+              "array size must be a power of two >= 4");
+  VLM_REQUIRE(zero_count <= array_size, "zero count exceeds the array size");
+  ReportAssessment out;
+  const std::size_t ones = array_size - zero_count;
+  if (ones > counter) {
+    out.verdict = ReportVerdict::kInconsistent;
+    return out;
+  }
+  out.expected_zeros = expected_zero_count(counter, array_size);
+  out.stddev_zeros = std::sqrt(zero_count_variance(counter, array_size));
+  // Even an exactly-on-expectation report has integer rounding; keep a
+  // half-bit floor so tiny counters don't divide by ~0.
+  const double sigma = std::max(out.stddev_zeros, 0.5);
+  out.z_score = (static_cast<double>(zero_count) - out.expected_zeros) / sigma;
+  if (out.z_score > tolerance_sigmas_) {
+    out.verdict = ReportVerdict::kTooEmpty;
+  } else if (out.z_score < -tolerance_sigmas_) {
+    out.verdict = ReportVerdict::kTooFull;
+  }
+  return out;
+}
+
+ReportAssessment ReportValidator::assess(const RsuState& state) const {
+  return assess(state.counter(), state.array_size(), state.zero_count());
+}
+
+}  // namespace vlm::core

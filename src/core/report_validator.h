@@ -1,0 +1,62 @@
+// Server-side plausibility checking of RSU reports.
+//
+// The measurement math itself provides an integrity check the paper
+// never exploits: after n honest one-bit-per-vehicle updates, the zero
+// count of an m-bit array concentrates tightly around m(1−1/m)^n (the
+// occupancy variance is ≈ m e^{−2c}(e^c − 1 − c), far below binomial).
+// A polluted report — a flooding adversary injecting random replies, a
+// bit-painting adversary saturating the array, or a compromised RSU
+// inflating its counter — lands many standard deviations away. The
+// validator scores each report and classifies it, so the central server
+// can quarantine implausible inputs instead of folding them into
+// estimates and history.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rsu_state.h"
+
+namespace vlm::core {
+
+enum class ReportVerdict {
+  kPlausible,
+  // Too many zero bits for the counter: lost replies, or a counter
+  // inflated without matching bit traffic.
+  kTooEmpty,
+  // Too few zero bits: bit-painting / flooding without counter updates.
+  kTooFull,
+  // Structurally impossible (more set bits than counted vehicles); this
+  // is also rejected outright by RsuState::from_report.
+  kInconsistent,
+};
+
+struct ReportAssessment {
+  ReportVerdict verdict = ReportVerdict::kPlausible;
+  double expected_zeros = 0.0;  // m (1 − 1/m)^n
+  double stddev_zeros = 0.0;    // occupancy-exact standard deviation
+  double z_score = 0.0;         // (observed − expected) / stddev
+};
+
+class ReportValidator {
+ public:
+  // `tolerance_sigmas`: how many standard deviations of zero-count
+  // deviation to accept. Honest reports stay within ~4 essentially
+  // always; the default 6 keeps the false-positive rate negligible even
+  // across thousands of RSU-periods.
+  explicit ReportValidator(double tolerance_sigmas = 6.0);
+
+  ReportAssessment assess(std::uint64_t counter, std::size_t array_size,
+                          std::size_t zero_count) const;
+  ReportAssessment assess(const RsuState& state) const;
+
+  // Occupancy moments of the zero count after n balls into m bins:
+  // exact mean and the pairwise-exact variance (same machinery as
+  // AccuracyModel's corrected second moments).
+  static double expected_zero_count(std::uint64_t n, std::size_t m);
+  static double zero_count_variance(std::uint64_t n, std::size_t m);
+
+ private:
+  double tolerance_sigmas_;
+};
+
+}  // namespace vlm::core

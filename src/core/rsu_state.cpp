@@ -1,0 +1,50 @@
+#include "core/rsu_state.h"
+
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+RsuState::RsuState(std::size_t array_size) : bits_(array_size) {
+  VLM_REQUIRE(common::is_power_of_two(array_size),
+              "RSU bit array size must be a power of two");
+  VLM_REQUIRE(array_size >= 2, "RSU bit array needs at least two bits");
+}
+
+RsuState RsuState::from_report(std::uint64_t counter, common::BitArray bits) {
+  RsuState state(bits.size());
+  const std::size_t ones = bits.count_ones();
+  VLM_REQUIRE(ones <= counter,
+              "reported counter is below the number of set bits");
+  VLM_REQUIRE(counter == 0 || ones > 0,
+              "non-zero counter with an all-zero bit array");
+  state.counter_ = counter;
+  state.bits_ = std::move(bits);
+  return state;
+}
+
+void RsuState::record(std::size_t bit_index) {
+  ++counter_;
+  bits_.set(bit_index);
+}
+
+void RsuState::merge(const RsuState& other) {
+  VLM_REQUIRE(array_size() == other.array_size(),
+              "can only merge states with equal array sizes");
+  counter_ += other.counter_;
+  bits_ |= other.bits_;
+}
+
+void RsuState::reset() {
+  counter_ = 0;
+  bits_.reset();
+}
+
+double RsuState::load_factor() const {
+  if (counter_ == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(bits_.size()) / static_cast<double>(counter_);
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,52 @@
+// Per-RSU measurement state: the counter n_x and bit array B_x of
+// Section IV-B, plus the end-of-period report sent to the central server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_array.h"
+
+namespace vlm::core {
+
+class RsuState {
+ public:
+  // `array_size` must be a power of two (enforced; Section IV-A requires
+  // m = 2^k so arrays of different RSUs can be unfolded onto each other).
+  explicit RsuState(std::size_t array_size);
+
+  // Reconstructs a state from a reported counter and bit array (the
+  // central server's view). The array size must be a power of two and the
+  // counter must be plausible: a non-zero counter with an all-zero array
+  // (or vice versa) is rejected.
+  static RsuState from_report(std::uint64_t counter, common::BitArray bits);
+
+  // Online coding (Eqs. 1-2): n += 1; B[index] = 1. O(1).
+  void record(std::size_t bit_index);
+
+  // Merges a sub-period collected elsewhere for the SAME RSU (sharded or
+  // failover collection): counters add, bit arrays OR. Both states must
+  // have the same array size. Merging states of two DIFFERENT RSUs would
+  // silently double-count shared vehicles — that is what the pair
+  // estimator is for.
+  void merge(const RsuState& other);
+
+  // Start of a new measurement period.
+  void reset();
+
+  std::uint64_t counter() const { return counter_; }
+  std::size_t array_size() const { return bits_.size(); }
+  const common::BitArray& bits() const { return bits_; }
+
+  std::size_t zero_count() const { return bits_.count_zeros(); }
+  // V_x in the paper.
+  double zero_fraction() const { return bits_.zero_fraction(); }
+  // Realized load factor m / n for this period (infinity if no traffic).
+  double load_factor() const;
+
+ private:
+  std::uint64_t counter_ = 0;
+  common::BitArray bits_;
+};
+
+}  // namespace vlm::core

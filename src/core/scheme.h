@@ -1,0 +1,82 @@
+// Facade bundles: one object per scheme holding the encoder, the sizing
+// policy, and the estimator, so examples and the VCPS layer configure a
+// complete measurement system in one line.
+//
+//   vlm::core::VlmScheme scheme({.s = 2, .load_factor = 8.0});
+//   auto rsu = scheme.make_rsu_state(/*history_volume=*/120'000);
+//   rsu.record(scheme.encoder().bit_index(vehicle, rsu_id, rsu.array_size()));
+//   auto est = scheme.estimator().estimate(rsu_a, rsu_b);
+#pragma once
+
+#include <cstdint>
+
+#include "core/encoder.h"
+#include "core/estimator.h"
+#include "core/rsu_state.h"
+#include "core/sizing.h"
+
+namespace vlm::core {
+
+struct VlmSchemeConfig {
+  std::uint32_t s = 2;
+  double load_factor = 8.0;  // the paper's global f̄
+  std::uint64_t salt_seed = 0x5EEDBA5EBA11AD00ull;
+  SizingLimits limits = {};
+  SlotSelection slot_selection = SlotSelection::kPerVehicleUniform;
+};
+
+// The paper's contribution: variable-length bit-array masking.
+class VlmScheme {
+ public:
+  explicit VlmScheme(const VlmSchemeConfig& config)
+      : encoder_(EncoderConfig{config.s, config.salt_seed,
+                               config.slot_selection}),
+        sizing_(config.load_factor, config.limits),
+        estimator_(config.s) {}
+
+  const Encoder& encoder() const { return encoder_; }
+  const VlmSizingPolicy& sizing() const { return sizing_; }
+  const PairEstimator& estimator() const { return estimator_; }
+
+  // A fresh per-period RSU state sized from the RSU's historical volume.
+  RsuState make_rsu_state(double history_volume) const {
+    return RsuState(sizing_.array_size_for(history_volume));
+  }
+
+ private:
+  Encoder encoder_;
+  VlmSizingPolicy sizing_;
+  PairEstimator estimator_;
+};
+
+struct FbmSchemeConfig {
+  std::uint32_t s = 2;
+  std::size_t array_size = std::size_t{1} << 17;  // the global fixed m
+  std::uint64_t salt_seed = 0x5EEDBA5EBA11AD00ull;
+  SlotSelection slot_selection = SlotSelection::kPerVehicleUniform;
+};
+
+// The fixed-length baseline of ref. [9]; identical protocol, one global m.
+class FbmScheme {
+ public:
+  explicit FbmScheme(const FbmSchemeConfig& config)
+      : encoder_(EncoderConfig{config.s, config.salt_seed,
+                               config.slot_selection}),
+        sizing_(config.array_size),
+        estimator_(config.s) {}
+
+  const Encoder& encoder() const { return encoder_; }
+  const FbmSizingPolicy& sizing() const { return sizing_; }
+  const PairEstimator& estimator() const { return estimator_; }
+
+  RsuState make_rsu_state(double /*history_volume*/ = 0.0) const {
+    return RsuState(sizing_.array_size());
+  }
+
+ private:
+  Encoder encoder_;
+  FbmSizingPolicy sizing_;
+  PairEstimator estimator_;
+};
+
+}  // namespace vlm::core

@@ -1,0 +1,52 @@
+#include "core/sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::core {
+
+VlmSizingPolicy::VlmSizingPolicy(double load_factor, SizingLimits limits)
+    : load_factor_(load_factor), limits_(limits) {
+  VLM_REQUIRE(load_factor > 0.0, "target load factor must be positive");
+  VLM_REQUIRE(common::is_power_of_two(limits.min_bits) &&
+                  common::is_power_of_two(limits.max_bits) &&
+                  limits.min_bits <= limits.max_bits,
+              "sizing limits must be powers of two with min <= max");
+}
+
+std::size_t VlmSizingPolicy::array_size_for(double history_volume) const {
+  VLM_REQUIRE(history_volume >= 0.0 && std::isfinite(history_volume),
+              "history volume must be finite and non-negative");
+  const double target = history_volume * load_factor_;
+  if (target <= static_cast<double>(limits_.min_bits)) return limits_.min_bits;
+  if (target >= static_cast<double>(limits_.max_bits)) return limits_.max_bits;
+  const auto rounded =
+      common::ceil_pow2(static_cast<std::uint64_t>(std::ceil(target)));
+  return std::clamp(static_cast<std::size_t>(rounded), limits_.min_bits,
+                    limits_.max_bits);
+}
+
+FbmSizingPolicy::FbmSizingPolicy(std::size_t array_size)
+    : array_size_(array_size) {
+  VLM_REQUIRE(common::is_power_of_two(array_size) && array_size >= 2,
+              "FBM array size must be a power of two >= 2");
+}
+
+FbmSizingPolicy FbmSizingPolicy::for_min_volume(double min_volume,
+                                                double privacy_load_cap,
+                                                SizingLimits limits) {
+  VLM_REQUIRE(min_volume > 0.0, "minimum volume must be positive");
+  VLM_REQUIRE(privacy_load_cap > 0.0, "privacy load cap must be positive");
+  const double cap = min_volume * privacy_load_cap;
+  std::uint64_t size = limits.min_bits;
+  while (size * 2 <= limits.max_bits &&
+         static_cast<double>(size * 2) <= cap) {
+    size *= 2;
+  }
+  return FbmSizingPolicy(static_cast<std::size_t>(size));
+}
+
+}  // namespace vlm::core

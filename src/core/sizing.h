@@ -1,0 +1,61 @@
+// Bit-array sizing policies — the single design axis on which the paper's
+// scheme (VLM) and the fixed-length baseline [9] (FBM) differ.
+//
+// VLM (Section IV-B): m_x = 2^ceil(log2(n̄_x · f̄)), where n̄_x is the
+// RSU's historical average point volume and f̄ a global target load
+// factor. Every RSU thus operates near the same load factor, which is
+// what keeps privacy and accuracy simultaneously healthy (Section VI-B).
+//
+// FBM: one global m for every RSU. To guarantee a minimum privacy for the
+// lightest RSU the paper bounds m by a multiple of the minimum volume
+// (e.g. m <= 15 * n_min for privacy >= 0.5 at s = 2), which then starves
+// heavy RSUs of bits.
+#pragma once
+
+#include <cstddef>
+
+namespace vlm::core {
+
+struct SizingLimits {
+  std::size_t min_bits = 8;          // floor for near-zero-traffic RSUs
+  std::size_t max_bits = std::size_t{1} << 30;  // 128 MiB of bits
+};
+
+class VlmSizingPolicy {
+ public:
+  // `load_factor` is the paper's global f̄ (> 0).
+  explicit VlmSizingPolicy(double load_factor, SizingLimits limits = {});
+
+  double load_factor() const { return load_factor_; }
+
+  // m_x for an RSU with historical average volume `history_volume`
+  // (>= 0). Always a power of two within the configured limits.
+  std::size_t array_size_for(double history_volume) const;
+
+ private:
+  double load_factor_;
+  SizingLimits limits_;
+};
+
+class FbmSizingPolicy {
+ public:
+  // `array_size` must be a power of two.
+  explicit FbmSizingPolicy(std::size_t array_size);
+
+  std::size_t array_size() const { return array_size_; }
+  std::size_t array_size_for(double /*history_volume*/) const {
+    return array_size_;
+  }
+
+  // The baseline's sizing rule: the largest power of two not exceeding
+  // `privacy_load_cap` * n_min (e.g. privacy_load_cap = 15 guarantees
+  // p >= 0.5 for s = 2 per Fig. 2). Returns at least `limits.min_bits`.
+  static FbmSizingPolicy for_min_volume(double min_volume,
+                                        double privacy_load_cap,
+                                        SizingLimits limits = {});
+
+ private:
+  std::size_t array_size_;
+};
+
+}  // namespace vlm::core

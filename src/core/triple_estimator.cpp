@@ -1,0 +1,107 @@
+#include "core/triple_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::core {
+
+TripleEstimator::TripleEstimator(std::uint32_t s)
+    : s_(s), pair_estimator_(s) {
+  VLM_REQUIRE(s >= 2, "triple estimator requires s >= 2");
+}
+
+TripleEstimate TripleEstimator::estimate(const RsuState& x, const RsuState& y,
+                                         const RsuState& z) const {
+  return estimate_impl(x, y, z, nullptr, nullptr, nullptr);
+}
+
+TripleEstimate TripleEstimator::estimate_with_known_pairs(
+    const RsuState& x, const RsuState& y, const RsuState& z, double n_xy,
+    double n_xz, double n_yz) const {
+  VLM_REQUIRE(n_xy >= 0.0 && n_xz >= 0.0 && n_yz >= 0.0,
+              "pairwise intersections must be non-negative");
+  return estimate_impl(x, y, z, &n_xy, &n_xz, &n_yz);
+}
+
+TripleEstimate TripleEstimator::estimate_impl(const RsuState& x,
+                                              const RsuState& y,
+                                              const RsuState& z,
+                                              const double* known_xy,
+                                              const double* known_xz,
+                                              const double* known_yz) const {
+  // Assign roles by ascending array size; the known-pair values follow
+  // the CALLER's argument order, so permute them alongside.
+  const RsuState* ordered[3] = {&x, &y, &z};
+  const double* known[3] = {known_yz, known_xz, known_xy};  // opposite pair
+  auto swap_roles = [&](int a, int b) {
+    std::swap(ordered[a], ordered[b]);
+    std::swap(known[a], known[b]);
+  };
+  if (ordered[0]->array_size() > ordered[1]->array_size()) swap_roles(0, 1);
+  if (ordered[1]->array_size() > ordered[2]->array_size()) swap_roles(1, 2);
+  if (ordered[0]->array_size() > ordered[1]->array_size()) swap_roles(0, 1);
+  const RsuState& sx = *ordered[0];
+  const RsuState& sy = *ordered[1];
+  const RsuState& sz = *ordered[2];
+  const std::size_t m_z = sz.array_size();
+  VLM_REQUIRE(static_cast<std::size_t>(s_) < sx.array_size(),
+              "requires s < every array size");
+
+  TripleEstimate out;
+  // Pairwise stage (estimates or supplied truths). known[i] is the pair
+  // OPPOSITE role i, i.e. known[0] = n(y,z), known[1] = n(x,z), ...
+  out.xy = pair_estimator_.estimate(sx, sy);
+  out.xz = pair_estimator_.estimate(sx, sz);
+  out.yz = pair_estimator_.estimate(sy, sz);
+  const double n_xy = known[2] ? *known[2] : out.xy.n_c_hat;
+  const double n_xz = known[1] ? *known[1] : out.xz.n_c_hat;
+  const double n_yz = known[0] ? *known[0] : out.yz.n_c_hat;
+
+  // Triple OR and its zero fraction.
+  common::BitArray combined = sx.bits().unfolded(m_z);
+  combined |= sy.bits().unfolded(m_z);
+  combined |= sz.bits();
+  const std::size_t zeros = combined.count_zeros();
+  if (zeros == 0) {
+    out.saturated = true;
+    out.v_c3 = 0.5 / static_cast<double>(m_z);
+  } else {
+    out.v_c3 = static_cast<double>(zeros) / static_cast<double>(m_z);
+  }
+  out.saturated |= out.xy.saturated || out.xz.saturated || out.yz.saturated;
+
+  const double A = 1.0 / static_cast<double>(sx.array_size());
+  const double B = 1.0 / static_cast<double>(sy.array_size());
+  const double C = 1.0 / static_cast<double>(m_z);
+  const double s = static_cast<double>(s_);
+  const double w = (s - 1.0) / s;
+  const double lA = std::log1p(-A);
+  const double lB = std::log1p(-B);
+  const double lC = std::log1p(-C);
+  const double l_wB = std::log1p(-w * B);
+  const double l_wC = std::log1p(-w * C);
+  // Pairwise denominators: L_xy for the (x, y) pair uses the larger m_y;
+  // both z-pairs use m_z.
+  const double L_xy = l_wB - lB;
+  const double L_z = l_wC - lC;
+  // ln(g_xyz / (1-A)): the slot-pattern bracket of the header comment.
+  const double bracket =
+      (1.0 / s) * (1.0 - w * C) +
+      w * (1.0 - B) * (1.0 - (1.0 - 2.0 / s) * C);
+  const double K = lC - l_wB - 2.0 * l_wC + std::log(bracket);
+  VLM_ASSERT(K < 0.0);
+
+  const double base =
+      static_cast<double>(sx.counter()) * lA +
+      static_cast<double>(sy.counter()) * lB +
+      static_cast<double>(sz.counter()) * lC + n_xy * L_xy + n_xz * L_z +
+      n_yz * L_z;
+  out.raw = (std::log(out.v_c3) - base) / K;
+  const double cap = std::min({n_xy, n_xz, n_yz});
+  out.n_xyz_hat = std::clamp(out.raw, 0.0, cap);
+  return out;
+}
+
+}  // namespace vlm::core

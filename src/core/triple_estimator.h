@@ -1,0 +1,70 @@
+// Three-point intersection estimation — an extension of the paper's
+// pairwise scheme to |S_x ∩ S_y ∩ S_z|.
+//
+// Unfold all three arrays to the largest size m_z, OR them, and read the
+// zero fraction V_c3. Working per vehicle class (the 7 non-empty subsets
+// of {x, y, z}) with the same slot-sharing congruence analysis as Eq. 6
+// gives, with A = 1/m_x, B = 1/m_y, C = 1/m_z (m_x <= m_y <= m_z),
+// w = (s-1)/s:
+//
+//   per-singleton factors:  (1-A), (1-B), (1-C)
+//   per-pair factors:       g_xy = (1-A)(1-wB)
+//                           g_xz = (1-A)(1-wC),  g_yz = (1-B)(1-wC)
+//   per-triple factor:      g_xyz = (1-A) [ (1/s)(1-wC)
+//                                   + w (1-B)(1-(1-2/s)C) ]
+//
+// (the bracketed term enumerates the slot pattern of y and z relative to
+// x; shared slots protect the larger arrays through congruence). Then
+//
+//   ln E[V_c3] = n_x ln(1-A) + n_y ln(1-B) + n_z ln(1-C)
+//              + n_xy L_xy + n_xz L_z + n_yz L_z + n_xyz K
+//
+// with L_* the pairwise Eq. 5 denominators and
+//   K = ln(1-C) - ln(1-wB) - 2 ln(1-wC) + ln(g_xyz / (1-A)),
+// which expands to -C/s² at leading order: the triple signal is s times
+// weaker per vehicle than the pairwise one, so expect noisier estimates.
+// Substituting the counters and the three pairwise MLE estimates and
+// solving for n_xyz yields the estimator below.
+#pragma once
+
+#include <cstdint>
+
+#include "core/estimator.h"
+#include "core/rsu_state.h"
+
+namespace vlm::core {
+
+struct TripleEstimate {
+  double n_xyz_hat = 0.0;  // clamped to [0, min(pairwise estimates)]
+  double raw = 0.0;        // unclamped MLE value
+  double v_c3 = 0.0;       // zero fraction of the triple OR
+  PairEstimate xy, xz, yz; // the pairwise estimates that were plugged in
+  bool saturated = false;  // any zero count floored
+};
+
+class TripleEstimator {
+ public:
+  explicit TripleEstimator(std::uint32_t s);
+
+  // Roles are assigned internally by ascending array size.
+  TripleEstimate estimate(const RsuState& x, const RsuState& y,
+                          const RsuState& z) const;
+
+  // Variant for analysis: uses caller-supplied pairwise intersection
+  // values instead of estimating them (isolates the triple-stage noise).
+  TripleEstimate estimate_with_known_pairs(const RsuState& x,
+                                           const RsuState& y,
+                                           const RsuState& z, double n_xy,
+                                           double n_xz, double n_yz) const;
+
+ private:
+  TripleEstimate estimate_impl(const RsuState& x, const RsuState& y,
+                               const RsuState& z, const double* known_xy,
+                               const double* known_xz,
+                               const double* known_yz) const;
+
+  std::uint32_t s_;
+  PairEstimator pair_estimator_;
+};
+
+}  // namespace vlm::core

@@ -1,0 +1,50 @@
+// Strong identifier types shared across the library.
+//
+// Vehicle and RSU ids are plain 64-bit values wrapped so they cannot be
+// swapped accidentally. A vehicle's id is NEVER transmitted by the
+// protocol (that is the paper's whole point); it exists only inside the
+// vehicle, XOR-combined with the private key before hashing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace vlm::core {
+
+struct VehicleId {
+  std::uint64_t value = 0;
+  friend bool operator==(VehicleId, VehicleId) = default;
+  friend auto operator<=>(VehicleId, VehicleId) = default;
+};
+
+struct RsuId {
+  std::uint64_t value = 0;
+  friend bool operator==(RsuId, RsuId) = default;
+  friend auto operator<=>(RsuId, RsuId) = default;
+};
+
+// A vehicle's secret material. The paper hashes v ⊕ K_v; we keep both
+// parts so tests can show that neither alone determines the reported bits.
+struct VehicleIdentity {
+  VehicleId id;
+  std::uint64_t private_key = 0;
+
+  // The combined secret the protocol hashes (v ⊕ K_v in the paper).
+  std::uint64_t masked_key() const { return id.value ^ private_key; }
+};
+
+}  // namespace vlm::core
+
+template <>
+struct std::hash<vlm::core::VehicleId> {
+  std::size_t operator()(vlm::core::VehicleId v) const noexcept {
+    return std::hash<std::uint64_t>{}(v.value);
+  }
+};
+
+template <>
+struct std::hash<vlm::core::RsuId> {
+  std::size_t operator()(vlm::core::RsuId r) const noexcept {
+    return std::hash<std::uint64_t>{}(r.value);
+  }
+};

@@ -1,0 +1,30 @@
+#include "core/union_estimator.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace vlm::core {
+
+UnionEstimator::UnionEstimator(std::uint32_t s) : pair_estimator_(s) {}
+
+UnionEstimate UnionEstimator::estimate(
+    std::span<const RsuState> states) const {
+  VLM_REQUIRE(!states.empty(), "union estimation needs at least one RSU");
+  UnionEstimate out;
+  for (const RsuState& state : states) {
+    out.total_reports += static_cast<double>(state.counter());
+  }
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    for (std::size_t b = a + 1; b < states.size(); ++b) {
+      const PairEstimate pair = pair_estimator_.estimate(states[a], states[b]);
+      out.pairwise_overlap += pair.n_c_hat;
+      out.saturated |= pair.saturated;
+    }
+  }
+  out.distinct_vehicles =
+      std::max(0.0, out.total_reports - out.pairwise_overlap);
+  return out;
+}
+
+}  // namespace vlm::core

@@ -1,0 +1,39 @@
+// Distinct-vehicle (union) cardinality across a set of RSUs.
+//
+// |S_1 ∪ ... ∪ S_k| by inclusion-exclusion: the counters give the Σ|S_a|
+// term exactly, and the pair estimator supplies every |S_a ∩ S_b|. We
+// truncate after the pairwise term (the Bonferroni lower bound), which
+// is exact when no vehicle visits three or more of the k sites and an
+// under-estimate otherwise; callers with triple-heavy traffic can add
+// TripleEstimator corrections on top. For k = 1 this is just the
+// counter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/estimator.h"
+#include "core/rsu_state.h"
+
+namespace vlm::core {
+
+struct UnionEstimate {
+  double distinct_vehicles = 0.0;  // Σ counters − Σ pairwise, clamped >= 0
+  double total_reports = 0.0;      // Σ counters (one per visit)
+  double pairwise_overlap = 0.0;   // Σ of the pairwise estimates removed
+  bool saturated = false;          // any pair estimate was saturated
+};
+
+class UnionEstimator {
+ public:
+  explicit UnionEstimator(std::uint32_t s);
+
+  // Estimates |S_1 ∪ ... ∪ S_k| from k >= 1 RSU states (array sizes
+  // powers of two). O(k² m_max) for the pairwise stage.
+  UnionEstimate estimate(std::span<const RsuState> states) const;
+
+ private:
+  PairEstimator pair_estimator_;
+};
+
+}  // namespace vlm::core

@@ -1,0 +1,194 @@
+#include "roadnet/assignment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/require.h"
+#include "roadnet/shortest_path.h"
+
+namespace vlm::roadnet {
+
+namespace {
+
+std::vector<double> congested_costs(const Graph& graph,
+                                    const std::vector<double>& flows) {
+  std::vector<double> costs(graph.link_count());
+  for (LinkIndex l = 0; l < graph.link_count(); ++l) {
+    costs[l] = bpr_travel_time(graph.link(l), flows[l]);
+  }
+  return costs;
+}
+
+// One all-or-nothing loading under the given costs. Returns auxiliary link
+// flows and records, per OD pair, the route used this round.
+struct AonResult {
+  std::vector<double> flows;
+  // Parallel to the od list: the node path chosen for each OD this round.
+  std::vector<std::vector<NodeIndex>> routes;
+};
+
+struct OdPair {
+  NodeIndex origin;
+  NodeIndex destination;
+  double demand;
+};
+
+AonResult all_or_nothing(const Graph& graph, const std::vector<OdPair>& ods,
+                         const std::vector<double>& costs) {
+  AonResult out;
+  out.flows.assign(graph.link_count(), 0.0);
+  out.routes.resize(ods.size());
+  // Group by origin so each origin costs one Dijkstra.
+  std::map<NodeIndex, std::vector<std::size_t>> by_origin;
+  for (std::size_t i = 0; i < ods.size(); ++i) {
+    by_origin[ods[i].origin].push_back(i);
+  }
+  for (const auto& [origin, od_indices] : by_origin) {
+    const ShortestPathTree tree = dijkstra(graph, origin, costs);
+    for (std::size_t i : od_indices) {
+      const OdPair& od = ods[i];
+      VLM_REQUIRE(tree.cost[od.destination] !=
+                      std::numeric_limits<double>::infinity(),
+                  "OD pair with demand has no route");
+      for (LinkIndex l :
+           extract_path_links(graph, tree, origin, od.destination)) {
+        out.flows[l] += od.demand;
+      }
+      out.routes[i] = extract_path(graph, tree, origin, od.destination);
+    }
+  }
+  return out;
+}
+
+// Derivative of the Beckmann objective along f + lambda (y - f):
+//   g(lambda) = sum_l (y_l - f_l) * t_l(f_l + lambda (y_l - f_l)).
+// Convex objective => g is non-decreasing; bisect for the root.
+double line_search(const Graph& graph, const std::vector<double>& f,
+                   const std::vector<double>& y) {
+  auto derivative = [&](double lambda) {
+    double g = 0.0;
+    for (LinkIndex l = 0; l < graph.link_count(); ++l) {
+      const double d = y[l] - f[l];
+      if (d == 0.0) continue;
+      g += d * bpr_travel_time(graph.link(l), f[l] + lambda * d);
+    }
+    return g;
+  };
+  if (derivative(1.0) <= 0.0) return 1.0;  // full step still improves
+  double lo = 0.0, hi = 1.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (derivative(mid) > 0.0 ? hi : lo) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+// Merges this round's AON route into the OD's route set with weight
+// `lambda`, scaling existing weights by (1 - lambda).
+void blend_routes(OdRoutes& od, std::vector<NodeIndex> route, double lambda) {
+  for (Route& r : od.routes) r.probability *= (1.0 - lambda);
+  for (Route& r : od.routes) {
+    if (r.nodes == route) {
+      r.probability += lambda;
+      return;
+    }
+  }
+  od.routes.push_back(Route{std::move(route), lambda});
+}
+
+void prune_negligible_routes(std::vector<OdRoutes>& all) {
+  constexpr double kMinShare = 1e-9;
+  for (OdRoutes& od : all) {
+    std::erase_if(od.routes,
+                  [](const Route& r) { return r.probability < kMinShare; });
+    double total = 0.0;
+    for (const Route& r : od.routes) total += r.probability;
+    VLM_ASSERT(total > 0.0);
+    for (Route& r : od.routes) r.probability /= total;
+  }
+}
+
+}  // namespace
+
+double AssignmentResult::expected_node_volume(NodeIndex node) const {
+  double volume = 0.0;
+  for (const OdRoutes& od : od_routes) {
+    for (const Route& r : od.routes) {
+      if (std::find(r.nodes.begin(), r.nodes.end(), node) != r.nodes.end()) {
+        volume += od.demand * r.probability;
+      }
+    }
+  }
+  return volume;
+}
+
+AssignmentResult assign(const Graph& graph, const TripTable& trips,
+                        const AssignmentOptions& options) {
+  VLM_REQUIRE(trips.node_count() == graph.node_count(),
+              "trip table and graph disagree on the zone count");
+  VLM_REQUIRE(options.max_iterations >= 1, "need at least one iteration");
+
+  std::vector<OdPair> ods;
+  for (NodeIndex o = 0; o < graph.node_count(); ++o) {
+    for (NodeIndex d = 0; d < graph.node_count(); ++d) {
+      const double demand = trips.demand(o, d);
+      if (demand > 0.0) ods.push_back({o, d, demand});
+    }
+  }
+  VLM_REQUIRE(!ods.empty(), "trip table has no demand");
+
+  AssignmentResult result;
+  result.od_routes.reserve(ods.size());
+  for (const OdPair& od : ods) {
+    result.od_routes.push_back(OdRoutes{od.origin, od.destination, od.demand, {}});
+  }
+
+  // Initial loading on free-flow costs.
+  std::vector<double> costs = congested_costs(
+      graph, std::vector<double>(graph.link_count(), 0.0));
+  AonResult aon = all_or_nothing(graph, ods, costs);
+  result.link_flows = aon.flows;
+  for (std::size_t i = 0; i < ods.size(); ++i) {
+    result.od_routes[i].routes.push_back(Route{std::move(aon.routes[i]), 1.0});
+  }
+  result.iterations = 1;
+
+  if (options.method != AssignmentMethod::kAllOrNothing) {
+    for (int k = 2; k <= options.max_iterations; ++k) {
+      costs = congested_costs(graph, result.link_flows);
+      aon = all_or_nothing(graph, ods, costs);
+
+      // Relative gap: (current cost - best-response cost) / current cost.
+      double current = 0.0, best = 0.0;
+      for (LinkIndex l = 0; l < graph.link_count(); ++l) {
+        current += result.link_flows[l] * costs[l];
+        best += aon.flows[l] * costs[l];
+      }
+      result.relative_gap = current > 0.0 ? (current - best) / current : 0.0;
+      if (result.relative_gap <= options.relative_gap_tolerance) break;
+
+      const double lambda =
+          options.method == AssignmentMethod::kMsa
+              ? 1.0 / static_cast<double>(k)
+              : line_search(graph, result.link_flows, aon.flows);
+      for (LinkIndex l = 0; l < graph.link_count(); ++l) {
+        result.link_flows[l] +=
+            lambda * (aon.flows[l] - result.link_flows[l]);
+      }
+      for (std::size_t i = 0; i < ods.size(); ++i) {
+        blend_routes(result.od_routes[i], std::move(aon.routes[i]), lambda);
+      }
+      result.iterations = k;
+    }
+  }
+
+  prune_negligible_routes(result.od_routes);
+  costs = congested_costs(graph, result.link_flows);
+  for (LinkIndex l = 0; l < graph.link_count(); ++l) {
+    result.total_travel_time += result.link_flows[l] * costs[l];
+  }
+  return result;
+}
+
+}  // namespace vlm::roadnet

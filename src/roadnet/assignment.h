@@ -1,0 +1,62 @@
+// Static traffic assignment: loads an OD trip table onto the network.
+//
+// Used to turn the Sioux Falls demand matrix into per-vehicle routes.
+// Three methods, in increasing fidelity:
+//   - kAllOrNothing: everyone takes the free-flow shortest path;
+//   - kMsa: method of successive averages (step 1/k);
+//   - kFrankWolfe: classic user-equilibrium convex-combinations algorithm
+//     (LeBlanc 1975 — the same paper the Sioux Falls dataset comes from)
+//     with bisection line search on the Beckmann objective derivative.
+//
+// Besides link flows, the result keeps the *route set* each OD pair used:
+// every iteration's all-or-nothing route enters with its convex-
+// combination weight. TrajectorySampler later draws each vehicle's
+// concrete route from that categorical distribution, so simulated
+// vehicles reproduce the equilibrium flow pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/graph.h"
+#include "roadnet/trip_table.h"
+
+namespace vlm::roadnet {
+
+enum class AssignmentMethod { kAllOrNothing, kMsa, kFrankWolfe };
+
+struct AssignmentOptions {
+  AssignmentMethod method = AssignmentMethod::kFrankWolfe;
+  int max_iterations = 40;
+  double relative_gap_tolerance = 1e-4;
+};
+
+struct Route {
+  std::vector<NodeIndex> nodes;  // origin ... destination
+  double probability = 0.0;      // share of the OD demand on this route
+};
+
+struct OdRoutes {
+  NodeIndex origin = kInvalidNode;
+  NodeIndex destination = kInvalidNode;
+  double demand = 0.0;
+  std::vector<Route> routes;  // probabilities sum to 1
+};
+
+struct AssignmentResult {
+  std::vector<double> link_flows;   // per link, vehicles per period
+  std::vector<OdRoutes> od_routes;  // one entry per OD pair with demand > 0
+  int iterations = 0;
+  double relative_gap = 0.0;
+  double total_travel_time = 0.0;   // sum over links of flow * BPR time
+
+  // Expected number of vehicles whose route passes through `node`
+  // (each route visits each of its nodes once; routes are simple paths).
+  double expected_node_volume(NodeIndex node) const;
+};
+
+// Throws std::invalid_argument if some OD pair with demand has no path.
+AssignmentResult assign(const Graph& graph, const TripTable& trips,
+                        const AssignmentOptions& options = {});
+
+}  // namespace vlm::roadnet

@@ -1,0 +1,49 @@
+#include "roadnet/graph.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::roadnet {
+
+double bpr_travel_time(const Link& link, double volume) {
+  VLM_REQUIRE(volume >= 0.0, "link volume must be non-negative");
+  const double ratio = volume / link.capacity;
+  return link.free_flow_time *
+         (1.0 + link.bpr_alpha * std::pow(ratio, link.bpr_beta));
+}
+
+Graph::Graph(std::size_t node_count) : out_links_(node_count) {}
+
+LinkIndex Graph::add_link(const Link& link) {
+  VLM_REQUIRE(link.from < node_count() && link.to < node_count(),
+              "link endpoints must be existing nodes");
+  VLM_REQUIRE(link.from != link.to, "self-loop links are not allowed");
+  VLM_REQUIRE(link.free_flow_time > 0.0 && link.capacity > 0.0,
+              "link free-flow time and capacity must be positive");
+  VLM_REQUIRE(link.bpr_alpha >= 0.0 && link.bpr_beta >= 0.0,
+              "BPR coefficients must be non-negative");
+  const auto index = static_cast<LinkIndex>(links_.size());
+  links_.push_back(link);
+  out_links_[link.from].push_back(index);
+  return index;
+}
+
+const Link& Graph::link(LinkIndex index) const {
+  VLM_REQUIRE(index < links_.size(), "link index out of range");
+  return links_[index];
+}
+
+std::span<const LinkIndex> Graph::out_links(NodeIndex node) const {
+  VLM_REQUIRE(node < node_count(), "node index out of range");
+  return out_links_[node];
+}
+
+LinkIndex Graph::find_link(NodeIndex from, NodeIndex to) const {
+  for (LinkIndex l : out_links(from)) {
+    if (links_[l].to == to) return l;
+  }
+  return kInvalidLink;
+}
+
+}  // namespace vlm::roadnet

@@ -1,0 +1,60 @@
+// Directed road-network graph.
+//
+// Nodes model intersections where RSUs are installed; links carry the
+// BPR (Bureau of Public Roads) congestion parameters used by traffic
+// assignment. Node ids are dense 0-based indices; the Sioux Falls loader
+// maps the literature's 1-based numbering onto them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vlm::roadnet {
+
+using NodeIndex = std::uint32_t;
+using LinkIndex = std::uint32_t;
+
+inline constexpr NodeIndex kInvalidNode = ~NodeIndex{0};
+inline constexpr LinkIndex kInvalidLink = ~LinkIndex{0};
+
+struct Link {
+  NodeIndex from = kInvalidNode;
+  NodeIndex to = kInvalidNode;
+  double free_flow_time = 1.0;  // minutes (any consistent unit works)
+  double capacity = 1.0;        // vehicles per measurement period
+  double bpr_alpha = 0.15;      // standard BPR coefficients
+  double bpr_beta = 4.0;
+};
+
+// BPR volume-delay function: t(v) = t0 * (1 + alpha * (v / c)^beta).
+double bpr_travel_time(const Link& link, double volume);
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return out_links_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  // Adds a directed link and returns its index. Endpoints must exist,
+  // self-loops are rejected, attributes must be positive.
+  LinkIndex add_link(const Link& link);
+
+  const Link& link(LinkIndex index) const;
+  std::span<const Link> links() const { return links_; }
+
+  // Outgoing link indices of a node.
+  std::span<const LinkIndex> out_links(NodeIndex node) const;
+
+  // Looks up a link by endpoints; kInvalidLink if absent. O(out-degree).
+  LinkIndex find_link(NodeIndex from, NodeIndex to) const;
+
+ private:
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkIndex>> out_links_;
+};
+
+}  // namespace vlm::roadnet

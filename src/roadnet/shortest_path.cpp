@@ -1,0 +1,76 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/require.h"
+
+namespace vlm::roadnet {
+
+ShortestPathTree dijkstra(const Graph& graph, NodeIndex source,
+                          std::span<const double> link_costs) {
+  VLM_REQUIRE(source < graph.node_count(), "source node out of range");
+  VLM_REQUIRE(link_costs.size() == graph.link_count(),
+              "need exactly one cost per link");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ShortestPathTree tree;
+  tree.cost.assign(graph.node_count(), kInf);
+  tree.parent_link.assign(graph.node_count(), kInvalidLink);
+  tree.cost[source] = 0.0;
+
+  using Entry = std::pair<double, NodeIndex>;  // (cost, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  frontier.emplace(0.0, source);
+
+  while (!frontier.empty()) {
+    const auto [cost, node] = frontier.top();
+    frontier.pop();
+    if (cost > tree.cost[node]) continue;  // stale entry
+    for (LinkIndex l : graph.out_links(node)) {
+      const double c = link_costs[l];
+      VLM_REQUIRE(c >= 0.0, "Dijkstra requires non-negative link costs");
+      const Link& link = graph.link(l);
+      const double next = cost + c;
+      if (next < tree.cost[link.to]) {
+        tree.cost[link.to] = next;
+        tree.parent_link[link.to] = l;
+        frontier.emplace(next, link.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<LinkIndex> extract_path_links(const Graph& graph,
+                                          const ShortestPathTree& tree,
+                                          NodeIndex source,
+                                          NodeIndex destination) {
+  VLM_REQUIRE(destination < graph.node_count(), "destination out of range");
+  VLM_REQUIRE(tree.cost[destination] !=
+                  std::numeric_limits<double>::infinity(),
+              "destination is unreachable from the source");
+  std::vector<LinkIndex> links;
+  NodeIndex node = destination;
+  while (node != source) {
+    const LinkIndex l = tree.parent_link[node];
+    VLM_ASSERT(l != kInvalidLink);
+    links.push_back(l);
+    node = graph.link(l).from;
+  }
+  std::reverse(links.begin(), links.end());
+  return links;
+}
+
+std::vector<NodeIndex> extract_path(const Graph& graph,
+                                    const ShortestPathTree& tree,
+                                    NodeIndex source, NodeIndex destination) {
+  std::vector<NodeIndex> nodes{source};
+  for (LinkIndex l : extract_path_links(graph, tree, source, destination)) {
+    nodes.push_back(graph.link(l).to);
+  }
+  return nodes;
+}
+
+}  // namespace vlm::roadnet

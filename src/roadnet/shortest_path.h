@@ -1,0 +1,43 @@
+// Single-source shortest paths (Dijkstra) over per-link costs.
+//
+// Traffic assignment re-runs this with congested BPR costs each
+// iteration, so the implementation takes costs as an external span rather
+// than reading them from the links.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace vlm::roadnet {
+
+struct ShortestPathTree {
+  // Per destination node: total cost from the source (infinity if
+  // unreachable) and the incoming link on the shortest path.
+  std::vector<double> cost;
+  std::vector<LinkIndex> parent_link;
+
+  bool reachable(NodeIndex node) const {
+    return parent_link[node] != kInvalidLink || cost[node] == 0.0;
+  }
+};
+
+// Runs Dijkstra from `source`. `link_costs` must hold one non-negative
+// cost per link of `graph`.
+ShortestPathTree dijkstra(const Graph& graph, NodeIndex source,
+                          std::span<const double> link_costs);
+
+// Reconstructs the node sequence source -> ... -> destination from a
+// tree. Destination must be reachable.
+std::vector<NodeIndex> extract_path(const Graph& graph,
+                                    const ShortestPathTree& tree,
+                                    NodeIndex source, NodeIndex destination);
+
+// Reconstructs the link sequence along the same path.
+std::vector<LinkIndex> extract_path_links(const Graph& graph,
+                                          const ShortestPathTree& tree,
+                                          NodeIndex source,
+                                          NodeIndex destination);
+
+}  // namespace vlm::roadnet

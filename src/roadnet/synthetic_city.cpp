@@ -1,0 +1,112 @@
+#include "roadnet/synthetic_city.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/require.h"
+#include "common/rng.h"
+#include "roadnet/shortest_path.h"
+
+namespace vlm::roadnet {
+
+SyntheticCity make_synthetic_city(const SyntheticCityConfig& config) {
+  VLM_REQUIRE(config.rows >= 2 && config.cols >= 2,
+              "the grid needs at least 2x2 nodes");
+  VLM_REQUIRE(config.block_travel_time > 0.0 && config.block_capacity > 0.0,
+              "block attributes must be positive");
+  VLM_REQUIRE(config.arterial_period >= 1, "arterial period must be >= 1");
+  VLM_REQUIRE(config.arterial_speedup > 0.0 &&
+                  config.arterial_speedup <= 1.0,
+              "arterial speedup multiplies travel time; must be in (0, 1]");
+  VLM_REQUIRE(config.total_demand > 0.0, "total demand must be positive");
+  VLM_REQUIRE(config.gravity_beta >= 0.0, "gravity beta must be >= 0");
+
+  const std::size_t node_count =
+      static_cast<std::size_t>(config.rows) * config.cols;
+  VLM_REQUIRE(config.center_count < node_count,
+              "more centers than grid nodes");
+
+  SyntheticCity city{Graph(node_count), TripTable(node_count), {}};
+  auto node_at = [&](std::uint32_t r, std::uint32_t c) {
+    return static_cast<NodeIndex>(r * config.cols + c);
+  };
+  auto is_arterial = [&](std::uint32_t index) {
+    return index % config.arterial_period == 0;
+  };
+
+  auto add_street = [&](NodeIndex from, NodeIndex to, bool arterial) {
+    Link link;
+    link.from = from;
+    link.to = to;
+    link.free_flow_time = arterial
+                              ? config.block_travel_time * config.arterial_speedup
+                              : config.block_travel_time;
+    link.capacity = arterial
+                        ? config.block_capacity * config.arterial_capacity_boost
+                        : config.block_capacity;
+    city.graph.add_link(link);
+    Link back = link;
+    std::swap(back.from, back.to);
+    city.graph.add_link(back);
+  };
+  for (std::uint32_t r = 0; r < config.rows; ++r) {
+    for (std::uint32_t c = 0; c < config.cols; ++c) {
+      if (c + 1 < config.cols) {
+        add_street(node_at(r, c), node_at(r, c + 1), is_arterial(r));
+      }
+      if (r + 1 < config.rows) {
+        add_street(node_at(r, c), node_at(r + 1, c), is_arterial(c));
+      }
+    }
+  }
+
+  // Attraction weights: log-normal-ish base, boosted centers.
+  common::Xoshiro256ss rng(config.seed);
+  std::vector<double> weight(node_count);
+  for (double& w : weight) {
+    // exp of a rough normal via sum of uniforms (Irwin-Hall).
+    double z = 0.0;
+    for (int i = 0; i < 12; ++i) z += rng.uniform_double();
+    w = std::exp(0.6 * (z - 6.0));
+  }
+  for (std::uint32_t i = 0; i < config.center_count; ++i) {
+    NodeIndex center;
+    do {
+      center = static_cast<NodeIndex>(rng.uniform(node_count));
+    } while (std::find(city.centers.begin(), city.centers.end(), center) !=
+             city.centers.end());
+    city.centers.push_back(center);
+    weight[center] *= config.center_boost;
+  }
+
+  // Free-flow travel times for the gravity impedance.
+  std::vector<double> costs;
+  costs.reserve(city.graph.link_count());
+  for (const Link& l : city.graph.links()) costs.push_back(l.free_flow_time);
+
+  double total_weight = 0.0;
+  std::vector<std::vector<double>> unnormalized(node_count);
+  for (NodeIndex o = 0; o < node_count; ++o) {
+    const ShortestPathTree tree = dijkstra(city.graph, o, costs);
+    unnormalized[o].resize(node_count, 0.0);
+    for (NodeIndex d = 0; d < node_count; ++d) {
+      if (d == o) continue;
+      const double t = tree.cost[d];
+      unnormalized[o][d] =
+          weight[o] * weight[d] * std::exp(-config.gravity_beta * t);
+      total_weight += unnormalized[o][d];
+    }
+  }
+  VLM_ASSERT(total_weight > 0.0);
+  const double scale = config.total_demand / total_weight;
+  for (NodeIndex o = 0; o < node_count; ++o) {
+    for (NodeIndex d = 0; d < node_count; ++d) {
+      if (d == o) continue;
+      city.trips.set_demand(o, d, unnormalized[o][d] * scale);
+    }
+  }
+  return city;
+}
+
+}  // namespace vlm::roadnet

@@ -1,0 +1,214 @@
+#include "roadnet/tntp_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/require.h"
+
+namespace vlm::roadnet {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("tntp line " + std::to_string(line) + ": " + what);
+}
+
+// Reads metadata lines "<KEY> value" until <END OF METADATA>. Returns the
+// requested numeric keys (all must be present).
+struct Metadata {
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t zones = 0;
+  double total_flow = 0.0;
+  bool has_nodes = false, has_links = false, has_zones = false;
+};
+
+Metadata read_metadata(std::istream& in, std::size_t& line_number) {
+  Metadata meta;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find("<END OF METADATA>") != std::string::npos) return meta;
+    const auto close = line.find('>');
+    if (line.empty() || line[0] != '<' || close == std::string::npos) {
+      continue;  // comments / blank lines before metadata end
+    }
+    const std::string key = line.substr(1, close - 1);
+    const std::string value = line.substr(close + 1);
+    try {
+      if (key == "NUMBER OF NODES") {
+        meta.nodes = static_cast<std::size_t>(std::stoul(value));
+        meta.has_nodes = true;
+      } else if (key == "NUMBER OF LINKS") {
+        meta.links = static_cast<std::size_t>(std::stoul(value));
+        meta.has_links = true;
+      } else if (key == "NUMBER OF ZONES") {
+        meta.zones = static_cast<std::size_t>(std::stoul(value));
+        meta.has_zones = true;
+      } else if (key == "TOTAL OD FLOW") {
+        meta.total_flow = std::stod(value);
+      }
+    } catch (const std::exception&) {
+      fail(line_number, "malformed metadata value for <" + key + ">");
+    }
+  }
+  fail(line_number, "missing <END OF METADATA>");
+}
+
+}  // namespace
+
+Graph read_tntp_network(std::istream& in) {
+  std::size_t line_number = 0;
+  const Metadata meta = read_metadata(in, line_number);
+  if (!meta.has_nodes || !meta.has_links) {
+    fail(line_number, "network metadata must declare nodes and links");
+  }
+  Graph graph(meta.nodes);
+  std::string line;
+  std::size_t links_read = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip the conventional leading '~' marker and trailing ';'.
+    std::string cleaned;
+    for (char ch : line) {
+      if (ch == '~' || ch == ';') continue;
+      cleaned += ch;
+    }
+    std::istringstream fields(cleaned);
+    long long from = 0, to = 0;
+    double capacity = 0, length = 0, fft = 0, b = 0, power = 0;
+    if (!(fields >> from >> to >> capacity >> length >> fft >> b >> power)) {
+      continue;  // header row or blank line
+    }
+    if (from < 1 || to < 1 || static_cast<std::size_t>(from) > meta.nodes ||
+        static_cast<std::size_t>(to) > meta.nodes) {
+      fail(line_number, "link endpoint outside the declared node range");
+    }
+    if (capacity <= 0.0 || fft <= 0.0) {
+      fail(line_number, "capacity and free-flow time must be positive");
+    }
+    Link link;
+    link.from = static_cast<NodeIndex>(from - 1);
+    link.to = static_cast<NodeIndex>(to - 1);
+    link.capacity = capacity;
+    link.free_flow_time = fft;
+    link.bpr_alpha = b;
+    link.bpr_beta = power;
+    graph.add_link(link);
+    ++links_read;
+  }
+  if (links_read != meta.links) {
+    fail(line_number, "expected " + std::to_string(meta.links) + " links, read " +
+                          std::to_string(links_read));
+  }
+  return graph;
+}
+
+TripTable read_tntp_trips(std::istream& in) {
+  std::size_t line_number = 0;
+  const Metadata meta = read_metadata(in, line_number);
+  if (!meta.has_zones) fail(line_number, "trips metadata must declare zones");
+  TripTable trips(meta.zones);
+  std::string line;
+  long long origin = 0;  // 1-based; 0 = none yet
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token)) continue;
+    if (token == "Origin") {
+      if (!(fields >> origin) || origin < 1 ||
+          static_cast<std::size_t>(origin) > meta.zones) {
+        fail(line_number, "malformed Origin header");
+      }
+      continue;
+    }
+    if (origin == 0) fail(line_number, "destination data before any Origin");
+    // Parse "<dest> : <flow>;" groups; the first destination token was
+    // already consumed into `token`.
+    std::string rest;
+    std::getline(fields, rest);
+    std::string record = token + rest;
+    std::istringstream groups(record);
+    std::string chunk;
+    while (std::getline(groups, chunk, ';')) {
+      const auto colon = chunk.find(':');
+      if (colon == std::string::npos) {
+        // Allow pure whitespace between records.
+        std::istringstream ws(chunk);
+        std::string leftover;
+        if (ws >> leftover) fail(line_number, "malformed OD record");
+        continue;
+      }
+      try {
+        const long long dest = std::stoll(chunk.substr(0, colon));
+        const double flow = std::stod(chunk.substr(colon + 1));
+        if (dest < 1 || static_cast<std::size_t>(dest) > meta.zones) {
+          fail(line_number, "destination outside the declared zone range");
+        }
+        if (dest != origin) {
+          trips.set_demand(static_cast<NodeIndex>(origin - 1),
+                           static_cast<NodeIndex>(dest - 1), flow);
+        }
+      } catch (const std::invalid_argument&) {
+        fail(line_number, "malformed OD record");
+      } catch (const std::out_of_range&) {
+        fail(line_number, "malformed OD record");
+      }
+    }
+  }
+  if (meta.total_flow > 0.0 &&
+      std::fabs(trips.total_demand() - meta.total_flow) >
+          0.01 * meta.total_flow + 1.0) {
+    throw std::runtime_error(
+        "tntp trips: total demand does not match <TOTAL OD FLOW>");
+  }
+  return trips;
+}
+
+void write_tntp_network(std::ostream& out, const Graph& graph) {
+  out << "<NUMBER OF NODES> " << graph.node_count() << "\n"
+      << "<NUMBER OF LINKS> " << graph.link_count() << "\n"
+      << "<END OF METADATA>\n"
+      << "~ \tinit \tterm \tcapacity \tlength \tfft \tb \tpower \tspeed "
+         "\ttoll \ttype \t;\n";
+  for (const Link& link : graph.links()) {
+    out << "\t" << (link.from + 1) << "\t" << (link.to + 1) << "\t"
+        << link.capacity << "\t1\t" << link.free_flow_time << "\t"
+        << link.bpr_alpha << "\t" << link.bpr_beta << "\t0\t0\t1\t;\n";
+  }
+}
+
+void write_tntp_trips(std::ostream& out, const TripTable& trips) {
+  out << "<NUMBER OF ZONES> " << trips.node_count() << "\n"
+      << "<TOTAL OD FLOW> " << trips.total_demand() << "\n"
+      << "<END OF METADATA>\n";
+  for (NodeIndex o = 0; o < trips.node_count(); ++o) {
+    out << "Origin " << (o + 1) << "\n";
+    int on_line = 0;
+    for (NodeIndex d = 0; d < trips.node_count(); ++d) {
+      if (o == d || trips.demand(o, d) <= 0.0) continue;
+      out << "    " << (d + 1) << " : " << trips.demand(o, d) << ";";
+      if (++on_line % 4 == 0) out << "\n";
+    }
+    if (on_line % 4 != 0 || on_line == 0) out << "\n";
+  }
+}
+
+Graph load_tntp_network(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open tntp network: " + path);
+  return read_tntp_network(in);
+}
+
+TripTable load_tntp_trips(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open tntp trips: " + path);
+  return read_tntp_trips(in);
+}
+
+}  // namespace vlm::roadnet

@@ -1,0 +1,42 @@
+// Reader/writer for the TNTP text formats used by the Transportation
+// Networks repository (the de-facto standard distribution format of the
+// Sioux Falls dataset and dozens of other benchmark networks).
+//
+// Network format (one link per row after the metadata header):
+//   <NUMBER OF NODES> n
+//   <NUMBER OF LINKS> m
+//   <END OF METADATA>
+//   ~ init_node term_node capacity length free_flow_time b power ... ;
+//
+// Trips format:
+//   <NUMBER OF ZONES> n
+//   <TOTAL OD FLOW> f
+//   <END OF METADATA>
+//   Origin  1
+//       2 :      100.0;    3 :      100.0; ...
+//
+// We parse the fields this library uses (capacity, free-flow time, BPR b
+// and power) and ignore the rest; both readers validate counts against
+// the metadata and throw std::runtime_error with a line number on
+// malformed input. Writers emit files the readers round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roadnet/graph.h"
+#include "roadnet/trip_table.h"
+
+namespace vlm::roadnet {
+
+Graph read_tntp_network(std::istream& in);
+TripTable read_tntp_trips(std::istream& in);
+
+void write_tntp_network(std::ostream& out, const Graph& graph);
+void write_tntp_trips(std::ostream& out, const TripTable& trips);
+
+// File wrappers; throw std::runtime_error on I/O failure.
+Graph load_tntp_network(const std::string& path);
+TripTable load_tntp_trips(const std::string& path);
+
+}  // namespace vlm::roadnet

@@ -1,0 +1,62 @@
+#include "roadnet/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::roadnet {
+
+TrajectorySampler::TrajectorySampler(const AssignmentResult& result,
+                                     std::uint64_t seed)
+    : result_(result), rng_(seed) {}
+
+std::uint64_t TrajectorySampler::for_each_vehicle(
+    const std::function<void(std::span<const NodeIndex>)>& visit) {
+  vehicles_emitted_ = 0;
+  for (const OdRoutes& od : result_.od_routes) {
+    for (const Route& route : od.routes) {
+      const double expected = od.demand * route.probability;
+      const double whole = std::floor(expected);
+      auto count = static_cast<std::uint64_t>(whole);
+      if (rng_.bernoulli(expected - whole)) ++count;
+      for (std::uint64_t v = 0; v < count; ++v) {
+        visit(route.nodes);
+      }
+      vehicles_emitted_ += count;
+    }
+  }
+  return vehicles_emitted_;
+}
+
+std::vector<std::uint64_t> realized_node_volumes(
+    const AssignmentResult& result, std::size_t node_count,
+    std::uint64_t seed) {
+  std::vector<std::uint64_t> volumes(node_count, 0);
+  TrajectorySampler sampler(result, seed);
+  sampler.for_each_vehicle([&](std::span<const NodeIndex> nodes) {
+    for (NodeIndex n : nodes) {
+      VLM_REQUIRE(n < node_count, "trajectory node out of range");
+      ++volumes[n];
+    }
+  });
+  return volumes;
+}
+
+PairGroundTruth realized_pair_volumes(const AssignmentResult& result,
+                                      NodeIndex x, NodeIndex y,
+                                      std::uint64_t seed) {
+  VLM_REQUIRE(x != y, "pair volumes need two distinct nodes");
+  PairGroundTruth out;
+  TrajectorySampler sampler(result, seed);
+  sampler.for_each_vehicle([&](std::span<const NodeIndex> nodes) {
+    const bool hits_x = std::find(nodes.begin(), nodes.end(), x) != nodes.end();
+    const bool hits_y = std::find(nodes.begin(), nodes.end(), y) != nodes.end();
+    if (hits_x) ++out.n_x;
+    if (hits_y) ++out.n_y;
+    if (hits_x && hits_y) ++out.n_c;
+  });
+  return out;
+}
+
+}  // namespace vlm::roadnet

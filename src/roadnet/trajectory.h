@@ -1,0 +1,56 @@
+// Expands an assignment's route distribution into individual vehicle
+// trajectories (node sequences), the input the VCPS protocol consumes.
+//
+// Vehicle counts per (OD, route) are demand * probability, rounded
+// stochastically so expectations are exact. Trajectories are streamed to
+// a visitor — the Sioux Falls workload is ~1.5M vehicles after scaling,
+// which never needs to be materialized at once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/assignment.h"
+
+namespace vlm::roadnet {
+
+class TrajectorySampler {
+ public:
+  // Keeps a reference to `result`; the caller must keep it alive.
+  TrajectorySampler(const AssignmentResult& result, std::uint64_t seed);
+
+  // Invokes `visit(route_nodes)` once per vehicle. Deterministic for a
+  // given (result, seed). Returns the number of vehicles emitted.
+  std::uint64_t for_each_vehicle(
+      const std::function<void(std::span<const NodeIndex>)>& visit);
+
+  // Realized counts from the last for_each_vehicle run.
+  std::uint64_t vehicles_emitted() const { return vehicles_emitted_; }
+
+ private:
+  const AssignmentResult& result_;
+  common::Xoshiro256ss rng_;
+  std::uint64_t vehicles_emitted_ = 0;
+};
+
+// Convenience counting pass (no protocol): per-node pass-through volumes
+// and the common volume of one node pair, computed from the same vehicle
+// stream a protocol run would see (same seed => identical vehicles).
+struct PairGroundTruth {
+  std::uint64_t n_x = 0;
+  std::uint64_t n_y = 0;
+  std::uint64_t n_c = 0;
+};
+
+std::vector<std::uint64_t> realized_node_volumes(
+    const AssignmentResult& result, std::size_t node_count,
+    std::uint64_t seed);
+
+PairGroundTruth realized_pair_volumes(const AssignmentResult& result,
+                                      NodeIndex x, NodeIndex y,
+                                      std::uint64_t seed);
+
+}  // namespace vlm::roadnet

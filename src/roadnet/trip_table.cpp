@@ -1,0 +1,50 @@
+#include "roadnet/trip_table.h"
+
+#include "common/require.h"
+
+namespace vlm::roadnet {
+
+TripTable::TripTable(std::size_t node_count)
+    : node_count_(node_count), demand_(node_count * node_count, 0.0) {
+  VLM_REQUIRE(node_count >= 2, "a trip table needs at least two zones");
+}
+
+std::size_t TripTable::index(NodeIndex origin, NodeIndex destination) const {
+  VLM_REQUIRE(origin < node_count_ && destination < node_count_,
+              "trip table zone out of range");
+  return static_cast<std::size_t>(origin) * node_count_ + destination;
+}
+
+double TripTable::demand(NodeIndex origin, NodeIndex destination) const {
+  return demand_[index(origin, destination)];
+}
+
+void TripTable::set_demand(NodeIndex origin, NodeIndex destination,
+                           double trips) {
+  VLM_REQUIRE(trips >= 0.0, "trip demand must be non-negative");
+  VLM_REQUIRE(origin != destination || trips == 0.0,
+              "intrazonal trips never enter the network");
+  demand_[index(origin, destination)] = trips;
+}
+
+void TripTable::scale(double factor) {
+  VLM_REQUIRE(factor > 0.0, "scale factor must be positive");
+  for (double& d : demand_) d *= factor;
+}
+
+double TripTable::total_demand() const {
+  double total = 0.0;
+  for (double d : demand_) total += d;
+  return total;
+}
+
+double TripTable::node_demand(NodeIndex node) const {
+  double total = 0.0;
+  for (NodeIndex other = 0; other < node_count_; ++other) {
+    total += demand(node, static_cast<NodeIndex>(other));
+    total += demand(static_cast<NodeIndex>(other), node);
+  }
+  return total;
+}
+
+}  // namespace vlm::roadnet

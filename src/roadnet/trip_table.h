@@ -1,0 +1,34 @@
+// Origin-destination trip demand matrix (vehicles per period).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "roadnet/graph.h"
+
+namespace vlm::roadnet {
+
+class TripTable {
+ public:
+  explicit TripTable(std::size_t node_count);
+
+  std::size_t node_count() const { return node_count_; }
+
+  double demand(NodeIndex origin, NodeIndex destination) const;
+  void set_demand(NodeIndex origin, NodeIndex destination, double trips);
+
+  // Multiplies every entry (demand scaling to hit a calibration target).
+  void scale(double factor);
+
+  double total_demand() const;
+  // Trips originating at or destined for `node` (its "generated" demand).
+  double node_demand(NodeIndex node) const;
+
+ private:
+  std::size_t index(NodeIndex origin, NodeIndex destination) const;
+
+  std::size_t node_count_;
+  std::vector<double> demand_;
+};
+
+}  // namespace vlm::roadnet

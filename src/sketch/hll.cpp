@@ -1,0 +1,74 @@
+#include "sketch/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::sketch {
+
+namespace {
+
+double alpha_for(std::size_t m) {
+  switch (m) {
+    case 16: return 0.673;
+    case 32: return 0.697;
+    case 64: return 0.709;
+    default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(unsigned precision)
+    : precision_(precision),
+      registers_(std::size_t{1} << precision, 0) {
+  VLM_REQUIRE(precision >= 4 && precision <= 18,
+              "HLL precision must be in [4, 18]");
+}
+
+void HyperLogLog::add_hash(std::uint64_t hash) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(hash >> (64 - precision_));
+  const std::uint64_t suffix = hash << precision_;
+  // Rank: leading zeros of the suffix + 1, capped by the suffix width.
+  const int rank =
+      suffix == 0 ? static_cast<int>(64 - precision_) + 1
+                  : std::countl_zero(suffix) + 1;
+  if (static_cast<std::uint8_t>(rank) > registers_[bucket]) {
+    registers_[bucket] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double inverse_sum = 0.0;
+  std::size_t zero_registers = 0;
+  for (std::uint8_t r : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  const double raw = alpha_for(registers_.size()) * m * m / inverse_sum;
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    // Small-range correction: linear counting over the registers.
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  VLM_REQUIRE(precision_ == other.precision_,
+              "cannot merge HLLs of different precision");
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::intersection(const HyperLogLog& a, const HyperLogLog& b) {
+  HyperLogLog unioned = a;
+  unioned.merge(b);
+  return a.estimate() + b.estimate() - unioned.estimate();
+}
+
+}  // namespace vlm::sketch

@@ -1,0 +1,55 @@
+// Dense HyperLogLog, as an alternative-baseline cardinality sketch.
+//
+// Why it exists in this repo: HLL with inclusion-exclusion
+// (|A ∩ B| = |A| + |B| − |A ∪ B|, union via register-wise max) is the
+// standard engineering answer to "how many items did both sites see?",
+// so it is the natural what-if baseline for the paper's bitmap scheme.
+// The comparison bench (bench_baseline_hll) shows the catch: IE needs
+// every site to insert the SAME hash for the same vehicle, i.e. the
+// vehicle must submit a cross-RSU-stable value — a linkable
+// pseudo-identifier that gives up exactly the privacy the bitmap
+// scheme's per-RSU logical-slot masking preserves. HLL is included as a
+// measurement baseline, NOT as a privacy-preserving alternative.
+//
+// Standard construction (Flajolet et al. 2007): 2^precision registers,
+// each the maximum "rank" (leading-zero count + 1 of the hash suffix)
+// seen in its bucket; harmonic-mean estimate with the small-range
+// linear-counting correction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlm::sketch {
+
+class HyperLogLog {
+ public:
+  // precision in [4, 18]: 2^precision registers, one byte each.
+  explicit HyperLogLog(unsigned precision);
+
+  unsigned precision() const { return precision_; }
+  std::size_t register_count() const { return registers_.size(); }
+  // Memory footprint in bits (for equal-memory comparisons: a bitmap of
+  // m bits costs m; an HLL costs 8 * 2^precision here).
+  std::size_t memory_bits() const { return registers_.size() * 8; }
+
+  // Inserts an item by its 64-bit hash (callers hash; the sketch never
+  // sees raw identifiers).
+  void add_hash(std::uint64_t hash);
+
+  double estimate() const;
+
+  // Register-wise max: the sketch of the union of the two multisets.
+  // Precisions must match.
+  void merge(const HyperLogLog& other);
+
+  // |A ∩ B| via inclusion-exclusion; can be negative under noise, so the
+  // raw value is returned (callers clamp if they need to).
+  static double intersection(const HyperLogLog& a, const HyperLogLog& b);
+
+ private:
+  unsigned precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace vlm::sketch

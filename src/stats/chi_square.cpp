@@ -1,0 +1,34 @@
+#include "stats/chi_square.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::stats {
+
+double chi_square_uniform(std::span<const std::uint64_t> observed) {
+  VLM_REQUIRE(observed.size() >= 2, "chi-square needs at least two bins");
+  std::uint64_t total = 0;
+  for (std::uint64_t c : observed) total += c;
+  VLM_REQUIRE(total > 0, "chi-square needs a positive total count");
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(observed.size());
+  double stat = 0.0;
+  for (std::uint64_t c : observed) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+double chi_square_critical_999(std::uint64_t dof) {
+  VLM_REQUIRE(dof >= 1, "chi-square needs at least one degree of freedom");
+  // Wilson-Hilferty: X^2_(k, q) ~= k * (1 - 2/(9k) + z_q * sqrt(2/(9k)))^3,
+  // with z_0.999 = 3.0902.
+  const double k = static_cast<double>(dof);
+  const double z = 3.0902323061678132;
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+}  // namespace vlm::stats

@@ -1,0 +1,21 @@
+// Pearson chi-square goodness-of-fit, used by tests to check that the
+// protocol's hash-derived bit indices are uniform (the assumption every
+// formula in the paper rests on).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vlm::stats {
+
+// Pearson statistic for observed counts against a uniform expectation.
+// Requires at least two bins and a positive total count.
+double chi_square_uniform(std::span<const std::uint64_t> observed);
+
+// Approximate upper critical value of the chi-square distribution with
+// `dof` degrees of freedom at significance 0.001, via the Wilson-Hilferty
+// cube-root normal approximation. Good to a few percent for dof >= 10,
+// which is all the tests need.
+double chi_square_critical_999(std::uint64_t dof);
+
+}  // namespace vlm::stats

@@ -1,0 +1,74 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::stats {
+
+void RunningStats::push(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  VLM_REQUIRE(count_ > 0, "mean of an empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  VLM_REQUIRE(count_ >= 2, "variance needs at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  VLM_REQUIRE(count_ > 0, "min of an empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  VLM_REQUIRE(count_ > 0, "max of an empty sample");
+  return max_;
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile(std::vector<double> sample, double q) {
+  VLM_REQUIRE(!sample.empty(), "quantile of an empty sample");
+  VLM_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0, 1]");
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + (sample[hi] - sample[lo]) * frac;
+}
+
+}  // namespace vlm::stats

@@ -1,0 +1,40 @@
+// Streaming descriptive statistics (Welford) and quantiles.
+//
+// Every accuracy experiment reports bias and standard deviation of the
+// ratio n̂_c/n_c over repeated trials; RunningStats accumulates those in a
+// single numerically stable pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vlm::stats {
+
+class RunningStats {
+ public:
+  void push(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance (n-1 denominator). Requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  // Merges another accumulator (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear-interpolation quantile of a sample, q in [0, 1]. Copies and sorts;
+// for the sample sizes in our harnesses (<= 10^6) this is fine.
+double quantile(std::vector<double> sample, double q);
+
+}  // namespace vlm::stats

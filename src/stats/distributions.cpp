@@ -1,0 +1,62 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::stats {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  VLM_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p must be in [0, 1]");
+  VLM_REQUIRE(k <= n, "binomial k must be <= n");
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_choose =
+      log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+  const double log_pmf = log_choose + static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_mean(std::uint64_t n, double p) {
+  return static_cast<double>(n) * p;
+}
+
+double binomial_variance(std::uint64_t n, double p) {
+  return static_cast<double>(n) * p * (1.0 - p);
+}
+
+std::uint64_t sample_binomial(vlm::common::Xoshiro256ss& rng, std::uint64_t n,
+                              double p) {
+  VLM_REQUIRE(p >= 0.0 && p <= 1.0, "binomial p must be in [0, 1]");
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  const double np = static_cast<double>(n) * p;
+  const double var = np * (1.0 - p);
+  if (n <= 64 || var < 25.0) {
+    // Exact: sum of Bernoulli draws. Cheap for the sizes that reach here.
+    std::uint64_t k = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(p)) ++k;
+    }
+    return k;
+  }
+  // Normal approximation with rounding, clamped to the support. For the
+  // workload-generation use case (splitting trip counts), the O(1/sqrt(var))
+  // approximation error is far below the schemes' estimation noise.
+  const double u1 = rng.uniform_double();
+  const double u2 = rng.uniform_double();
+  const double z = std::sqrt(-2.0 * std::log(std::max(u1, 1e-300))) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double draw = np + std::sqrt(var) * z;
+  const double clamped =
+      std::clamp(draw, 0.0, static_cast<double>(n));
+  return static_cast<std::uint64_t>(std::llround(clamped));
+}
+
+}  // namespace vlm::stats

@@ -1,0 +1,27 @@
+// Closed-form distribution helpers used by analysis models and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace vlm::stats {
+
+// Binomial(n, p) probability mass at k, computed in log space so large n
+// (traffic volumes reach 5*10^5) does not overflow.
+double binomial_pmf(std::uint64_t n, double p, std::uint64_t k);
+
+// Mean and variance of Binomial(n, p).
+double binomial_mean(std::uint64_t n, double p);
+double binomial_variance(std::uint64_t n, double p);
+
+// Draws from Binomial(n, p). Exact Bernoulli summation for small n,
+// normal approximation with continuity handling for large n*p(1-p); used
+// only by synthetic workload generation, never by the schemes themselves.
+std::uint64_t sample_binomial(vlm::common::Xoshiro256ss& rng, std::uint64_t n,
+                              double p);
+
+// ln(n!) via lgamma.
+double log_factorial(std::uint64_t n);
+
+}  // namespace vlm::stats

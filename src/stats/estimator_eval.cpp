@@ -1,0 +1,29 @@
+#include "stats/estimator_eval.h"
+
+#include "common/hashing.h"
+#include "common/require.h"
+
+namespace vlm::stats {
+
+RatioReport evaluate_ratio(
+    const std::function<double(std::uint64_t seed)>& trial, double true_value,
+    std::size_t trials, std::uint64_t base_seed) {
+  VLM_REQUIRE(trials >= 2, "ratio evaluation needs at least two trials");
+  VLM_REQUIRE(true_value > 0.0, "true value must be positive");
+  RunningStats stats;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed =
+        vlm::common::mix64(base_seed + 0x632BE59BD9B4E019ull * (t + 1));
+    stats.push(trial(seed) / true_value);
+  }
+  RatioReport report;
+  report.trials = stats.count();
+  report.mean_ratio = stats.mean();
+  report.bias = stats.mean() - 1.0;
+  report.stddev_ratio = stats.stddev();
+  report.min_ratio = stats.min();
+  report.max_ratio = stats.max();
+  return report;
+}
+
+}  // namespace vlm::stats

@@ -1,0 +1,29 @@
+// Monte-Carlo evaluation harness for point-to-point estimators.
+//
+// Runs a caller-supplied single-trial function (generate workload, encode,
+// estimate) `trials` times with independent seeds and reports the bias and
+// standard deviation of n̂_c/n_c — the exact metrics of paper Section II-B.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/descriptive.h"
+
+namespace vlm::stats {
+
+struct RatioReport {
+  std::size_t trials = 0;
+  double mean_ratio = 0.0;   // E[n̂_c / n_c]
+  double bias = 0.0;         // mean_ratio - 1
+  double stddev_ratio = 0.0; // StdDev[n̂_c / n_c]
+  double min_ratio = 0.0;
+  double max_ratio = 0.0;
+};
+
+// `trial(seed)` must return the estimate n̂_c for one fresh simulation.
+RatioReport evaluate_ratio(
+    const std::function<double(std::uint64_t seed)>& trial, double true_value,
+    std::size_t trials, std::uint64_t base_seed);
+
+}  // namespace vlm::stats

@@ -1,0 +1,54 @@
+#include "traffic/diurnal.h"
+
+#include <algorithm>
+
+#include "common/require.h"
+
+namespace vlm::traffic {
+
+DiurnalProfile DiurnalProfile::standard_weekday() {
+  // Shares loosely following urban ATR data: double peak, light nights.
+  return DiurnalProfile(std::array<double, 24>{
+      0.15, 0.10, 0.08, 0.08, 0.12, 0.35,  // 0-5h
+      0.90, 1.80, 2.20, 1.60, 1.20, 1.15,  // 6-11h
+      1.25, 1.20, 1.25, 1.45, 1.90, 2.30,  // 12-17h
+      1.80, 1.20, 0.85, 0.60, 0.40, 0.25,  // 18-23h
+  });
+}
+
+DiurnalProfile::DiurnalProfile(const std::array<double, 24>& multipliers)
+    : multipliers_(multipliers) {
+  double total = 0.0;
+  for (double m : multipliers_) {
+    VLM_REQUIRE(m >= 0.0, "multipliers must be non-negative");
+    total += m;
+  }
+  VLM_REQUIRE(total > 0.0, "at least one hour must carry traffic");
+  for (double& m : multipliers_) m *= 24.0 / total;
+}
+
+double DiurnalProfile::multiplier(unsigned hour) const {
+  VLM_REQUIRE(hour < 24, "hour must be in [0, 24)");
+  return multipliers_[hour];
+}
+
+double DiurnalProfile::hourly_volume(double daily_total, unsigned hour) const {
+  VLM_REQUIRE(daily_total >= 0.0, "daily total must be non-negative");
+  return daily_total / 24.0 * multiplier(hour);
+}
+
+double DiurnalProfile::peak_multiplier() const {
+  return *std::max_element(multipliers_.begin(), multipliers_.end());
+}
+
+double DiurnalProfile::trough_multiplier() const {
+  return *std::min_element(multipliers_.begin(), multipliers_.end());
+}
+
+double DiurnalProfile::peak_to_trough() const {
+  VLM_REQUIRE(trough_multiplier() > 0.0,
+              "peak-to-trough undefined with an empty hour");
+  return peak_multiplier() / trough_multiplier();
+}
+
+}  // namespace vlm::traffic

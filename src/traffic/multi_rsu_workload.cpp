@@ -1,0 +1,73 @@
+#include "traffic/multi_rsu_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::traffic {
+
+MultiRsuWorkload::MultiRsuWorkload(const MultiRsuConfig& config)
+    : config_(config) {
+  VLM_REQUIRE(config.rsu_count >= 2, "need at least two RSUs");
+  VLM_REQUIRE(config.vehicle_count > 0, "need at least one vehicle");
+  VLM_REQUIRE(config.min_visits >= 1 &&
+                  config.min_visits <= config.max_visits &&
+                  config.max_visits <= config.rsu_count,
+              "visit range must satisfy 1 <= min <= max <= rsu_count");
+  VLM_REQUIRE(config.zipf_exponent >= 0.0, "zipf exponent must be >= 0");
+
+  popularity_cdf_.resize(config.rsu_count);
+  double total = 0.0;
+  for (std::size_t r = 0; r < config.rsu_count; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), config.zipf_exponent);
+    popularity_cdf_[r] = total;
+  }
+  for (double& c : popularity_cdf_) c /= total;
+}
+
+void MultiRsuWorkload::for_each_vehicle(
+    const std::function<void(std::uint64_t, std::span<const std::uint32_t>)>&
+        visit) {
+  volumes_.assign(config_.rsu_count, 0);
+  pair_counts_.assign(config_.rsu_count * config_.rsu_count, 0);
+  common::Xoshiro256ss rng(config_.seed);
+
+  std::vector<std::uint32_t> rsus;
+  for (std::uint64_t v = 0; v < config_.vehicle_count; ++v) {
+    const std::uint64_t span_count =
+        config_.min_visits +
+        rng.uniform(config_.max_visits - config_.min_visits + 1);
+    rsus.clear();
+    while (rsus.size() < span_count) {
+      const double u = rng.uniform_double();
+      const auto it = std::lower_bound(popularity_cdf_.begin(),
+                                       popularity_cdf_.end(), u);
+      const auto r = static_cast<std::uint32_t>(
+          std::distance(popularity_cdf_.begin(), it));
+      if (std::find(rsus.begin(), rsus.end(), r) == rsus.end()) {
+        rsus.push_back(r);
+      }
+    }
+    for (std::size_t i = 0; i < rsus.size(); ++i) {
+      ++volumes_[rsus[i]];
+      for (std::size_t j = i + 1; j < rsus.size(); ++j) {
+        const auto lo = std::min(rsus[i], rsus[j]);
+        const auto hi = std::max(rsus[i], rsus[j]);
+        ++pair_counts_[lo * config_.rsu_count + hi];
+      }
+    }
+    visit(v, rsus);
+  }
+}
+
+std::uint64_t MultiRsuWorkload::pair_volume(std::uint32_t a,
+                                            std::uint32_t b) const {
+  VLM_REQUIRE(a < config_.rsu_count && b < config_.rsu_count && a != b,
+              "pair volume needs two distinct registered RSUs");
+  const auto lo = std::min(a, b);
+  const auto hi = std::max(a, b);
+  return pair_counts_[lo * config_.rsu_count + hi];
+}
+
+}  // namespace vlm::traffic

@@ -1,0 +1,53 @@
+// Synthetic city-scale workload: many RSUs with heterogeneous popularity.
+//
+// Models the situation the paper motivates with the NYSDOT report — major
+// intersections see hundreds of thousands of vehicles/day while light
+// ones see a few hundred. Each vehicle visits a small set of RSUs drawn
+// from a Zipf-like popularity distribution, producing wildly unbalanced
+// point volumes and a dense matrix of pairwise overlaps with exact ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vlm::traffic {
+
+struct MultiRsuConfig {
+  std::size_t rsu_count = 32;
+  std::uint64_t vehicle_count = 100'000;
+  double zipf_exponent = 1.0;   // popularity skew; 0 = uniform
+  std::uint32_t min_visits = 2; // RSUs per vehicle trip (inclusive range)
+  std::uint32_t max_visits = 6;
+  std::uint64_t seed = 1;
+};
+
+class MultiRsuWorkload {
+ public:
+  explicit MultiRsuWorkload(const MultiRsuConfig& config);
+
+  const MultiRsuConfig& config() const { return config_; }
+
+  // Streams each vehicle's visit list (distinct RSU indices, unordered).
+  // Deterministic for a given config. While streaming, ground-truth
+  // counters are accumulated and are available afterwards.
+  void for_each_vehicle(
+      const std::function<void(std::uint64_t vehicle_index,
+                               std::span<const std::uint32_t> rsus)>& visit);
+
+  // Ground truth collected by the last for_each_vehicle run.
+  const std::vector<std::uint64_t>& node_volumes() const { return volumes_; }
+  std::uint64_t pair_volume(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  MultiRsuConfig config_;
+  std::vector<double> popularity_cdf_;
+  std::vector<std::uint64_t> volumes_;
+  std::vector<std::uint64_t> pair_counts_;  // upper-triangular matrix
+};
+
+}  // namespace vlm::traffic

@@ -1,0 +1,33 @@
+#include "traffic/sweeps.h"
+
+#include <cmath>
+
+#include "common/require.h"
+
+namespace vlm::traffic {
+
+std::vector<core::PairWorkload> build_figure_sweep(
+    const FigureSweepSpec& spec) {
+  VLM_REQUIRE(spec.n_x > 0, "n_x must be positive");
+  VLM_REQUIRE(spec.ratio_y >= 1.0, "the convention is n_y >= n_x");
+  VLM_REQUIRE(spec.c_min_frac > 0.0 && spec.c_max_frac <= 1.0 &&
+                  spec.c_min_frac <= spec.c_max_frac,
+              "common-fraction bounds must satisfy 0 < min <= max <= 1");
+  VLM_REQUIRE(spec.c_step_frac > 0.0, "step must be positive");
+
+  const auto n_x = spec.n_x;
+  const auto n_y = static_cast<std::uint64_t>(
+      std::llround(spec.ratio_y * static_cast<double>(n_x)));
+  std::vector<core::PairWorkload> sweep;
+  const double nx = static_cast<double>(n_x);
+  for (double frac = spec.c_min_frac; frac <= spec.c_max_frac + 1e-12;
+       frac += spec.c_step_frac) {
+    const auto n_c = static_cast<std::uint64_t>(std::llround(frac * nx));
+    if (n_c == 0) continue;
+    sweep.push_back(core::PairWorkload{n_x, n_y, n_c});
+  }
+  VLM_ASSERT(!sweep.empty());
+  return sweep;
+}
+
+}  // namespace vlm::traffic

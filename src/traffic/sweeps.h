@@ -1,0 +1,27 @@
+// Parameter-sweep builders for the paper's Figures 4 and 5.
+//
+// Section VII-B: n_x = 10,000; n_y in {n_x, 10 n_x, 50 n_x}; n_c sweeps
+// [0.01 n_x, 0.5 n_x]; s in {2, 5, 10}; sizing chosen to guarantee a
+// minimum privacy of 0.5. These helpers generate the workload grid so
+// every bench and test names points the same way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_simulation.h"
+
+namespace vlm::traffic {
+
+struct FigureSweepSpec {
+  std::uint64_t n_x = 10'000;
+  double ratio_y = 1.0;        // n_y = ratio_y * n_x
+  double c_min_frac = 0.01;    // n_c lower bound as a fraction of n_x
+  double c_max_frac = 0.5;
+  double c_step_frac = 0.001;  // the paper's step (0.001 n_x)
+};
+
+// The workload list for one plot: one PairWorkload per n_c value.
+std::vector<core::PairWorkload> build_figure_sweep(const FigureSweepSpec& spec);
+
+}  // namespace vlm::traffic

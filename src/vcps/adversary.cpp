@@ -1,0 +1,31 @@
+#include "vcps/adversary.h"
+
+#include "common/require.h"
+
+namespace vlm::vcps {
+
+Adversary::Adversary(std::uint64_t seed) : rng_(seed) {}
+
+std::uint64_t Adversary::flood(Rsu& rsu, std::uint64_t count) {
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Reply forged;
+    forged.bit_index =
+        static_cast<std::size_t>(rng_.uniform(rsu.state().array_size()));
+    forged.one_time_mac = rng_.next();
+    if (rsu.handle_reply(forged)) ++accepted;
+  }
+  return accepted;
+}
+
+std::uint64_t Adversary::paint(Rsu& rsu, std::size_t stride) {
+  VLM_REQUIRE(stride >= 1, "stride must be at least 1");
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < rsu.state().array_size(); i += stride) {
+    Reply forged{i, rng_.next()};
+    if (rsu.handle_reply(forged)) ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace vlm::vcps

@@ -1,0 +1,45 @@
+// Adversary models for robustness testing (defensive evaluation).
+//
+// The protocol's replies are unauthenticated by design — any radio can
+// inject them (authenticating them would require exactly the vehicle
+// identifiers the scheme exists to avoid). These helpers simulate the
+// two cheap attacks that follow, so tests and benches can quantify the
+// damage and verify that the server-side ReportValidator catches them:
+//
+//   - flood: inject k random-bit replies. Each forged reply is
+//     statistically identical to an honest one (that indistinguishability
+//     IS the privacy property), so a flood cannot be detected from the
+//     report's internal statistics — only from its volume anomaly
+//     against the RSU's history, which the central server's optional
+//     history bound checks;
+//   - paint: sweep bit indices to saturate the array. The resulting
+//     collision-free bit pattern is wildly inconsistent with a uniform
+//     process at this counter value, and the ReportValidator's
+//     occupancy z-score flags it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "vcps/rsu.h"
+
+namespace vlm::vcps {
+
+class Adversary {
+ public:
+  explicit Adversary(std::uint64_t seed);
+
+  // Sends `count` uniformly random replies to the RSU. Returns how many
+  // were accepted.
+  std::uint64_t flood(Rsu& rsu, std::uint64_t count);
+
+  // Sets every `stride`-th bit via forged replies (stride >= 1). The
+  // counter advances once per forged reply, so the array ends up with a
+  // collision-free density no uniform process would produce.
+  std::uint64_t paint(Rsu& rsu, std::size_t stride);
+
+ private:
+  common::Xoshiro256ss rng_;
+};
+
+}  // namespace vlm::vcps

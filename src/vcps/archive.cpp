@@ -1,0 +1,191 @@
+#include "vcps/archive.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/hashing.h"
+#include "common/math_util.h"
+#include "common/require.h"
+
+namespace vlm::vcps {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'L', 'M', 'A'};
+constexpr std::uint32_t kVersion = 1;
+// Bound against absurd inputs when reading untrusted files.
+constexpr std::uint32_t kMaxReports = 1 << 20;
+constexpr std::uint64_t kMaxArrayBits = std::uint64_t{1} << 34;
+
+// Checksum: mix64-chained over every byte written/read.
+class Digest {
+ public:
+  void update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ = common::mix64(state_ ^ (bytes[i] + 0x9E3779B97F4A7C15ull));
+    }
+  }
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xA5A5A5A55A5A5A5Aull;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    digest_.update(data, size);
+  }
+  void u32(std::uint32_t v) {
+    unsigned char buf[4];
+    for (int i = 0; i < 4; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+    bytes(buf, 4);
+  }
+  void u64(std::uint64_t v) {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+    bytes(buf, 8);
+  }
+  std::uint64_t digest() const { return digest_.value(); }
+
+ private:
+  std::ostream& out_;
+  Digest digest_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  void bytes(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(in_.gcount()) != size) {
+      throw std::runtime_error("archive truncated");
+    }
+    digest_.update(data, size);
+  }
+  std::uint32_t u32() {
+    unsigned char buf[4];
+    bytes(buf, 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{buf[i]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    unsigned char buf[8];
+    bytes(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+    return v;
+  }
+  // Reads WITHOUT updating the digest (for the trailing checksum).
+  std::uint64_t raw_u64() {
+    unsigned char buf[8];
+    in_.read(reinterpret_cast<char*>(buf), 8);
+    if (in_.gcount() != 8) throw std::runtime_error("archive truncated");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+    return v;
+  }
+  std::uint64_t digest() const { return digest_.value(); }
+
+ private:
+  std::istream& in_;
+  Digest digest_;
+};
+
+}  // namespace
+
+void write_archive(std::ostream& out, const PeriodArchive& archive) {
+  VLM_REQUIRE(archive.reports.size() <= kMaxReports,
+              "too many reports for one archive");
+  Writer w(out);
+  w.bytes(kMagic, 4);
+  w.u32(kVersion);
+  w.u64(archive.period);
+  w.u32(static_cast<std::uint32_t>(archive.reports.size()));
+  for (const RsuReport& report : archive.reports) {
+    VLM_REQUIRE(report.period == archive.period,
+                "report period does not match the archive period");
+    VLM_REQUIRE(report.bits.size() == (report.array_size + 7) / 8,
+                "report byte buffer does not match its array size");
+    w.u64(report.rsu.value);
+    w.u64(report.counter);
+    w.u64(report.array_size);
+    w.u32(static_cast<std::uint32_t>(report.bits.size()));
+    if (!report.bits.empty()) w.bytes(report.bits.data(), report.bits.size());
+  }
+  const std::uint64_t checksum = w.digest();
+  // The checksum itself is written raw (not folded into the digest).
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = (checksum >> (8 * i)) & 0xFF;
+  out.write(reinterpret_cast<const char*>(buf), 8);
+  if (!out) throw std::runtime_error("archive write failed");
+}
+
+PeriodArchive read_archive(std::istream& in) {
+  Reader r(in);
+  char magic[4];
+  r.bytes(magic, 4);
+  if (std::string(magic, 4) != std::string(kMagic, 4)) {
+    throw std::runtime_error("not a VLM archive (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported archive version " +
+                             std::to_string(version));
+  }
+  PeriodArchive archive;
+  archive.period = r.u64();
+  const std::uint32_t count = r.u32();
+  if (count > kMaxReports) {
+    throw std::runtime_error("implausible report count in archive");
+  }
+  archive.reports.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RsuReport report;
+    report.period = archive.period;
+    report.rsu = core::RsuId{r.u64()};
+    report.counter = r.u64();
+    const std::uint64_t array_size = r.u64();
+    if (array_size < 2 || array_size > kMaxArrayBits ||
+        !common::is_power_of_two(array_size)) {
+      throw std::runtime_error("implausible array size in archive");
+    }
+    report.array_size = static_cast<std::size_t>(array_size);
+    const std::uint32_t byte_count = r.u32();
+    if (byte_count != (report.array_size + 7) / 8) {
+      throw std::runtime_error("archive byte count does not match array size");
+    }
+    report.bits.resize(byte_count);
+    r.bytes(report.bits.data(), byte_count);
+    archive.reports.push_back(std::move(report));
+  }
+  const std::uint64_t expected = r.digest();
+  const std::uint64_t stored = r.raw_u64();
+  if (stored != expected) {
+    throw std::runtime_error("archive checksum mismatch");
+  }
+  return archive;
+}
+
+void save_archive(const std::string& path, const PeriodArchive& archive) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open archive for writing: " + path);
+  write_archive(out, archive);
+}
+
+PeriodArchive load_archive(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open archive: " + path);
+  return read_archive(in);
+}
+
+}  // namespace vlm::vcps

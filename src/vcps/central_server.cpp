@@ -1,0 +1,147 @@
+#include "vcps/central_server.h"
+
+#include <algorithm>
+
+#include "common/bit_array.h"
+#include "common/require.h"
+
+namespace vlm::vcps {
+
+CentralServer::CentralServer(const CentralServerConfig& config)
+    : s_(config.s),
+      sizing_(config.sizing),
+      history_alpha_(config.history_alpha),
+      validation_(config.validation),
+      estimator_(config.s) {
+  VLM_REQUIRE(config.history_alpha > 0.0 && config.history_alpha <= 1.0,
+              "history EWMA weight must be in (0, 1]");
+  VLM_REQUIRE(!validation_.enabled || (validation_.tolerance_sigmas > 0.0 &&
+                                       validation_.max_history_ratio > 1.0),
+              "validation thresholds must be positive (ratio > 1)");
+}
+
+void CentralServer::register_rsu(core::RsuId id,
+                                 double initial_history_volume) {
+  VLM_REQUIRE(initial_history_volume >= 0.0,
+              "history volume must be non-negative");
+  VLM_REQUIRE(history_.find(id) == history_.end(), "RSU already registered");
+  history_[id] = initial_history_volume;
+}
+
+bool CentralServer::is_registered(core::RsuId id) const {
+  return history_.find(id) != history_.end();
+}
+
+double CentralServer::history_volume(core::RsuId id) const {
+  auto it = history_.find(id);
+  VLM_REQUIRE(it != history_.end(), "RSU not registered");
+  return it->second;
+}
+
+std::size_t CentralServer::array_size_for(core::RsuId id) const {
+  const double volume = history_volume(id);
+  return std::visit(
+      [volume](const auto& policy) { return policy.array_size_for(volume); },
+      sizing_);
+}
+
+void CentralServer::begin_period(std::uint64_t period) {
+  VLM_REQUIRE(reports_.empty() || period > period_,
+              "periods must advance monotonically");
+  period_ = period;
+  reports_.clear();
+  quarantined_.clear();
+}
+
+QuarantineReason CentralServer::ingest(const RsuReport& report) {
+  auto history_it = history_.find(report.rsu);
+  VLM_REQUIRE(history_it != history_.end(), "report from unregistered RSU");
+  VLM_REQUIRE(report.period == period_, "report for a different period");
+  VLM_REQUIRE(reports_.find(report.rsu) == reports_.end() &&
+                  quarantined_.find(report.rsu) == quarantined_.end(),
+              "duplicate report for this period");
+  // from_bytes validates the buffer length and trailing-bit hygiene.
+  const common::BitArray bits =
+      common::BitArray::from_bytes(report.array_size, report.bits);
+
+  if (validation_.enabled) {
+    const core::ReportValidator validator(validation_.tolerance_sigmas);
+    const auto assessment =
+        validator.assess(report.counter, report.array_size, bits.count_zeros());
+    if (assessment.verdict != core::ReportVerdict::kPlausible) {
+      quarantined_[report.rsu] = QuarantineReason::kZeroCountAnomaly;
+      return QuarantineReason::kZeroCountAnomaly;
+    }
+    const double history = history_it->second;
+    if (history >= validation_.min_history_for_ratio_check) {
+      const double counter = static_cast<double>(report.counter);
+      if (counter > history * validation_.max_history_ratio ||
+          counter < history / validation_.max_history_ratio) {
+        quarantined_[report.rsu] = QuarantineReason::kVolumeAnomaly;
+        return QuarantineReason::kVolumeAnomaly;
+      }
+    }
+  }
+
+  // Update n̄_x with the observed point volume (Section IV-C: the server
+  // "first updates the history average ... to take into account the
+  // traffic data in the current measurement period").
+  history_it->second = (1.0 - history_alpha_) * history_it->second +
+                       history_alpha_ * static_cast<double>(report.counter);
+  reports_.emplace(report.rsu, report);
+  return QuarantineReason::kNone;
+}
+
+QuarantineReason CentralServer::quarantine_reason(core::RsuId id) const {
+  auto it = quarantined_.find(id);
+  return it == quarantined_.end() ? QuarantineReason::kNone : it->second;
+}
+
+const RsuReport& CentralServer::report_for(core::RsuId id) const {
+  auto it = reports_.find(id);
+  VLM_REQUIRE(it != reports_.end(), "no report from this RSU this period");
+  return it->second;
+}
+
+namespace {
+
+core::RsuState rebuild_state(const RsuReport& r) {
+  return core::RsuState::from_report(
+      r.counter, common::BitArray::from_bytes(r.array_size, r.bits));
+}
+
+}  // namespace
+
+core::PairEstimate CentralServer::estimate(core::RsuId a,
+                                           core::RsuId b) const {
+  VLM_REQUIRE(a != b, "point-to-point estimation needs two distinct RSUs");
+  return estimator_.estimate(rebuild_state(report_for(a)),
+                             rebuild_state(report_for(b)));
+}
+
+core::EstimateInterval CentralServer::estimate_with_interval(
+    core::RsuId a, core::RsuId b, double z) const {
+  VLM_REQUIRE(a != b, "point-to-point estimation needs two distinct RSUs");
+  const core::IntervalEstimator interval(s_, z);
+  return interval.estimate(rebuild_state(report_for(a)),
+                           rebuild_state(report_for(b)));
+}
+
+std::vector<core::RsuId> CentralServer::matrix_order() const {
+  std::vector<core::RsuId> order;
+  order.reserve(reports_.size());
+  for (const auto& [id, report] : reports_) order.push_back(id);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+core::OdMatrix CentralServer::estimate_matrix(double z) const {
+  const std::vector<core::RsuId> order = matrix_order();
+  VLM_REQUIRE(order.size() >= 2, "an OD matrix needs at least two reports");
+  std::vector<core::RsuState> states;
+  states.reserve(order.size());
+  for (core::RsuId id : order) states.push_back(rebuild_state(report_for(id)));
+  return core::estimate_od_matrix(states, s_, z);
+}
+
+}  // namespace vlm::vcps

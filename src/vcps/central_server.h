@@ -1,0 +1,115 @@
+// Central server: history tracking, per-period array sizing, report
+// ingestion, and pairwise estimation (the offline decoding phase).
+//
+// The server never sees a vehicle identifier — only counters and bit
+// arrays. Each period it (1) tells every RSU its array size, derived from
+// the exponentially weighted history of that RSU's point volume
+// (Section IV-B's n̄_x) under the configured sizing policy (VLM
+// variable-length or FBM fixed-length), (2) ingests reports, updating the
+// history, and (3) answers point-to-point queries via the Eq. 5 MLE.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/od_matrix.h"
+#include "core/report_validator.h"
+#include "core/sizing.h"
+#include "core/types.h"
+#include "vcps/messages.h"
+
+namespace vlm::vcps {
+
+using SizingPolicy = std::variant<core::VlmSizingPolicy, core::FbmSizingPolicy>;
+
+// Optional defenses against polluted reports (see vcps/adversary.h for
+// the threat model each check addresses).
+struct ReportValidationConfig {
+  bool enabled = false;
+  // Occupancy z-score band for the zero count given the counter; catches
+  // bit-painting / saturation and counter-vs-bits inconsistencies.
+  double tolerance_sigmas = 6.0;
+  // Volume anomaly band vs the RSU's history: a counter more than
+  // `max_history_ratio` times above (or below 1/ratio of) the expected
+  // volume is quarantined; catches reply floods, which are bit-level
+  // indistinguishable from honest traffic. Disabled for RSUs whose
+  // history is still below `min_history_for_ratio_check`.
+  double max_history_ratio = 8.0;
+  double min_history_for_ratio_check = 50.0;
+};
+
+enum class QuarantineReason {
+  kNone,
+  kZeroCountAnomaly,  // ReportValidator verdict != plausible
+  kVolumeAnomaly,     // counter inconsistent with history
+};
+
+struct CentralServerConfig {
+  std::uint32_t s = 2;
+  SizingPolicy sizing = core::VlmSizingPolicy(8.0);
+  // EWMA weight of the newest period when updating history volumes.
+  double history_alpha = 0.25;
+  ReportValidationConfig validation = {};
+};
+
+class CentralServer {
+ public:
+  explicit CentralServer(const CentralServerConfig& config);
+
+  // Registers an RSU with its initial historical average volume (from
+  // past data, as the paper assumes). Must precede any sizing query.
+  void register_rsu(core::RsuId id, double initial_history_volume);
+
+  bool is_registered(core::RsuId id) const;
+  double history_volume(core::RsuId id) const;
+
+  // m_x for the upcoming period under the configured policy.
+  std::size_t array_size_for(core::RsuId id) const;
+
+  // Starts period `period`, discarding the previous period's reports.
+  void begin_period(std::uint64_t period);
+  std::uint64_t current_period() const { return period_; }
+
+  // Validates and stores a report; updates the RSU's history volume.
+  // Throws std::invalid_argument for unregistered RSUs, wrong period,
+  // size mismatch, or duplicate reports. With validation enabled,
+  // implausible reports are quarantined instead of stored: they enter
+  // neither estimates nor the history, and the returned reason says why.
+  QuarantineReason ingest(const RsuReport& report);
+
+  std::size_t reports_received() const { return reports_.size(); }
+  std::size_t quarantined_count() const { return quarantined_.size(); }
+  QuarantineReason quarantine_reason(core::RsuId id) const;
+
+  // Point-to-point estimate between two reported RSUs for the current
+  // period. Throws if either report is missing.
+  core::PairEstimate estimate(core::RsuId a, core::RsuId b) const;
+
+  // Same, with a confidence interval from the occupancy-exact accuracy
+  // model (`z` = normal quantile, 1.96 ~ 95%).
+  core::EstimateInterval estimate_with_interval(core::RsuId a, core::RsuId b,
+                                                double z = 1.96) const;
+
+  // The full point-to-point matrix over every RSU that reported this
+  // period, in the order given by `matrix_order()`. Needs >= 2 reports.
+  std::vector<core::RsuId> matrix_order() const;
+  core::OdMatrix estimate_matrix(double z = 1.96) const;
+
+ private:
+  const RsuReport& report_for(core::RsuId id) const;
+
+  std::uint32_t s_;
+  SizingPolicy sizing_;
+  double history_alpha_;
+  ReportValidationConfig validation_;
+  core::PairEstimator estimator_;
+  std::uint64_t period_ = 0;
+  std::unordered_map<core::RsuId, double> history_;
+  std::unordered_map<core::RsuId, RsuReport> reports_;
+  std::unordered_map<core::RsuId, QuarantineReason> quarantined_;
+};
+
+}  // namespace vlm::vcps

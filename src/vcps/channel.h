@@ -1,0 +1,44 @@
+// DSRC channel model with failure injection.
+//
+// The paper treats DSRC as reliable ("RSUs broadcast queries ... ensuring
+// that each passing vehicle receives at least one query"). We model that
+// as the default, plus configurable loss and duplication so tests can
+// quantify how the measurement degrades when radios misbehave: a lost
+// reply under-counts n_x; a duplicated reply over-counts it (the bit is
+// idempotent but the counter is not).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace vlm::vcps {
+
+struct ChannelConfig {
+  double query_loss = 0.0;      // probability a query never arrives
+  double reply_loss = 0.0;      // probability a reply never arrives
+  double reply_duplicate = 0.0; // probability a delivered reply arrives twice
+};
+
+class DsrcChannel {
+ public:
+  DsrcChannel(const ChannelConfig& config, std::uint64_t seed);
+
+  // Per-message outcomes. `deliveries_for_reply` returns 0 (lost),
+  // 1 (normal), or 2 (duplicated).
+  bool query_delivered();
+  int deliveries_for_reply();
+
+  std::uint64_t queries_lost() const { return queries_lost_; }
+  std::uint64_t replies_lost() const { return replies_lost_; }
+  std::uint64_t replies_duplicated() const { return replies_duplicated_; }
+
+ private:
+  ChannelConfig config_;
+  common::Xoshiro256ss rng_;
+  std::uint64_t queries_lost_ = 0;
+  std::uint64_t replies_lost_ = 0;
+  std::uint64_t replies_duplicated_ = 0;
+};
+
+}  // namespace vlm::vcps

@@ -1,0 +1,40 @@
+// DSRC message types (Section IV-B).
+//
+// A query carries the RSU's id, its certificate, and its bit-array size;
+// the vehicle's reply carries ONLY a bit index plus the one-time MAC
+// address the privacy-preserving MAC protocol picked for this exchange.
+// Nothing in a reply identifies the vehicle — that is the protocol's
+// privacy invariant, and tests assert a reply's bytes are a function of
+// nothing but (bit_index, one_time_mac).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+#include "vcps/pki.h"
+
+namespace vlm::vcps {
+
+struct Query {
+  core::RsuId rsu;
+  Certificate certificate;
+  std::size_t array_size = 0;  // m_x, a power of two
+  std::uint64_t period = 0;
+};
+
+struct Reply {
+  std::size_t bit_index = 0;       // b_x = b mod m_x
+  std::uint64_t one_time_mac = 0;  // random, fresh per exchange
+};
+
+// End-of-period RSU -> central server report: counter + serialized bits.
+struct RsuReport {
+  core::RsuId rsu;
+  std::uint64_t period = 0;
+  std::uint64_t counter = 0;
+  std::size_t array_size = 0;
+  std::vector<std::uint8_t> bits;
+};
+
+}  // namespace vlm::vcps

@@ -1,0 +1,29 @@
+#include "vcps/pki.h"
+
+#include "common/hashing.h"
+
+namespace vlm::vcps {
+
+CertificateAuthority::CertificateAuthority(std::uint64_t master_secret)
+    : master_secret_(master_secret) {}
+
+std::uint64_t CertificateAuthority::sign(
+    core::RsuId subject, std::uint64_t valid_until_period) const {
+  // Two chained mixes so flipping subject or expiry perturbs the full tag.
+  return common::mix64(common::mix64(master_secret_ ^ subject.value) ^
+                       valid_until_period);
+}
+
+Certificate CertificateAuthority::issue(
+    core::RsuId subject, std::uint64_t valid_until_period) const {
+  return Certificate{subject, valid_until_period,
+                     sign(subject, valid_until_period)};
+}
+
+bool CertificateAuthority::verify(const Certificate& cert,
+                                  std::uint64_t current_period) const {
+  return cert.signature == sign(cert.subject, cert.valid_until_period) &&
+         current_period <= cert.valid_until_period;
+}
+
+}  // namespace vlm::vcps

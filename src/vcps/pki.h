@@ -1,0 +1,40 @@
+// Toy PKI: RSU certificates and their verification.
+//
+// Section II-A assumes RSUs are authenticated via public-key certificates
+// obtained from trusted third parties; the measurement math never touches
+// them — vehicles merely refuse to answer unauthenticated queries. We
+// model exactly that control flow with a hash-based MAC "signature".
+// THIS IS NOT CRYPTOGRAPHY: it provides the protocol shape (issue, carry
+// in queries, verify, reject), not security. See DESIGN.md substitution 2.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace vlm::vcps {
+
+struct Certificate {
+  core::RsuId subject;
+  std::uint64_t valid_until_period = 0;  // inclusive
+  std::uint64_t signature = 0;
+};
+
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::uint64_t master_secret);
+
+  Certificate issue(core::RsuId subject,
+                    std::uint64_t valid_until_period) const;
+
+  // Signature check plus expiry against `current_period`.
+  bool verify(const Certificate& cert, std::uint64_t current_period) const;
+
+ private:
+  std::uint64_t sign(core::RsuId subject,
+                     std::uint64_t valid_until_period) const;
+
+  std::uint64_t master_secret_;
+};
+
+}  // namespace vlm::vcps

@@ -1,0 +1,46 @@
+// Roadside-unit protocol endpoint.
+//
+// Broadcasts queries carrying its certificate and current bit-array size,
+// records each reply into its RsuState (Eqs. 1-2), and produces the
+// end-of-period report for the central server. Malformed replies (bit
+// index out of range) are counted and dropped rather than trusted —
+// an over-the-air reply is attacker-controlled input.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rsu_state.h"
+#include "core/types.h"
+#include "vcps/messages.h"
+#include "vcps/pki.h"
+
+namespace vlm::vcps {
+
+class Rsu {
+ public:
+  Rsu(core::RsuId id, Certificate certificate, std::size_t array_size);
+
+  core::RsuId id() const { return id_; }
+  const core::RsuState& state() const { return state_; }
+
+  Query make_query(std::uint64_t period) const;
+
+  // Returns false (and counts) if the reply is malformed.
+  bool handle_reply(const Reply& reply);
+
+  RsuReport make_report(std::uint64_t period) const;
+
+  // New measurement period, possibly with a re-sized array (the central
+  // server re-derives m_x from updated history each period).
+  void begin_period(std::size_t array_size);
+
+  std::uint64_t invalid_replies() const { return invalid_replies_; }
+
+ private:
+  core::RsuId id_;
+  Certificate certificate_;
+  core::RsuState state_;
+  std::uint64_t invalid_replies_ = 0;
+};
+
+}  // namespace vlm::vcps

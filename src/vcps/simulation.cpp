@@ -1,0 +1,84 @@
+#include "vcps/simulation.h"
+
+#include "common/hashing.h"
+#include "core/pair_simulation.h"
+#include "common/require.h"
+#include "vcps/vehicle.h"
+
+namespace vlm::vcps {
+
+namespace {
+constexpr std::uint64_t kCertLifetimePeriods = 1'000'000;
+}
+
+VcpsSimulation::VcpsSimulation(const SimulationConfig& config,
+                               std::span<const RsuSite> sites)
+    : encoder_(config.encoder),
+      ca_(config.ca_master_secret),
+      server_(config.server),
+      channel_(config.channel, common::mix64(config.seed ^ 0xC4A22E1ull)),
+      seed_(config.seed) {
+  VLM_REQUIRE(!sites.empty(), "simulation needs at least one RSU site");
+  rsus_.reserve(sites.size());
+  for (const RsuSite& site : sites) {
+    server_.register_rsu(site.id, site.initial_history_volume);
+    rsus_.emplace_back(site.id, ca_.issue(site.id, kCertLifetimePeriods),
+                       server_.array_size_for(site.id));
+  }
+}
+
+const Rsu& VcpsSimulation::rsu(std::size_t position) const {
+  VLM_REQUIRE(position < rsus_.size(), "RSU position out of range");
+  return rsus_[position];
+}
+
+void VcpsSimulation::begin_period() {
+  ++period_;
+  server_.begin_period(period_);
+  for (Rsu& rsu : rsus_) {
+    rsu.begin_period(server_.array_size_for(rsu.id()));
+  }
+  period_open_ = true;
+}
+
+std::size_t VcpsSimulation::drive_vehicle(
+    std::span<const std::size_t> rsu_positions) {
+  const std::uint64_t n = ++vehicles_driven_;
+  return drive_vehicle_as(core::synthetic_vehicle(seed_, n), rsu_positions);
+}
+
+std::size_t VcpsSimulation::drive_vehicle_as(
+    const core::VehicleIdentity& identity,
+    std::span<const std::size_t> rsu_positions) {
+  VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
+  Vehicle vehicle(identity, encoder_, ca_,
+                  common::mix64(identity.masked_key() ^ period_));
+  std::size_t exchanges = 0;
+  for (std::size_t position : rsu_positions) {
+    VLM_REQUIRE(position < rsus_.size(), "RSU position out of range");
+    Rsu& rsu = rsus_[position];
+    if (!channel_.query_delivered()) continue;
+    const auto reply = vehicle.handle_query(rsu.make_query(period_));
+    if (!reply.has_value()) continue;
+    const int deliveries = channel_.deliveries_for_reply();
+    for (int d = 0; d < deliveries; ++d) {
+      if (rsu.handle_reply(*reply)) ++exchanges;
+    }
+  }
+  return exchanges;
+}
+
+void VcpsSimulation::end_period() {
+  VLM_REQUIRE(period_open_, "no open period to end");
+  for (const Rsu& rsu : rsus_) {
+    server_.ingest(rsu.make_report(period_));
+  }
+  period_open_ = false;
+}
+
+core::PairEstimate VcpsSimulation::estimate(std::size_t position_a,
+                                            std::size_t position_b) const {
+  return server_.estimate(rsu(position_a).id(), rsu(position_b).id());
+}
+
+}  // namespace vlm::vcps

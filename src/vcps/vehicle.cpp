@@ -1,0 +1,29 @@
+#include "vcps/vehicle.h"
+
+#include "common/math_util.h"
+
+namespace vlm::vcps {
+
+Vehicle::Vehicle(core::VehicleIdentity identity, const core::Encoder& encoder,
+                 const CertificateAuthority& trust_anchor,
+                 std::uint64_t mac_seed)
+    : identity_(identity),
+      encoder_(encoder),
+      trust_anchor_(trust_anchor),
+      mac_rng_(mac_seed) {}
+
+std::optional<Reply> Vehicle::handle_query(const Query& query) {
+  const bool authentic = trust_anchor_.verify(query.certificate, query.period) &&
+                         query.certificate.subject == query.rsu;
+  if (!authentic || !common::is_power_of_two(query.array_size)) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  Reply reply;
+  reply.bit_index = encoder_.bit_index(identity_, query.rsu, query.array_size);
+  reply.one_time_mac = mac_rng_.next();
+  ++answered_;
+  return reply;
+}
+
+}  // namespace vlm::vcps

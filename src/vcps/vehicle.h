@@ -1,0 +1,43 @@
+// Vehicle-side protocol endpoint.
+//
+// Holds the identity (id + private key, never transmitted), verifies the
+// querying RSU's certificate against the trust anchor, and answers with
+// the encoder-computed bit index under a fresh one-time MAC address
+// (Section II-A's randomized-MAC assumption). Computation per query is
+// two hashes — the O(1) claim of Section IV-E.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/encoder.h"
+#include "vcps/messages.h"
+#include "vcps/pki.h"
+
+namespace vlm::vcps {
+
+class Vehicle {
+ public:
+  // `encoder` and `trust_anchor` must outlive the vehicle.
+  Vehicle(core::VehicleIdentity identity, const core::Encoder& encoder,
+          const CertificateAuthority& trust_anchor, std::uint64_t mac_seed);
+
+  // Returns the reply, or nullopt if the query fails authentication
+  // (bad signature, expired certificate) or is malformed (array size not
+  // a power of two).
+  std::optional<Reply> handle_query(const Query& query);
+
+  std::uint64_t queries_answered() const { return answered_; }
+  std::uint64_t queries_rejected() const { return rejected_; }
+
+ private:
+  core::VehicleIdentity identity_;
+  const core::Encoder& encoder_;
+  const CertificateAuthority& trust_anchor_;
+  common::Xoshiro256ss mac_rng_;
+  std::uint64_t answered_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace vlm::vcps

@@ -1,0 +1,103 @@
+// Property-style sweeps of BitArray over randomized contents and a grid
+// of sizes, exercising the invariants the decoding phase relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/bit_array.h"
+#include "common/rng.h"
+
+namespace vlm::common {
+namespace {
+
+BitArray random_array(std::size_t bits, double density, Xoshiro256ss& rng) {
+  BitArray out(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.bernoulli(density)) out.set(i);
+  }
+  return out;
+}
+
+struct SizeCase {
+  std::size_t m_small;
+  std::size_t m_large;
+};
+
+class BitArraySizes : public ::testing::TestWithParam<SizeCase> {};
+
+TEST_P(BitArraySizes, UnfoldPreservesZeroFractionExactly) {
+  Xoshiro256ss rng(GetParam().m_small * 31 + 7);
+  for (double density : {0.0, 0.1, 0.5, 0.9}) {
+    const BitArray a = random_array(GetParam().m_small, density, rng);
+    const BitArray u = a.unfolded(GetParam().m_large);
+    EXPECT_DOUBLE_EQ(u.zero_fraction(), a.zero_fraction());
+    EXPECT_EQ(u.count_ones(),
+              a.count_ones() * (GetParam().m_large / GetParam().m_small));
+  }
+}
+
+TEST_P(BitArraySizes, UnfoldIndexCongruence) {
+  Xoshiro256ss rng(GetParam().m_small * 13 + 1);
+  const BitArray a = random_array(GetParam().m_small, 0.3, rng);
+  const BitArray u = a.unfolded(GetParam().m_large);
+  // Sample positions rather than scanning everything at large sizes.
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform(GetParam().m_large));
+    EXPECT_EQ(u.test(i), a.test(i % GetParam().m_small));
+  }
+}
+
+TEST_P(BitArraySizes, UnfoldThenOrMatchesDirectComputation) {
+  Xoshiro256ss rng(GetParam().m_small * 101 + 3);
+  const BitArray a = random_array(GetParam().m_small, 0.25, rng);
+  const BitArray b = random_array(GetParam().m_large, 0.25, rng);
+  const BitArray combined = a.unfolded(GetParam().m_large) | b;
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniform(GetParam().m_large));
+    EXPECT_EQ(combined.test(i), a.test(i % GetParam().m_small) || b.test(i));
+  }
+}
+
+TEST_P(BitArraySizes, SerializationRoundTripsRandomContent) {
+  Xoshiro256ss rng(GetParam().m_large * 7 + 11);
+  for (double density : {0.05, 0.5, 0.95}) {
+    const BitArray a = random_array(GetParam().m_large, density, rng);
+    EXPECT_EQ(BitArray::from_bytes(a.size(), a.to_bytes()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PowerOfTwoGrid, BitArraySizes,
+    ::testing::Values(SizeCase{8, 64}, SizeCase{64, 64}, SizeCase{64, 512},
+                      SizeCase{128, 4096}, SizeCase{1 << 12, 1 << 16},
+                      SizeCase{1 << 10, 1 << 17}),
+    [](const ::testing::TestParamInfo<SizeCase>& param_info) {
+      return std::to_string(param_info.param.m_small) + "_to_" +
+             std::to_string(param_info.param.m_large);
+    });
+
+TEST(BitArrayCounts, OrNeverDecreasesOnes) {
+  Xoshiro256ss rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const BitArray a = random_array(256, 0.2, rng);
+    const BitArray b = random_array(256, 0.2, rng);
+    const BitArray c = a | b;
+    EXPECT_GE(c.count_ones(), a.count_ones());
+    EXPECT_GE(c.count_ones(), b.count_ones());
+    EXPECT_LE(c.count_ones(), a.count_ones() + b.count_ones());
+  }
+}
+
+TEST(BitArrayCounts, OnesPlusZerosIsSize) {
+  Xoshiro256ss rng(6);
+  for (std::size_t bits : {3u, 64u, 65u, 1000u, 4096u}) {
+    const BitArray a = random_array(bits, 0.37, rng);
+    EXPECT_EQ(a.count_ones() + a.count_zeros(), bits);
+  }
+}
+
+}  // namespace
+}  // namespace vlm::common

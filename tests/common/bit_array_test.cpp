@@ -1,0 +1,176 @@
+#include "common/bit_array.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::common {
+namespace {
+
+TEST(BitArray, StartsAllZero) {
+  BitArray bits(128);
+  EXPECT_EQ(bits.size(), 128u);
+  EXPECT_EQ(bits.count_ones(), 0u);
+  EXPECT_EQ(bits.count_zeros(), 128u);
+  EXPECT_DOUBLE_EQ(bits.zero_fraction(), 1.0);
+}
+
+TEST(BitArray, RejectsZeroSize) {
+  EXPECT_THROW(BitArray(0), std::invalid_argument);
+}
+
+TEST(BitArray, SetAndTest) {
+  BitArray bits(70);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(69);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(65));
+  EXPECT_EQ(bits.count_ones(), 4u);
+}
+
+TEST(BitArray, SetIsIdempotent) {
+  BitArray bits(16);
+  bits.set(7);
+  bits.set(7);
+  EXPECT_EQ(bits.count_ones(), 1u);
+}
+
+TEST(BitArray, OutOfRangeAccessThrows) {
+  BitArray bits(16);
+  EXPECT_THROW(bits.set(16), std::invalid_argument);
+  EXPECT_THROW((void)bits.test(16), std::invalid_argument);
+}
+
+TEST(BitArray, ResetClearsEverything) {
+  BitArray bits(40);
+  bits.set(3);
+  bits.set(39);
+  bits.reset();
+  EXPECT_EQ(bits.count_ones(), 0u);
+}
+
+TEST(BitArray, ZeroFractionCountsExactly) {
+  BitArray bits(8);
+  bits.set(1);
+  bits.set(2);
+  EXPECT_DOUBLE_EQ(bits.zero_fraction(), 6.0 / 8.0);
+}
+
+// --- Unfolding (paper Eq. 3) ---
+
+TEST(BitArrayUnfold, DuplicatesContent) {
+  BitArray bits(4);
+  bits.set(1);
+  bits.set(3);
+  const BitArray unfolded = bits.unfolded(12);
+  ASSERT_EQ(unfolded.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(unfolded.test(i), bits.test(i % 4)) << "index " << i;
+  }
+}
+
+TEST(BitArrayUnfold, PreservesZeroFraction) {
+  BitArray bits(64);
+  for (std::size_t i : {0u, 5u, 17u, 40u, 63u}) bits.set(i);
+  const BitArray unfolded = bits.unfolded(64 * 8);
+  EXPECT_DOUBLE_EQ(unfolded.zero_fraction(), bits.zero_fraction());
+}
+
+TEST(BitArrayUnfold, WordAlignedFastPathMatchesBitPath) {
+  // 128 bits is word-aligned; 96 is not a power of two but still a valid
+  // multiple check: use 32 -> 96 (bit path) vs 128 -> 256 (word path).
+  BitArray small(32);
+  small.set(0);
+  small.set(31);
+  const BitArray u = small.unfolded(96);
+  for (std::size_t i = 0; i < 96; ++i) {
+    EXPECT_EQ(u.test(i), small.test(i % 32));
+  }
+  BitArray aligned(128);
+  aligned.set(1);
+  aligned.set(127);
+  const BitArray u2 = aligned.unfolded(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(u2.test(i), aligned.test(i % 128));
+  }
+}
+
+TEST(BitArrayUnfold, ToSameSizeIsCopy) {
+  BitArray bits(16);
+  bits.set(9);
+  EXPECT_EQ(bits.unfolded(16), bits);
+}
+
+TEST(BitArrayUnfold, RejectsNonMultipleTarget) {
+  BitArray bits(8);
+  EXPECT_THROW((void)bits.unfolded(12), std::invalid_argument);
+  EXPECT_THROW((void)bits.unfolded(4), std::invalid_argument);
+}
+
+// --- Bitwise OR (paper Eq. 4) ---
+
+TEST(BitArrayOr, CombinesBits) {
+  BitArray a(8), b(8);
+  a.set(1);
+  b.set(2);
+  b.set(1);
+  const BitArray c = a | b;
+  EXPECT_TRUE(c.test(1));
+  EXPECT_TRUE(c.test(2));
+  EXPECT_EQ(c.count_ones(), 2u);
+}
+
+TEST(BitArrayOr, RequiresEqualSizes) {
+  BitArray a(8), b(16);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+}
+
+TEST(BitArrayOr, IsCommutativeAndIdempotent) {
+  BitArray a(64), b(64);
+  for (std::size_t i : {1u, 8u, 33u}) a.set(i);
+  for (std::size_t i : {2u, 8u, 63u}) b.set(i);
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ((a | b) | b, a | b);
+}
+
+// --- Serialization ---
+
+TEST(BitArraySerialization, RoundTrips) {
+  BitArray bits(70);
+  for (std::size_t i : {0u, 7u, 8u, 64u, 69u}) bits.set(i);
+  const auto bytes = bits.to_bytes();
+  EXPECT_EQ(bytes.size(), 9u);
+  const BitArray restored = BitArray::from_bytes(70, bytes);
+  EXPECT_EQ(restored, bits);
+}
+
+TEST(BitArraySerialization, RejectsWrongLength) {
+  BitArray bits(64);
+  auto bytes = bits.to_bytes();
+  bytes.push_back(0);
+  EXPECT_THROW((void)BitArray::from_bytes(64, bytes), std::invalid_argument);
+}
+
+TEST(BitArraySerialization, RejectsTrailingGarbageBits) {
+  // Declared 12 bits -> 2 bytes; bit 13 set is out of range.
+  std::vector<std::uint8_t> bytes{0x00, 0xF0};
+  EXPECT_THROW((void)BitArray::from_bytes(12, bytes), std::invalid_argument);
+}
+
+TEST(BitArraySerialization, EmptyPatternRoundTripsAtWordBoundary) {
+  BitArray bits(128);
+  bits.set(127);
+  const BitArray restored = BitArray::from_bytes(128, bits.to_bytes());
+  EXPECT_TRUE(restored.test(127));
+  EXPECT_EQ(restored.count_ones(), 1u);
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,66 @@
+// Robustness sweep for the flag parser: random argv vectors must either
+// parse or throw std::invalid_argument — never crash or hang.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+
+namespace vlm::common {
+namespace {
+
+std::string random_token(Xoshiro256ss& rng) {
+  static const char* kPieces[] = {"--",     "count", "=",     "-",  "12",
+                                  "x",      "ratio", "true",  " ",  "--=",
+                                  "1e309",  "-5",    "name",  "",   "?",
+                                  "verbose"};
+  std::string token;
+  const std::uint64_t pieces = 1 + rng.uniform(4);
+  for (std::uint64_t p = 0; p < pieces; ++p) {
+    token += kPieces[rng.uniform(sizeof(kPieces) / sizeof(kPieces[0]))];
+  }
+  return token;
+}
+
+TEST(CliFuzz, RandomArgvNeverCrashes) {
+  Xoshiro256ss rng(99);
+  for (int round = 0; round < 500; ++round) {
+    ArgParser parser("fuzz", "fuzz target");
+    parser.add_flag("verbose", false, "flag");
+    parser.add_int("count", 1, "int");
+    parser.add_double("ratio", 0.5, "double");
+    parser.add_string("name", "n", "string");
+
+    std::vector<std::string> tokens{"prog"};
+    const std::uint64_t count = rng.uniform(6);
+    for (std::uint64_t t = 0; t < count; ++t) {
+      tokens.push_back(random_token(rng));
+    }
+    std::vector<const char*> argv;
+    argv.reserve(tokens.size());
+    for (const std::string& t : tokens) argv.push_back(t.c_str());
+
+    try {
+      if (parser.parse(static_cast<int>(argv.size()), argv.data())) {
+        // Parsed: typed getters may still reject bad textual values, but
+        // only with invalid_argument.
+        try {
+          (void)parser.get_int("count");
+          (void)parser.get_double("ratio");
+          (void)parser.get_flag("verbose");
+          (void)parser.get_string("name");
+        } catch (const std::invalid_argument&) {
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,101 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vlm::common {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser parser("prog", "test parser");
+  parser.add_flag("verbose", false, "enable verbosity");
+  parser.add_int("count", 42, "a count");
+  parser.add_double("ratio", 1.5, "a ratio");
+  parser.add_string("name", "default", "a name");
+  return parser;
+}
+
+int parse(ArgParser& parser, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parser.parse(static_cast<int>(argv.size()), argv.data()) ? 1 : 0;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {}), 1);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+  EXPECT_EQ(parser.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 1.5);
+  EXPECT_EQ(parser.get_string("name"), "default");
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {"--count=7", "--ratio=2.25", "--name=abc"}), 1);
+  EXPECT_EQ(parser.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 2.25);
+  EXPECT_EQ(parser.get_string("name"), "abc");
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {"--count", "9", "--name", "xyz"}), 1);
+  EXPECT_EQ(parser.get_int("count"), 9);
+  EXPECT_EQ(parser.get_string("name"), "xyz");
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {"--verbose"}), 1);
+  EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, ExplicitBooleanValue) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {"--verbose=false"}), 1);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--bogus"}), std::invalid_argument);
+}
+
+TEST(ArgParser, MalformedNumbersThrow) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {"--count=12x"}), 1);
+  EXPECT_THROW((void)parser.get_int("count"), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"--count"}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentsRejected) {
+  ArgParser parser = make_parser();
+  EXPECT_THROW(parse(parser, {"stray"}), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser parser = make_parser();
+  EXPECT_EQ(parse(parser, {"--help"}), 0);
+  EXPECT_NE(parser.help_text().find("--count"), std::string::npos);
+}
+
+TEST(ArgParser, WrongTypeAccessThrows) {
+  ArgParser parser = make_parser();
+  ASSERT_EQ(parse(parser, {}), 1);
+  EXPECT_THROW((void)parser.get_int("name"), std::invalid_argument);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser parser("p", "d");
+  parser.add_int("x", 1, "x");
+  EXPECT_THROW(parser.add_flag("x", false, "dup"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace vlm::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseRecognizesAllNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, SuppressedLevelsProduceNoOutput) {
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_info() << "should be invisible";
+  log_debug() << "also invisible";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EnabledLevelsEmitTaggedLines) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info() << "hello " << 42;
+  log_error() << "boom";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] hello 42"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] boom"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error() << "even errors";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,78 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlm::common {
+namespace {
+
+TEST(PowOneMinus, MatchesDirectPowForModerateValues) {
+  EXPECT_NEAR(pow_one_minus(0.25, 3.0), std::pow(0.75, 3.0), 1e-15);
+  EXPECT_NEAR(pow_one_minus(0.5, 10.0), std::pow(0.5, 10.0), 1e-15);
+}
+
+TEST(PowOneMinus, StableForTinyXLargeN) {
+  // (1 - 1/2^21)^500000 ~= exp(-500000/2^21); direct pow loses digits.
+  const double m = 2097152.0;
+  const double n = 500000.0;
+  const double expected = std::exp(n * std::log1p(-1.0 / m));
+  EXPECT_DOUBLE_EQ(pow_one_minus(1.0 / m, n), expected);
+  EXPECT_NEAR(pow_one_minus(1.0 / m, n), std::exp(-n / m), 1e-7);
+}
+
+TEST(PowOneMinus, EdgeCases) {
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(pow_one_minus(0.3, 0.0), 1.0);
+  EXPECT_THROW((void)pow_one_minus(1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)pow_one_minus(-0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)pow_one_minus(0.1, -1.0), std::invalid_argument);
+}
+
+TEST(LogOneMinus, MatchesLog1p) {
+  EXPECT_DOUBLE_EQ(log_one_minus(0.25), std::log1p(-0.25));
+  EXPECT_THROW((void)log_one_minus(1.0), std::invalid_argument);
+}
+
+TEST(IsPowerOfTwo, Classification) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(std::uint64_t{1} << 40));
+  EXPECT_FALSE(is_power_of_two((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(CeilPow2, RoundsUp) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+  EXPECT_EQ(ceil_pow2(1025), 2048u);
+}
+
+TEST(CeilPow2, RejectsOverflowAndZero) {
+  EXPECT_THROW((void)ceil_pow2(0), std::invalid_argument);
+  EXPECT_THROW((void)ceil_pow2((std::uint64_t{1} << 63) + 1),
+               std::invalid_argument);
+  EXPECT_EQ(ceil_pow2(std::uint64_t{1} << 63), std::uint64_t{1} << 63);
+}
+
+TEST(CeilLog2, MatchesCeilPow2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(451000), 19u);  // Table I: node 10 needs 2^19 at f̄=1
+}
+
+TEST(RelativeDifference, Basics) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  // The floor keeps 0-vs-0 finite.
+  EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,59 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::common {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1'000);
+  parallel_for(1'000, 8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ResultsIndependentOfWorkerCount) {
+  auto run = [](unsigned workers) {
+    std::vector<double> out(500);
+    parallel_for(out.size(), workers, [&](std::size_t i) {
+      out[i] = static_cast<double>(i * i) * 0.5;
+    });
+    return out;
+  };
+  EXPECT_EQ(run(1), run(4));
+  EXPECT_EQ(run(4), run(13));
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> atomic_calls{0};
+  parallel_for(2, 16, [&](std::size_t) { ++atomic_calls; });
+  EXPECT_EQ(atomic_calls.load(), 2);
+}
+
+TEST(ParallelFor, PropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      parallel_for(100, 4,
+                   [](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, Guards) {
+  EXPECT_THROW(parallel_for(10, 0, [](std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelFor, DefaultWorkerCountIsPositive) {
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/chi_square.h"
+#include "stats/descriptive.h"
+
+namespace vlm::common {
+namespace {
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256ss a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Xoshiro256ss a2(123);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, UniformRespectsBound) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(37), 37u);
+  }
+}
+
+TEST(Xoshiro, UniformRejectsZeroBound) {
+  Xoshiro256ss rng(5);
+  EXPECT_THROW((void)rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Xoshiro, UniformBoundOneAlwaysZero) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Xoshiro, UniformIsUnbiasedOverBins) {
+  Xoshiro256ss rng(42);
+  constexpr std::uint64_t kBins = 100;  // deliberately not a power of two
+  std::vector<std::uint64_t> counts(kBins, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[rng.uniform(kBins)];
+  const double stat = vlm::stats::chi_square_uniform(counts);
+  EXPECT_LT(stat, vlm::stats::chi_square_critical_999(kBins - 1));
+}
+
+TEST(Xoshiro, UniformDoubleInUnitInterval) {
+  Xoshiro256ss rng(9);
+  vlm::stats::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.push(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256ss rng(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BernoulliEdgeProbabilities) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)rng.bernoulli(1.5), std::invalid_argument);
+  EXPECT_THROW((void)rng.bernoulli(-0.1), std::invalid_argument);
+}
+
+TEST(Xoshiro, ForkedStreamsAreIndependentlySeeded) {
+  Xoshiro256ss parent(3);
+  Xoshiro256ss child_a = parent.fork(1);
+  Xoshiro256ss child_b = parent.fork(2);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) differs |= (child_a.next() != child_b.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256ss::min() == 0);
+  static_assert(Xoshiro256ss::max() == ~std::uint64_t{0});
+  Xoshiro256ss rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace vlm::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::fmt_int(-42), "-42");
+  EXPECT_EQ(TextTable::fmt_percent(0.12345, 2), "12.35%");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/vlm_csv_test.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.add_row({"1", "2"});
+    csv.add_row({"a,b", "quote\"inside"});
+    EXPECT_EQ(csv.row_count(), 2u);
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("x,y\n"), std::string::npos);
+  EXPECT_NE(content.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(content.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsBadPathAndWidth) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+  const std::string path = testing::TempDir() + "/vlm_csv_test2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::common

@@ -1,0 +1,163 @@
+#include "core/accuracy_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "stats/descriptive.h"
+
+namespace vlm::core {
+namespace {
+
+PairScenario scenario(double n_x, double n_y, double n_c, std::size_t m_x,
+                      std::size_t m_y, std::uint32_t s = 2) {
+  return PairScenario{n_x, n_y, n_c, m_x, m_y, s};
+}
+
+TEST(AccuracyModel, QPointMatchesClosedForm) {
+  EXPECT_NEAR(AccuracyModel::q_point(1000.0, 1 << 12),
+              std::pow(1.0 - 1.0 / 4096.0, 1000.0), 1e-12);
+}
+
+TEST(AccuracyModel, QCombinedReducesToProductWhenNoOverlapSignal) {
+  // Eq. 9 with n_c -> 0 degenerates to q(n_x) * q(n_y).
+  const auto sc = scenario(1000, 2000, 1e-9, 1 << 12, 1 << 13);
+  EXPECT_NEAR(AccuracyModel::q_combined(sc),
+              AccuracyModel::q_point(1000, 1 << 12) *
+                  AccuracyModel::q_point(2000, 1 << 13),
+              1e-9);
+}
+
+TEST(AccuracyModel, QCombinedIncreasesWithOverlap) {
+  // More common vehicles => more aligned bits => more zeros in B_c.
+  double prev = 0.0;
+  for (double n_c : {100.0, 500.0, 1000.0, 2000.0}) {
+    const double q =
+        AccuracyModel::q_combined(scenario(4000, 8000, n_c, 1 << 13, 1 << 14));
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(AccuracyModel, PredictsSmallBiasAndSpreadAtHealthyLoad) {
+  const AccuracyPrediction pred = AccuracyModel::predict(
+      scenario(10'000, 100'000, 2'000, 1 << 17, 1 << 20));
+  EXPECT_LT(std::fabs(pred.bias_ratio), 0.01);
+  EXPECT_GT(pred.stddev_ratio, 0.0);
+  EXPECT_LT(pred.stddev_ratio, 0.2);
+  EXPECT_NEAR(pred.expected_estimate, 2000.0, 2000.0 * 0.01);
+}
+
+TEST(AccuracyModel, PaperBinomialModelOverpredictsSpread) {
+  // Documented reproduction finding: the published Section V variance
+  // (binomial zero counts + Eq. 35's collapsed covariances) ignores the
+  // balls-into-bins correlations and the V_c/V_x/V_y cancellation, and
+  // over-predicts the Monte-Carlo spread several-fold at healthy load
+  // factors. See EXPERIMENTS.md (E7).
+  const auto sc = scenario(10'000, 10'000, 2'000, 1 << 17, 1 << 17);
+  const auto paper =
+      AccuracyModel::predict(sc, VarianceModel::kPaperBinomial);
+  const auto exact =
+      AccuracyModel::predict(sc, VarianceModel::kOccupancyExact);
+  EXPECT_GT(paper.stddev_ratio, 3.0 * exact.stddev_ratio);
+}
+
+TEST(AccuracyModel, NormalizesArgumentOrder) {
+  const auto a = AccuracyModel::predict(
+      scenario(10'000, 100'000, 2'000, 1 << 17, 1 << 20));
+  const auto b = AccuracyModel::predict(
+      scenario(100'000, 10'000, 2'000, 1 << 20, 1 << 17));
+  EXPECT_DOUBLE_EQ(a.stddev_ratio, b.stddev_ratio);
+  EXPECT_DOUBLE_EQ(a.bias_ratio, b.bias_ratio);
+}
+
+TEST(AccuracyModel, SpreadShrinksWithLargerArrays) {
+  double prev = 1e9;
+  for (unsigned shift : {14u, 16u, 18u, 20u}) {
+    const auto pred = AccuracyModel::predict(
+        scenario(10'000, 10'000, 2'000, std::size_t{1} << shift,
+                 std::size_t{1} << shift));
+    EXPECT_LT(pred.stddev_ratio, prev);
+    prev = pred.stddev_ratio;
+  }
+}
+
+TEST(AccuracyModel, SpreadGrowsWhenArraySaturates) {
+  // FBM's failure mode: n_y = 50 n_x with a small fixed m leaves only
+  // ~2% of B_y's bits zero, and the predicted relative error is several
+  // times the properly sized (VLM) configuration at the same workload.
+  const auto healthy = AccuracyModel::predict(
+      scenario(10'000, 500'000, 2'000, 1 << 17, 1 << 22));
+  const auto starved = AccuracyModel::predict(
+      scenario(10'000, 500'000, 2'000, 1 << 17, 1 << 17));
+  EXPECT_LT(starved.q_ny, 0.05);  // nearly saturated
+  EXPECT_GT(starved.stddev_ratio, 2.5 * healthy.stddev_ratio);
+}
+
+TEST(AccuracyModel, Guards) {
+  EXPECT_THROW((void)AccuracyModel::predict(
+                   scenario(100, 100, 0.0, 1 << 10, 1 << 10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)AccuracyModel::predict(
+                   scenario(100, 100, 200, 1 << 10, 1 << 10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)AccuracyModel::predict(scenario(100, 100, 50, 1000, 1024)),
+               std::invalid_argument);
+  EXPECT_THROW((void)AccuracyModel::predict(
+                   scenario(100, 100, 50, 1 << 10, 1 << 10, 1)),
+               std::invalid_argument);
+}
+
+// --- Monte-Carlo agreement: the paper's Section V formulas vs the real
+// protocol. This is E7's test-sized version (the bench sweeps more). ---
+
+struct McCase {
+  double n_x, n_y, n_c;
+  std::size_t m_x, m_y;
+  std::uint32_t s;
+};
+
+class AccuracyModelMc : public ::testing::TestWithParam<McCase> {};
+
+TEST_P(AccuracyModelMc, PredictionMatchesSimulation) {
+  const McCase c = GetParam();
+  Encoder enc(EncoderConfig{c.s, 0x5EEDBA5EBA11AD00ull,
+                            SlotSelection::kPerVehicleUniform});
+  PairEstimator est(c.s);
+  vlm::stats::RunningStats ratios;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    const PairStates states = simulate_pair(
+        enc,
+        PairWorkload{static_cast<std::uint64_t>(c.n_x),
+                     static_cast<std::uint64_t>(c.n_y),
+                     static_cast<std::uint64_t>(c.n_c)},
+        c.m_x, c.m_y, 1000 + static_cast<std::uint64_t>(t));
+    ratios.push(est.estimate(states.x, states.y).n_c_hat / c.n_c);
+  }
+  const auto pred =
+      AccuracyModel::predict(scenario(c.n_x, c.n_y, c.n_c, c.m_x, c.m_y, c.s));
+  // Mean ratio within 4 standard errors of the predicted mean.
+  const double se = pred.stddev_ratio / std::sqrt(double{kTrials});
+  EXPECT_NEAR(ratios.mean(), 1.0 + pred.bias_ratio, 4.0 * se + 0.005);
+  // Spread within a factor of 1.6 of prediction (chi-square-ish band for
+  // 60 samples plus model truncation error).
+  EXPECT_GT(ratios.stddev(), pred.stddev_ratio / 1.6);
+  EXPECT_LT(ratios.stddev(), pred.stddev_ratio * 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, AccuracyModelMc,
+    ::testing::Values(
+        McCase{10'000, 10'000, 2'000, 1 << 17, 1 << 17, 2},   // equal, f~13
+        McCase{10'000, 10'000, 500, 1 << 16, 1 << 16, 2},     // small overlap
+        McCase{10'000, 100'000, 2'000, 1 << 17, 1 << 20, 2},  // d = 10
+        McCase{10'000, 100'000, 2'000, 1 << 17, 1 << 20, 5},  // s = 5
+        McCase{5'000, 250'000, 1'000, 1 << 16, 1 << 21, 2}    // d = 50
+        ));
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,141 @@
+#include "core/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/hashing.h"
+#include "stats/chi_square.h"
+
+namespace vlm::core {
+namespace {
+
+VehicleIdentity vehicle(std::uint64_t i) {
+  return VehicleIdentity{VehicleId{common::mix64(i * 2 + 1)},
+                         common::mix64(i * 2 + 0x1234)};
+}
+
+TEST(Encoder, RejectsDegenerateS) {
+  EXPECT_THROW(Encoder(EncoderConfig{1, 0, SlotSelection::kPerVehicleUniform}),
+               std::invalid_argument);
+}
+
+TEST(Encoder, BitIndexIsDeterministicPerVehicleRsuPair) {
+  Encoder enc(EncoderConfig{});
+  const VehicleIdentity v = vehicle(1);
+  const RsuId r{42};
+  EXPECT_EQ(enc.bit_index(v, r, 1024), enc.bit_index(v, r, 1024));
+}
+
+TEST(Encoder, BitIndexRequiresPowerOfTwoArray) {
+  Encoder enc(EncoderConfig{});
+  EXPECT_THROW((void)enc.bit_index(vehicle(1), RsuId{1}, 1000),
+               std::invalid_argument);
+}
+
+TEST(Encoder, FoldingIsCongruent) {
+  // The same vehicle answering RSUs with the SAME slot choice must report
+  // congruent indices: b mod m_small == (b mod m_large) mod m_small.
+  // We verify via logical_bit directly, which is slot-stable.
+  Encoder enc(EncoderConfig{4, 7, SlotSelection::kPerVehicleUniform});
+  const VehicleIdentity v = vehicle(3);
+  for (std::uint32_t slot = 0; slot < 4; ++slot) {
+    const std::uint64_t b = enc.logical_bit(v, slot);
+    EXPECT_EQ((b % 4096) % 256, b % 256);
+  }
+}
+
+TEST(Encoder, SlotDependsOnVehicleInDefaultMode) {
+  Encoder enc(EncoderConfig{8, 1, SlotSelection::kPerVehicleUniform});
+  const RsuId r{5};
+  std::set<std::uint32_t> slots;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    slots.insert(enc.slot_for(vehicle(i), r));
+  }
+  EXPECT_GT(slots.size(), 1u) << "slots must vary across vehicles";
+}
+
+TEST(Encoder, SlotIgnoresVehicleInLiteralMode) {
+  Encoder enc(EncoderConfig{8, 1, SlotSelection::kLiteralPerRsu});
+  const RsuId r{5};
+  const std::uint32_t first = enc.slot_for(vehicle(0), r);
+  for (std::uint64_t i = 1; i < 64; ++i) {
+    EXPECT_EQ(enc.slot_for(vehicle(i), r), first);
+  }
+}
+
+TEST(Encoder, SlotUniformAcrossVehicles) {
+  constexpr std::uint32_t kS = 5;
+  Encoder enc(EncoderConfig{kS, 3, SlotSelection::kPerVehicleUniform});
+  std::vector<std::uint64_t> counts(kS, 0);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    ++counts[enc.slot_for(vehicle(i), RsuId{77})];
+  }
+  EXPECT_LT(vlm::stats::chi_square_uniform(counts),
+            vlm::stats::chi_square_critical_999(kS - 1));
+}
+
+TEST(Encoder, SameSlotProbabilityAcrossTwoRsusIsOneOverS) {
+  // The core assumption of Eq. 6: P[slot_x == slot_y] = 1/s per vehicle.
+  constexpr std::uint32_t kS = 5;
+  Encoder enc(EncoderConfig{kS, 3, SlotSelection::kPerVehicleUniform});
+  const RsuId rx{101}, ry{202};
+  std::uint64_t same = 0;
+  constexpr std::uint64_t kVehicles = 100'000;
+  for (std::uint64_t i = 0; i < kVehicles; ++i) {
+    const VehicleIdentity v = vehicle(i);
+    if (enc.slot_for(v, rx) == enc.slot_for(v, ry)) ++same;
+  }
+  EXPECT_NEAR(static_cast<double>(same) / kVehicles, 1.0 / kS, 0.005);
+}
+
+TEST(Encoder, BitIndicesUniformOverArray) {
+  constexpr std::size_t kM = 128;
+  Encoder enc(EncoderConfig{});
+  std::vector<std::uint64_t> counts(kM, 0);
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    ++counts[enc.bit_index(vehicle(i), RsuId{9}, kM)];
+  }
+  EXPECT_LT(vlm::stats::chi_square_uniform(counts),
+            vlm::stats::chi_square_critical_999(kM - 1));
+}
+
+TEST(Encoder, ReportedIndexNeverRevealsIdWithoutKey) {
+  // Two identities sharing the same vehicle id but different private keys
+  // must produce unrelated replies (the key is what de-identifies).
+  Encoder enc(EncoderConfig{});
+  VehicleIdentity a{VehicleId{1234}, 1};
+  VehicleIdentity b{VehicleId{1234}, 2};
+  int same = 0;
+  for (std::uint64_t r = 0; r < 256; ++r) {
+    if (enc.bit_index(a, RsuId{r}, 1 << 20) ==
+        enc.bit_index(b, RsuId{r}, 1 << 20)) {
+      ++same;
+    }
+  }
+  EXPECT_LE(same, 2) << "same-id different-key vehicles look identical";
+}
+
+TEST(Encoder, DifferentSaltSeedsChangeTheCode) {
+  const VehicleIdentity v = vehicle(7);
+  Encoder enc_a(EncoderConfig{2, 111, SlotSelection::kPerVehicleUniform});
+  Encoder enc_b(EncoderConfig{2, 222, SlotSelection::kPerVehicleUniform});
+  int same = 0;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    if (enc_a.bit_index(v, RsuId{r}, 1 << 16) ==
+        enc_b.bit_index(v, RsuId{r}, 1 << 16)) {
+      ++same;
+    }
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(Encoder, LogicalBitSlotBounds) {
+  Encoder enc(EncoderConfig{3, 1, SlotSelection::kPerVehicleUniform});
+  EXPECT_THROW((void)enc.logical_bit(vehicle(1), 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,119 @@
+// Parameterized property sweep of the end-to-end estimator: across a
+// lattice of (s, volume ratio d, load factor f, overlap fraction c), the
+// Monte-Carlo mean of n̂_c/n_c must sit near 1 within the model-predicted
+// standard error, and the estimate must respond monotonically to the
+// true overlap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/accuracy_model.h"
+#include "core/estimator.h"
+#include "core/pair_simulation.h"
+#include "core/sizing.h"
+#include "stats/descriptive.h"
+
+namespace vlm::core {
+namespace {
+
+struct LatticePoint {
+  std::uint32_t s;
+  double d;       // n_y / n_x
+  double f;       // VLM load factor
+  double c_frac;  // n_c / n_x
+};
+
+std::string point_name(const ::testing::TestParamInfo<LatticePoint>& info) {
+  const LatticePoint& p = info.param;
+  return "s" + std::to_string(p.s) + "_d" + std::to_string(int(p.d)) + "_f" +
+         std::to_string(int(p.f)) + "_c" +
+         std::to_string(int(p.c_frac * 100));
+}
+
+class EstimatorLattice : public ::testing::TestWithParam<LatticePoint> {};
+
+TEST_P(EstimatorLattice, UnbiasedWithinModelSpread) {
+  const LatticePoint p = GetParam();
+  const std::uint64_t n_x = 8'000;
+  const auto n_y = static_cast<std::uint64_t>(p.d * double(n_x));
+  const auto n_c = static_cast<std::uint64_t>(p.c_frac * double(n_x));
+  const VlmSizingPolicy sizing(p.f);
+  const std::size_t m_x = sizing.array_size_for(double(n_x));
+  const std::size_t m_y = sizing.array_size_for(double(n_y));
+
+  Encoder enc(EncoderConfig{p.s});
+  PairEstimator est(p.s);
+  vlm::stats::RunningStats ratios;
+  constexpr int kTrials = 24;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto states =
+        simulate_pair(enc, PairWorkload{n_x, n_y, n_c}, m_x, m_y,
+                      777 + 31 * static_cast<std::uint64_t>(t));
+    ratios.push(est.estimate(states.x, states.y).n_c_hat / double(n_c));
+  }
+  const auto pred = AccuracyModel::predict(PairScenario{
+      double(n_x), double(n_y), double(n_c), m_x, m_y, p.s});
+  const double se = pred.stddev_ratio / std::sqrt(double(kTrials));
+  EXPECT_NEAR(ratios.mean(), 1.0, 4.5 * se + 0.01)
+      << "predicted per-run stddev " << pred.stddev_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, EstimatorLattice,
+    ::testing::Values(LatticePoint{2, 1.0, 8.0, 0.2},
+                      LatticePoint{2, 1.0, 2.0, 0.2},
+                      LatticePoint{2, 10.0, 8.0, 0.2},
+                      LatticePoint{2, 50.0, 8.0, 0.2},
+                      LatticePoint{2, 10.0, 8.0, 0.05},
+                      LatticePoint{2, 10.0, 8.0, 0.5},
+                      LatticePoint{5, 1.0, 8.0, 0.2},
+                      LatticePoint{5, 10.0, 8.0, 0.2},
+                      LatticePoint{10, 1.0, 8.0, 0.5},
+                      LatticePoint{2, 1.0, 15.0, 0.2}),
+    point_name);
+
+TEST(EstimatorMonotonicity, MeanEstimateGrowsWithTrueOverlap) {
+  Encoder enc(EncoderConfig{});
+  PairEstimator est(2);
+  const std::uint64_t n_x = 10'000, n_y = 40'000;
+  const std::size_t m_x = 1 << 17, m_y = 1 << 19;
+  double previous_mean = -1.0;
+  for (std::uint64_t n_c : {500u, 2000u, 5000u, 9000u}) {
+    vlm::stats::RunningStats estimates;
+    for (int t = 0; t < 16; ++t) {
+      const auto states =
+          simulate_pair(enc, PairWorkload{n_x, n_y, n_c}, m_x, m_y,
+                        990 + 17 * static_cast<std::uint64_t>(t));
+      estimates.push(est.estimate(states.x, states.y).n_c_hat);
+    }
+    EXPECT_GT(estimates.mean(), previous_mean)
+        << "mean estimate must grow with n_c = " << n_c;
+    previous_mean = estimates.mean();
+  }
+}
+
+TEST(EstimatorScaleInvariance, LoadPreservingRescaleKeepsRelativeError) {
+  // Doubling every count and every array size leaves the relative error
+  // distribution roughly unchanged (same load factors); sanity-check the
+  // means are both near 1 and within each other's noise.
+  Encoder enc(EncoderConfig{});
+  PairEstimator est(2);
+  auto mean_ratio = [&](std::uint64_t scale) {
+    vlm::stats::RunningStats r;
+    for (int t = 0; t < 16; ++t) {
+      const PairWorkload w{10'000 * scale, 20'000 * scale, 2'000 * scale};
+      const auto states =
+          simulate_pair(enc, w, (std::size_t{1} << 17) * scale,
+                        (std::size_t{1} << 18) * scale,
+                        1234 + 7 * static_cast<std::uint64_t>(t));
+      r.push(est.estimate(states.x, states.y).n_c_hat / double(w.n_c));
+    }
+    return r.mean();
+  };
+  EXPECT_NEAR(mean_ratio(1), 1.0, 0.05);
+  EXPECT_NEAR(mean_ratio(2), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,65 @@
+#include "core/load_factor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/privacy_model.h"
+
+namespace vlm::core {
+namespace {
+
+TEST(LoadFactorPlan, RecoversPaperOptimumForS5) {
+  // Fig. 2: f* ~ 3 with p* ~ 0.75 for s = 5, equal volumes, n_c = 0.1 n.
+  const LoadFactorPlan plan = plan_load_factor(5, 10'000, 1.0, 0.1, 0.5);
+  EXPECT_NEAR(plan.optimal_f, 3.0, 1.0);
+  EXPECT_NEAR(plan.optimal_p, 0.75, 0.02);
+}
+
+TEST(LoadFactorPlan, RecoversPaperPrivacyCapForS2) {
+  // Paper: "m should be no larger than 15 n_min to guarantee a minimum
+  // privacy of 0.5 when s = 2".
+  const LoadFactorPlan plan = plan_load_factor(2, 10'000, 1.0, 0.1, 0.5);
+  EXPECT_NEAR(plan.max_f_for_min_privacy, 14.0, 2.5);
+}
+
+TEST(LoadFactorPlan, CapIsConsistentWithTheModel) {
+  const LoadFactorPlan plan = plan_load_factor(2, 10'000, 1.0, 0.1, 0.6);
+  const double p_at_cap = PrivacyModel::privacy_at_load_factor(
+      plan.max_f_for_min_privacy, 10'000, 10'000, 0.1, 2);
+  EXPECT_NEAR(p_at_cap, 0.6, 0.01);
+  // Slightly beyond the cap the privacy drops below the requirement.
+  const double p_beyond = PrivacyModel::privacy_at_load_factor(
+      plan.max_f_for_min_privacy * 1.2, 10'000, 10'000, 0.1, 2);
+  EXPECT_LT(p_beyond, 0.6);
+}
+
+TEST(LoadFactorPlan, UnbalancedPairsGetBetterOptima) {
+  const LoadFactorPlan equal = plan_load_factor(5, 10'000, 1.0, 0.1, 0.5);
+  const LoadFactorPlan skewed = plan_load_factor(5, 10'000, 10.0, 0.1, 0.5);
+  EXPECT_GT(skewed.optimal_p, equal.optimal_p);
+}
+
+TEST(LoadFactorPlan, WholeRangeAboveThresholdReturnsUpperBound) {
+  // With a very low privacy bar, even f_hi qualifies.
+  const LoadFactorPlan plan =
+      plan_load_factor(5, 10'000, 1.0, 0.1, 0.05, 0.25, 32.0);
+  EXPECT_DOUBLE_EQ(plan.max_f_for_min_privacy, 32.0);
+}
+
+TEST(LoadFactorPlan, UnattainablePrivacyThrows) {
+  EXPECT_THROW((void)plan_load_factor(2, 10'000, 1.0, 0.1, 0.99),
+               std::invalid_argument);
+}
+
+TEST(LoadFactorPlan, Guards) {
+  EXPECT_THROW((void)plan_load_factor(2, 10'000, 1.0, 0.1, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_load_factor(2, 10'000, 1.0, 0.1, 0.5, 8.0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)plan_load_factor(2, 10'000, 0.5, 0.1, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

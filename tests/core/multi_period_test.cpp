@@ -1,0 +1,97 @@
+#include "core/multi_period.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/pair_simulation.h"
+
+namespace vlm::core {
+namespace {
+
+EstimateInterval fake(double estimate, double stddev) {
+  EstimateInterval e;
+  e.n_c_hat = estimate;
+  e.stddev = stddev;
+  e.floor_stddev = stddev / 2;
+  e.lower = estimate - 2 * stddev;
+  e.upper = estimate + 2 * stddev;
+  return e;
+}
+
+TEST(MultiPeriod, SinglePeriodPassesThrough) {
+  MultiPeriodAggregator agg(1.96);
+  agg.add_period(fake(100.0, 10.0));
+  const AggregateEstimate out = agg.aggregate();
+  EXPECT_DOUBLE_EQ(out.n_c_hat, 100.0);
+  EXPECT_DOUBLE_EQ(out.stddev, 10.0);
+  EXPECT_EQ(out.periods, 1u);
+}
+
+TEST(MultiPeriod, EqualVarianceAveragesAndShrinks) {
+  MultiPeriodAggregator agg;
+  for (double v : {90.0, 100.0, 110.0, 100.0}) agg.add_period(fake(v, 10.0));
+  const AggregateEstimate out = agg.aggregate();
+  EXPECT_DOUBLE_EQ(out.n_c_hat, 100.0);
+  EXPECT_DOUBLE_EQ(out.stddev, 5.0);  // 10/sqrt(4)
+}
+
+TEST(MultiPeriod, NoisierPeriodsWeighLess) {
+  MultiPeriodAggregator agg;
+  agg.add_period(fake(100.0, 1.0));
+  agg.add_period(fake(200.0, 100.0));  // nearly ignored
+  const AggregateEstimate out = agg.aggregate();
+  EXPECT_NEAR(out.n_c_hat, 100.01, 0.05);
+}
+
+TEST(MultiPeriod, IntervalBracketsAggregate) {
+  MultiPeriodAggregator agg(2.0);
+  agg.add_period(fake(50.0, 5.0));
+  agg.add_period(fake(60.0, 5.0));
+  const AggregateEstimate out = agg.aggregate();
+  EXPECT_LT(out.lower, out.n_c_hat);
+  EXPECT_GT(out.upper, out.n_c_hat);
+  EXPECT_NEAR(out.upper - out.lower, 2 * 2.0 * out.stddev, 1e-12);
+}
+
+TEST(MultiPeriod, ZeroStddevFallsBackToFloor) {
+  MultiPeriodAggregator agg;
+  EstimateInterval weird = fake(10.0, 0.0);
+  weird.floor_stddev = 3.0;
+  agg.add_period(weird);
+  EXPECT_DOUBLE_EQ(agg.aggregate().stddev, 3.0);
+}
+
+TEST(MultiPeriod, EmptyAggregationThrows) {
+  MultiPeriodAggregator agg;
+  EXPECT_TRUE(agg.empty());
+  EXPECT_THROW((void)agg.aggregate(), std::invalid_argument);
+  EXPECT_THROW(MultiPeriodAggregator(-1.0), std::invalid_argument);
+}
+
+TEST(MultiPeriod, BeatsSinglePeriodOnRealSimulations) {
+  // Aggregate 12 independent measurement periods; the combined estimate
+  // must land within ~4 aggregate-sigma of the truth, and the aggregate
+  // sigma must be well below a single period's.
+  Encoder enc(EncoderConfig{});
+  IntervalEstimator interval(2);
+  MultiPeriodAggregator agg;
+  const PairWorkload w{10'000, 100'000, 1'500};
+  double single_sigma = 0.0;
+  for (int period = 0; period < 12; ++period) {
+    const auto states =
+        simulate_pair(enc, w, 1 << 17, 1 << 20,
+                      40'000 + static_cast<std::uint64_t>(period));
+    const EstimateInterval e = interval.estimate(states.x, states.y);
+    single_sigma = e.stddev;
+    agg.add_period(e);
+  }
+  const AggregateEstimate out = agg.aggregate();
+  EXPECT_EQ(out.periods, 12u);
+  EXPECT_LT(out.stddev, single_sigma * 0.45);  // ~1/sqrt(12) ≈ 0.29
+  EXPECT_NEAR(out.n_c_hat, 1500.0, 5.0 * out.stddev + 30.0);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,107 @@
+#include "core/od_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/encoder.h"
+
+namespace vlm::core {
+namespace {
+
+// Builds K RSU states over a shared vehicle population: vehicle i visits
+// RSU r iff i % (r + 2) == 0, giving exact ground-truth intersections.
+std::vector<RsuState> deterministic_fleet(std::size_t k, std::uint64_t n,
+                                          const Encoder& enc, std::size_t m) {
+  std::vector<RsuState> states;
+  for (std::size_t r = 0; r < k; ++r) states.emplace_back(m);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VehicleIdentity v;
+    v.id = VehicleId{common::mix64(common::mix64(99) + (i + 1) * 0x9E3779B97F4A7C15ull)};
+    v.private_key =
+        common::mix64(common::mix64(123) + (i + 1) * 0xC2B2AE3D27D4EB4Full);
+    for (std::size_t r = 0; r < k; ++r) {
+      if (i % (r + 2) == 0) {
+        states[r].record(enc.bit_index(v, RsuId{r + 1}, m));
+      }
+    }
+  }
+  return states;
+}
+
+TEST(OdMatrix, EstimatesEveryPairAgainstGroundTruth) {
+  Encoder enc(EncoderConfig{});
+  constexpr std::uint64_t kN = 60'000;
+  const auto states = deterministic_fleet(4, kN, enc, 1 << 17);
+  const OdMatrix matrix = estimate_od_matrix(states, 2);
+  EXPECT_EQ(matrix.rsu_count(), 4u);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      // Truth: multiples of lcm(a+2, b+2) in [0, kN).
+      const std::uint64_t la = a + 2, lb = b + 2;
+      const std::uint64_t lcm = la * lb / std::gcd(la, lb);
+      const double truth = std::floor((double(kN) - 1.0) / double(lcm)) + 1.0;
+      const EstimateInterval& e = matrix.at(a, b);
+      EXPECT_NEAR(e.n_c_hat, truth, std::max(4.0 * e.stddev, 0.15 * truth))
+          << "pair (" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(OdMatrix, IsSymmetric) {
+  Encoder enc(EncoderConfig{});
+  const auto states = deterministic_fleet(3, 20'000, enc, 1 << 16);
+  const OdMatrix matrix = estimate_od_matrix(states, 2);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(matrix.at(a, b).n_c_hat, matrix.at(b, a).n_c_hat);
+    }
+  }
+}
+
+TEST(OdMatrix, TotalAggregatesAllPairs) {
+  Encoder enc(EncoderConfig{});
+  const auto states = deterministic_fleet(3, 20'000, enc, 1 << 16);
+  const OdMatrix matrix = estimate_od_matrix(states, 2);
+  const double total = matrix.total_estimated_common();
+  EXPECT_NEAR(total, matrix.at(0, 1).n_c_hat + matrix.at(0, 2).n_c_hat +
+                         matrix.at(1, 2).n_c_hat,
+              1e-9);
+}
+
+TEST(OdMatrix, HandlesMixedArraySizes) {
+  // Different per-RSU sizes (the VLM case): unfolding must kick in.
+  Encoder enc(EncoderConfig{});
+  std::vector<RsuState> states;
+  states.emplace_back(1 << 14);
+  states.emplace_back(1 << 17);
+  for (std::uint64_t i = 0; i < 30'000; ++i) {
+    VehicleIdentity v;
+    v.id = VehicleId{common::mix64(common::mix64(5) + (i + 1) * 0x9E3779B97F4A7C15ull)};
+    v.private_key = common::mix64((i + 1) * 0xC2B2AE3D27D4EB4Full);
+    if (i % 10 == 0) states[0].record(enc.bit_index(v, RsuId{1}, 1 << 14));
+    states[1].record(enc.bit_index(v, RsuId{2}, 1 << 17));
+  }
+  const OdMatrix matrix = estimate_od_matrix(states, 2);
+  // All 3,000 RSU-0 vehicles also passed RSU 1.
+  const EstimateInterval& e = matrix.at(0, 1);
+  EXPECT_NEAR(e.n_c_hat, 3000.0, std::max(4.0 * e.stddev, 450.0));
+}
+
+TEST(OdMatrix, Guards) {
+  Encoder enc(EncoderConfig{});
+  const auto states = deterministic_fleet(3, 1'000, enc, 1 << 12);
+  const OdMatrix matrix = estimate_od_matrix(states, 2);
+  EXPECT_THROW((void)matrix.at(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)matrix.at(0, 3), std::invalid_argument);
+  std::vector<RsuState> one;
+  one.emplace_back(64);
+  EXPECT_THROW((void)estimate_od_matrix(one, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,101 @@
+#include "core/pair_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/accuracy_model.h"
+
+namespace vlm::core {
+namespace {
+
+TEST(PairSimulation, CountersMatchWorkload) {
+  Encoder enc(EncoderConfig{});
+  const PairWorkload w{1000, 2500, 300};
+  const PairStates states = simulate_pair(enc, w, 1 << 12, 1 << 13, 1);
+  EXPECT_EQ(states.x.counter(), 1000u);
+  EXPECT_EQ(states.y.counter(), 2500u);
+  EXPECT_EQ(states.x.array_size(), std::size_t{1} << 12);
+  EXPECT_EQ(states.y.array_size(), std::size_t{1} << 13);
+}
+
+TEST(PairSimulation, DeterministicPerSeed) {
+  Encoder enc(EncoderConfig{});
+  const PairWorkload w{500, 500, 100};
+  const PairStates a = simulate_pair(enc, w, 1 << 10, 1 << 10, 42);
+  const PairStates b = simulate_pair(enc, w, 1 << 10, 1 << 10, 42);
+  EXPECT_EQ(a.x.bits(), b.x.bits());
+  EXPECT_EQ(a.y.bits(), b.y.bits());
+}
+
+TEST(PairSimulation, DifferentSeedsDiffer) {
+  Encoder enc(EncoderConfig{});
+  const PairWorkload w{500, 500, 100};
+  const PairStates a = simulate_pair(enc, w, 1 << 10, 1 << 10, 42);
+  const PairStates b = simulate_pair(enc, w, 1 << 10, 1 << 10, 43);
+  EXPECT_FALSE(a.x.bits() == b.x.bits());
+}
+
+TEST(PairSimulation, RejectsInconsistentWorkload) {
+  Encoder enc(EncoderConfig{});
+  EXPECT_THROW(
+      (void)simulate_pair(enc, PairWorkload{100, 100, 101}, 1 << 8, 1 << 8, 1),
+      std::invalid_argument);
+  EXPECT_THROW((void)simulate_pair(enc, PairWorkload{10, 10, 1}, 1 << 8,
+                                   1 << 8, 1, RsuId{5}, RsuId{5}),
+               std::invalid_argument);
+}
+
+TEST(PairSimulation, ZeroFractionMatchesQPoint) {
+  // After n uniform insertions, E[V] = (1 - 1/m)^n (Eq. 10). Check the
+  // realized fraction against the analytic value within 4 binomial sigmas.
+  Encoder enc(EncoderConfig{});
+  const std::size_t m = 1 << 14;
+  const std::uint64_t n = 40'000;
+  const PairStates states =
+      simulate_pair(enc, PairWorkload{n, 1, 0}, m, 1 << 14, 99);
+  const double q = AccuracyModel::q_point(static_cast<double>(n), m);
+  const double sigma = std::sqrt(q * (1 - q) / static_cast<double>(m));
+  EXPECT_NEAR(states.x.zero_fraction(), q, 4 * sigma);
+}
+
+TEST(PairSimulation, CombinedZeroFractionMatchesEq9) {
+  // The heart of the decoding math: the OR of the unfolded arrays has
+  // zero-probability q(n_c) per Eq. 9. Protocol-exact simulation must
+  // land within binomial noise of it.
+  Encoder enc(EncoderConfig{});
+  PairScenario sc;
+  sc.n_x = 20'000;
+  sc.n_y = 100'000;
+  sc.n_c = 5'000;
+  sc.m_x = 1 << 17;
+  sc.m_y = 1 << 19;
+  sc.s = 2;
+  const PairStates states = simulate_pair(
+      enc, PairWorkload{20'000, 100'000, 5'000}, sc.m_x, sc.m_y, 7);
+  const common::BitArray combined =
+      states.x.bits().unfolded(sc.m_y) | states.y.bits();
+  const double q = AccuracyModel::q_combined(sc);
+  const double sigma = std::sqrt(q * (1 - q) / static_cast<double>(sc.m_y));
+  // The combined bits are positively correlated across positions, so allow
+  // a generous 6-sigma band.
+  EXPECT_NEAR(combined.zero_fraction(), q, 6 * sigma);
+}
+
+TEST(PairSimulation, CommonVehiclesCreateCorrelation) {
+  // With common vehicles, V_c must exceed the independent product
+  // V_x * V_y on average; without them it must not (systematically).
+  Encoder enc(EncoderConfig{});
+  const std::size_t m = 1 << 14;
+  const PairStates with = simulate_pair(
+      enc, PairWorkload{10'000, 10'000, 5'000}, m, m, 3);
+  const common::BitArray combined_with = with.x.bits() | with.y.bits();
+  const double vc_with = combined_with.zero_fraction();
+  const double indep_with =
+      with.x.zero_fraction() * with.y.zero_fraction();
+  EXPECT_GT(vc_with, indep_with * 1.05);
+}
+
+}  // namespace
+}  // namespace vlm::core

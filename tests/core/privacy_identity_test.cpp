@@ -1,0 +1,69 @@
+// Algebraic identities between the paper's privacy formulas and the
+// exact closed forms — unit-level companions to the Monte-Carlo tests.
+#include <gtest/gtest.h>
+
+#include "core/privacy_model.h"
+
+namespace vlm::core {
+namespace {
+
+PairScenario sc(double n_x, double n_y, double n_c, std::size_t m_x,
+                std::size_t m_y, std::uint32_t s = 2) {
+  return PairScenario{n_x, n_y, n_c, m_x, m_y, s};
+}
+
+TEST(PrivacyIdentities, EqualSizePaIsExact) {
+  // With m_x = m_y the Eq. 40 complement and the exact P(A) coincide
+  // algebraically; check across shapes.
+  for (const auto& scenario :
+       {sc(1'000, 1'000, 100, 1 << 12, 1 << 12),
+        sc(50'000, 50'000, 10'000, 1 << 18, 1 << 18, 5),
+        sc(300, 900, 150, 1 << 10, 1 << 10, 10)}) {
+    EXPECT_NEAR(PrivacyModel::evaluate(scenario).p_a,
+                PrivacyModel::evaluate_exact(scenario).p_a, 1e-12);
+  }
+}
+
+TEST(PrivacyIdentities, EqualSizePaperIsPessimistic) {
+  // The independence step shrinks the joint numerator by
+  // ((1−B)/(1−wB))^{n_c} < 1, so paper p <= exact p at equal sizes.
+  for (const auto& scenario :
+       {sc(1'000, 1'000, 100, 1 << 12, 1 << 12),
+        sc(10'000, 10'000, 3'000, 1 << 17, 1 << 17, 5)}) {
+    const double paper = PrivacyModel::evaluate(scenario).p;
+    const double exact = PrivacyModel::evaluate_exact(scenario).p;
+    EXPECT_LE(paper, exact + 1e-12);
+    EXPECT_NEAR(paper, exact, 0.05);
+  }
+}
+
+TEST(PrivacyIdentities, ExactMarginalsMatchEq41And42) {
+  const auto scenario = sc(2'000, 20'000, 400, 1 << 13, 1 << 16, 2);
+  const PrivacyBreakdown paper = PrivacyModel::evaluate(scenario);
+  const PrivacyBreakdown exact = PrivacyModel::evaluate_exact(scenario);
+  // P(E_x) and P(E_y) are single-side marginals; both formulations agree.
+  EXPECT_NEAR(paper.p_ex, exact.p_ex, 1e-12);
+  EXPECT_NEAR(paper.p_ey, exact.p_ey, 1e-12);
+}
+
+TEST(PrivacyIdentities, ExactJointExceedsIndependentProduct) {
+  // P(E_x ∧ E_y) >= P(E_x) P(E_y): common vehicles couple the two sides
+  // positively (a vehicle avoiding the x target is more likely to have
+  // avoided the y target through the shared slot).
+  for (const auto& scenario :
+       {sc(1'000, 1'000, 500, 1 << 12, 1 << 12),
+        sc(2'000, 20'000, 1'000, 1 << 13, 1 << 16)}) {
+    const PrivacyBreakdown exact = PrivacyModel::evaluate_exact(scenario);
+    const double joint = exact.p * exact.p_a;  // reconstruct the numerator
+    EXPECT_GE(joint, exact.p_ex * exact.p_ey - 1e-12);
+  }
+}
+
+TEST(PrivacyIdentities, NoCommonVehiclesGivesPerfectPrivacyBothWays) {
+  const auto scenario = sc(5'000, 5'000, 0, 1 << 14, 1 << 14);
+  EXPECT_NEAR(PrivacyModel::evaluate(scenario).p, 1.0, 1e-9);
+  EXPECT_NEAR(PrivacyModel::evaluate_exact(scenario).p, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vlm::core

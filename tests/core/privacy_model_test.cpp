@@ -1,0 +1,130 @@
+#include "core/privacy_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlm::core {
+namespace {
+
+PairScenario scenario(double n_x, double n_y, double n_c, std::size_t m_x,
+                      std::size_t m_y, std::uint32_t s = 2) {
+  return PairScenario{n_x, n_y, n_c, m_x, m_y, s};
+}
+
+TEST(PrivacyModel, ClosedFormMatchesExactBinomialSum) {
+  // Eq. 40 was derived by collapsing the binomial sum of Eqs. 37-39;
+  // check the algebra numerically across shapes.
+  for (const auto& sc :
+       {scenario(500, 500, 50, 1 << 10, 1 << 10, 2),
+        scenario(500, 5'000, 100, 1 << 10, 1 << 13, 2),
+        scenario(2'000, 2'000, 400, 1 << 12, 1 << 12, 5),
+        scenario(300, 15'000, 60, 1 << 9, 1 << 15, 10)}) {
+    EXPECT_NEAR(PrivacyModel::prob_not_both_one(sc),
+                PrivacyModel::prob_not_both_one_exact(sc), 1e-9);
+  }
+}
+
+TEST(PrivacyModel, PerfectPrivacyWithoutCommonVehicles) {
+  // n_c = 0: every doubly-set bit is a coincidence, p = 1.
+  const auto b = PrivacyModel::evaluate(scenario(1000, 1000, 0, 1 << 11, 1 << 11));
+  EXPECT_NEAR(b.p, 1.0, 1e-9);
+}
+
+TEST(PrivacyModel, PrivacyWithinUnitInterval) {
+  for (double n_c : {1.0, 10.0, 100.0, 900.0}) {
+    for (std::uint32_t s : {2u, 5u, 10u}) {
+      const double p = PrivacyModel::preserved_privacy(
+          scenario(1000, 10'000, n_c, 1 << 11, 1 << 14, s));
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(PrivacyModel, Fig2Plot1OptimalPrivacyNearPaperValues) {
+  // Paper (Section VI-B): for equal-volume RSUs at f̄ = 3, s = 5 the
+  // privacy is about 0.75.
+  const double p =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 10'000, 0.1, 5);
+  EXPECT_NEAR(p, 0.75, 0.03);
+}
+
+TEST(PrivacyModel, Fig2Plot2And3ImprovedPrivacyForUnbalancedVolumes) {
+  // Paper: f̄ = 3, s = 5 -> p ~= 0.89 for n_y = 10 n_x and ~0.91 for
+  // n_y = 50 n_x, both above the 0.75 of the balanced case.
+  const double p_equal =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 10'000, 0.1, 5);
+  const double p_10 =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 100'000, 0.1, 5);
+  const double p_50 =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 500'000, 0.1, 5);
+  EXPECT_NEAR(p_10, 0.89, 0.03);
+  EXPECT_NEAR(p_50, 0.91, 0.03);
+  EXPECT_GT(p_10, p_equal);
+  EXPECT_GT(p_50, p_10);
+}
+
+TEST(PrivacyModel, FbmPrivacyCollapsesAtHighLoadFactor) {
+  // Paper: with s = 2 the privacy at f = 50 is only ~0.2 — the fate of a
+  // light-traffic RSU under FBM sized for a heavy one.
+  const double p =
+      PrivacyModel::privacy_at_load_factor(50.0, 10'000, 10'000, 0.1, 2);
+  EXPECT_NEAR(p, 0.2, 0.06);
+}
+
+TEST(PrivacyModel, FbmPrivacyAtF15IsRoughlyHalf) {
+  // Paper: m <= 15 n_min guarantees minimum privacy 0.5 at s = 2.
+  const double p =
+      PrivacyModel::privacy_at_load_factor(15.0, 10'000, 10'000, 0.1, 2);
+  EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(PrivacyModel, EqualSizesRecoverBaselineFormula) {
+  // The paper notes FBM's privacy formula is the m_x = m_y special case.
+  // Verify the closed form is continuous there: evaluating with equal
+  // sizes equals the limit of slightly-unequal evaluation roles swapped.
+  const auto equal = PrivacyModel::evaluate(
+      scenario(10'000, 10'000, 1'000, 1 << 15, 1 << 15));
+  const auto swapped = PrivacyModel::evaluate(
+      scenario(10'000, 10'000, 1'000, 1 << 15, 1 << 15, 2));
+  EXPECT_DOUBLE_EQ(equal.p, swapped.p);
+  EXPECT_GT(equal.p, 0.0);
+}
+
+TEST(PrivacyModel, LargerSImprovesPrivacyNearOptimalLoad) {
+  const double p2 =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 10'000, 0.1, 2);
+  const double p5 =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 10'000, 0.1, 5);
+  const double p10 =
+      PrivacyModel::privacy_at_load_factor(3.0, 10'000, 10'000, 0.1, 10);
+  EXPECT_GT(p5, p2);
+  EXPECT_GT(p10, p5);
+}
+
+TEST(PrivacyModel, BreakdownComponentsAreProbabilities) {
+  const auto b = PrivacyModel::evaluate(
+      scenario(10'000, 100'000, 1'000, 1 << 15, 1 << 18, 5));
+  for (double v : {b.p, b.p_a, b.p_ex, b.p_ey}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Eq. 43 self-consistency.
+  EXPECT_NEAR(b.p, b.p_ex * b.p_ey / b.p_a, 1e-12);
+}
+
+TEST(PrivacyModel, Guards) {
+  EXPECT_THROW((void)PrivacyModel::preserved_privacy(
+                   scenario(100, 100, 200, 1 << 10, 1 << 10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)PrivacyModel::privacy_at_load_factor(0.0, 100, 100, 0.1, 2),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)PrivacyModel::privacy_at_load_factor(1.0, 100, 100, 1.5, 2),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,116 @@
+#include "core/report_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/encoder.h"
+#include "core/pair_simulation.h"
+
+namespace vlm::core {
+namespace {
+
+RsuState honest_state(std::uint64_t n, std::size_t m, std::uint64_t seed) {
+  Encoder enc(EncoderConfig{});
+  PairStates states = simulate_pair(enc, PairWorkload{n, 1, 0}, m, m, seed);
+  return std::move(states.x);
+}
+
+TEST(ReportValidator, HonestReportsArePlausible) {
+  const ReportValidator validator(6.0);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const RsuState state = honest_state(20'000, 1 << 17, seed);
+    const ReportAssessment a = validator.assess(state);
+    EXPECT_EQ(a.verdict, ReportVerdict::kPlausible) << "seed " << seed;
+    EXPECT_LT(std::fabs(a.z_score), 5.0) << "seed " << seed;
+  }
+}
+
+TEST(ReportValidator, ExpectedZeroCountMatchesTheory) {
+  EXPECT_NEAR(ReportValidator::expected_zero_count(1000, 1 << 12),
+              4096.0 * std::pow(1.0 - 1.0 / 4096.0, 1000.0), 1e-6);
+  EXPECT_DOUBLE_EQ(ReportValidator::expected_zero_count(0, 64), 64.0);
+}
+
+TEST(ReportValidator, VarianceMatchesOccupancyFormula) {
+  // Known asymptotic: Var ~ m e^{-2c}(e^c - 1 - c) for n = c m.
+  const std::size_t m = 1 << 14;
+  const std::uint64_t n = m;  // c = 1
+  const double predicted = ReportValidator::zero_count_variance(n, m);
+  const double asymptotic =
+      double(m) * std::exp(-2.0) * (std::exp(1.0) - 2.0);
+  EXPECT_NEAR(predicted, asymptotic, asymptotic * 0.01);
+  // And far below the naive binomial value m q (1 - q).
+  const double q = std::exp(double(n) * std::log1p(-1.0 / double(m)));
+  EXPECT_LT(predicted, 0.5 * double(m) * q * (1 - q));
+}
+
+TEST(ReportValidator, EmpiricalZeroCountSpreadMatchesVariance) {
+  Encoder enc(EncoderConfig{});
+  const std::size_t m = 1 << 14;
+  const std::uint64_t n = 30'000;
+  double sum = 0, sum_sq = 0;
+  constexpr int kTrials = 120;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto states = simulate_pair(
+        enc, PairWorkload{n, 1, 0}, m, m, 900 + static_cast<std::uint64_t>(t));
+    const double zeros = static_cast<double>(states.x.zero_count());
+    sum += zeros;
+    sum_sq += zeros * zeros;
+  }
+  const double mean = sum / kTrials;
+  const double var = sum_sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, ReportValidator::expected_zero_count(n, m),
+              4.0 * std::sqrt(ReportValidator::zero_count_variance(n, m) /
+                              kTrials) + 2.0);
+  const double predicted = ReportValidator::zero_count_variance(n, m);
+  EXPECT_GT(var, predicted * 0.6);
+  EXPECT_LT(var, predicted * 1.6);
+}
+
+TEST(ReportValidator, FlagsPaintedArrayAsTooFull) {
+  // 2,000 "vehicles" setting 2,000 DISTINCT bits: impossible collision-
+  // freedom at this density.
+  RsuState state(1 << 12);
+  for (std::size_t i = 0; i < 2'000; ++i) state.record(i);
+  const ReportValidator validator(6.0);
+  const ReportAssessment a = validator.assess(state);
+  EXPECT_EQ(a.verdict, ReportVerdict::kTooFull);
+  EXPECT_LT(a.z_score, -6.0);
+}
+
+TEST(ReportValidator, FlagsInflatedCounterAsTooEmpty) {
+  // Bits from 1,000 vehicles but a counter claiming 8,000 (e.g. reply
+  // duplication or counter tampering).
+  RsuState honest = honest_state(1'000, 1 << 12, 3);
+  const ReportValidator validator(6.0);
+  const ReportAssessment a =
+      validator.assess(8'000, honest.array_size(), honest.zero_count());
+  EXPECT_EQ(a.verdict, ReportVerdict::kTooEmpty);
+  EXPECT_GT(a.z_score, 6.0);
+}
+
+TEST(ReportValidator, FlagsStructuralImpossibility) {
+  const ReportValidator validator(6.0);
+  // 10 ones but counter 5.
+  const ReportAssessment a = validator.assess(5, 1 << 10, (1 << 10) - 10);
+  EXPECT_EQ(a.verdict, ReportVerdict::kInconsistent);
+}
+
+TEST(ReportValidator, EmptyIdleReportIsPlausible) {
+  const ReportValidator validator(6.0);
+  const ReportAssessment a = validator.assess(0, 1 << 10, 1 << 10);
+  EXPECT_EQ(a.verdict, ReportVerdict::kPlausible);
+}
+
+TEST(ReportValidator, Guards) {
+  EXPECT_THROW(ReportValidator(0.0), std::invalid_argument);
+  const ReportValidator validator(6.0);
+  EXPECT_THROW((void)validator.assess(10, 1000, 500), std::invalid_argument);
+  EXPECT_THROW((void)validator.assess(10, 1 << 10, (1 << 10) + 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

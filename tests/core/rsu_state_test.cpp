@@ -1,0 +1,119 @@
+#include "core/rsu_state.h"
+
+#include "core/pair_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlm::core {
+namespace {
+
+TEST(RsuState, StartsEmpty) {
+  RsuState state(64);
+  EXPECT_EQ(state.counter(), 0u);
+  EXPECT_EQ(state.array_size(), 64u);
+  EXPECT_EQ(state.zero_count(), 64u);
+  EXPECT_DOUBLE_EQ(state.zero_fraction(), 1.0);
+  EXPECT_TRUE(std::isinf(state.load_factor()));
+}
+
+TEST(RsuState, RequiresPowerOfTwoSize) {
+  EXPECT_THROW(RsuState(100), std::invalid_argument);
+  EXPECT_THROW(RsuState(1), std::invalid_argument);
+  EXPECT_NO_THROW(RsuState(2));
+}
+
+TEST(RsuState, RecordAdvancesCounterAndSetsBit) {
+  RsuState state(16);
+  state.record(5);
+  state.record(5);  // same bit twice: counter still advances (Eq. 1)
+  state.record(9);
+  EXPECT_EQ(state.counter(), 3u);
+  EXPECT_TRUE(state.bits().test(5));
+  EXPECT_TRUE(state.bits().test(9));
+  EXPECT_EQ(state.zero_count(), 14u);
+  EXPECT_DOUBLE_EQ(state.load_factor(), 16.0 / 3.0);
+}
+
+TEST(RsuState, RecordBoundsChecked) {
+  RsuState state(8);
+  EXPECT_THROW(state.record(8), std::invalid_argument);
+}
+
+TEST(RsuState, ResetClearsPeriod) {
+  RsuState state(8);
+  state.record(1);
+  state.reset();
+  EXPECT_EQ(state.counter(), 0u);
+  EXPECT_EQ(state.zero_count(), 8u);
+}
+
+TEST(RsuStateMerge, CombinesShardedSubPeriods) {
+  RsuState a(32), b(32);
+  a.record(1);
+  a.record(5);
+  b.record(5);
+  b.record(9);
+  a.merge(b);
+  EXPECT_EQ(a.counter(), 4u);
+  EXPECT_TRUE(a.bits().test(1));
+  EXPECT_TRUE(a.bits().test(5));
+  EXPECT_TRUE(a.bits().test(9));
+  EXPECT_EQ(a.bits().count_ones(), 3u);  // shared bit 5 merged, not doubled
+}
+
+TEST(RsuStateMerge, ShardedCollectionEqualsMonolithic) {
+  // Splitting a vehicle stream across two collectors and merging must be
+  // indistinguishable from one collector seeing everything.
+  Encoder enc{EncoderConfig{}};
+  RsuState whole(1 << 12), shard_a(1 << 12), shard_b(1 << 12);
+  const RsuId rsu{77};
+  for (std::uint64_t i = 0; i < 3'000; ++i) {
+    const VehicleIdentity v = synthetic_vehicle(5, i);
+    const std::size_t bit = enc.bit_index(v, rsu, 1 << 12);
+    whole.record(bit);
+    (i % 2 == 0 ? shard_a : shard_b).record(bit);
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.counter(), whole.counter());
+  EXPECT_EQ(shard_a.bits(), whole.bits());
+}
+
+TEST(RsuStateMerge, RejectsSizeMismatch) {
+  RsuState a(32), b(64);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(RsuStateFromReport, ReconstructsState) {
+  RsuState original(32);
+  original.record(3);
+  original.record(3);
+  original.record(17);
+  const RsuState restored =
+      RsuState::from_report(original.counter(), original.bits());
+  EXPECT_EQ(restored.counter(), 3u);
+  EXPECT_EQ(restored.bits(), original.bits());
+}
+
+TEST(RsuStateFromReport, RejectsInconsistentReports) {
+  common::BitArray bits(8);
+  bits.set(0);
+  bits.set(1);
+  // Counter below the number of set bits is impossible.
+  EXPECT_THROW((void)RsuState::from_report(1, bits), std::invalid_argument);
+  // Non-zero counter with all-zero bits is impossible.
+  EXPECT_THROW((void)RsuState::from_report(3, common::BitArray(8)),
+               std::invalid_argument);
+  // Zero counter with zero bits is fine (idle RSU).
+  EXPECT_NO_THROW((void)RsuState::from_report(0, common::BitArray(8)));
+}
+
+TEST(RsuStateFromReport, RequiresPowerOfTwoArray) {
+  EXPECT_THROW((void)RsuState::from_report(0, common::BitArray(24)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,61 @@
+#include "core/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pair_simulation.h"
+
+namespace vlm::core {
+namespace {
+
+TEST(VlmScheme, SizesRsuStatesFromHistory) {
+  VlmScheme scheme(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  EXPECT_EQ(scheme.make_rsu_state(451'000).array_size(), std::size_t{1} << 22);
+  EXPECT_EQ(scheme.make_rsu_state(28'000).array_size(), std::size_t{1} << 18);
+}
+
+TEST(FbmScheme, FixedSizeRegardlessOfHistory) {
+  FbmScheme scheme(FbmSchemeConfig{.s = 2, .array_size = 1 << 17});
+  EXPECT_EQ(scheme.make_rsu_state(100).array_size(), std::size_t{1} << 17);
+  EXPECT_EQ(scheme.make_rsu_state(1e6).array_size(), std::size_t{1} << 17);
+}
+
+TEST(Schemes, IdenticalWhenVolumesAreEqual) {
+  // The paper: "[FBM] is just a special case of our novel scheme". With
+  // equal histories the two schemes produce identical arrays (same salt
+  // seed => same encoder) and identical estimates.
+  const std::uint64_t n = 20'000;
+  VlmScheme vlm(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  FbmScheme fbm(FbmSchemeConfig{
+      .s = 2, .array_size = vlm.sizing().array_size_for(double(n))});
+
+  const PairWorkload w{n, n, 4'000};
+  const std::size_t m = vlm.sizing().array_size_for(double(n));
+  const PairStates sv = simulate_pair(vlm.encoder(), w, m, m, 5);
+  const PairStates sf = simulate_pair(fbm.encoder(), w, m, m, 5);
+  EXPECT_EQ(sv.x.bits(), sf.x.bits());
+  EXPECT_EQ(sv.y.bits(), sf.y.bits());
+  EXPECT_DOUBLE_EQ(vlm.estimator().estimate(sv.x, sv.y).raw,
+                   fbm.estimator().estimate(sf.x, sf.y).raw);
+}
+
+TEST(Schemes, EndToEndThroughFacade) {
+  VlmScheme scheme(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  RsuState x = scheme.make_rsu_state(10'000);
+  RsuState y = scheme.make_rsu_state(100'000);
+
+  const RsuId rx{1}, ry{2};
+  // 2,000 common vehicles; 8,000 x-only; 98,000 y-only.
+  for (std::uint64_t i = 0; i < 108'000; ++i) {
+    VehicleIdentity v{VehicleId{common::mix64(i + 1)},
+                      common::mix64(i ^ 0xABCDEFull)};
+    const bool hits_x = i < 10'000;
+    const bool hits_y = i < 2'000 || i >= 10'000;
+    if (hits_x) x.record(scheme.encoder().bit_index(v, rx, x.array_size()));
+    if (hits_y) y.record(scheme.encoder().bit_index(v, ry, y.array_size()));
+  }
+  const PairEstimate e = scheme.estimator().estimate(x, y);
+  EXPECT_NEAR(e.n_c_hat, 2000.0, 2000.0 * 0.2);
+}
+
+}  // namespace
+}  // namespace vlm::core

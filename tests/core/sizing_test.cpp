@@ -1,0 +1,85 @@
+#include "core/sizing.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/math_util.h"
+
+namespace vlm::core {
+namespace {
+
+TEST(VlmSizing, PaperFormula) {
+  // m_x = 2^ceil(log2(n̄_x * f̄)).
+  VlmSizingPolicy policy(2.0);
+  EXPECT_EQ(policy.array_size_for(1000.0), 2048u);   // 2000 -> 2048
+  EXPECT_EQ(policy.array_size_for(1024.0), 2048u);   // exactly 2048
+  EXPECT_EQ(policy.array_size_for(1025.0), 4096u);   // 2050 -> 4096
+}
+
+TEST(VlmSizing, TableIExampleSizes) {
+  // Table I magnitudes: node 10 has 451k vehicles/day. With f̄ = 8 the
+  // array is 2^22.
+  VlmSizingPolicy policy(8.0);
+  EXPECT_EQ(policy.array_size_for(451'000.0), std::size_t{1} << 22);
+  EXPECT_EQ(policy.array_size_for(28'000.0), std::size_t{1} << 18);
+}
+
+TEST(VlmSizing, ResultIsAlwaysPowerOfTwo) {
+  VlmSizingPolicy policy(3.7);
+  for (double n : {0.0, 1.0, 17.0, 999.0, 123456.0, 9.9e5}) {
+    EXPECT_TRUE(common::is_power_of_two(policy.array_size_for(n))) << n;
+  }
+}
+
+TEST(VlmSizing, FloorsAndCaps) {
+  VlmSizingPolicy policy(2.0, SizingLimits{64, 4096});
+  EXPECT_EQ(policy.array_size_for(0.0), 64u);
+  EXPECT_EQ(policy.array_size_for(10.0), 64u);
+  EXPECT_EQ(policy.array_size_for(1e9), 4096u);
+}
+
+TEST(VlmSizing, LoadFactorStaysNearTarget) {
+  // Realized load factor m/n is within [f̄, 2f̄) away from rounding floors.
+  VlmSizingPolicy policy(4.0);
+  for (double n : {100.0, 1000.0, 12345.0, 500'000.0}) {
+    const double f = static_cast<double>(policy.array_size_for(n)) / n;
+    EXPECT_GE(f, 4.0) << n;
+    EXPECT_LT(f, 8.0) << n;
+  }
+}
+
+TEST(VlmSizing, Guards) {
+  EXPECT_THROW(VlmSizingPolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(VlmSizingPolicy(1.0, SizingLimits{100, 4096}),
+               std::invalid_argument);
+  VlmSizingPolicy policy(1.0);
+  EXPECT_THROW((void)policy.array_size_for(-1.0), std::invalid_argument);
+}
+
+TEST(FbmSizing, FixedForEveryVolume) {
+  FbmSizingPolicy policy(1 << 17);
+  EXPECT_EQ(policy.array_size_for(10.0), std::size_t{1} << 17);
+  EXPECT_EQ(policy.array_size_for(1e6), std::size_t{1} << 17);
+}
+
+TEST(FbmSizing, RequiresPowerOfTwo) {
+  EXPECT_THROW(FbmSizingPolicy(1000), std::invalid_argument);
+}
+
+TEST(FbmSizing, ForMinVolumeRespectsPrivacyCap) {
+  // m <= 15 * n_min (paper: guarantees p >= 0.5 at s = 2).
+  const auto policy = FbmSizingPolicy::for_min_volume(10'000.0, 15.0);
+  EXPECT_LE(static_cast<double>(policy.array_size()), 150'000.0);
+  EXPECT_GT(static_cast<double>(policy.array_size()), 75'000.0);  // largest pow2
+  EXPECT_EQ(policy.array_size(), std::size_t{1} << 17);
+}
+
+TEST(FbmSizing, ForMinVolumeFloorsAtMinBits) {
+  const auto policy =
+      FbmSizingPolicy::for_min_volume(1.0, 1.0, SizingLimits{64, 1 << 20});
+  EXPECT_EQ(policy.array_size(), 64u);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/privacy_model.h"
+
+namespace vlm::core {
+namespace {
+
+PairScenario hop(double n_x, double n_y, double n_c, std::size_t m_x,
+                 std::size_t m_y) {
+  return PairScenario{n_x, n_y, n_c, m_x, m_y, 2};
+}
+
+TEST(TrajectoryPrivacy, SingleHopEqualsExactPairPrivacy) {
+  const PairScenario h = hop(10'000, 10'000, 1'000, 1 << 15, 1 << 15);
+  const std::vector<PairScenario> hops{h};
+  EXPECT_DOUBLE_EQ(PrivacyModel::trajectory_privacy(hops),
+                   PrivacyModel::evaluate_exact(h).p);
+}
+
+TEST(TrajectoryPrivacy, MoreHopsAreHarderToLink) {
+  const PairScenario h = hop(10'000, 10'000, 1'000, 1 << 15, 1 << 15);
+  double previous = 0.0;
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const std::vector<PairScenario> hops(k, h);
+    const double p = PrivacyModel::trajectory_privacy(hops);
+    EXPECT_GT(p, previous);
+    EXPECT_LE(p, 1.0);
+    previous = p;
+  }
+}
+
+TEST(TrajectoryPrivacy, MatchesClosedFormProduct) {
+  const PairScenario a = hop(10'000, 10'000, 1'000, 1 << 15, 1 << 15);
+  const PairScenario b = hop(10'000, 100'000, 1'000, 1 << 15, 1 << 18);
+  const double pa = PrivacyModel::evaluate_exact(a).p;
+  const double pb = PrivacyModel::evaluate_exact(b).p;
+  const std::vector<PairScenario> hops{a, b};
+  EXPECT_NEAR(PrivacyModel::trajectory_privacy(hops),
+              1.0 - (1.0 - pa) * (1.0 - pb), 1e-12);
+}
+
+TEST(TrajectoryPrivacy, WeakestHopDominates) {
+  // One very-unprivate hop (huge load factor) pulls the trajectory
+  // privacy down toward that hop's value, never below it.
+  const PairScenario strong = hop(10'000, 10'000, 1'000, 1 << 15, 1 << 15);
+  const PairScenario weak = hop(1'000, 1'000, 100, 1 << 16, 1 << 16);  // f=65
+  const std::vector<PairScenario> hops{strong, weak};
+  const double p = PrivacyModel::trajectory_privacy(hops);
+  EXPECT_GE(p, PrivacyModel::evaluate_exact(weak).p);
+  EXPECT_GE(p, PrivacyModel::evaluate_exact(strong).p);
+}
+
+TEST(TrajectoryPrivacy, EmptyTrajectoryThrows) {
+  EXPECT_THROW(
+      (void)PrivacyModel::trajectory_privacy(std::vector<PairScenario>{}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

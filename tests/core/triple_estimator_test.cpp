@@ -1,0 +1,194 @@
+#include "core/triple_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "common/hashing.h"
+#include "core/encoder.h"
+#include "stats/descriptive.h"
+
+namespace vlm::core {
+namespace {
+
+// Class counts for a three-RSU workload: singletons, pure pairs, triple.
+struct TripleWorkload {
+  std::uint64_t only_x = 0, only_y = 0, only_z = 0;
+  std::uint64_t xy = 0, xz = 0, yz = 0;  // pure pairs (triple excluded)
+  std::uint64_t xyz = 0;
+
+  std::uint64_t n_x() const { return only_x + xy + xz + xyz; }
+  std::uint64_t n_y() const { return only_y + xy + yz + xyz; }
+  std::uint64_t n_z() const { return only_z + xz + yz + xyz; }
+  std::uint64_t n_xy() const { return xy + xyz; }
+  std::uint64_t n_xz() const { return xz + xyz; }
+  std::uint64_t n_yz() const { return yz + xyz; }
+};
+
+struct TripleStates {
+  RsuState x, y, z;
+};
+
+TripleStates simulate_triple(const Encoder& enc, const TripleWorkload& w,
+                             std::size_t m_x, std::size_t m_y,
+                             std::size_t m_z, std::uint64_t seed) {
+  TripleStates st{RsuState(m_x), RsuState(m_y), RsuState(m_z)};
+  const RsuId rx{0xA1}, ry{0xB2}, rz{0xC3};
+  std::uint64_t index = 0;
+  auto drive = [&](bool hx, bool hy, bool hz, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      VehicleIdentity v;
+      v.id = VehicleId{common::mix64(common::mix64(seed) +
+                                     (++index) * 0x9E3779B97F4A7C15ull)};
+      v.private_key = common::mix64(common::mix64(seed ^ 0xD1B54A32ull) +
+                                    index * 0xC2B2AE3D27D4EB4Full);
+      if (hx) st.x.record(enc.bit_index(v, rx, m_x));
+      if (hy) st.y.record(enc.bit_index(v, ry, m_y));
+      if (hz) st.z.record(enc.bit_index(v, rz, m_z));
+    }
+  };
+  drive(true, false, false, w.only_x);
+  drive(false, true, false, w.only_y);
+  drive(false, false, true, w.only_z);
+  drive(true, true, false, w.xy);
+  drive(true, false, true, w.xz);
+  drive(false, true, true, w.yz);
+  drive(true, true, true, w.xyz);
+  return st;
+}
+
+TripleWorkload equal_workload() {
+  TripleWorkload w;
+  w.only_x = w.only_y = w.only_z = 16'000;
+  w.xy = w.xz = w.yz = 4'000;
+  w.xyz = 6'000;
+  return w;
+}
+
+TEST(TripleEstimator, RecoversPlantedTripleOverlapEqualSizes) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  const TripleWorkload w = equal_workload();
+  vlm::stats::RunningStats ratios;
+  constexpr int kTrials = 24;
+  for (int t = 0; t < kTrials; ++t) {
+    const TripleStates st = simulate_triple(
+        enc, w, 1 << 18, 1 << 18, 1 << 18, 500 + std::uint64_t(t));
+    const TripleEstimate e = est.estimate(st.x, st.y, st.z);
+    ratios.push(e.n_xyz_hat / double(w.xyz));
+  }
+  EXPECT_NEAR(ratios.mean(), 1.0, 0.12);
+}
+
+TEST(TripleEstimator, KnownPairsVariantIsLessNoisy) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  const TripleWorkload w = equal_workload();
+  vlm::stats::RunningStats known_ratios;
+  for (int t = 0; t < 16; ++t) {
+    const TripleStates st = simulate_triple(
+        enc, w, 1 << 18, 1 << 18, 1 << 18, 900 + std::uint64_t(t));
+    const TripleEstimate e = est.estimate_with_known_pairs(
+        st.x, st.y, st.z, double(w.n_xy()), double(w.n_xz()),
+        double(w.n_yz()));
+    known_ratios.push(e.n_xyz_hat / double(w.xyz));
+  }
+  EXPECT_NEAR(known_ratios.mean(), 1.0, 0.1);
+}
+
+TEST(TripleEstimator, HandlesUnequalSizesViaUnfolding) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  TripleWorkload w;
+  w.only_x = 6'000;
+  w.only_y = 20'000;
+  w.only_z = 60'000;
+  w.xy = w.xz = w.yz = 3'000;
+  w.xyz = 4'000;
+  vlm::stats::RunningStats ratios;
+  for (int t = 0; t < 24; ++t) {
+    const TripleStates st = simulate_triple(
+        enc, w, 1 << 17, 1 << 18, 1 << 20, 1300 + std::uint64_t(t));
+    const TripleEstimate e = est.estimate_with_known_pairs(
+        st.x, st.y, st.z, double(w.n_xy()), double(w.n_xz()),
+        double(w.n_yz()));
+    ratios.push(e.n_xyz_hat / double(w.xyz));
+  }
+  EXPECT_NEAR(ratios.mean(), 1.0, 0.25);
+}
+
+TEST(TripleEstimator, ArgumentOrderDoesNotMatter) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  const TripleWorkload w = equal_workload();
+  const TripleStates st =
+      simulate_triple(enc, w, 1 << 16, 1 << 17, 1 << 18, 77);
+  const double a = est.estimate(st.x, st.y, st.z).raw;
+  const double b = est.estimate(st.z, st.x, st.y).raw;
+  const double c = est.estimate(st.y, st.z, st.x).raw;
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, c);
+}
+
+TEST(TripleEstimator, KnownPairsFollowArgumentOrderUnderPermutation) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  TripleWorkload w = equal_workload();
+  w.xy = 8'000;  // asymmetric pair volumes so misrouting would show
+  w.yz = 1'000;
+  const TripleStates st =
+      simulate_triple(enc, w, 1 << 16, 1 << 17, 1 << 18, 78);
+  const double direct =
+      est.estimate_with_known_pairs(st.x, st.y, st.z, double(w.n_xy()),
+                                    double(w.n_xz()), double(w.n_yz()))
+          .raw;
+  // Same call with (z, y, x): pairs are (zy, zx, yx) in that order.
+  const double permuted =
+      est.estimate_with_known_pairs(st.z, st.y, st.x, double(w.n_yz()),
+                                    double(w.n_xz()), double(w.n_xy()))
+          .raw;
+  EXPECT_DOUBLE_EQ(direct, permuted);
+}
+
+TEST(TripleEstimator, ZeroTripleOverlapEstimatesNearZero) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  TripleWorkload w = equal_workload();
+  w.xyz = 0;
+  vlm::stats::RunningStats estimates;
+  for (int t = 0; t < 16; ++t) {
+    const TripleStates st = simulate_triple(
+        enc, w, 1 << 18, 1 << 18, 1 << 18, 2100 + std::uint64_t(t));
+    estimates.push(est.estimate_with_known_pairs(st.x, st.y, st.z,
+                                                 double(w.n_xy()),
+                                                 double(w.n_xz()),
+                                                 double(w.n_yz()))
+                       .n_xyz_hat);
+  }
+  EXPECT_LT(estimates.mean(), 800.0);  // vs 4,000 pure-pair members
+}
+
+TEST(TripleEstimator, ClampsToPairwiseCap) {
+  Encoder enc(EncoderConfig{});
+  TripleEstimator est(2);
+  const TripleWorkload w = equal_workload();
+  const TripleStates st =
+      simulate_triple(enc, w, 1 << 18, 1 << 18, 1 << 18, 5);
+  const TripleEstimate e = est.estimate(st.x, st.y, st.z);
+  EXPECT_LE(e.n_xyz_hat,
+            std::min({e.xy.n_c_hat, e.xz.n_c_hat, e.yz.n_c_hat}) + 1e-9);
+  EXPECT_GE(e.n_xyz_hat, 0.0);
+}
+
+TEST(TripleEstimator, Guards) {
+  EXPECT_THROW(TripleEstimator(1), std::invalid_argument);
+  TripleEstimator est(2);
+  RsuState a(64), b(64), c(64);
+  EXPECT_THROW(
+      (void)est.estimate_with_known_pairs(a, b, c, -1.0, 0.0, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,24 @@
+// The umbrella header must be self-contained and expose the whole public
+// surface; this test compiles a representative use of each piece.
+#include "vlm.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, PublicApiIsReachable) {
+  using namespace vlm::core;
+  VlmScheme scheme(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  RsuState rsu = scheme.make_rsu_state(1'000);
+  rsu.record(scheme.encoder().bit_index(
+      VehicleIdentity{VehicleId{1}, 2}, RsuId{3}, rsu.array_size()));
+  EXPECT_EQ(rsu.counter(), 1u);
+
+  const PairScenario sc{1'000, 1'000, 100, 1 << 13, 1 << 13, 2};
+  EXPECT_GT(AccuracyModel::predict(sc).stddev_ratio, 0.0);
+  EXPECT_GT(PrivacyModel::evaluate_exact(sc).p, 0.0);
+  EXPECT_GE(ReportValidator(6.0).assess(rsu).expected_zeros, 0.0);
+  EXPECT_NO_THROW((void)calibrate_deployment(CalibrationRequest{}));
+}
+
+}  // namespace

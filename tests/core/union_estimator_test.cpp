@@ -1,0 +1,111 @@
+#include "core/union_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/hashing.h"
+#include "core/encoder.h"
+
+namespace vlm::core {
+namespace {
+
+VehicleIdentity vehicle(std::uint64_t seed, std::uint64_t i) {
+  VehicleIdentity v;
+  v.id = VehicleId{
+      common::mix64(common::mix64(seed) + (i + 1) * 0x9E3779B97F4A7C15ull)};
+  v.private_key = common::mix64(common::mix64(seed ^ 0xBEEF) +
+                                (i + 1) * 0xC2B2AE3D27D4EB4Full);
+  return v;
+}
+
+TEST(UnionEstimator, SingleRsuIsTheCounter) {
+  Encoder enc(EncoderConfig{});
+  RsuState state(1 << 14);
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    state.record(enc.bit_index(vehicle(1, i), RsuId{1}, 1 << 14));
+  }
+  UnionEstimator est(2);
+  const UnionEstimate out = est.estimate(std::vector<RsuState>{state});
+  EXPECT_DOUBLE_EQ(out.distinct_vehicles, 5'000.0);
+  EXPECT_DOUBLE_EQ(out.pairwise_overlap, 0.0);
+}
+
+TEST(UnionEstimator, DisjointPopulationsAddUp) {
+  Encoder enc(EncoderConfig{});
+  std::vector<RsuState> states;
+  states.emplace_back(1 << 16);
+  states.emplace_back(1 << 16);
+  for (std::uint64_t i = 0; i < 8'000; ++i) {
+    states[0].record(enc.bit_index(vehicle(2, i), RsuId{1}, 1 << 16));
+  }
+  for (std::uint64_t i = 8'000; i < 20'000; ++i) {
+    states[1].record(enc.bit_index(vehicle(2, i), RsuId{2}, 1 << 16));
+  }
+  UnionEstimator est(2);
+  const UnionEstimate out = est.estimate(states);
+  // No common vehicles: union = 20,000 up to pair-estimator noise.
+  EXPECT_NEAR(out.distinct_vehicles, 20'000.0, 600.0);
+}
+
+TEST(UnionEstimator, OverlapIsRemovedOnce) {
+  Encoder enc(EncoderConfig{});
+  std::vector<RsuState> states;
+  states.emplace_back(1 << 17);
+  states.emplace_back(1 << 17);
+  // 4,000 common vehicles + 6,000/16,000 exclusive: union = 26,000.
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    const VehicleIdentity v = vehicle(3, i);
+    states[0].record(enc.bit_index(v, RsuId{1}, 1 << 17));
+    if (i < 4'000) states[1].record(enc.bit_index(v, RsuId{2}, 1 << 17));
+  }
+  for (std::uint64_t i = 10'000; i < 26'000; ++i) {
+    states[1].record(enc.bit_index(vehicle(3, i), RsuId{2}, 1 << 17));
+  }
+  UnionEstimator est(2);
+  const UnionEstimate out = est.estimate(states);
+  EXPECT_DOUBLE_EQ(out.total_reports, 30'000.0);
+  EXPECT_NEAR(out.pairwise_overlap, 4'000.0, 600.0);
+  EXPECT_NEAR(out.distinct_vehicles, 26'000.0, 600.0);
+}
+
+TEST(UnionEstimator, ThreeSitesPairwiseBound) {
+  // Vehicles visiting all three sites are subtracted three times but
+  // added three times via counters: the pairwise truncation undercounts
+  // by exactly the triple count (2·t removed beyond the 1·t needed...
+  // inclusion-exclusion: |∪| = Σn − Σpairs + t; we omit +t).
+  Encoder enc(EncoderConfig{});
+  std::vector<RsuState> states;
+  for (int r = 0; r < 3; ++r) states.emplace_back(1 << 17);
+  const std::uint64_t t = 3'000, singles = 9'000;
+  std::uint64_t index = 0;
+  for (std::uint64_t i = 0; i < t; ++i) {
+    const VehicleIdentity v = vehicle(4, index++);
+    for (int r = 0; r < 3; ++r) {
+      states[static_cast<std::size_t>(r)].record(
+          enc.bit_index(v, RsuId{std::uint64_t(r) + 1}, 1 << 17));
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (std::uint64_t i = 0; i < singles; ++i) {
+      states[static_cast<std::size_t>(r)].record(enc.bit_index(
+          vehicle(4, index++), RsuId{std::uint64_t(r) + 1}, 1 << 17));
+    }
+  }
+  const double truth = static_cast<double>(t + 3 * singles);  // 30,000
+  UnionEstimator est(2);
+  const UnionEstimate out = est.estimate(states);
+  // Expected pairwise-truncated value: truth − t = 27,000.
+  EXPECT_NEAR(out.distinct_vehicles, truth - double(t), 900.0);
+  EXPECT_LT(out.distinct_vehicles, truth);
+}
+
+TEST(UnionEstimator, Guards) {
+  UnionEstimator est(2);
+  EXPECT_THROW((void)est.estimate(std::vector<RsuState>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::core

@@ -1,0 +1,152 @@
+#include "roadnet/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlm::roadnet {
+namespace {
+
+// Two parallel routes 0 -> 1: top link and bottom link via node 2, with
+// equal free-flow time, so user equilibrium must split flow across both.
+Graph parallel_routes() {
+  Graph g(3);
+  g.add_link({0, 1, 10.0, 100.0, 0.15, 4.0});  // direct
+  g.add_link({0, 2, 5.0, 100.0, 0.15, 4.0});   // detour, leg 1
+  g.add_link({2, 1, 5.0, 100.0, 0.15, 4.0});   // detour, leg 2
+  return g;
+}
+
+TEST(Assignment, AllOrNothingPutsEverythingOnOneRoute) {
+  const Graph g = parallel_routes();
+  TripTable trips(3);
+  trips.set_demand(0, 1, 300.0);
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kAllOrNothing, 1, 0.0});
+  // Ties broken deterministically; all 300 vehicles take a single route.
+  double loaded = result.link_flows[0];
+  EXPECT_TRUE(loaded == 300.0 || result.link_flows[1] == 300.0);
+  ASSERT_EQ(result.od_routes.size(), 1u);
+  EXPECT_EQ(result.od_routes[0].routes.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.od_routes[0].routes[0].probability, 1.0);
+}
+
+TEST(Assignment, FrankWolfeEqualizesParallelRouteTimes) {
+  const Graph g = parallel_routes();
+  TripTable trips(3);
+  trips.set_demand(0, 1, 300.0);
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kFrankWolfe, 100, 1e-6});
+  // User equilibrium: both routes carry flow and their BPR times match.
+  const double t_direct = bpr_travel_time(g.link(0), result.link_flows[0]);
+  const double t_detour = bpr_travel_time(g.link(1), result.link_flows[1]) +
+                          bpr_travel_time(g.link(2), result.link_flows[2]);
+  EXPECT_NEAR(t_direct, t_detour, 0.05);
+  EXPECT_GT(result.link_flows[0], 50.0);
+  EXPECT_GT(result.link_flows[1], 50.0);
+  EXPECT_NEAR(result.link_flows[0] + result.link_flows[1], 300.0, 1e-6);
+  EXPECT_LE(result.relative_gap, 1e-4);
+}
+
+TEST(Assignment, MsaAlsoConverges) {
+  const Graph g = parallel_routes();
+  TripTable trips(3);
+  trips.set_demand(0, 1, 300.0);
+  const auto result = assign(g, trips, {AssignmentMethod::kMsa, 200, 1e-4});
+  const double t_direct = bpr_travel_time(g.link(0), result.link_flows[0]);
+  const double t_detour = bpr_travel_time(g.link(1), result.link_flows[1]) +
+                          bpr_travel_time(g.link(2), result.link_flows[2]);
+  EXPECT_NEAR(t_direct, t_detour, 0.3);
+}
+
+TEST(Assignment, RouteProbabilitiesFormDistribution) {
+  const Graph g = parallel_routes();
+  TripTable trips(3);
+  trips.set_demand(0, 1, 300.0);
+  trips.set_demand(1, 0, 0.0);
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kFrankWolfe, 50, 1e-6});
+  for (const OdRoutes& od : result.od_routes) {
+    double total = 0.0;
+    for (const Route& r : od.routes) {
+      EXPECT_GT(r.probability, 0.0);
+      ASSERT_GE(r.nodes.size(), 2u);
+      EXPECT_EQ(r.nodes.front(), od.origin);
+      EXPECT_EQ(r.nodes.back(), od.destination);
+      total += r.probability;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Assignment, ExpectedNodeVolumeCountsThroughTraffic) {
+  Graph g(3);
+  g.add_link({0, 1, 1.0, 1000.0});
+  g.add_link({1, 2, 1.0, 1000.0});
+  TripTable trips(3);
+  trips.set_demand(0, 2, 120.0);
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kAllOrNothing, 1, 0.0});
+  // The route is 0 -> 1 -> 2; every node on it sees all 120 vehicles.
+  EXPECT_DOUBLE_EQ(result.expected_node_volume(0), 120.0);
+  EXPECT_DOUBLE_EQ(result.expected_node_volume(1), 120.0);
+  EXPECT_DOUBLE_EQ(result.expected_node_volume(2), 120.0);
+}
+
+TEST(Assignment, ThrowsWhenDemandHasNoRoute) {
+  Graph g(3);
+  g.add_link({0, 1, 1.0, 10.0});
+  TripTable trips(3);
+  trips.set_demand(0, 2, 10.0);  // node 2 unreachable
+  EXPECT_THROW((void)assign(g, trips), std::invalid_argument);
+}
+
+TEST(Assignment, ThrowsOnEmptyDemandOrMismatchedZones) {
+  Graph g(3);
+  g.add_link({0, 1, 1.0, 10.0});
+  TripTable empty(3);
+  EXPECT_THROW((void)assign(g, empty), std::invalid_argument);
+  TripTable wrong(4);
+  wrong.set_demand(0, 1, 5.0);
+  EXPECT_THROW((void)assign(g, wrong), std::invalid_argument);
+}
+
+TEST(Assignment, CongestionRaisesEquilibriumTravelTime) {
+  // Doubling demand on a congestible network must raise the equilibrium
+  // average travel time (BPR costs are strictly increasing in flow).
+  const Graph g = parallel_routes();
+  auto average_time = [&](double demand) {
+    TripTable trips(3);
+    trips.set_demand(0, 1, demand);
+    const auto result =
+        assign(g, trips, {AssignmentMethod::kFrankWolfe, 60, 1e-6});
+    return result.total_travel_time / demand;
+  };
+  EXPECT_GT(average_time(600.0), average_time(300.0));
+}
+
+TEST(Assignment, EquilibriumBeatsAllOrNothingOnTotalTime) {
+  // Spreading flow across routes cannot be worse than piling it on one
+  // (for this symmetric network UE also minimizes total time).
+  const Graph g = parallel_routes();
+  TripTable trips(3);
+  trips.set_demand(0, 1, 400.0);
+  const auto ue = assign(g, trips, {AssignmentMethod::kFrankWolfe, 60, 1e-6});
+  const auto aon =
+      assign(g, trips, {AssignmentMethod::kAllOrNothing, 1, 0.0});
+  EXPECT_LT(ue.total_travel_time, aon.total_travel_time);
+}
+
+TEST(Assignment, TotalTravelTimeIsFlowWeighted) {
+  Graph g(2);
+  g.add_link({0, 1, 2.0, 1000.0, 0.0, 4.0});  // alpha 0: constant time
+  TripTable trips(2);
+  trips.set_demand(0, 1, 50.0);
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kAllOrNothing, 1, 0.0});
+  EXPECT_DOUBLE_EQ(result.total_travel_time, 100.0);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

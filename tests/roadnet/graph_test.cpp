@@ -1,0 +1,57 @@
+#include "roadnet/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vlm::roadnet {
+namespace {
+
+TEST(Graph, AddAndQueryLinks) {
+  Graph g(3);
+  const LinkIndex ab = g.add_link({0, 1, 5.0, 100.0});
+  const LinkIndex bc = g.add_link({1, 2, 3.0, 50.0});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(ab).to, 1u);
+  EXPECT_EQ(g.find_link(0, 1), ab);
+  EXPECT_EQ(g.find_link(1, 2), bc);
+  EXPECT_EQ(g.find_link(2, 0), kInvalidLink);
+  EXPECT_EQ(g.out_links(0).size(), 1u);
+  EXPECT_EQ(g.out_links(2).size(), 0u);
+}
+
+TEST(Graph, RejectsBadLinks) {
+  Graph g(2);
+  EXPECT_THROW(g.add_link({0, 5, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(g.add_link({0, 0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(g.add_link({0, 1, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(g.add_link({0, 1, 1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Graph, BoundsChecks) {
+  Graph g(2);
+  g.add_link({0, 1, 1.0, 1.0});
+  EXPECT_THROW((void)g.link(5), std::invalid_argument);
+  EXPECT_THROW((void)g.out_links(2), std::invalid_argument);
+}
+
+TEST(Bpr, FreeFlowAtZeroVolume) {
+  Link link{0, 1, 10.0, 100.0, 0.15, 4.0};
+  EXPECT_DOUBLE_EQ(bpr_travel_time(link, 0.0), 10.0);
+}
+
+TEST(Bpr, StandardCoefficientsAtCapacity) {
+  // t(c) = t0 * (1 + 0.15) with the standard BPR parameters.
+  Link link{0, 1, 10.0, 100.0, 0.15, 4.0};
+  EXPECT_DOUBLE_EQ(bpr_travel_time(link, 100.0), 11.5);
+}
+
+TEST(Bpr, GrowsSteeplyBeyondCapacity) {
+  Link link{0, 1, 10.0, 100.0, 0.15, 4.0};
+  EXPECT_NEAR(bpr_travel_time(link, 200.0), 10.0 * (1 + 0.15 * 16.0), 1e-9);
+  EXPECT_THROW((void)bpr_travel_time(link, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

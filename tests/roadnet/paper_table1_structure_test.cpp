@@ -1,0 +1,75 @@
+// Locks in the reverse-engineered correspondence between the canonical
+// trip table and the paper's Table I (see EXPERIMENTS.md E3): the
+// paper's n_x column equals our table's per-node demand sums (in
+// hundreds of vehicles), and its n_c column equals the OD entries
+// T(x, 10). If a future edit to sioux_falls.cpp breaks an entry the
+// paper pins down, this test names it.
+#include <gtest/gtest.h>
+
+#include "roadnet/sioux_falls.h"
+
+namespace vlm::roadnet {
+namespace {
+
+struct PaperRow {
+  int node;          // R_x (1-based)
+  double n_x;        // thousands/day in the paper
+  double n_c;        // thousands/day vs node 10
+  bool exact;        // our transcription matches the paper exactly
+};
+
+// Paper Table I. node 12 and node 24 differ slightly from our
+// transcription (147 vs 140 and 76 vs 78) — the only two deviations.
+constexpr PaperRow kPaperRows[] = {
+    {15, 213, 40, true}, {12, 140, 20, false}, {7, 121, 19, true},
+    {24, 78, 8, false},  {6, 76, 8, true},     {18, 47, 7, true},
+    {2, 40, 6, true},    {3, 28, 3, true},
+};
+
+TEST(PaperTable1Structure, NodeVolumesMatchDemandSums) {
+  const TripTable trips = sioux_falls_trip_table();
+  // The paper's volumes are per-direction demand sums; node_demand counts
+  // both directions of the near-symmetric table, so halve it. Units: the
+  // canonical table is vehicles/day; the paper quotes thousands with each
+  // table entry read as 1,000 vehicles (factor 10 on the canonical x100).
+  for (const PaperRow& row : kPaperRows) {
+    const double ours =
+        trips.node_demand(static_cast<NodeIndex>(row.node - 1)) / 2.0 / 100.0;
+    if (row.exact) {
+      EXPECT_NEAR(ours, row.n_x, 0.51) << "node " << row.node;
+    } else {
+      EXPECT_NEAR(ours, row.n_x, 9.0) << "node " << row.node
+                                      << " (known transcription deviation)";
+    }
+  }
+  // Node 10 itself: the paper's 451.
+  EXPECT_NEAR(trips.node_demand(9) / 2.0 / 100.0, 451.0, 1.0);
+}
+
+TEST(PaperTable1Structure, CommonVolumesMatchOdEntries) {
+  const TripTable trips = sioux_falls_trip_table();
+  for (const PaperRow& row : kPaperRows) {
+    const double t_x_to_10 =
+        trips.demand(static_cast<NodeIndex>(row.node - 1), 9) / 100.0;
+    EXPECT_NEAR(t_x_to_10, row.n_c, 0.01) << "node " << row.node;
+  }
+}
+
+TEST(PaperTable1Structure, TrafficDifferenceRatiosMatchPaper) {
+  const TripTable trips = sioux_falls_trip_table();
+  const double n_y = trips.node_demand(9);
+  // Paper d values for the exact rows.
+  const struct {
+    int node;
+    double d;
+  } kRatios[] = {{15, 2.117}, {7, 3.727}, {6, 5.934},
+                 {18, 9.596}, {2, 11.275}, {3, 16.107}};
+  for (const auto& r : kRatios) {
+    const double ours =
+        n_y / trips.node_demand(static_cast<NodeIndex>(r.node - 1));
+    EXPECT_NEAR(ours, r.d, 0.15) << "node " << r.node;
+  }
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

@@ -1,0 +1,106 @@
+#include "roadnet/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::roadnet {
+namespace {
+
+// Diamond: 0 -> 1 -> 3 (cost 2+2), 0 -> 2 -> 3 (cost 1+4), 0 -> 3 (cost 5).
+Graph diamond() {
+  Graph g(4);
+  g.add_link({0, 1, 2.0, 1.0});
+  g.add_link({1, 3, 2.0, 1.0});
+  g.add_link({0, 2, 1.0, 1.0});
+  g.add_link({2, 3, 4.0, 1.0});
+  g.add_link({0, 3, 5.0, 1.0});
+  return g;
+}
+
+std::vector<double> free_flow_costs(const Graph& g) {
+  std::vector<double> costs;
+  for (const Link& l : g.links()) costs.push_back(l.free_flow_time);
+  return costs;
+}
+
+TEST(Dijkstra, FindsCheapestOfSeveralRoutes) {
+  const Graph g = diamond();
+  const auto tree = dijkstra(g, 0, free_flow_costs(g));
+  EXPECT_DOUBLE_EQ(tree.cost[3], 4.0);  // via node 1
+  const auto path = extract_path(g, tree, 0, 3);
+  EXPECT_EQ(path, (std::vector<NodeIndex>{0, 1, 3}));
+}
+
+TEST(Dijkstra, CostChangesSwitchTheRoute) {
+  const Graph g = diamond();
+  auto costs = free_flow_costs(g);
+  costs[1] = 10.0;  // congest link 1 -> 3
+  const auto tree = dijkstra(g, 0, costs);
+  EXPECT_DOUBLE_EQ(tree.cost[3], 5.0);  // direct link now wins
+  EXPECT_EQ(extract_path(g, tree, 0, 3),
+            (std::vector<NodeIndex>{0, 3}));
+}
+
+TEST(Dijkstra, UnreachableNodesReportInfinity) {
+  Graph g(3);
+  g.add_link({0, 1, 1.0, 1.0});
+  const auto tree = dijkstra(g, 0, free_flow_costs(g));
+  EXPECT_TRUE(std::isinf(tree.cost[2]));
+  EXPECT_THROW((void)extract_path(g, tree, 0, 2), std::invalid_argument);
+}
+
+TEST(Dijkstra, SourcePathIsTrivial) {
+  const Graph g = diamond();
+  const auto tree = dijkstra(g, 0, free_flow_costs(g));
+  EXPECT_DOUBLE_EQ(tree.cost[0], 0.0);
+  EXPECT_EQ(extract_path(g, tree, 0, 0), (std::vector<NodeIndex>{0}));
+}
+
+TEST(Dijkstra, PathLinksMatchPathNodes) {
+  const Graph g = diamond();
+  const auto tree = dijkstra(g, 0, free_flow_costs(g));
+  const auto links = extract_path_links(g, tree, 0, 3);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(g.link(links[0]).from, 0u);
+  EXPECT_EQ(g.link(links[0]).to, 1u);
+  EXPECT_EQ(g.link(links[1]).to, 3u);
+}
+
+TEST(Dijkstra, Guards) {
+  const Graph g = diamond();
+  EXPECT_THROW((void)dijkstra(g, 9, free_flow_costs(g)),
+               std::invalid_argument);
+  EXPECT_THROW((void)dijkstra(g, 0, std::vector<double>{1.0}),
+               std::invalid_argument);
+  std::vector<double> negative(g.link_count(), -1.0);
+  EXPECT_THROW((void)dijkstra(g, 0, negative), std::invalid_argument);
+}
+
+TEST(Dijkstra, HandlesLargerGrid) {
+  // 10x10 grid, unit costs: shortest path cost between opposite corners
+  // is 18 (Manhattan).
+  constexpr int N = 10;
+  Graph g(N * N);
+  auto id = [](int r, int c) { return static_cast<NodeIndex>(r * N + c); };
+  for (int r = 0; r < N; ++r) {
+    for (int c = 0; c < N; ++c) {
+      if (c + 1 < N) {
+        g.add_link({id(r, c), id(r, c + 1), 1.0, 1.0});
+        g.add_link({id(r, c + 1), id(r, c), 1.0, 1.0});
+      }
+      if (r + 1 < N) {
+        g.add_link({id(r, c), id(r + 1, c), 1.0, 1.0});
+        g.add_link({id(r + 1, c), id(r, c), 1.0, 1.0});
+      }
+    }
+  }
+  const auto tree = dijkstra(g, id(0, 0), free_flow_costs(g));
+  EXPECT_DOUBLE_EQ(tree.cost[id(N - 1, N - 1)], 18.0);
+  EXPECT_EQ(extract_path(g, tree, id(0, 0), id(N - 1, N - 1)).size(), 19u);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

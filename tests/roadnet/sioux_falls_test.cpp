@@ -1,0 +1,102 @@
+#include "roadnet/sioux_falls.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "roadnet/assignment.h"
+#include "roadnet/shortest_path.h"
+
+namespace vlm::roadnet {
+namespace {
+
+TEST(SiouxFalls, HasCanonicalShape) {
+  const Graph g = sioux_falls_network();
+  EXPECT_EQ(g.node_count(), 24u);
+  EXPECT_EQ(g.link_count(), 76u);
+}
+
+TEST(SiouxFalls, EveryLinkIsBidirectional) {
+  const Graph g = sioux_falls_network();
+  for (const Link& l : g.links()) {
+    EXPECT_NE(g.find_link(l.to, l.from), kInvalidLink)
+        << l.from << " -> " << l.to;
+  }
+}
+
+TEST(SiouxFalls, KnownAdjacency) {
+  const Graph g = sioux_falls_network();
+  // Spot checks against the published topology (1-based: 1-2, 10-16,
+  // 23-24 exist; 1-24 does not).
+  EXPECT_NE(g.find_link(0, 1), kInvalidLink);
+  EXPECT_NE(g.find_link(9, 15), kInvalidLink);
+  EXPECT_NE(g.find_link(22, 23), kInvalidLink);
+  EXPECT_EQ(g.find_link(0, 23), kInvalidLink);
+}
+
+TEST(SiouxFalls, StronglyConnected) {
+  const Graph g = sioux_falls_network();
+  std::vector<double> costs;
+  for (const Link& l : g.links()) costs.push_back(l.free_flow_time);
+  for (NodeIndex origin = 0; origin < g.node_count(); ++origin) {
+    const auto tree = dijkstra(g, origin, costs);
+    for (NodeIndex d = 0; d < g.node_count(); ++d) {
+      EXPECT_TRUE(std::isfinite(tree.cost[d]))
+          << origin << " cannot reach " << d;
+    }
+  }
+}
+
+TEST(SiouxFalls, TripTableMagnitudes) {
+  const TripTable trips = sioux_falls_trip_table();
+  EXPECT_EQ(trips.node_count(), 24u);
+  // Canonical total daily demand is 360,600 vehicles.
+  EXPECT_NEAR(trips.total_demand(), 360'600.0, 5'000.0);
+  // Node 10 (index 9) generates by far the most demand.
+  double max_demand = 0.0;
+  NodeIndex busiest = 0;
+  for (NodeIndex n = 0; n < 24; ++n) {
+    if (trips.node_demand(n) > max_demand) {
+      max_demand = trips.node_demand(n);
+      busiest = n;
+    }
+  }
+  EXPECT_EQ(busiest, 9u);
+}
+
+TEST(SiouxFalls, DemandRoughlySymmetric) {
+  const TripTable trips = sioux_falls_trip_table();
+  for (NodeIndex o = 0; o < 24; ++o) {
+    for (NodeIndex d = 0; d < o; ++d) {
+      const double forward = trips.demand(o, d);
+      const double backward = trips.demand(d, o);
+      EXPECT_LE(std::abs(forward - backward), 200.0)
+          << "OD " << o + 1 << "," << d + 1;
+    }
+  }
+}
+
+TEST(SiouxFalls, EquilibriumAssignmentProducesBusyNode10) {
+  const Graph g = sioux_falls_network();
+  const TripTable trips = sioux_falls_trip_table();
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kFrankWolfe, 30, 1e-4});
+  // Node 10 must carry the largest point volume, as in the paper's
+  // Table I, and light nodes must be several times lighter.
+  double volumes[24];
+  NodeIndex busiest = 0;
+  for (NodeIndex n = 0; n < 24; ++n) {
+    volumes[n] = result.expected_node_volume(n);
+    if (volumes[n] > volumes[busiest]) busiest = n;
+  }
+  EXPECT_EQ(busiest, 9u);
+  double lightest = volumes[0];
+  for (double v : volumes) lightest = std::min(lightest, v);
+  EXPECT_GT(volumes[9] / lightest, 4.0)
+      << "traffic heterogeneity is the premise of the experiment";
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

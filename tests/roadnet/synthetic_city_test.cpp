@@ -1,0 +1,118 @@
+#include "roadnet/synthetic_city.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "roadnet/assignment.h"
+#include "roadnet/shortest_path.h"
+
+namespace vlm::roadnet {
+namespace {
+
+SyntheticCityConfig small_config() {
+  SyntheticCityConfig config;
+  config.rows = 5;
+  config.cols = 6;
+  config.total_demand = 50'000.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SyntheticCity, GridShape) {
+  const SyntheticCity city = make_synthetic_city(small_config());
+  EXPECT_EQ(city.graph.node_count(), 30u);
+  // Undirected streets: rows*(cols-1) + cols*(rows-1) = 25 + 24 = 49,
+  // doubled for direction.
+  EXPECT_EQ(city.graph.link_count(), 98u);
+  EXPECT_EQ(city.centers.size(), 2u);
+}
+
+TEST(SyntheticCity, StronglyConnected) {
+  const SyntheticCity city = make_synthetic_city(small_config());
+  std::vector<double> costs;
+  for (const Link& l : city.graph.links()) costs.push_back(l.free_flow_time);
+  const ShortestPathTree tree = dijkstra(city.graph, 0, costs);
+  for (NodeIndex n = 0; n < city.graph.node_count(); ++n) {
+    EXPECT_TRUE(std::isfinite(tree.cost[n]));
+  }
+}
+
+TEST(SyntheticCity, TotalDemandMatchesRequest) {
+  const SyntheticCity city = make_synthetic_city(small_config());
+  EXPECT_NEAR(city.trips.total_demand(), 50'000.0, 1.0);
+}
+
+TEST(SyntheticCity, ArterialsAreFasterAndBigger) {
+  const SyntheticCity city = make_synthetic_city(small_config());
+  double min_time = 1e18, max_time = 0, min_cap = 1e18, max_cap = 0;
+  for (const Link& l : city.graph.links()) {
+    min_time = std::min(min_time, l.free_flow_time);
+    max_time = std::max(max_time, l.free_flow_time);
+    min_cap = std::min(min_cap, l.capacity);
+    max_cap = std::max(max_cap, l.capacity);
+  }
+  EXPECT_LT(min_time, max_time);
+  EXPECT_NEAR(min_time, 4.0 * 0.6, 1e-12);
+  EXPECT_NEAR(max_cap / min_cap, 3.0, 1e-12);
+}
+
+TEST(SyntheticCity, VolumesAreHeterogeneous) {
+  // The premise of variable-length arrays: assigned node volumes spread
+  // over a wide range.
+  const SyntheticCity city = make_synthetic_city(small_config());
+  const auto result =
+      assign(city.graph, city.trips, {AssignmentMethod::kFrankWolfe, 15, 1e-3});
+  double lo = 1e18, hi = 0;
+  for (NodeIndex n = 0; n < city.graph.node_count(); ++n) {
+    const double v = result.expected_node_volume(n);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 4.0);
+}
+
+TEST(SyntheticCity, CentersAttractDisproportionateDemand) {
+  const SyntheticCity city = make_synthetic_city(small_config());
+  double center_demand = 0.0, mean_demand = 0.0;
+  for (NodeIndex n = 0; n < city.graph.node_count(); ++n) {
+    mean_demand += city.trips.node_demand(n);
+  }
+  mean_demand /= static_cast<double>(city.graph.node_count());
+  for (NodeIndex c : city.centers) {
+    center_demand += city.trips.node_demand(c);
+  }
+  center_demand /= static_cast<double>(city.centers.size());
+  EXPECT_GT(center_demand, 1.5 * mean_demand);
+}
+
+TEST(SyntheticCity, DeterministicPerSeed) {
+  const SyntheticCity a = make_synthetic_city(small_config());
+  const SyntheticCity b = make_synthetic_city(small_config());
+  EXPECT_EQ(a.centers, b.centers);
+  EXPECT_DOUBLE_EQ(a.trips.demand(1, 2), b.trips.demand(1, 2));
+  SyntheticCityConfig other = small_config();
+  other.seed = 12;
+  const SyntheticCity c = make_synthetic_city(other);
+  EXPECT_NE(a.trips.demand(1, 2), c.trips.demand(1, 2));
+}
+
+TEST(SyntheticCity, Guards) {
+  SyntheticCityConfig config = small_config();
+  config.rows = 1;
+  EXPECT_THROW((void)make_synthetic_city(config), std::invalid_argument);
+  config = small_config();
+  config.center_count = 100;
+  EXPECT_THROW((void)make_synthetic_city(config), std::invalid_argument);
+  config = small_config();
+  config.arterial_speedup = 1.5;
+  EXPECT_THROW((void)make_synthetic_city(config), std::invalid_argument);
+  config = small_config();
+  config.total_demand = 0.0;
+  EXPECT_THROW((void)make_synthetic_city(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

@@ -1,0 +1,129 @@
+#include "roadnet/tntp_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "roadnet/sioux_falls.h"
+
+namespace vlm::roadnet {
+namespace {
+
+constexpr const char* kSampleNetwork = R"(<NUMBER OF NODES> 3
+<NUMBER OF LINKS> 4
+<NUMBER OF ZONES> 3
+<FIRST THRU NODE> 1
+<END OF METADATA>
+~ 	init	term	capacity	length	fft	b	power	speed	toll	type	;
+	1	2	25900.2	6	6	0.15	4	0	0	1	;
+	2	1	25900.2	6	6	0.15	4	0	0	1	;
+	2	3	4958.2	5	5	0.15	4	0	0	1	;
+	3	2	4958.2	5	5	0.15	4	0	0	1	;
+)";
+
+constexpr const char* kSampleTrips = R"(<NUMBER OF ZONES> 3
+<TOTAL OD FLOW> 600.0
+<END OF METADATA>
+Origin  1
+    2 :     100.0;    3 :     200.0;
+Origin  2
+    1 :     100.0;
+Origin  3
+    1 :     200.0;
+)";
+
+TEST(TntpIo, ParsesNetwork) {
+  std::istringstream in(kSampleNetwork);
+  const Graph graph = read_tntp_network(in);
+  EXPECT_EQ(graph.node_count(), 3u);
+  EXPECT_EQ(graph.link_count(), 4u);
+  const LinkIndex l = graph.find_link(0, 1);
+  ASSERT_NE(l, kInvalidLink);
+  EXPECT_DOUBLE_EQ(graph.link(l).capacity, 25900.2);
+  EXPECT_DOUBLE_EQ(graph.link(l).free_flow_time, 6.0);
+  EXPECT_DOUBLE_EQ(graph.link(l).bpr_alpha, 0.15);
+  EXPECT_DOUBLE_EQ(graph.link(l).bpr_beta, 4.0);
+}
+
+TEST(TntpIo, ParsesTrips) {
+  std::istringstream in(kSampleTrips);
+  const TripTable trips = read_tntp_trips(in);
+  EXPECT_EQ(trips.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(trips.demand(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(trips.demand(0, 2), 200.0);
+  EXPECT_DOUBLE_EQ(trips.demand(2, 0), 200.0);
+  EXPECT_DOUBLE_EQ(trips.total_demand(), 600.0);
+}
+
+TEST(TntpIo, NetworkRoundTripsThroughWriter) {
+  const Graph original = sioux_falls_network();
+  std::stringstream stream;
+  write_tntp_network(stream, original);
+  const Graph restored = read_tntp_network(stream);
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  ASSERT_EQ(restored.link_count(), original.link_count());
+  for (LinkIndex l = 0; l < original.link_count(); ++l) {
+    EXPECT_EQ(restored.link(l).from, original.link(l).from);
+    EXPECT_EQ(restored.link(l).to, original.link(l).to);
+    EXPECT_DOUBLE_EQ(restored.link(l).capacity, original.link(l).capacity);
+    EXPECT_DOUBLE_EQ(restored.link(l).free_flow_time,
+                     original.link(l).free_flow_time);
+  }
+}
+
+TEST(TntpIo, TripsRoundTripThroughWriter) {
+  const TripTable original = sioux_falls_trip_table();
+  std::stringstream stream;
+  write_tntp_trips(stream, original);
+  const TripTable restored = read_tntp_trips(stream);
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  for (NodeIndex o = 0; o < original.node_count(); ++o) {
+    for (NodeIndex d = 0; d < original.node_count(); ++d) {
+      EXPECT_DOUBLE_EQ(restored.demand(o, d), original.demand(o, d))
+          << "OD " << o + 1 << " -> " << d + 1;
+    }
+  }
+}
+
+TEST(TntpIo, RejectsLinkCountMismatch) {
+  std::string text = kSampleNetwork;
+  text.replace(text.find("LINKS> 4"), 8, "LINKS> 5");
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_tntp_network(in), std::runtime_error);
+}
+
+TEST(TntpIo, RejectsOutOfRangeEndpoints) {
+  std::string text = kSampleNetwork;
+  text.replace(text.find("\t3\t2\t"), 5, "\t9\t2\t");
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_tntp_network(in), std::runtime_error);
+}
+
+TEST(TntpIo, RejectsTotalFlowMismatch) {
+  std::string text = kSampleTrips;
+  text.replace(text.find("600.0"), 5, "999.0");
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_tntp_trips(in), std::runtime_error);
+}
+
+TEST(TntpIo, RejectsDataBeforeOrigin) {
+  std::istringstream in(
+      "<NUMBER OF ZONES> 2\n<END OF METADATA>\n    2 : 10.0;\n");
+  EXPECT_THROW((void)read_tntp_trips(in), std::runtime_error);
+}
+
+TEST(TntpIo, RejectsMissingMetadata) {
+  std::istringstream in("no metadata at all\n");
+  EXPECT_THROW((void)read_tntp_network(in), std::runtime_error);
+}
+
+TEST(TntpIo, MissingFilesThrow) {
+  EXPECT_THROW((void)load_tntp_network("/nonexistent.tntp"),
+               std::runtime_error);
+  EXPECT_THROW((void)load_tntp_trips("/nonexistent.tntp"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

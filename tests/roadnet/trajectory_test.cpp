@@ -1,0 +1,102 @@
+#include "roadnet/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/sioux_falls.h"
+
+namespace vlm::roadnet {
+namespace {
+
+AssignmentResult two_route_result() {
+  AssignmentResult result;
+  OdRoutes od;
+  od.origin = 0;
+  od.destination = 2;
+  od.demand = 1000.0;
+  od.routes.push_back(Route{{0, 1, 2}, 0.7});
+  od.routes.push_back(Route{{0, 3, 2}, 0.3});
+  result.od_routes.push_back(od);
+  return result;
+}
+
+TEST(TrajectorySampler, EmitsDemandManyVehicles) {
+  const AssignmentResult result = two_route_result();
+  TrajectorySampler sampler(result, 1);
+  std::uint64_t count = 0;
+  sampler.for_each_vehicle([&](std::span<const NodeIndex>) { ++count; });
+  // 700 and 300 are integers: exact.
+  EXPECT_EQ(count, 1000u);
+  EXPECT_EQ(sampler.vehicles_emitted(), 1000u);
+}
+
+TEST(TrajectorySampler, RouteSharesMatchProbabilities) {
+  const AssignmentResult result = two_route_result();
+  TrajectorySampler sampler(result, 2);
+  std::uint64_t via_1 = 0, via_3 = 0;
+  sampler.for_each_vehicle([&](std::span<const NodeIndex> nodes) {
+    (nodes[1] == 1 ? via_1 : via_3) += 1;
+  });
+  EXPECT_EQ(via_1, 700u);
+  EXPECT_EQ(via_3, 300u);
+}
+
+TEST(TrajectorySampler, FractionalDemandRoundsStochastically) {
+  AssignmentResult result;
+  OdRoutes od;
+  od.origin = 0;
+  od.destination = 1;
+  od.demand = 10.5;
+  od.routes.push_back(Route{{0, 1}, 1.0});
+  result.od_routes.push_back(od);
+  // Across seeds, counts must be 10 or 11 averaging ~10.5.
+  double total = 0.0;
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    TrajectorySampler sampler(result, seed);
+    std::uint64_t n = 0;
+    sampler.for_each_vehicle([&](std::span<const NodeIndex>) { ++n; });
+    ASSERT_GE(n, 10u);
+    ASSERT_LE(n, 11u);
+    total += static_cast<double>(n);
+  }
+  EXPECT_NEAR(total / 400.0, 10.5, 0.12);
+}
+
+TEST(RealizedVolumes, AgreeWithExpectedOnSiouxFalls) {
+  const Graph g = sioux_falls_network();
+  const TripTable trips = sioux_falls_trip_table();
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kFrankWolfe, 20, 1e-4});
+  const auto realized = realized_node_volumes(result, 24, 7);
+  for (NodeIndex n = 0; n < 24; ++n) {
+    const double expected = result.expected_node_volume(n);
+    EXPECT_NEAR(static_cast<double>(realized[n]), expected,
+                std::max(50.0, expected * 0.02))
+        << "node " << n + 1;
+  }
+}
+
+TEST(RealizedPairVolumes, ConsistentWithNodeVolumes) {
+  const Graph g = sioux_falls_network();
+  const TripTable trips = sioux_falls_trip_table();
+  const auto result =
+      assign(g, trips, {AssignmentMethod::kFrankWolfe, 20, 1e-4});
+  const auto pair = realized_pair_volumes(result, 9, 14, /*seed=*/7);
+  const auto volumes = realized_node_volumes(result, 24, /*seed=*/7);
+  // Same seed => identical vehicle stream => consistent counts.
+  EXPECT_EQ(pair.n_x, volumes[9]);
+  EXPECT_EQ(pair.n_y, volumes[14]);
+  EXPECT_LE(pair.n_c, std::min(pair.n_x, pair.n_y));
+  EXPECT_GT(pair.n_c, 0u);
+}
+
+TEST(RealizedPairVolumes, RejectsSameNode) {
+  const AssignmentResult result = two_route_result();
+  EXPECT_THROW((void)realized_pair_volumes(result, 1, 1, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

@@ -1,0 +1,48 @@
+#include "roadnet/trip_table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vlm::roadnet {
+namespace {
+
+TEST(TripTable, SetAndGet) {
+  TripTable t(3);
+  t.set_demand(0, 1, 100.0);
+  t.set_demand(1, 2, 50.0);
+  EXPECT_DOUBLE_EQ(t.demand(0, 1), 100.0);
+  EXPECT_DOUBLE_EQ(t.demand(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t.total_demand(), 150.0);
+}
+
+TEST(TripTable, NodeDemandCountsBothDirections) {
+  TripTable t(3);
+  t.set_demand(0, 1, 100.0);
+  t.set_demand(2, 1, 30.0);
+  t.set_demand(1, 2, 20.0);
+  EXPECT_DOUBLE_EQ(t.node_demand(1), 150.0);
+  EXPECT_DOUBLE_EQ(t.node_demand(0), 100.0);
+}
+
+TEST(TripTable, ScaleMultipliesEverything) {
+  TripTable t(2);
+  t.set_demand(0, 1, 10.0);
+  t.set_demand(1, 0, 20.0);
+  t.scale(2.5);
+  EXPECT_DOUBLE_EQ(t.demand(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(t.total_demand(), 75.0);
+  EXPECT_THROW(t.scale(0.0), std::invalid_argument);
+}
+
+TEST(TripTable, Guards) {
+  EXPECT_THROW(TripTable(1), std::invalid_argument);
+  TripTable t(2);
+  EXPECT_THROW(t.set_demand(0, 0, 5.0), std::invalid_argument);
+  EXPECT_NO_THROW(t.set_demand(0, 0, 0.0));
+  EXPECT_THROW(t.set_demand(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)t.demand(2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::roadnet

@@ -1,0 +1,80 @@
+#include "sketch/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hashing.h"
+
+namespace vlm::sketch {
+namespace {
+
+std::uint64_t item_hash(std::uint64_t i) {
+  return common::mix64(i + 0x1234567ull);
+}
+
+TEST(Hll, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(Hll, SmallCardinalitiesUseLinearCounting) {
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.add_hash(item_hash(i));
+  EXPECT_NEAR(hll.estimate(), 100.0, 10.0);
+}
+
+TEST(Hll, AccuracyTracksTheoreticalError) {
+  // Relative error ~ 1.04/sqrt(m); allow 4x.
+  for (unsigned precision : {10u, 12u, 14u}) {
+    HyperLogLog hll(precision);
+    const std::uint64_t n = 200'000;
+    for (std::uint64_t i = 0; i < n; ++i) hll.add_hash(item_hash(i));
+    const double tolerance =
+        4.0 * 1.04 / std::sqrt(double(hll.register_count())) * double(n);
+    EXPECT_NEAR(hll.estimate(), double(n), tolerance) << "p=" << precision;
+  }
+}
+
+TEST(Hll, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t i = 0; i < 10'000; ++i) hll.add_hash(item_hash(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 10'000.0, 700.0);
+}
+
+TEST(Hll, MergeEstimatesTheUnion) {
+  HyperLogLog a(13), b(13);
+  for (std::uint64_t i = 0; i < 30'000; ++i) a.add_hash(item_hash(i));
+  for (std::uint64_t i = 20'000; i < 50'000; ++i) b.add_hash(item_hash(i));
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), 50'000.0, 2'500.0);
+}
+
+TEST(Hll, IntersectionViaInclusionExclusion) {
+  HyperLogLog a(14), b(14);
+  for (std::uint64_t i = 0; i < 40'000; ++i) a.add_hash(item_hash(i));
+  for (std::uint64_t i = 30'000; i < 70'000; ++i) b.add_hash(item_hash(i));
+  // True intersection 10,000 out of 40k/40k sets; IE error is driven by
+  // the UNION's absolute error (~1.04/sqrt(2^14) * 70k ~ 570), so allow
+  // 4-sigma-ish.
+  EXPECT_NEAR(HyperLogLog::intersection(a, b), 10'000.0, 3'000.0);
+}
+
+TEST(Hll, MemoryAccounting) {
+  HyperLogLog hll(12);
+  EXPECT_EQ(hll.register_count(), 4096u);
+  EXPECT_EQ(hll.memory_bits(), 4096u * 8u);
+}
+
+TEST(Hll, Guards) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+  HyperLogLog a(10), b(11);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::sketch

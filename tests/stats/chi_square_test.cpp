@@ -1,0 +1,52 @@
+#include "stats/chi_square.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::stats {
+namespace {
+
+TEST(ChiSquare, ZeroForPerfectlyUniformCounts) {
+  std::vector<std::uint64_t> counts(10, 100);
+  EXPECT_DOUBLE_EQ(chi_square_uniform(counts), 0.0);
+}
+
+TEST(ChiSquare, DetectsGrossSkew) {
+  std::vector<std::uint64_t> counts(10, 10);
+  counts[0] = 910;  // everything piled in one bin
+  EXPECT_GT(chi_square_uniform(counts), chi_square_critical_999(9));
+}
+
+TEST(ChiSquare, HandComputedStatistic) {
+  // observed {30, 10}, expected 20 each: chi2 = 100/20 + 100/20 = 10.
+  std::vector<std::uint64_t> counts{30, 10};
+  EXPECT_DOUBLE_EQ(chi_square_uniform(counts), 10.0);
+}
+
+TEST(ChiSquare, Guards) {
+  EXPECT_THROW((void)chi_square_uniform(std::vector<std::uint64_t>{5}),
+               std::invalid_argument);
+  std::vector<std::uint64_t> zeros(4, 0);
+  EXPECT_THROW((void)chi_square_uniform(zeros), std::invalid_argument);
+}
+
+TEST(ChiSquareCritical, ApproximatesKnownQuantiles) {
+  // chi2_{0.999} quantiles: dof=10 -> 29.59, dof=100 -> 149.45.
+  EXPECT_NEAR(chi_square_critical_999(10), 29.59, 1.0);
+  EXPECT_NEAR(chi_square_critical_999(100), 149.45, 2.0);
+  EXPECT_THROW((void)chi_square_critical_999(0), std::invalid_argument);
+}
+
+TEST(ChiSquareCritical, MonotoneInDof) {
+  double prev = 0.0;
+  for (std::uint64_t dof = 5; dof <= 200; dof += 5) {
+    const double crit = chi_square_critical_999(dof);
+    EXPECT_GT(crit, prev);
+    prev = crit;
+  }
+}
+
+}  // namespace
+}  // namespace vlm::stats

@@ -1,0 +1,76 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vlm::stats {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.push(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingletonGuards) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), std::invalid_argument);
+  EXPECT_THROW((void)s.min(), std::invalid_argument);
+  s.push(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_THROW((void)s.variance(), std::invalid_argument);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * i * ((i % 3) - 1);
+    all.push(x);
+    (i % 2 == 0 ? a : b).push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.push(1.0);
+  a.push(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: unchanged
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs: adopt rhs
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.push(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Quantile, Guards) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::stats

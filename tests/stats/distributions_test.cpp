@@ -1,0 +1,82 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace vlm::stats {
+namespace {
+
+TEST(BinomialPmf, MatchesHandValues) {
+  // B(4, 0.5): pmf = {1,4,6,4,1}/16.
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 0), 1.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 6.0 / 16, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 4), 1.0 / 16, 1e-12);
+}
+
+TEST(BinomialPmf, SumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 30; ++k) total += binomial_pmf(30, 0.37, k);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(BinomialPmf, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 1.0, 10), 1.0);
+  EXPECT_THROW((void)binomial_pmf(10, 0.5, 11), std::invalid_argument);
+  EXPECT_THROW((void)binomial_pmf(10, 1.5, 5), std::invalid_argument);
+}
+
+TEST(BinomialPmf, LargeNStaysFinite) {
+  // The privacy model sums pmf terms with n_c up to ~10^5.
+  const double p = binomial_pmf(500'000, 0.5, 250'000);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(BinomialMoments, MeanAndVariance) {
+  EXPECT_DOUBLE_EQ(binomial_mean(100, 0.3), 30.0);
+  EXPECT_DOUBLE_EQ(binomial_variance(100, 0.3), 21.0);
+}
+
+TEST(SampleBinomial, ExactSmallNDistribution) {
+  vlm::common::Xoshiro256ss rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.push(static_cast<double>(sample_binomial(rng, 20, 0.25)));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 3.75, 0.15);
+}
+
+TEST(SampleBinomial, NormalApproxLargeN) {
+  vlm::common::Xoshiro256ss rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) {
+    stats.push(static_cast<double>(sample_binomial(rng, 100'000, 0.4)));
+  }
+  EXPECT_NEAR(stats.mean(), 40'000.0, 40'000.0 * 0.003);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(24'000.0), std::sqrt(24'000.0) * 0.1);
+}
+
+TEST(SampleBinomial, SupportRespected) {
+  vlm::common::Xoshiro256ss rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(sample_binomial(rng, 50, 0.9), 50u);
+  }
+  EXPECT_EQ(sample_binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(sample_binomial(rng, 10, 0.0), 0u);
+  EXPECT_EQ(sample_binomial(rng, 10, 1.0), 10u);
+}
+
+TEST(LogFactorial, MatchesKnownValues) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+}
+
+}  // namespace
+}  // namespace vlm::stats

@@ -1,0 +1,60 @@
+#include "stats/estimator_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vlm::stats {
+namespace {
+
+TEST(EvaluateRatio, RecoversKnownBiasAndSpread) {
+  // Trial returns 100 + N(0, 10)-ish noise via a deterministic RNG keyed
+  // on the provided seed: bias 0, stddev/true = 0.1.
+  auto trial = [](std::uint64_t seed) {
+    vlm::common::Xoshiro256ss rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i) sum += rng.uniform_double();
+    return 100.0 + (sum - 6.0) * 10.0;  // Irwin-Hall ~ N(0,1)
+  };
+  const RatioReport report = evaluate_ratio(trial, 100.0, 4000, 99);
+  EXPECT_EQ(report.trials, 4000u);
+  EXPECT_NEAR(report.bias, 0.0, 0.01);
+  EXPECT_NEAR(report.stddev_ratio, 0.1, 0.01);
+  EXPECT_LT(report.min_ratio, report.mean_ratio);
+  EXPECT_GT(report.max_ratio, report.mean_ratio);
+}
+
+TEST(EvaluateRatio, SeedsAreDistinctPerTrial) {
+  std::vector<std::uint64_t> seen;
+  auto trial = [&](std::uint64_t seed) {
+    seen.push_back(seed);
+    return 1.0;
+  };
+  (void)evaluate_ratio(trial, 1.0, 16, 5);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(EvaluateRatio, DeterministicForSameBaseSeed) {
+  auto trial = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1000);
+  };
+  const auto a = evaluate_ratio(trial, 500.0, 64, 42);
+  const auto b = evaluate_ratio(trial, 500.0, 64, 42);
+  EXPECT_DOUBLE_EQ(a.mean_ratio, b.mean_ratio);
+  EXPECT_DOUBLE_EQ(a.stddev_ratio, b.stddev_ratio);
+}
+
+TEST(EvaluateRatio, Guards) {
+  auto trial = [](std::uint64_t) { return 1.0; };
+  EXPECT_THROW((void)evaluate_ratio(trial, 1.0, 1, 0), std::invalid_argument);
+  EXPECT_THROW((void)evaluate_ratio(trial, 0.0, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::stats

@@ -1,0 +1,88 @@
+#include "traffic/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/sizing.h"
+#include "vcps/simulation.h"
+
+namespace vlm::traffic {
+namespace {
+
+TEST(Diurnal, MultipliersAverageToOne) {
+  const DiurnalProfile profile = DiurnalProfile::standard_weekday();
+  double total = 0.0;
+  for (unsigned h = 0; h < 24; ++h) total += profile.multiplier(h);
+  EXPECT_NEAR(total, 24.0, 1e-9);
+}
+
+TEST(Diurnal, HourlyVolumesSumToDailyTotal) {
+  const DiurnalProfile profile = DiurnalProfile::standard_weekday();
+  double total = 0.0;
+  for (unsigned h = 0; h < 24; ++h) total += profile.hourly_volume(120'000, h);
+  EXPECT_NEAR(total, 120'000.0, 1e-6);
+}
+
+TEST(Diurnal, StandardProfileHasDoublePeakShape) {
+  const DiurnalProfile profile = DiurnalProfile::standard_weekday();
+  // Morning and evening peaks dominate their shoulders; deep night trough.
+  EXPECT_GT(profile.multiplier(8), profile.multiplier(5));
+  EXPECT_GT(profile.multiplier(8), profile.multiplier(11));
+  EXPECT_GT(profile.multiplier(17), profile.multiplier(13));
+  EXPECT_LT(profile.multiplier(3), 0.2);
+  EXPECT_GT(profile.peak_to_trough(), 10.0);
+}
+
+TEST(Diurnal, CustomProfileIsRescaled) {
+  std::array<double, 24> flat{};
+  flat.fill(5.0);
+  const DiurnalProfile profile(flat);
+  for (unsigned h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(profile.multiplier(h), 1.0);
+  }
+}
+
+TEST(Diurnal, Guards) {
+  std::array<double, 24> zeros{};
+  EXPECT_THROW(DiurnalProfile{zeros}, std::invalid_argument);
+  std::array<double, 24> negative{};
+  negative.fill(1.0);
+  negative[3] = -0.1;
+  EXPECT_THROW(DiurnalProfile{negative}, std::invalid_argument);
+  const DiurnalProfile profile = DiurnalProfile::standard_weekday();
+  EXPECT_THROW((void)profile.multiplier(24), std::invalid_argument);
+  EXPECT_THROW((void)profile.hourly_volume(-1.0, 3), std::invalid_argument);
+}
+
+TEST(Diurnal, HourlyPeriodsResizeArraysAcrossTheDay) {
+  // Drive a two-RSU deployment through 24 hourly periods following the
+  // profile; with alpha = 1 history adopts each hour's volume, so the
+  // NEXT hour's array reflects the previous hour — sizes must span a
+  // wide range between night and peak.
+  const DiurnalProfile profile = DiurnalProfile::standard_weekday();
+  vcps::SimulationConfig config;
+  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.history_alpha = 1.0;
+  config.seed = 31;
+  const std::vector<vcps::RsuSite> sites{
+      vcps::RsuSite{core::RsuId{1}, profile.hourly_volume(96'000, 23)}};
+  vcps::VcpsSimulation sim(config, sites);
+
+  std::size_t min_size = ~std::size_t{0}, max_size = 0;
+  const std::vector<std::size_t> route{0};
+  for (unsigned h = 0; h < 24; ++h) {
+    sim.begin_period();
+    min_size = std::min(min_size, sim.rsu(0).state().array_size());
+    max_size = std::max(max_size, sim.rsu(0).state().array_size());
+    const auto volume = static_cast<std::uint64_t>(
+        profile.hourly_volume(96'000, h));
+    for (std::uint64_t v = 0; v < volume; ++v) sim.drive_vehicle(route);
+    sim.end_period();
+  }
+  EXPECT_GE(max_size / min_size, 8u)
+      << "array sizes must track the diurnal swing";
+}
+
+}  // namespace
+}  // namespace vlm::traffic

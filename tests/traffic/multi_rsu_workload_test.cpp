@@ -1,0 +1,82 @@
+#include "traffic/multi_rsu_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::traffic {
+namespace {
+
+MultiRsuConfig small_config() {
+  MultiRsuConfig config;
+  config.rsu_count = 10;
+  config.vehicle_count = 20'000;
+  config.zipf_exponent = 1.0;
+  config.min_visits = 2;
+  config.max_visits = 4;
+  config.seed = 3;
+  return config;
+}
+
+TEST(MultiRsuWorkload, VisitListsAreDistinctAndBounded) {
+  MultiRsuWorkload workload(small_config());
+  workload.for_each_vehicle([&](std::uint64_t, std::span<const std::uint32_t> rsus) {
+    ASSERT_GE(rsus.size(), 2u);
+    ASSERT_LE(rsus.size(), 4u);
+    std::set<std::uint32_t> unique(rsus.begin(), rsus.end());
+    ASSERT_EQ(unique.size(), rsus.size());
+    for (std::uint32_t r : rsus) ASSERT_LT(r, 10u);
+  });
+}
+
+TEST(MultiRsuWorkload, GroundTruthMatchesStream) {
+  MultiRsuWorkload workload(small_config());
+  std::vector<std::uint64_t> volumes(10, 0);
+  std::uint64_t pair_0_1 = 0;
+  workload.for_each_vehicle([&](std::uint64_t, std::span<const std::uint32_t> rsus) {
+    bool has0 = false, has1 = false;
+    for (std::uint32_t r : rsus) {
+      ++volumes[r];
+      has0 |= (r == 0);
+      has1 |= (r == 1);
+    }
+    if (has0 && has1) ++pair_0_1;
+  });
+  EXPECT_EQ(workload.node_volumes(), volumes);
+  EXPECT_EQ(workload.pair_volume(0, 1), pair_0_1);
+  EXPECT_EQ(workload.pair_volume(1, 0), pair_0_1);  // symmetric
+}
+
+TEST(MultiRsuWorkload, ZipfSkewMakesVolumesHeterogeneous) {
+  MultiRsuWorkload workload(small_config());
+  workload.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+  const auto& v = workload.node_volumes();
+  // RSU 0 is the most popular under Zipf; the tail is much lighter.
+  EXPECT_GT(v[0], 2 * v[9]);
+}
+
+TEST(MultiRsuWorkload, DeterministicPerSeed) {
+  MultiRsuWorkload a(small_config()), b(small_config());
+  a.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+  b.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+  EXPECT_EQ(a.node_volumes(), b.node_volumes());
+  EXPECT_EQ(a.pair_volume(2, 5), b.pair_volume(2, 5));
+}
+
+TEST(MultiRsuWorkload, Guards) {
+  MultiRsuConfig config = small_config();
+  config.max_visits = 20;  // > rsu_count
+  EXPECT_THROW(MultiRsuWorkload{config}, std::invalid_argument);
+  config = small_config();
+  config.rsu_count = 1;
+  EXPECT_THROW(MultiRsuWorkload{config}, std::invalid_argument);
+  MultiRsuWorkload workload(small_config());
+  workload.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+  EXPECT_THROW((void)workload.pair_volume(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)workload.pair_volume(0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::traffic

@@ -1,0 +1,60 @@
+#include "traffic/sweeps.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vlm::traffic {
+namespace {
+
+TEST(FigureSweep, PaperDefaultsProduceFullGrid) {
+  // n_c from 0.01 n_x to 0.5 n_x in steps of 0.001 n_x: 491 points.
+  const auto sweep = build_figure_sweep(FigureSweepSpec{});
+  EXPECT_EQ(sweep.size(), 491u);
+  EXPECT_EQ(sweep.front().n_c, 100u);
+  EXPECT_EQ(sweep.back().n_c, 5000u);
+  for (const auto& w : sweep) {
+    EXPECT_EQ(w.n_x, 10'000u);
+    EXPECT_EQ(w.n_y, 10'000u);
+  }
+}
+
+TEST(FigureSweep, RatioScalesNy) {
+  FigureSweepSpec spec;
+  spec.ratio_y = 50.0;
+  const auto sweep = build_figure_sweep(spec);
+  EXPECT_EQ(sweep.front().n_y, 500'000u);
+}
+
+TEST(FigureSweep, CoarserStepShrinksGrid) {
+  FigureSweepSpec spec;
+  spec.c_step_frac = 0.01;
+  const auto sweep = build_figure_sweep(spec);
+  EXPECT_EQ(sweep.size(), 50u);
+}
+
+TEST(FigureSweep, StepsAreMonotoneAndBounded) {
+  FigureSweepSpec spec;
+  spec.c_step_frac = 0.005;
+  const auto sweep = build_figure_sweep(spec);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].n_c, sweep[i - 1].n_c);
+  }
+  EXPECT_LE(sweep.back().n_c, sweep.back().n_x / 2);
+}
+
+TEST(FigureSweep, Guards) {
+  FigureSweepSpec spec;
+  spec.ratio_y = 0.5;
+  EXPECT_THROW((void)build_figure_sweep(spec), std::invalid_argument);
+  spec = {};
+  spec.c_step_frac = 0.0;
+  EXPECT_THROW((void)build_figure_sweep(spec), std::invalid_argument);
+  spec = {};
+  spec.c_min_frac = 0.6;
+  spec.c_max_frac = 0.5;
+  EXPECT_THROW((void)build_figure_sweep(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::traffic

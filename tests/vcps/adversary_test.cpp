@@ -1,0 +1,119 @@
+#include "vcps/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "vcps/central_server.h"
+#include "vcps/simulation.h"
+
+namespace vlm::vcps {
+namespace {
+
+CentralServerConfig defended_config() {
+  CentralServerConfig config;
+  config.s = 2;
+  config.sizing = core::VlmSizingPolicy(8.0);
+  config.validation.enabled = true;
+  config.validation.tolerance_sigmas = 6.0;
+  config.validation.max_history_ratio = 4.0;
+  config.validation.min_history_for_ratio_check = 100.0;
+  return config;
+}
+
+RsuReport run_attacked_period(std::uint64_t honest, std::uint64_t flood,
+                              std::size_t paint_stride, std::size_t m) {
+  core::Encoder enc(core::EncoderConfig{});
+  CertificateAuthority ca(1);
+  Rsu rsu(core::RsuId{5}, ca.issue(core::RsuId{5}, 100), m);
+  for (std::uint64_t i = 0; i < honest; ++i) {
+    core::VehicleIdentity v{core::VehicleId{common::mix64(i * 3 + 1)},
+                            common::mix64(i * 5 + 2)};
+    rsu.handle_reply(Reply{enc.bit_index(v, core::RsuId{5}, m), 0});
+  }
+  Adversary adversary(99);
+  if (flood > 0) adversary.flood(rsu, flood);
+  if (paint_stride > 0) adversary.paint(rsu, paint_stride);
+  return rsu.make_report(1);
+}
+
+TEST(Adversary, FloodInflatesCounterPlausibly) {
+  // Flooded bits are uniform: the bit-level validator CANNOT tell (this
+  // is the privacy property), so the zero-count check stays green...
+  const RsuReport report = run_attacked_period(5'000, 5'000, 0, 1 << 16);
+  EXPECT_EQ(report.counter, 10'000u);
+  core::ReportValidator validator(6.0);
+  const auto bits = common::BitArray::from_bytes(report.array_size, report.bits);
+  EXPECT_EQ(validator.assess(report.counter, report.array_size,
+                             bits.count_zeros()).verdict,
+            core::ReportVerdict::kPlausible);
+}
+
+TEST(Adversary, FloodIsCaughtByHistoryBound) {
+  // ...but the volume anomaly against history quarantines it.
+  CentralServer server(defended_config());
+  server.register_rsu(core::RsuId{5}, 5'000.0);
+  server.begin_period(1);
+  const RsuReport flooded = run_attacked_period(5'000, 45'000, 0, 1 << 16);
+  EXPECT_EQ(server.ingest(flooded), QuarantineReason::kVolumeAnomaly);
+  EXPECT_EQ(server.reports_received(), 0u);
+  EXPECT_EQ(server.quarantined_count(), 1u);
+  EXPECT_EQ(server.quarantine_reason(core::RsuId{5}),
+            QuarantineReason::kVolumeAnomaly);
+  // History must NOT have been poisoned by the quarantined counter.
+  EXPECT_DOUBLE_EQ(server.history_volume(core::RsuId{5}), 5'000.0);
+}
+
+TEST(Adversary, PaintIsCaughtByZeroCountCheck) {
+  CentralServer server(defended_config());
+  server.register_rsu(core::RsuId{5}, 5'000.0);
+  server.begin_period(1);
+  const RsuReport painted = run_attacked_period(5'000, 0, 8, 1 << 16);
+  EXPECT_EQ(server.ingest(painted), QuarantineReason::kZeroCountAnomaly);
+  EXPECT_EQ(server.quarantine_reason(core::RsuId{5}),
+            QuarantineReason::kZeroCountAnomaly);
+}
+
+TEST(Adversary, HonestReportPassesTheDefendedServer) {
+  CentralServer server(defended_config());
+  server.register_rsu(core::RsuId{5}, 5'000.0);
+  server.begin_period(1);
+  const RsuReport honest = run_attacked_period(5'000, 0, 0, 1 << 16);
+  EXPECT_EQ(server.ingest(honest), QuarantineReason::kNone);
+  EXPECT_EQ(server.reports_received(), 1u);
+  EXPECT_EQ(server.quarantined_count(), 0u);
+}
+
+TEST(Adversary, OutageIsAlsoAVolumeAnomaly) {
+  CentralServer server(defended_config());
+  server.register_rsu(core::RsuId{5}, 5'000.0);
+  server.begin_period(1);
+  const RsuReport quiet = run_attacked_period(100, 0, 0, 1 << 16);
+  EXPECT_EQ(server.ingest(quiet), QuarantineReason::kVolumeAnomaly);
+}
+
+TEST(Adversary, QuarantineClearsAtNextPeriod) {
+  CentralServer server(defended_config());
+  server.register_rsu(core::RsuId{5}, 5'000.0);
+  server.begin_period(1);
+  RsuReport painted = run_attacked_period(5'000, 0, 8, 1 << 16);
+  server.ingest(painted);
+  EXPECT_EQ(server.quarantined_count(), 1u);
+  server.begin_period(2);
+  EXPECT_EQ(server.quarantined_count(), 0u);
+  RsuReport honest = run_attacked_period(5'000, 0, 0, 1 << 16);
+  honest.period = 2;
+  EXPECT_EQ(server.ingest(honest), QuarantineReason::kNone);
+}
+
+TEST(Adversary, PaintStrideGuards) {
+  core::Encoder enc(core::EncoderConfig{});
+  CertificateAuthority ca(1);
+  Rsu rsu(core::RsuId{5}, ca.issue(core::RsuId{5}, 100), 1 << 10);
+  Adversary adversary(1);
+  EXPECT_THROW((void)adversary.paint(rsu, 0), std::invalid_argument);
+  EXPECT_EQ(adversary.paint(rsu, 2), (std::uint64_t{1} << 10) / 2);
+}
+
+}  // namespace
+}  // namespace vlm::vcps

@@ -1,0 +1,157 @@
+#include "vcps/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "core/estimator.h"
+#include "core/report_validator.h"
+#include "vcps/central_server.h"
+
+namespace vlm::vcps {
+namespace {
+
+EventSimConfig base_config(ReplyPolicy policy) {
+  EventSimConfig config;
+  config.period_seconds = 3'600.0;
+  config.query_interval_seconds = 1.0;
+  config.mean_dwell_seconds = 4.0;  // ~4 broadcasts heard per visit
+  config.mean_link_travel_seconds = 20.0;
+  config.reply_policy = policy;
+  config.seed = 5;
+  return config;
+}
+
+TEST(EventSim, OncePerRsuCountsDistinctVisits) {
+  EventSimulation sim(base_config(ReplyPolicy::kAnswerOncePerRsu),
+                      std::array<std::size_t, 2>{1 << 14, 1 << 14});
+  const std::array<std::size_t, 2> route{0, 1};
+  sim.add_flow(route, 4'000);
+  sim.run();
+  // Vehicles that heard at least one query at a stop counted exactly once
+  // there; counters cannot exceed the scheduled visits.
+  EXPECT_LE(sim.rsu(0).state.counter(), 4'000u);
+  EXPECT_LE(sim.rsu(1).state.counter(), 4'000u);
+  // With Exp(4 s) dwell vs 1 s broadcasts ~12% of visits end before the
+  // first tick; expect ~88% coverage.
+  EXPECT_GT(sim.rsu(0).state.counter(), 3'350u);
+  EXPECT_GT(sim.stats().replies_suppressed, 0u);
+}
+
+TEST(EventSim, AnswerEveryQueryInflatesCountersNotBits) {
+  const std::array<std::size_t, 1> route{0};
+  EventSimulation dedup(base_config(ReplyPolicy::kAnswerOncePerRsu),
+                        std::array<std::size_t, 1>{1 << 14});
+  dedup.add_flow(route, 4'000);
+  dedup.run();
+  EventSimulation naive(base_config(ReplyPolicy::kAnswerEveryQuery),
+                        std::array<std::size_t, 1>{1 << 14});
+  naive.add_flow(route, 4'000);
+  naive.run();
+
+  // Same seed => same vehicles and dwell times => same bits set.
+  EXPECT_EQ(naive.rsu(0).state.bits(), dedup.rsu(0).state.bits());
+  // But the naive counter is inflated by roughly dwell/interval.
+  const double inflation =
+      static_cast<double>(naive.rsu(0).state.counter()) /
+      static_cast<double>(dedup.rsu(0).state.counter());
+  EXPECT_GT(inflation, 2.0);
+  EXPECT_LT(inflation, 8.0);
+}
+
+TEST(EventSim, InflatedCountersTripTheOccupancyValidator) {
+  const std::array<std::size_t, 1> route{0};
+  EventSimulation naive(base_config(ReplyPolicy::kAnswerEveryQuery),
+                        std::array<std::size_t, 1>{1 << 12});
+  naive.add_flow(route, 3'000);
+  naive.run();
+  const core::ReportValidator validator(6.0);
+  const auto assessment = validator.assess(naive.rsu(0).state);
+  EXPECT_EQ(assessment.verdict, core::ReportVerdict::kTooEmpty)
+      << "counter claims ~4x the vehicles the bit pattern shows";
+}
+
+TEST(EventSim, EstimatesSurviveTheRealisticTimeline) {
+  // Common traffic through two RSUs with full timing realism; Eq. 5 only
+  // reads the bit arrays, so the estimate tracks the true common volume.
+  EventSimConfig config = base_config(ReplyPolicy::kAnswerOncePerRsu);
+  EventSimulation sim(config,
+                      std::array<std::size_t, 2>{1 << 15, 1 << 15});
+  const std::array<std::size_t, 2> both{0, 1};
+  const std::array<std::size_t, 1> only_a{0};
+  const std::array<std::size_t, 1> only_b{1};
+  sim.add_flow(both, 2'000);
+  sim.add_flow(only_a, 3'000);
+  sim.add_flow(only_b, 5'000);
+  sim.run();
+  core::PairEstimator estimator(2);
+  const auto estimate =
+      estimator.estimate(sim.rsu(0).state, sim.rsu(1).state);
+  // Some common vehicles never hear a query at one of the stops (missed
+  // broadcast or period end), so the measurable common volume is a bit
+  // below 2,000; accept a generous band around it.
+  EXPECT_GT(estimate.n_c_hat, 1'200.0);
+  EXPECT_LT(estimate.n_c_hat, 2'400.0);
+}
+
+TEST(EventSim, ShortDwellMissesSomeVehicles) {
+  EventSimConfig config = base_config(ReplyPolicy::kAnswerOncePerRsu);
+  config.mean_dwell_seconds = 0.3;  // most visits hear no broadcast
+  EventSimulation sim(config, std::array<std::size_t, 1>{1 << 14});
+  const std::array<std::size_t, 1> route{0};
+  sim.add_flow(route, 4'000);
+  sim.run();
+  EXPECT_LT(sim.rsu(0).state.counter(), 2'000u)
+      << "the paper's 'each vehicle receives at least one query' premise "
+         "fails when dwell << broadcast interval";
+}
+
+TEST(EventSim, ReportsFeedTheCentralServerPipeline) {
+  EventSimConfig config = base_config(ReplyPolicy::kAnswerOncePerRsu);
+  EventSimulation sim(config,
+                      std::array<std::size_t, 2>{1 << 14, 1 << 14});
+  const std::array<std::size_t, 2> both{0, 1};
+  sim.add_flow(both, 3'000);
+  sim.run();
+
+  CentralServerConfig server_config;
+  server_config.s = 2;
+  server_config.sizing = core::FbmSizingPolicy(1 << 14);
+  CentralServer server(server_config);
+  server.register_rsu(core::RsuId{1}, 3'000.0);
+  server.register_rsu(core::RsuId{2}, 3'000.0);
+  server.begin_period(1);
+  for (const RsuReport& report : sim.make_reports(1)) {
+    EXPECT_EQ(server.ingest(report), QuarantineReason::kNone);
+  }
+  // Every vehicle that answered both RSUs is common traffic.
+  const auto estimate = server.estimate(core::RsuId{1}, core::RsuId{2});
+  EXPECT_GT(estimate.n_c_hat, 1'800.0);
+  EXPECT_LT(estimate.n_c_hat, 3'300.0);
+}
+
+TEST(EventSim, ReportsRequireRun) {
+  EventSimConfig config = base_config(ReplyPolicy::kAnswerOncePerRsu);
+  EventSimulation sim(config, std::array<std::size_t, 1>{1 << 10});
+  EXPECT_THROW((void)sim.make_reports(1), std::invalid_argument);
+}
+
+TEST(EventSim, Guards) {
+  EventSimConfig config = base_config(ReplyPolicy::kAnswerOncePerRsu);
+  EXPECT_THROW(
+      EventSimulation(config, std::array<std::size_t, 0>{}),
+      std::invalid_argument);
+  EventSimulation sim(config, std::array<std::size_t, 1>{1 << 10});
+  EXPECT_THROW(sim.add_flow(std::array<std::size_t, 1>{5}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(sim.run(), std::invalid_argument);  // no flows
+  const std::array<std::size_t, 1> route{0};
+  sim.add_flow(route, 10);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::invalid_argument);  // already ran
+  EXPECT_THROW(sim.add_flow(route, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlm::vcps

@@ -1,0 +1,94 @@
+// Long-run integration: several measurement periods over the Sioux Falls
+// deployment with history-driven re-sizing, validated reports, archiving,
+// and stable estimates throughout.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/report_validator.h"
+#include "roadnet/assignment.h"
+#include "roadnet/sioux_falls.h"
+#include "roadnet/trajectory.h"
+#include "vcps/archive.h"
+#include "vcps/simulation.h"
+
+namespace vlm::vcps {
+namespace {
+
+TEST(MultiPeriodIntegration, FivePeriodsStayHealthy) {
+  const roadnet::Graph graph = roadnet::sioux_falls_network();
+  roadnet::TripTable trips = roadnet::sioux_falls_trip_table();
+  trips.scale(0.1);  // keep the test fast (~36k vehicles/period)
+  const auto assignment =
+      roadnet::assign(graph, trips, {roadnet::AssignmentMethod::kFrankWolfe,
+                                     15, 1e-3});
+
+  SimulationConfig config;
+  config.server.s = 2;
+  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.history_alpha = 0.5;
+  config.server.validation.enabled = true;
+  config.seed = 777;
+  std::vector<RsuSite> sites;
+  for (roadnet::NodeIndex n = 0; n < 24; ++n) {
+    // Deliberately poor initial history (50% of truth): the EWMA must
+    // converge and the arrays must re-size across periods.
+    sites.push_back(RsuSite{core::RsuId{n + 1u},
+                            0.5 * assignment.expected_node_volume(n)});
+  }
+  VcpsSimulation sim(config, sites);
+
+  const roadnet::NodeIndex ry = 9;
+  std::vector<double> period_estimates;
+  std::size_t first_size = 0, last_size = 0;
+  for (int period = 1; period <= 5; ++period) {
+    sim.begin_period();
+    if (period == 1) first_size = sim.rsu(ry).state().array_size();
+    if (period == 5) last_size = sim.rsu(ry).state().array_size();
+
+    std::uint64_t true_common = 0;
+    roadnet::TrajectorySampler sampler(
+        assignment, config.seed + static_cast<std::uint64_t>(period));
+    std::vector<std::size_t> positions;
+    const roadnet::NodeIndex rx = 14;  // node 15
+    sampler.for_each_vehicle([&](std::span<const roadnet::NodeIndex> nodes) {
+      positions.assign(nodes.begin(), nodes.end());
+      const bool hx = std::find(nodes.begin(), nodes.end(), rx) != nodes.end();
+      const bool hy = std::find(nodes.begin(), nodes.end(), ry) != nodes.end();
+      if (hx && hy) ++true_common;
+      sim.drive_vehicle(positions);
+    });
+    sim.end_period();
+
+    // Every report accepted (validation on), none quarantined.
+    EXPECT_EQ(sim.server().reports_received(), 24u) << "period " << period;
+    EXPECT_EQ(sim.server().quarantined_count(), 0u) << "period " << period;
+
+    // Estimate is finite and in the right ballpark each period.
+    const auto estimate = sim.estimate(rx, ry);
+    ASSERT_GT(true_common, 100u);
+    EXPECT_NEAR(estimate.n_c_hat, static_cast<double>(true_common),
+                static_cast<double>(true_common) * 0.5)
+        << "period " << period;
+    period_estimates.push_back(estimate.n_c_hat);
+
+    // Period archives round-trip.
+    PeriodArchive archive;
+    archive.period = sim.current_period();
+    for (std::size_t r = 0; r < sim.rsu_count(); ++r) {
+      archive.reports.push_back(
+          sim.rsu(r).make_report(archive.period));
+    }
+    std::stringstream stream;
+    write_archive(stream, archive);
+    EXPECT_EQ(read_archive(stream).reports.size(), 24u);
+  }
+
+  // History adaptation: starting from a 50%-of-truth history, the busiest
+  // node's array must have grown by period 5.
+  EXPECT_GT(last_size, first_size);
+}
+
+}  // namespace
+}  // namespace vlm::vcps

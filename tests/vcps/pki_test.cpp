@@ -1,0 +1,50 @@
+#include "vcps/pki.h"
+
+#include <gtest/gtest.h>
+
+namespace vlm::vcps {
+namespace {
+
+TEST(Pki, IssueAndVerify) {
+  CertificateAuthority ca(42);
+  const Certificate cert = ca.issue(core::RsuId{7}, 100);
+  EXPECT_TRUE(ca.verify(cert, 1));
+  EXPECT_TRUE(ca.verify(cert, 100));
+}
+
+TEST(Pki, RejectsExpiredCertificate) {
+  CertificateAuthority ca(42);
+  const Certificate cert = ca.issue(core::RsuId{7}, 100);
+  EXPECT_FALSE(ca.verify(cert, 101));
+}
+
+TEST(Pki, RejectsTamperedSubject) {
+  CertificateAuthority ca(42);
+  Certificate cert = ca.issue(core::RsuId{7}, 100);
+  cert.subject = core::RsuId{8};
+  EXPECT_FALSE(ca.verify(cert, 1));
+}
+
+TEST(Pki, RejectsTamperedExpiry) {
+  CertificateAuthority ca(42);
+  Certificate cert = ca.issue(core::RsuId{7}, 100);
+  cert.valid_until_period = 1'000'000;
+  EXPECT_FALSE(ca.verify(cert, 1));
+}
+
+TEST(Pki, RejectsForeignAuthority) {
+  CertificateAuthority ca(42), rogue(43);
+  const Certificate forged = rogue.issue(core::RsuId{7}, 100);
+  EXPECT_FALSE(ca.verify(forged, 1));
+}
+
+TEST(Pki, SignaturesDifferAcrossSubjects) {
+  CertificateAuthority ca(42);
+  EXPECT_NE(ca.issue(core::RsuId{1}, 100).signature,
+            ca.issue(core::RsuId{2}, 100).signature);
+  EXPECT_NE(ca.issue(core::RsuId{1}, 100).signature,
+            ca.issue(core::RsuId{1}, 200).signature);
+}
+
+}  // namespace
+}  // namespace vlm::vcps

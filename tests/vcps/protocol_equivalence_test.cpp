@@ -1,0 +1,90 @@
+// The figure benches drive core directly for speed; this test proves the
+// shortcut is sound: a full protocol run (certificates, queries, replies,
+// serialized reports) produces BIT-IDENTICAL arrays and the same estimate
+// as core-level recording with the same encoder and vehicle identities.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/pair_simulation.h"
+#include "vcps/simulation.h"
+
+namespace vlm::vcps {
+namespace {
+
+TEST(ProtocolEquivalence, FullStackMatchesCoreRecording) {
+  const core::EncoderConfig encoder_config{};
+  const core::RsuId id_x{100}, id_y{200};
+
+  // Protocol side: two sites with histories that produce 2^14 and 2^16.
+  SimulationConfig config;
+  config.encoder = encoder_config;
+  config.server.s = 2;
+  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.seed = 42;
+  const std::vector<RsuSite> sites{RsuSite{id_x, 1'500.0},
+                                   RsuSite{id_y, 6'000.0}};
+  VcpsSimulation sim(config, sites);
+  sim.begin_period();
+
+  // Core side: same encoder, same array sizes.
+  core::Encoder encoder(encoder_config);
+  core::RsuState core_x(sim.rsu(0).state().array_size());
+  core::RsuState core_y(sim.rsu(1).state().array_size());
+
+  const std::array<std::size_t, 2> both{0, 1};
+  const std::array<std::size_t, 1> only_x{0};
+  const std::array<std::size_t, 1> only_y{1};
+  for (std::uint64_t i = 0; i < 3'000; ++i) {
+    core::VehicleIdentity v;
+    v.id = core::VehicleId{common::mix64(1000 + i * 3)};
+    v.private_key = common::mix64(2000 + i * 7);
+    const bool hits_x = i % 2 == 0;
+    const bool hits_y = i % 3 == 0;
+    if (!hits_x && !hits_y) continue;
+    // Protocol path.
+    sim.drive_vehicle_as(v, hits_x && hits_y
+                                ? std::span<const std::size_t>(both)
+                                : hits_x ? std::span<const std::size_t>(only_x)
+                                         : std::span<const std::size_t>(only_y));
+    // Core path.
+    if (hits_x) core_x.record(encoder.bit_index(v, id_x, core_x.array_size()));
+    if (hits_y) core_y.record(encoder.bit_index(v, id_y, core_y.array_size()));
+  }
+  sim.end_period();
+
+  EXPECT_EQ(sim.rsu(0).state().bits(), core_x.bits());
+  EXPECT_EQ(sim.rsu(1).state().bits(), core_y.bits());
+  EXPECT_EQ(sim.rsu(0).state().counter(), core_x.counter());
+  EXPECT_EQ(sim.rsu(1).state().counter(), core_y.counter());
+
+  core::PairEstimator estimator(2);
+  const auto core_estimate = estimator.estimate(core_x, core_y);
+  const auto protocol_estimate = sim.estimate(0, 1);
+  EXPECT_DOUBLE_EQ(core_estimate.raw, protocol_estimate.raw);
+}
+
+TEST(ProtocolEquivalence, ReportSerializationIsLossless) {
+  // The estimate computed from serialized reports equals the estimate
+  // from the in-memory states (the server only ever sees bytes).
+  SimulationConfig config;
+  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.seed = 7;
+  const std::vector<RsuSite> sites{RsuSite{core::RsuId{1}, 2'000.0},
+                                   RsuSite{core::RsuId{2}, 2'000.0}};
+  VcpsSimulation sim(config, sites);
+  sim.begin_period();
+  const std::array<std::size_t, 2> both{0, 1};
+  for (int i = 0; i < 2'000; ++i) sim.drive_vehicle(both);
+  sim.end_period();
+
+  core::PairEstimator estimator(2);
+  const auto direct =
+      estimator.estimate(sim.rsu(0).state(), sim.rsu(1).state());
+  const auto via_server = sim.estimate(0, 1);
+  EXPECT_DOUBLE_EQ(direct.raw, via_server.raw);
+  EXPECT_EQ(direct.m_y, via_server.m_y);
+}
+
+}  // namespace
+}  // namespace vlm::vcps
