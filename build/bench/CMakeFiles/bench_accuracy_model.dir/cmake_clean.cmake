@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_model.dir/bench_accuracy_model.cpp.o"
+  "CMakeFiles/bench_accuracy_model.dir/bench_accuracy_model.cpp.o.d"
+  "bench_accuracy_model"
+  "bench_accuracy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

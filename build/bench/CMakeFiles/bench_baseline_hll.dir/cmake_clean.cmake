@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_hll.dir/bench_baseline_hll.cpp.o"
+  "CMakeFiles/bench_baseline_hll.dir/bench_baseline_hll.cpp.o.d"
+  "bench_baseline_hll"
+  "bench_baseline_hll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_hll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

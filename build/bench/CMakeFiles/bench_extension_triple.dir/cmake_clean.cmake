@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_triple.dir/bench_extension_triple.cpp.o"
+  "CMakeFiles/bench_extension_triple.dir/bench_extension_triple.cpp.o.d"
+  "bench_extension_triple"
+  "bench_extension_triple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_triple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

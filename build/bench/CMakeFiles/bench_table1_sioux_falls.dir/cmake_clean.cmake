@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sioux_falls.dir/bench_table1_sioux_falls.cpp.o"
+  "CMakeFiles/bench_table1_sioux_falls.dir/bench_table1_sioux_falls.cpp.o.d"
+  "bench_table1_sioux_falls"
+  "bench_table1_sioux_falls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sioux_falls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

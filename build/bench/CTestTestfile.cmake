@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig2 "/root/repo/build/bench/bench_fig2_privacy")
+set_tests_properties(bench_smoke_fig2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table1 "/root/repo/build/bench/bench_table1_sioux_falls")
+set_tests_properties(bench_smoke_table1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4 "/root/repo/build/bench/bench_fig4_fbm_accuracy" "--step" "0.1")
+set_tests_properties(bench_smoke_fig4 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5 "/root/repo/build/bench/bench_fig5_vlm_accuracy" "--step" "0.1")
+set_tests_properties(bench_smoke_fig5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;28;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig4_s5 "/root/repo/build/bench/bench_fig4_fbm_accuracy" "--step" "0.1" "--s" "5")
+set_tests_properties(bench_smoke_fig4_s5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig5_s10 "/root/repo/build/bench/bench_fig5_vlm_accuracy" "--step" "0.1" "--s" "10")
+set_tests_properties(bench_smoke_fig5_s10 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_accuracy_model "/root/repo/build/bench/bench_accuracy_model" "--trials" "10")
+set_tests_properties(bench_smoke_accuracy_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation "/root/repo/build/bench/bench_ablation_imbalance" "--trials" "2")
+set_tests_properties(bench_smoke_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_triple "/root/repo/build/bench/bench_extension_triple" "--trials" "2")
+set_tests_properties(bench_smoke_triple PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_hll "/root/repo/build/bench/bench_baseline_hll" "--trials" "2")
+set_tests_properties(bench_smoke_hll PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;36;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_overhead "/root/repo/build/bench/bench_overhead" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke_overhead PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")

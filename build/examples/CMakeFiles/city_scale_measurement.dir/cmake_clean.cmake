@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_scale_measurement.dir/city_scale_measurement.cpp.o"
+  "CMakeFiles/city_scale_measurement.dir/city_scale_measurement.cpp.o.d"
+  "city_scale_measurement"
+  "city_scale_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_scale_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_period_monitoring.dir/multi_period_monitoring.cpp.o"
+  "CMakeFiles/multi_period_monitoring.dir/multi_period_monitoring.cpp.o.d"
+  "multi_period_monitoring"
+  "multi_period_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_period_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sioux_falls_study.dir/sioux_falls_study.cpp.o"
+  "CMakeFiles/sioux_falls_study.dir/sioux_falls_study.cpp.o.d"
+  "sioux_falls_study"
+  "sioux_falls_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sioux_falls_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_common.dir/bit_array.cpp.o"
+  "CMakeFiles/vlm_common.dir/bit_array.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/cli.cpp.o"
+  "CMakeFiles/vlm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/csv.cpp.o"
+  "CMakeFiles/vlm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/hashing.cpp.o"
+  "CMakeFiles/vlm_common.dir/hashing.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/logging.cpp.o"
+  "CMakeFiles/vlm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/math_util.cpp.o"
+  "CMakeFiles/vlm_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/parallel.cpp.o"
+  "CMakeFiles/vlm_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/rng.cpp.o"
+  "CMakeFiles/vlm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vlm_common.dir/table.cpp.o"
+  "CMakeFiles/vlm_common.dir/table.cpp.o.d"
+  "libvlm_common.a"
+  "libvlm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy_model.cpp" "src/core/CMakeFiles/vlm_core.dir/accuracy_model.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/accuracy_model.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/vlm_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/encoder.cpp" "src/core/CMakeFiles/vlm_core.dir/encoder.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/encoder.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/vlm_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/interval.cpp" "src/core/CMakeFiles/vlm_core.dir/interval.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/interval.cpp.o.d"
+  "/root/repo/src/core/load_factor.cpp" "src/core/CMakeFiles/vlm_core.dir/load_factor.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/load_factor.cpp.o.d"
+  "/root/repo/src/core/multi_period.cpp" "src/core/CMakeFiles/vlm_core.dir/multi_period.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/multi_period.cpp.o.d"
+  "/root/repo/src/core/od_matrix.cpp" "src/core/CMakeFiles/vlm_core.dir/od_matrix.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/od_matrix.cpp.o.d"
+  "/root/repo/src/core/pair_simulation.cpp" "src/core/CMakeFiles/vlm_core.dir/pair_simulation.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/pair_simulation.cpp.o.d"
+  "/root/repo/src/core/privacy_model.cpp" "src/core/CMakeFiles/vlm_core.dir/privacy_model.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/privacy_model.cpp.o.d"
+  "/root/repo/src/core/report_validator.cpp" "src/core/CMakeFiles/vlm_core.dir/report_validator.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/report_validator.cpp.o.d"
+  "/root/repo/src/core/rsu_state.cpp" "src/core/CMakeFiles/vlm_core.dir/rsu_state.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/rsu_state.cpp.o.d"
+  "/root/repo/src/core/sizing.cpp" "src/core/CMakeFiles/vlm_core.dir/sizing.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/sizing.cpp.o.d"
+  "/root/repo/src/core/triple_estimator.cpp" "src/core/CMakeFiles/vlm_core.dir/triple_estimator.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/triple_estimator.cpp.o.d"
+  "/root/repo/src/core/union_estimator.cpp" "src/core/CMakeFiles/vlm_core.dir/union_estimator.cpp.o" "gcc" "src/core/CMakeFiles/vlm_core.dir/union_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

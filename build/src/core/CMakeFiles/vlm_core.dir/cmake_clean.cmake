@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_core.dir/accuracy_model.cpp.o"
+  "CMakeFiles/vlm_core.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/calibration.cpp.o"
+  "CMakeFiles/vlm_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/encoder.cpp.o"
+  "CMakeFiles/vlm_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/estimator.cpp.o"
+  "CMakeFiles/vlm_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/interval.cpp.o"
+  "CMakeFiles/vlm_core.dir/interval.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/load_factor.cpp.o"
+  "CMakeFiles/vlm_core.dir/load_factor.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/multi_period.cpp.o"
+  "CMakeFiles/vlm_core.dir/multi_period.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/od_matrix.cpp.o"
+  "CMakeFiles/vlm_core.dir/od_matrix.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/pair_simulation.cpp.o"
+  "CMakeFiles/vlm_core.dir/pair_simulation.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/privacy_model.cpp.o"
+  "CMakeFiles/vlm_core.dir/privacy_model.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/report_validator.cpp.o"
+  "CMakeFiles/vlm_core.dir/report_validator.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/rsu_state.cpp.o"
+  "CMakeFiles/vlm_core.dir/rsu_state.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/sizing.cpp.o"
+  "CMakeFiles/vlm_core.dir/sizing.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/triple_estimator.cpp.o"
+  "CMakeFiles/vlm_core.dir/triple_estimator.cpp.o.d"
+  "CMakeFiles/vlm_core.dir/union_estimator.cpp.o"
+  "CMakeFiles/vlm_core.dir/union_estimator.cpp.o.d"
+  "libvlm_core.a"
+  "libvlm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

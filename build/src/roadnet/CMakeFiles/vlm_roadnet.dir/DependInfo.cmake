@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/assignment.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/assignment.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/assignment.cpp.o.d"
+  "/root/repo/src/roadnet/graph.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/graph.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/graph.cpp.o.d"
+  "/root/repo/src/roadnet/shortest_path.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/shortest_path.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/roadnet/sioux_falls.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/sioux_falls.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/sioux_falls.cpp.o.d"
+  "/root/repo/src/roadnet/synthetic_city.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/synthetic_city.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/synthetic_city.cpp.o.d"
+  "/root/repo/src/roadnet/tntp_io.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/tntp_io.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/tntp_io.cpp.o.d"
+  "/root/repo/src/roadnet/trajectory.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/trajectory.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/trajectory.cpp.o.d"
+  "/root/repo/src/roadnet/trip_table.cpp" "src/roadnet/CMakeFiles/vlm_roadnet.dir/trip_table.cpp.o" "gcc" "src/roadnet/CMakeFiles/vlm_roadnet.dir/trip_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

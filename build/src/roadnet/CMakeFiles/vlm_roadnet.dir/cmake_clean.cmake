@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_roadnet.dir/assignment.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/assignment.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/graph.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/graph.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/shortest_path.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/sioux_falls.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/sioux_falls.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/synthetic_city.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/synthetic_city.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/tntp_io.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/tntp_io.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/trajectory.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/trajectory.cpp.o.d"
+  "CMakeFiles/vlm_roadnet.dir/trip_table.cpp.o"
+  "CMakeFiles/vlm_roadnet.dir/trip_table.cpp.o.d"
+  "libvlm_roadnet.a"
+  "libvlm_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

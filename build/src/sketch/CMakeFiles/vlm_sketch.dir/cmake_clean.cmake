@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_sketch.dir/hll.cpp.o"
+  "CMakeFiles/vlm_sketch.dir/hll.cpp.o.d"
+  "libvlm_sketch.a"
+  "libvlm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

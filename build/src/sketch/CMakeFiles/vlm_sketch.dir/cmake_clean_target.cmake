@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlm_sketch.a"
+)

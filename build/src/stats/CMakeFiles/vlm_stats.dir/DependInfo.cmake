@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_square.cpp" "src/stats/CMakeFiles/vlm_stats.dir/chi_square.cpp.o" "gcc" "src/stats/CMakeFiles/vlm_stats.dir/chi_square.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/vlm_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/vlm_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/vlm_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/vlm_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/estimator_eval.cpp" "src/stats/CMakeFiles/vlm_stats.dir/estimator_eval.cpp.o" "gcc" "src/stats/CMakeFiles/vlm_stats.dir/estimator_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_stats.dir/chi_square.cpp.o"
+  "CMakeFiles/vlm_stats.dir/chi_square.cpp.o.d"
+  "CMakeFiles/vlm_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/vlm_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/vlm_stats.dir/distributions.cpp.o"
+  "CMakeFiles/vlm_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/vlm_stats.dir/estimator_eval.cpp.o"
+  "CMakeFiles/vlm_stats.dir/estimator_eval.cpp.o.d"
+  "libvlm_stats.a"
+  "libvlm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

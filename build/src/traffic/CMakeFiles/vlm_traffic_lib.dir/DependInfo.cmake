@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/diurnal.cpp" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/diurnal.cpp.o" "gcc" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/diurnal.cpp.o.d"
+  "/root/repo/src/traffic/multi_rsu_workload.cpp" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/multi_rsu_workload.cpp.o" "gcc" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/multi_rsu_workload.cpp.o.d"
+  "/root/repo/src/traffic/sweeps.cpp" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/sweeps.cpp.o" "gcc" "src/traffic/CMakeFiles/vlm_traffic_lib.dir/sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

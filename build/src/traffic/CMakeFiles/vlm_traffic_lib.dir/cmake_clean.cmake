@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_traffic_lib.dir/diurnal.cpp.o"
+  "CMakeFiles/vlm_traffic_lib.dir/diurnal.cpp.o.d"
+  "CMakeFiles/vlm_traffic_lib.dir/multi_rsu_workload.cpp.o"
+  "CMakeFiles/vlm_traffic_lib.dir/multi_rsu_workload.cpp.o.d"
+  "CMakeFiles/vlm_traffic_lib.dir/sweeps.cpp.o"
+  "CMakeFiles/vlm_traffic_lib.dir/sweeps.cpp.o.d"
+  "libvlm_traffic_lib.a"
+  "libvlm_traffic_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_traffic_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcps/adversary.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/adversary.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/adversary.cpp.o.d"
+  "/root/repo/src/vcps/archive.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/archive.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/archive.cpp.o.d"
+  "/root/repo/src/vcps/central_server.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/central_server.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/central_server.cpp.o.d"
+  "/root/repo/src/vcps/channel.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/channel.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/channel.cpp.o.d"
+  "/root/repo/src/vcps/event_sim.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/event_sim.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/event_sim.cpp.o.d"
+  "/root/repo/src/vcps/pki.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/pki.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/pki.cpp.o.d"
+  "/root/repo/src/vcps/rsu.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/rsu.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/rsu.cpp.o.d"
+  "/root/repo/src/vcps/simulation.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/simulation.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/simulation.cpp.o.d"
+  "/root/repo/src/vcps/vehicle.cpp" "src/vcps/CMakeFiles/vlm_vcps.dir/vehicle.cpp.o" "gcc" "src/vcps/CMakeFiles/vlm_vcps.dir/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_vcps.dir/adversary.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/adversary.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/archive.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/archive.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/central_server.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/central_server.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/channel.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/channel.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/event_sim.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/event_sim.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/pki.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/pki.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/rsu.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/rsu.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/simulation.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/simulation.cpp.o.d"
+  "CMakeFiles/vlm_vcps.dir/vehicle.cpp.o"
+  "CMakeFiles/vlm_vcps.dir/vehicle.cpp.o.d"
+  "libvlm_vcps.a"
+  "libvlm_vcps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_vcps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vlm_vcps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_model_test.dir/core/accuracy_model_test.cpp.o"
+  "CMakeFiles/accuracy_model_test.dir/core/accuracy_model_test.cpp.o.d"
+  "accuracy_model_test"
+  "accuracy_model_test.pdb"
+  "accuracy_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_fuzz_test.dir/vcps/archive_fuzz_test.cpp.o"
+  "CMakeFiles/archive_fuzz_test.dir/vcps/archive_fuzz_test.cpp.o.d"
+  "archive_fuzz_test"
+  "archive_fuzz_test.pdb"
+  "archive_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_array_test.dir/common/bit_array_test.cpp.o"
+  "CMakeFiles/bit_array_test.dir/common/bit_array_test.cpp.o.d"
+  "bit_array_test"
+  "bit_array_test.pdb"
+  "bit_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vcps/central_server_test.cpp" "tests/CMakeFiles/central_server_test.dir/vcps/central_server_test.cpp.o" "gcc" "tests/CMakeFiles/central_server_test.dir/vcps/central_server_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vlm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/vlm_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/vlm_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/vlm_traffic_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcps/CMakeFiles/vlm_vcps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/central_server_test.dir/vcps/central_server_test.cpp.o"
+  "CMakeFiles/central_server_test.dir/vcps/central_server_test.cpp.o.d"
+  "central_server_test"
+  "central_server_test.pdb"
+  "central_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/central_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chi_square_test.dir/stats/chi_square_test.cpp.o"
+  "CMakeFiles/chi_square_test.dir/stats/chi_square_test.cpp.o.d"
+  "chi_square_test"
+  "chi_square_test.pdb"
+  "chi_square_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chi_square_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_fuzz_test.dir/common/cli_fuzz_test.cpp.o"
+  "CMakeFiles/cli_fuzz_test.dir/common/cli_fuzz_test.cpp.o.d"
+  "cli_fuzz_test"
+  "cli_fuzz_test.pdb"
+  "cli_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_eval_test.dir/stats/estimator_eval_test.cpp.o"
+  "CMakeFiles/estimator_eval_test.dir/stats/estimator_eval_test.cpp.o.d"
+  "estimator_eval_test"
+  "estimator_eval_test.pdb"
+  "estimator_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

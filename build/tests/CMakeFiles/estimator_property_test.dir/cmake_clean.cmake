@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_property_test.dir/core/estimator_property_test.cpp.o"
+  "CMakeFiles/estimator_property_test.dir/core/estimator_property_test.cpp.o.d"
+  "estimator_property_test"
+  "estimator_property_test.pdb"
+  "estimator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hll_test.dir/sketch/hll_test.cpp.o"
+  "CMakeFiles/hll_test.dir/sketch/hll_test.cpp.o.d"
+  "hll_test"
+  "hll_test.pdb"
+  "hll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_factor_test.dir/core/load_factor_test.cpp.o"
+  "CMakeFiles/load_factor_test.dir/core/load_factor_test.cpp.o.d"
+  "load_factor_test"
+  "load_factor_test.pdb"
+  "load_factor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

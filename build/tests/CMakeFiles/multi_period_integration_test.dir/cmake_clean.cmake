@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_period_integration_test.dir/vcps/multi_period_integration_test.cpp.o"
+  "CMakeFiles/multi_period_integration_test.dir/vcps/multi_period_integration_test.cpp.o.d"
+  "multi_period_integration_test"
+  "multi_period_integration_test.pdb"
+  "multi_period_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_period_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_period_test.dir/core/multi_period_test.cpp.o"
+  "CMakeFiles/multi_period_test.dir/core/multi_period_test.cpp.o.d"
+  "multi_period_test"
+  "multi_period_test.pdb"
+  "multi_period_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_period_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

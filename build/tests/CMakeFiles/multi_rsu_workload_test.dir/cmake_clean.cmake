@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rsu_workload_test.dir/traffic/multi_rsu_workload_test.cpp.o"
+  "CMakeFiles/multi_rsu_workload_test.dir/traffic/multi_rsu_workload_test.cpp.o.d"
+  "multi_rsu_workload_test"
+  "multi_rsu_workload_test.pdb"
+  "multi_rsu_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rsu_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

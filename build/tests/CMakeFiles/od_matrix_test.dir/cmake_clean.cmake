@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/od_matrix_test.dir/core/od_matrix_test.cpp.o"
+  "CMakeFiles/od_matrix_test.dir/core/od_matrix_test.cpp.o.d"
+  "od_matrix_test"
+  "od_matrix_test.pdb"
+  "od_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/od_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

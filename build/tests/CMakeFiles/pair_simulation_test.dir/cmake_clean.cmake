@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_simulation_test.dir/core/pair_simulation_test.cpp.o"
+  "CMakeFiles/pair_simulation_test.dir/core/pair_simulation_test.cpp.o.d"
+  "pair_simulation_test"
+  "pair_simulation_test.pdb"
+  "pair_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_table1_structure_test.dir/roadnet/paper_table1_structure_test.cpp.o"
+  "CMakeFiles/paper_table1_structure_test.dir/roadnet/paper_table1_structure_test.cpp.o.d"
+  "paper_table1_structure_test"
+  "paper_table1_structure_test.pdb"
+  "paper_table1_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_table1_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

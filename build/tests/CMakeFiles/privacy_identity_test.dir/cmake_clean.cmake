@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_identity_test.dir/core/privacy_identity_test.cpp.o"
+  "CMakeFiles/privacy_identity_test.dir/core/privacy_identity_test.cpp.o.d"
+  "privacy_identity_test"
+  "privacy_identity_test.pdb"
+  "privacy_identity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

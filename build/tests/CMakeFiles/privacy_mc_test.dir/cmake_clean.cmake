@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_mc_test.dir/core/privacy_mc_test.cpp.o"
+  "CMakeFiles/privacy_mc_test.dir/core/privacy_mc_test.cpp.o.d"
+  "privacy_mc_test"
+  "privacy_mc_test.pdb"
+  "privacy_mc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_mc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_model_test.dir/core/privacy_model_test.cpp.o"
+  "CMakeFiles/privacy_model_test.dir/core/privacy_model_test.cpp.o.d"
+  "privacy_model_test"
+  "privacy_model_test.pdb"
+  "privacy_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

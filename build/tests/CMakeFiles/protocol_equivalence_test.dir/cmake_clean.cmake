@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_equivalence_test.dir/vcps/protocol_equivalence_test.cpp.o"
+  "CMakeFiles/protocol_equivalence_test.dir/vcps/protocol_equivalence_test.cpp.o.d"
+  "protocol_equivalence_test"
+  "protocol_equivalence_test.pdb"
+  "protocol_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_validator_test.dir/core/report_validator_test.cpp.o"
+  "CMakeFiles/report_validator_test.dir/core/report_validator_test.cpp.o.d"
+  "report_validator_test"
+  "report_validator_test.pdb"
+  "report_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_state_test.dir/core/rsu_state_test.cpp.o"
+  "CMakeFiles/rsu_state_test.dir/core/rsu_state_test.cpp.o.d"
+  "rsu_state_test"
+  "rsu_state_test.pdb"
+  "rsu_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

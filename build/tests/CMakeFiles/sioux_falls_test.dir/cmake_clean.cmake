@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sioux_falls_test.dir/roadnet/sioux_falls_test.cpp.o"
+  "CMakeFiles/sioux_falls_test.dir/roadnet/sioux_falls_test.cpp.o.d"
+  "sioux_falls_test"
+  "sioux_falls_test.pdb"
+  "sioux_falls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sioux_falls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

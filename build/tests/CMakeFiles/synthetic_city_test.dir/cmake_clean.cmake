@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_city_test.dir/roadnet/synthetic_city_test.cpp.o"
+  "CMakeFiles/synthetic_city_test.dir/roadnet/synthetic_city_test.cpp.o.d"
+  "synthetic_city_test"
+  "synthetic_city_test.pdb"
+  "synthetic_city_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_city_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

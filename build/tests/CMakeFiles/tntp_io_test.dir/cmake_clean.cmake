@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tntp_io_test.dir/roadnet/tntp_io_test.cpp.o"
+  "CMakeFiles/tntp_io_test.dir/roadnet/tntp_io_test.cpp.o.d"
+  "tntp_io_test"
+  "tntp_io_test.pdb"
+  "tntp_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tntp_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

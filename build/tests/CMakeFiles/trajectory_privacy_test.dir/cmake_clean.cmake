@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_privacy_test.dir/core/trajectory_privacy_test.cpp.o"
+  "CMakeFiles/trajectory_privacy_test.dir/core/trajectory_privacy_test.cpp.o.d"
+  "trajectory_privacy_test"
+  "trajectory_privacy_test.pdb"
+  "trajectory_privacy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_privacy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_table_test.dir/roadnet/trip_table_test.cpp.o"
+  "CMakeFiles/trip_table_test.dir/roadnet/trip_table_test.cpp.o.d"
+  "trip_table_test"
+  "trip_table_test.pdb"
+  "trip_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

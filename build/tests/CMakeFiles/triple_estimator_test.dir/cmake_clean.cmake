@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triple_estimator_test.dir/core/triple_estimator_test.cpp.o"
+  "CMakeFiles/triple_estimator_test.dir/core/triple_estimator_test.cpp.o.d"
+  "triple_estimator_test"
+  "triple_estimator_test.pdb"
+  "triple_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triple_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_estimator_test.dir/core/union_estimator_test.cpp.o"
+  "CMakeFiles/union_estimator_test.dir/core/union_estimator_test.cpp.o.d"
+  "union_estimator_test"
+  "union_estimator_test.pdb"
+  "union_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicle_rsu_test.dir/vcps/vehicle_rsu_test.cpp.o"
+  "CMakeFiles/vehicle_rsu_test.dir/vcps/vehicle_rsu_test.cpp.o.d"
+  "vehicle_rsu_test"
+  "vehicle_rsu_test.pdb"
+  "vehicle_rsu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicle_rsu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[CliFuzz.RandomArgvNeverCrashes]=]  /root/repo/build/tests/cli_fuzz_test [==[--gtest_filter=CliFuzz.RandomArgvNeverCrashes]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[CliFuzz.RandomArgvNeverCrashes]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cli_fuzz_test_TESTS CliFuzz.RandomArgvNeverCrashes)

@@ -1,0 +1,3 @@
+add_test([=[MultiPeriodIntegration.FivePeriodsStayHealthy]=]  /root/repo/build/tests/multi_period_integration_test [==[--gtest_filter=MultiPeriodIntegration.FivePeriodsStayHealthy]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiPeriodIntegration.FivePeriodsStayHealthy]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  multi_period_integration_test_TESTS MultiPeriodIntegration.FivePeriodsStayHealthy)

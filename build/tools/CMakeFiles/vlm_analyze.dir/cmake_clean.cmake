@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_analyze.dir/vlm_analyze.cpp.o"
+  "CMakeFiles/vlm_analyze.dir/vlm_analyze.cpp.o.d"
+  "vlm_analyze"
+  "vlm_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

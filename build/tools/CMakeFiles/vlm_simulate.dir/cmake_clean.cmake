@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlm_simulate.dir/vlm_simulate.cpp.o"
+  "CMakeFiles/vlm_simulate.dir/vlm_simulate.cpp.o.d"
+  "vlm_simulate"
+  "vlm_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlm_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

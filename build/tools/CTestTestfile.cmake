@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_simulate_grid "/root/repo/build/tools/vlm_simulate" "--network" "grid" "--rows" "4" "--cols" "4" "--demand" "20000" "--out" "/root/repo/build/tools/smoke.bin")
+set_tests_properties(tool_simulate_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_analyze_matrix "/root/repo/build/tools/vlm_analyze" "--in" "/root/repo/build/tools/smoke.bin" "--matrix" "--top" "5")
+set_tests_properties(tool_analyze_matrix PROPERTIES  DEPENDS "tool_simulate_grid" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
