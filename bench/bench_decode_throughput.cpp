@@ -1,0 +1,180 @@
+// Decode-throughput bench: the seed's serial materializing decode vs the
+// fused + parallel K×K pipeline, on a 24-RSU workload at m = 2^22.
+//
+//   $ bench_decode_throughput                  # full-size run, JSON out
+//   $ bench_decode_throughput --m-exp 14 --rsus 6 --repeat 1   # smoke
+//
+// Emits one JSON object so CI and scripts can track the speedup:
+//   - "naive_serial_seconds": per-pair unfold-copy + OR materialization +
+//     three separate popcount sweeps (the decode path before the fused
+//     kernel existed), run serially over all K(K-1)/2 pairs;
+//   - "fused_serial_seconds": estimate_od_matrix with 1 worker;
+//   - "fused_parallel_seconds": estimate_od_matrix with one worker per
+//     core — asserted bit-identical to the serial result.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/bit_array.h"
+#include "common/cli.h"
+#include "common/hashing.h"
+#include "common/parallel.h"
+#include "core/interval.h"
+#include "core/od_matrix.h"
+#include "core/rsu_state.h"
+
+namespace {
+
+using namespace vlm;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// The seed's zero counting: a full popcount sweep over the words (the
+// array did not maintain its count incrementally back then).
+std::size_t sweep_zeros(const common::BitArray& bits) {
+  std::size_t ones = 0;
+  for (std::uint64_t w : bits.words()) {
+    ones += static_cast<std::size_t>(std::popcount(w));
+  }
+  return bits.size() - ones;
+}
+
+// The seed decode path for one pair: materialize the combined array,
+// then three independent zero-count sweeps, then Eq. 5 + interval.
+core::EstimateInterval naive_pair(const core::IntervalEstimator& interval,
+                                  const core::PairEstimator& estimator,
+                                  const core::RsuState& x,
+                                  const core::RsuState& y) {
+  const core::RsuState& small = x.array_size() <= y.array_size() ? x : y;
+  const core::RsuState& large = x.array_size() <= y.array_size() ? y : x;
+  const std::size_t m_x = small.array_size();
+  const std::size_t m_y = large.array_size();
+  const common::BitArray combined =
+      m_x == m_y ? small.bits() | large.bits()
+                 : small.bits().unfolded(m_y) | large.bits();
+
+  core::PairEstimate point;
+  point.m_x = m_x;
+  point.m_y = m_y;
+  auto fraction = [&](std::size_t zeros, std::size_t size, bool& saturated) {
+    if (zeros == 0) {
+      saturated = true;
+      return 0.5 / static_cast<double>(size);
+    }
+    return static_cast<double>(zeros) / static_cast<double>(size);
+  };
+  point.v_x = fraction(sweep_zeros(small.bits()), m_x, point.saturated);
+  point.v_y = fraction(sweep_zeros(large.bits()), m_y, point.saturated);
+  point.v_c = fraction(sweep_zeros(combined), m_y, point.saturated);
+  point.raw = (std::log(point.v_c) - std::log(point.v_x) -
+               std::log(point.v_y)) /
+              estimator.log_ratio_denominator(m_y);
+  point.n_c_hat = std::max(0.0, point.raw);
+  core::EstimateInterval out =
+      interval.annotate(point, static_cast<double>(x.counter()),
+                        static_cast<double>(y.counter()));
+  out.degraded = out.degraded || point.saturated;
+  return out;
+}
+
+bool cells_identical(const core::OdMatrix& a, const core::OdMatrix& b) {
+  for (std::size_t i = 0; i < a.rsu_count(); ++i) {
+    for (std::size_t j = i + 1; j < a.rsu_count(); ++j) {
+      const core::EstimateInterval& ca = a.at(i, j);
+      const core::EstimateInterval& cb = b.at(i, j);
+      if (ca.n_c_hat != cb.n_c_hat || ca.stddev != cb.stddev ||
+          ca.lower != cb.lower || ca.upper != cb.upper ||
+          ca.floor_stddev != cb.floor_stddev || ca.degraded != cb.degraded) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_decode_throughput",
+                           "fused+parallel K×K decode vs the seed serial path");
+  parser.add_int("rsus", 24, "deployment size K");
+  parser.add_int("m-exp", 22, "log2 of every RSU's array size");
+  parser.add_int("workers", 0, "parallel decode workers (0 = one per core)");
+  parser.add_int("repeat", 3, "timing repetitions (best-of)");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::size_t>(parser.get_int("rsus"));
+  const std::size_t m = std::size_t{1}
+                        << static_cast<unsigned>(parser.get_int("m-exp"));
+  const int repeat = std::max(1, static_cast<int>(parser.get_int("repeat")));
+  const auto workers =
+      static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
+
+  // Deterministic synthetic states at load factor ~8 (the paper's f̄).
+  std::vector<core::RsuState> states;
+  states.reserve(k);
+  std::uint64_t h = 0xDEC0DEull;
+  for (std::size_t r = 0; r < k; ++r) {
+    core::RsuState rsu(m);
+    const std::size_t records = m / 8;
+    for (std::size_t i = 0; i < records; ++i) {
+      rsu.record(static_cast<std::size_t>(common::mix64(++h) % m));
+    }
+    states.push_back(std::move(rsu));
+  }
+
+  const core::IntervalEstimator interval(2, 1.96);
+  const core::PairEstimator estimator(2);
+
+  double naive_best = 1e300, fused_serial_best = 1e300,
+         fused_parallel_best = 1e300;
+  core::OdMatrix serial(k, 2, 1.96), parallel(k, 2, 1.96);
+  core::DecodeStats serial_stats, parallel_stats;
+  double naive_total = 0.0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    // Seed path: serial loop, materializing decode per pair.
+    const auto t0 = std::chrono::steady_clock::now();
+    naive_total = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        naive_total += naive_pair(interval, estimator, states[a], states[b])
+                           .n_c_hat;
+      }
+    }
+    naive_best = std::min(naive_best, seconds_since(t0));
+
+    const auto t1 = std::chrono::steady_clock::now();
+    serial = core::estimate_od_matrix(states, 2, 1.96, 1, &serial_stats);
+    fused_serial_best = std::min(fused_serial_best, seconds_since(t1));
+
+    const auto t2 = std::chrono::steady_clock::now();
+    parallel =
+        core::estimate_od_matrix(states, 2, 1.96, workers, &parallel_stats);
+    fused_parallel_best = std::min(fused_parallel_best, seconds_since(t2));
+  }
+
+  const bool identical = cells_identical(serial, parallel) &&
+                         naive_total == serial.total_estimated_common();
+  std::printf(
+      "{\"rsus\": %zu, \"m\": %zu, \"pairs\": %zu, \"workers\": %u,\n"
+      " \"naive_serial_seconds\": %.6f,\n"
+      " \"fused_serial_seconds\": %.6f,\n"
+      " \"fused_parallel_seconds\": %.6f,\n"
+      " \"speedup_fused_serial\": %.2f,\n"
+      " \"speedup_fused_parallel\": %.2f,\n"
+      " \"parallel_pairs_per_second\": %.0f,\n"
+      " \"parallel_scan_mib_per_second\": %.0f,\n"
+      " \"parallel_bit_identical_to_serial\": %s}\n",
+      k, m, serial_stats.pairs_decoded, parallel_stats.workers, naive_best,
+      fused_serial_best, fused_parallel_best, naive_best / fused_serial_best,
+      naive_best / fused_parallel_best, parallel_stats.pairs_per_second(),
+      parallel_stats.mib_per_second(), identical ? "true" : "false");
+  return identical ? 0 : 1;
+}

@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
   const auto history = workload.node_volumes();
 
   vcps::SimulationConfig config;
-  config.server.s = 2;
-  config.server.sizing = core::VlmSizingPolicy(parser.get_double("load-factor"));
+  config.server.scheme = core::make_vlm_scheme(
+      {.s = 2, .load_factor = parser.get_double("load-factor")});
   config.seed = workload_config.seed ^ 0xC17Eull;
   std::vector<vcps::RsuSite> sites;
   for (std::size_t r = 0; r < workload_config.rsu_count; ++r) {

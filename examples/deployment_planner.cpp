@@ -53,8 +53,8 @@ int main(int argc, char** argv) {
     volumes.push_back(n_lo * std::pow(n_hi / n_lo, i / 3.0));
   }
   vcps::SimulationConfig config;
-  config.server.s = plan.s;
-  config.server.sizing = core::VlmSizingPolicy(plan.load_factor);
+  config.server.scheme = core::make_vlm_scheme(
+      {.s = plan.s, .load_factor = plan.load_factor});
   config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   std::vector<vcps::RsuSite> sites;
   for (std::size_t r = 0; r < volumes.size(); ++r) {

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   const auto n_y_only = static_cast<std::uint64_t>(parser.get_int("n-y-only"));
 
   vcps::SimulationConfig config;
-  config.server.s = 2;
-  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   const std::vector<vcps::RsuSite> sites{
       vcps::RsuSite{core::RsuId{1}, double(n_common + n_x_only)},

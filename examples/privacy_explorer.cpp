@@ -16,7 +16,7 @@
 #include "common/table.h"
 #include "core/calibration.h"
 #include "core/privacy_model.h"
-#include "core/sizing.h"
+#include "core/scheme.h"
 
 int main(int argc, char** argv) {
   using namespace vlm;
@@ -58,9 +58,10 @@ int main(int argc, char** argv) {
 
   // Breakdown at the operating point under VLM sizing.
   const double f_bar = parser.get_double("load-factor");
-  core::VlmSizingPolicy sizing(f_bar);
-  const core::PairScenario op{
-      n_x, n_y, n_c, sizing.array_size_for(n_x), sizing.array_size_for(n_y), s};
+  const core::SchemePtr scheme = core::make_vlm_scheme(
+      {.s = static_cast<std::uint32_t>(s), .load_factor = f_bar});
+  const core::PairScenario op{n_x, n_y, n_c, scheme->array_size_for(n_x),
+                              scheme->array_size_for(n_y), s};
   const auto b = core::PrivacyModel::evaluate(op);
   std::printf(
       "\nat f̄ = %.1f (m_x = %zu, m_y = %zu):\n"

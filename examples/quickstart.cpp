@@ -20,14 +20,17 @@ int main() {
   using namespace vlm;
 
   // 1. A complete scheme object: encoder (vehicle side), sizing policy,
-  // and pairwise estimator (server side).
-  core::VlmScheme scheme(core::VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  // and pairwise estimator (server side). Every downstream layer is
+  // generic over the abstract core::Scheme — swap in make_fbm_scheme()
+  // (or any future scheme) and nothing below changes.
+  const core::SchemePtr scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
 
   // 2. Two RSUs with very different historical volumes: a light suburban
   // intersection and a 12x busier arterial one.
   const double history_a = 10'000, history_b = 120'000;
-  core::RsuState rsu_a = scheme.make_rsu_state(history_a);
-  core::RsuState rsu_b = scheme.make_rsu_state(history_b);
+  core::RsuState rsu_a = scheme->make_rsu_state(history_a);
+  core::RsuState rsu_b = scheme->make_rsu_state(history_b);
   std::printf("RSU A: m = %zu bits for ~%.0f vehicles/day\n",
               rsu_a.array_size(), history_a);
   std::printf("RSU B: m = %zu bits for ~%.0f vehicles/day\n",
@@ -52,16 +55,16 @@ int main() {
   };
   for (std::uint64_t i = 0; i < n_common; ++i) {
     const core::VehicleIdentity v = fresh_vehicle();
-    rsu_a.record(scheme.encoder().bit_index(v, id_a, rsu_a.array_size()));
-    rsu_b.record(scheme.encoder().bit_index(v, id_b, rsu_b.array_size()));
+    rsu_a.record(scheme->encoder().bit_index(v, id_a, rsu_a.array_size()));
+    rsu_b.record(scheme->encoder().bit_index(v, id_b, rsu_b.array_size()));
   }
   for (std::uint64_t i = 0; i < n_a_only; ++i) {
     const core::VehicleIdentity v = fresh_vehicle();
-    rsu_a.record(scheme.encoder().bit_index(v, id_a, rsu_a.array_size()));
+    rsu_a.record(scheme->encoder().bit_index(v, id_a, rsu_a.array_size()));
   }
   for (std::uint64_t i = 0; i < n_b_only; ++i) {
     const core::VehicleIdentity v = fresh_vehicle();
-    rsu_b.record(scheme.encoder().bit_index(v, id_b, rsu_b.array_size()));
+    rsu_b.record(scheme->encoder().bit_index(v, id_b, rsu_b.array_size()));
   }
   std::printf("\nonline coding done: counter A = %llu, counter B = %llu\n",
               static_cast<unsigned long long>(rsu_a.counter()),
@@ -70,7 +73,7 @@ int main() {
   // 4. Offline decoding at the central server: unfold the smaller array
   // onto the larger, OR them, read the three zero fractions, apply Eq. 5.
   const core::PairEstimate estimate =
-      scheme.estimator().estimate(rsu_a, rsu_b);
+      scheme->estimator().estimate(rsu_a, rsu_b);
   std::printf("zero fractions: V_A = %.4f, V_B = %.4f, V_combined = %.4f\n",
               estimate.v_x, estimate.v_y, estimate.v_c);
   std::printf("estimated common traffic n_c^ = %.1f (truth: %llu)\n",

@@ -42,9 +42,8 @@ int main(int argc, char** argv) {
 
   // 2. VCPS deployment: one RSU per node, history = expected volume.
   vcps::SimulationConfig config;
-  config.server.s = 2;
-  config.server.sizing =
-      core::VlmSizingPolicy(parser.get_double("load-factor"));
+  config.server.scheme = core::make_vlm_scheme(
+      {.s = 2, .load_factor = parser.get_double("load-factor")});
   config.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
   std::vector<vcps::RsuSite> sites;
   for (roadnet::NodeIndex n = 0; n < 24; ++n) {

@@ -13,7 +13,10 @@ BitArray::BitArray(std::size_t bit_count)
 
 void BitArray::set(std::size_t index) {
   VLM_REQUIRE(index < bit_count_, "bit index out of range");
-  words_[index / kWordBits] |= std::uint64_t{1} << (index % kWordBits);
+  std::uint64_t& word = words_[index / kWordBits];
+  const std::uint64_t mask = std::uint64_t{1} << (index % kWordBits);
+  ones_ += static_cast<std::size_t>((word & mask) == 0);
+  word |= mask;
 }
 
 bool BitArray::test(std::size_t index) const {
@@ -23,14 +26,7 @@ bool BitArray::test(std::size_t index) const {
 
 void BitArray::reset() {
   for (auto& w : words_) w = 0;
-}
-
-std::size_t BitArray::count_ones() const {
-  std::size_t ones = 0;
-  for (std::uint64_t w : words_) {
-    ones += static_cast<std::size_t>(std::popcount(w));
-  }
-  return ones;
+  ones_ = 0;
 }
 
 double BitArray::zero_fraction() const {
@@ -51,6 +47,7 @@ BitArray BitArray::unfolded(std::size_t target_size) const {
     for (std::size_t w = 0; w < out.words_.size(); ++w) {
       out.words_[w] = words_[w % src_words];
     }
+    out.ones_ = ones_ * (target_size / bit_count_);
   } else {
     for (std::size_t i = 0; i < target_size; ++i) {
       if (test(i % bit_count_)) out.set(i);
@@ -62,9 +59,12 @@ BitArray BitArray::unfolded(std::size_t target_size) const {
 BitArray& BitArray::operator|=(const BitArray& other) {
   VLM_REQUIRE(bit_count_ == other.bit_count_,
               "bitwise OR requires equal-sized arrays (unfold first)");
+  std::size_t ones = 0;
   for (std::size_t w = 0; w < words_.size(); ++w) {
     words_[w] |= other.words_[w];
+    ones += static_cast<std::size_t>(std::popcount(words_[w]));
   }
+  ones_ = ones;
   return *this;
 }
 
@@ -75,6 +75,68 @@ std::vector<std::uint8_t> BitArray::to_bytes() const {
         (words_[b / 8] >> ((b % 8) * 8)) & 0xFFu);
   }
   return bytes;
+}
+
+namespace {
+
+std::size_t popcount_words(std::span<const std::uint64_t> words) {
+  std::size_t ones = 0;
+  for (std::uint64_t w : words) ones += static_cast<std::size_t>(std::popcount(w));
+  return ones;
+}
+
+}  // namespace
+
+JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b) {
+  VLM_REQUIRE(!a.empty() && !b.empty(),
+              "joint zero counts need two non-empty arrays");
+  const BitArray& small = a.size() <= b.size() ? a : b;
+  const BitArray& large = a.size() <= b.size() ? b : a;
+  VLM_REQUIRE(large.size() % small.size() == 0,
+              "array sizes are not unfold-compatible: the smaller size must "
+              "divide the larger — size both arrays as powers of two "
+              "(Section IV-A) and this holds automatically");
+
+  JointZeroCounts out;
+  out.size_small = small.size();
+  out.size_large = large.size();
+
+  const std::span<const std::uint64_t> sw = small.words();
+  const std::span<const std::uint64_t> lw = large.words();
+  if (small.size() % BitArray::kWordBits == 0) {
+    // Word-aligned sizes: the per-array zero counts are maintained by the
+    // arrays themselves (O(1)), so the only sweep is one popcount per word
+    // of the OR — streaming the larger array once and wrapping an index
+    // into the smaller array's words instead of materializing the unfold.
+    std::size_t ones_or = 0;
+    if (sw.size() == lw.size()) {
+      for (std::size_t w = 0; w < lw.size(); ++w) {
+        ones_or += static_cast<std::size_t>(std::popcount(lw[w] | sw[w]));
+      }
+    } else {
+      std::size_t si = 0;
+      for (std::size_t w = 0; w < lw.size(); ++w) {
+        ones_or += static_cast<std::size_t>(std::popcount(lw[w] | sw[si]));
+        if (++si == sw.size()) si = 0;
+      }
+    }
+    out.zeros_small = small.count_zeros();
+    out.zeros_large = large.count_zeros();
+    out.zeros_or = large.size() - ones_or;
+    out.words_scanned = sw.size() + lw.size();
+  } else {
+    // Sub-word sizes (the sizing floor can produce 8..32-bit arrays):
+    // fall back to the materializing reference path; these arrays are a
+    // handful of bytes, so the copy is irrelevant.
+    const BitArray combined = small.size() == large.size()
+                                  ? small | large
+                                  : small.unfolded(large.size()) | large;
+    out.zeros_small = small.count_zeros();
+    out.zeros_large = large.count_zeros();
+    out.zeros_or = combined.count_zeros();
+    out.words_scanned = sw.size() + 2 * lw.size() + combined.words().size();
+  }
+  return out;
 }
 
 BitArray BitArray::from_bytes(std::size_t bit_count,
@@ -93,6 +155,7 @@ BitArray BitArray::from_bytes(std::size_t bit_count,
     VLM_REQUIRE((out.words_.back() & ~mask) == 0,
                 "byte buffer sets bits past the declared bit count");
   }
+  out.ones_ = popcount_words(out.words_);
   return out;
 }
 

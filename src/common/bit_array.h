@@ -15,6 +15,8 @@ namespace vlm::common {
 
 class BitArray {
  public:
+  static constexpr std::size_t kWordBits = 64;
+
   BitArray() = default;
 
   // Creates an all-zero array of `bit_count` bits. `bit_count` may be any
@@ -31,7 +33,10 @@ class BitArray {
   // Clears every bit (start of a new measurement period).
   void reset();
 
-  std::size_t count_ones() const;
+  // O(1): the ones count is maintained incrementally by every mutation,
+  // so per-array zero counts are free during decode — the pair kernel
+  // only has to popcount the OR.
+  std::size_t count_ones() const { return ones_; }
   std::size_t count_zeros() const { return size() - count_ones(); }
 
   // V_x in the paper: the fraction of '0' bits. Requires a non-empty array.
@@ -64,13 +69,34 @@ class BitArray {
                              std::span<const std::uint8_t> bytes);
 
  private:
-  static constexpr std::size_t kWordBits = 64;
   static std::size_t word_count_for(std::size_t bits) {
     return (bits + kWordBits - 1) / kWordBits;
   }
 
   std::size_t bit_count_ = 0;
+  std::size_t ones_ = 0;
   std::vector<std::uint64_t> words_;
 };
+
+// Result of the fused decode kernel below. `zeros_or` is the zero count
+// of unfold(small) | large, measured at the larger size — exactly the
+// three quantities Eq. 5 reads (V_x, V_y, V_c after dividing by size).
+struct JointZeroCounts {
+  std::size_t size_small = 0;   // smaller array's bit count (m_x)
+  std::size_t size_large = 0;   // larger array's bit count (m_y)
+  std::size_t zeros_small = 0;  // zero bits of the smaller array
+  std::size_t zeros_large = 0;  // zero bits of the larger array
+  std::size_t zeros_or = 0;     // zero bits of unfold(small) | large
+  std::size_t words_scanned = 0;  // 64-bit words the kernel touched
+};
+
+// Fused decode kernel: the three zero counts the pair estimator needs in
+// one pass, without ever materializing the unfolded array — the OR is
+// formed word by word, indexing the smaller array's words cyclically
+// (unfolding is periodic repetition, Eq. 3). Accepts the operands in
+// either order. Requires the smaller size to divide the larger, which
+// power-of-two sizes (Section IV-A) guarantee; anything else throws with
+// a sizing hint. O(m_y / 64) time, O(1) extra space.
+JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b);
 
 }  // namespace vlm::common

@@ -24,22 +24,18 @@ double PairEstimator::log_ratio_denominator(std::size_t m_y) const {
 
 PairEstimate PairEstimator::estimate(const RsuState& x,
                                      const RsuState& y) const {
-  const RsuState& small = x.array_size() <= y.array_size() ? x : y;
-  const RsuState& large = x.array_size() <= y.array_size() ? y : x;
-  const std::size_t m_x = small.array_size();
-  const std::size_t m_y = large.array_size();
-  VLM_REQUIRE(m_y % m_x == 0,
-              "array sizes must divide (powers of two guarantee this)");
-
-  // Equal sizes (the FBM case and same-volume VLM pairs) need no unfold;
-  // skip the copy that unfolded() would make.
-  const common::BitArray combined =
-      m_x == m_y ? small.bits() | large.bits()
-                 : small.bits().unfolded(m_y) | large.bits();
+  // The fused kernel orders the operands itself, never materializes the
+  // unfolded array, and returns the three zero counts Eq. 5 needs in a
+  // single pass over the larger array.
+  const common::JointZeroCounts counts =
+      common::joint_zero_counts(x.bits(), y.bits());
+  const std::size_t m_x = counts.size_small;
+  const std::size_t m_y = counts.size_large;
 
   PairEstimate out;
   out.m_x = m_x;
   out.m_y = m_y;
+  out.words_scanned = counts.words_scanned;
 
   // Floor zero counts at half a bit so a fully saturated array yields a
   // finite (if unreliable) estimate instead of -inf logs; flag it.
@@ -50,9 +46,9 @@ PairEstimate PairEstimator::estimate(const RsuState& x,
     }
     return static_cast<double>(zeros) / static_cast<double>(size);
   };
-  out.v_x = fraction(small.bits().count_zeros(), m_x, out.saturated);
-  out.v_y = fraction(large.bits().count_zeros(), m_y, out.saturated);
-  out.v_c = fraction(combined.count_zeros(), m_y, out.saturated);
+  out.v_x = fraction(counts.zeros_small, m_x, out.saturated);
+  out.v_y = fraction(counts.zeros_large, m_y, out.saturated);
+  out.v_c = fraction(counts.zeros_or, m_y, out.saturated);
 
   const double numerator =
       std::log(out.v_c) - std::log(out.v_x) - std::log(out.v_y);

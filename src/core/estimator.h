@@ -26,6 +26,7 @@ struct PairEstimate {
   double v_c = 0.0;      // zero fraction of the combined array
   std::size_t m_x = 0;   // smaller array size (after ordering)
   std::size_t m_y = 0;   // larger array size
+  std::size_t words_scanned = 0;  // 64-bit words the decode kernel touched
   // True when any array had zero '0' bits: the MLE is then undefined and
   // the zero count was floored at 0.5 bits to produce a (low-quality)
   // estimate. Callers should treat such estimates as "array saturated —
@@ -40,9 +41,12 @@ class PairEstimator {
 
   std::uint32_t s() const { return s_; }
 
-  // Estimates |S_x ∩ S_y| from two end-of-period RSU states. Array sizes
-  // must be powers of two (guaranteed by RsuState). Symmetric in its
-  // arguments: the smaller array is unfolded onto the larger.
+  // Estimates |S_x ∩ S_y| from two end-of-period RSU states, accepting
+  // them in either order (smaller-first or larger-first). Array sizes
+  // must be powers of two (guaranteed by RsuState; incompatible raw
+  // sizes throw with a sizing hint). The smaller array is logically
+  // unfolded onto the larger via the fused zero-count kernel — no copy
+  // of either array is materialized.
   PairEstimate estimate(const RsuState& x, const RsuState& y) const;
 
   // The denominator constant of Eq. 5 for a given larger-array size.

@@ -14,11 +14,13 @@ IntervalEstimator::IntervalEstimator(std::uint32_t s, double z)
 }
 
 EstimateInterval IntervalEstimator::estimate(const RsuState& x,
-                                             const RsuState& y) const {
-  const PairEstimate point = estimator_.estimate(x, y);
-  EstimateInterval out = annotate(point, static_cast<double>(x.counter()),
+                                             const RsuState& y,
+                                             PairEstimate* point) const {
+  const PairEstimate pair = estimator_.estimate(x, y);
+  if (point != nullptr) *point = pair;
+  EstimateInterval out = annotate(pair, static_cast<double>(x.counter()),
                                   static_cast<double>(y.counter()));
-  out.degraded = out.degraded || point.saturated;
+  out.degraded = out.degraded || pair.saturated;
   return out;
 }
 

@@ -32,8 +32,11 @@ class IntervalEstimator {
   explicit IntervalEstimator(std::uint32_t s, double z = 1.96);
 
   // Point estimate + interval in one pass. Counters must be consistent
-  // with the arrays (enforced by RsuState).
-  EstimateInterval estimate(const RsuState& x, const RsuState& y) const;
+  // with the arrays (enforced by RsuState). When `point` is non-null the
+  // underlying pair estimate is written there as well (the decode
+  // pipeline reads its kernel counters for throughput accounting).
+  EstimateInterval estimate(const RsuState& x, const RsuState& y,
+                            PairEstimate* point = nullptr) const;
 
   // Annotates an existing estimate. `n_x`/`n_y` are the RSU counters.
   EstimateInterval annotate(const PairEstimate& estimate, double n_x,

@@ -1,5 +1,9 @@
 #include "core/od_matrix.h"
 
+#include <chrono>
+#include <numeric>
+
+#include "common/parallel.h"
 #include "common/require.h"
 
 namespace vlm::core {
@@ -34,13 +38,41 @@ double OdMatrix::total_estimated_common() const {
 }
 
 OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
-                            double z) {
+                            double z, unsigned workers, DecodeStats* stats) {
+  const auto start = std::chrono::steady_clock::now();
   OdMatrix matrix(states.size(), s, z);
   const IntervalEstimator estimator(s, z);
-  for (std::size_t a = 0; a < states.size(); ++a) {
-    for (std::size_t b = a + 1; b < states.size(); ++b) {
-      matrix.cell(a, b) = estimator.estimate(states[a], states[b]);
-    }
+  const unsigned used = workers == 0 ? common::default_worker_count() : workers;
+
+  // Flatten the upper triangle into an index list so the pair loop can be
+  // sliced across workers. Pair p covers cells_[p] exactly, and every
+  // worker writes only its own pairs' cells (plus its own slot of the
+  // per-pair word counters), so the result is deterministic: identical
+  // for any worker count and any scheduling.
+  const std::size_t k = states.size();
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(k * (k - 1) / 2);
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
+  }
+
+  std::vector<std::size_t> words_per_pair(pairs.size(), 0);
+  common::parallel_for(pairs.size(), used, [&](std::size_t p) {
+    const auto [a, b] = pairs[p];
+    PairEstimate point;
+    matrix.cell(a, b) = estimator.estimate(states[a], states[b], &point);
+    words_per_pair[p] = point.words_scanned;
+  });
+
+  if (stats != nullptr) {
+    stats->pairs_decoded = pairs.size();
+    stats->words_scanned = std::accumulate(words_per_pair.begin(),
+                                           words_per_pair.end(),
+                                           std::size_t{0});
+    stats->workers = used;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
   }
   return matrix;
 }

@@ -2,9 +2,12 @@
 //
 // The paper estimates one pair at a time; a transportation study wants
 // the whole K×K point-to-point matrix. This runs the pair estimator
-// (with intervals) over every unordered pair — O(K² m_max) total, which
-// the Section IV-E per-pair bound makes practical (24 RSUs at m = 2^22
-// decode in well under a second; see bench_overhead).
+// (with intervals) over every unordered pair via the fused zero-count
+// kernel — O(K² m_max / 64) words total, which the Section IV-E per-pair
+// bound makes practical — and optionally fans the pair list out over
+// worker threads. Each pair writes only its own cell, so the parallel
+// result is bit-identical to the serial one for any worker count (a test
+// asserts this on a 24-RSU workload).
 #pragma once
 
 #include <cstddef>
@@ -16,6 +19,26 @@
 #include "core/rsu_state.h"
 
 namespace vlm::core {
+
+// Observability for one decode (K×K estimation) run.
+struct DecodeStats {
+  std::size_t pairs_decoded = 0;
+  std::size_t words_scanned = 0;  // 64-bit words the fused kernels touched
+  unsigned workers = 1;           // threads the pair list was spread over
+  double wall_seconds = 0.0;
+
+  double pairs_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(pairs_decoded) / wall_seconds
+               : 0.0;
+  }
+  // Decode bandwidth over the words actually scanned.
+  double mib_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(words_scanned) * 8.0 /
+                                    (wall_seconds * 1024.0 * 1024.0)
+                              : 0.0;
+  }
+};
 
 class OdMatrix {
  public:
@@ -30,7 +53,7 @@ class OdMatrix {
 
  private:
   friend OdMatrix estimate_od_matrix(std::span<const RsuState>, std::uint32_t,
-                                     double);
+                                     double, unsigned, DecodeStats*);
   EstimateInterval& cell(std::size_t a, std::size_t b);
 
   std::size_t k_;
@@ -39,7 +62,11 @@ class OdMatrix {
 
 // Estimates every unordered pair among `states`. Requires >= 2 RSUs.
 // Symmetric: at(a, b) == at(b, a); the diagonal is invalid to query.
+// `workers` spreads the pair list over that many threads (1 = serial,
+// 0 = one per hardware core); the output is identical for any value.
+// When `stats` is non-null it receives the run's decode counters.
 OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
-                            double z = 1.96);
+                            double z = 1.96, unsigned workers = 1,
+                            DecodeStats* stats = nullptr);
 
 }  // namespace vlm::core

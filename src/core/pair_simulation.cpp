@@ -2,6 +2,7 @@
 
 #include "common/hashing.h"
 #include "common/require.h"
+#include "core/scheme.h"
 
 namespace vlm::core {
 
@@ -41,6 +42,14 @@ PairStates simulate_pair(const Encoder& encoder, const PairWorkload& workload,
     states.y.record(encoder.bit_index(v, rsu_y, m_y));
   }
   return states;
+}
+
+PairStates simulate_pair(const Scheme& scheme, const PairWorkload& workload,
+                         std::uint64_t seed, RsuId rsu_x, RsuId rsu_y) {
+  return simulate_pair(scheme.encoder(), workload,
+                       scheme.array_size_for(static_cast<double>(workload.n_x)),
+                       scheme.array_size_for(static_cast<double>(workload.n_y)),
+                       seed, rsu_x, rsu_y);
 }
 
 }  // namespace vlm::core

@@ -42,4 +42,14 @@ PairStates simulate_pair(const Encoder& encoder, const PairWorkload& workload,
                          std::size_t m_x, std::size_t m_y, std::uint64_t seed,
                          RsuId rsu_x = RsuId{0xAAu}, RsuId rsu_y = RsuId{0xBBu});
 
+class Scheme;
+
+// Scheme-driven overload: each array is sized by the scheme's policy from
+// the RSU's point volume, and every visit goes through the scheme's
+// shared encoder — one call stays correct for VLM, FBM, or any future
+// scheme without the harness knowing which it got.
+PairStates simulate_pair(const Scheme& scheme, const PairWorkload& workload,
+                         std::uint64_t seed, RsuId rsu_x = RsuId{0xAAu},
+                         RsuId rsu_y = RsuId{0xBBu});
+
 }  // namespace vlm::core

@@ -1,0 +1,33 @@
+#include "core/scheme.h"
+
+#include <string>
+
+#include "common/require.h"
+
+namespace vlm::core {
+
+SchemePtr make_vlm_scheme(const VlmSchemeConfig& config) {
+  return std::make_shared<VlmScheme>(config);
+}
+
+SchemePtr make_fbm_scheme(const FbmSchemeConfig& config) {
+  return std::make_shared<FbmScheme>(config);
+}
+
+SchemePtr make_scheme(std::string_view name, const SchemeOptions& options) {
+  if (name == "vlm") {
+    return make_vlm_scheme(VlmSchemeConfig{options.s, options.load_factor,
+                                           options.salt_seed, options.limits,
+                                           options.slot_selection});
+  }
+  if (name == "fbm") {
+    return make_fbm_scheme(FbmSchemeConfig{options.s, options.array_size,
+                                           options.salt_seed,
+                                           options.slot_selection});
+  }
+  VLM_REQUIRE(false, "unknown scheme '" + std::string(name) +
+                         "': expected 'vlm' or 'fbm'");
+  return nullptr;  // unreachable
+}
+
+}  // namespace vlm::core

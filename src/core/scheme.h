@@ -1,14 +1,22 @@
-// Facade bundles: one object per scheme holding the encoder, the sizing
-// policy, and the estimator, so examples and the VCPS layer configure a
-// complete measurement system in one line.
+// The scheme layer: one polymorphic interface for every masking scheme.
 //
-//   vlm::core::VlmScheme scheme({.s = 2, .load_factor = 8.0});
-//   auto rsu = scheme.make_rsu_state(/*history_volume=*/120'000);
-//   rsu.record(scheme.encoder().bit_index(vehicle, rsu_id, rsu.array_size()));
-//   auto est = scheme.estimator().estimate(rsu_a, rsu_b);
+// A scheme bundles the three pieces a measurement deployment needs —
+// vehicle-side encoder, per-RSU array sizing, and the server-side pair
+// estimator — behind a single abstract `Scheme`, so the central server,
+// the simulations, the CLI tools, and the examples are all generic over
+// VLM vs FBM (vs any future scheme) instead of each carrying its own
+// per-scheme branching.
+//
+//   core::SchemePtr scheme = core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
+//   auto rsu = scheme->make_rsu_state(/*history_volume=*/120'000);
+//   rsu.record(scheme->encoder().bit_index(vehicle, rsu_id, rsu.array_size()));
+//   auto est = scheme->estimator().estimate(rsu_a, rsu_b);
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string_view>
 
 #include "core/encoder.h"
 #include "core/estimator.h"
@@ -16,6 +24,35 @@
 #include "core/sizing.h"
 
 namespace vlm::core {
+
+// Abstract masking scheme. Implementations share the vehicle protocol
+// (encoder) and the Eq. 5 decoder (estimator); they differ in how RSU
+// bit arrays are sized — the single design axis of the paper.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  // Stable identifier ("vlm", "fbm"), usable in CLIs and reports.
+  virtual std::string_view name() const = 0;
+
+  virtual const Encoder& encoder() const = 0;
+  virtual const PairEstimator& estimator() const = 0;
+
+  // m_x for an RSU with historical average volume `history_volume`.
+  virtual std::size_t array_size_for(double history_volume) const = 0;
+
+  // The logical-bit-array size s shared by encoder and estimator.
+  std::uint32_t s() const { return estimator().s(); }
+
+  // A fresh per-period RSU state sized from the RSU's historical volume.
+  RsuState make_rsu_state(double history_volume) const {
+    return RsuState(array_size_for(history_volume));
+  }
+};
+
+// Shared ownership so a scheme can outlive the config object that
+// selected it (server, simulation, and tools all hold one).
+using SchemePtr = std::shared_ptr<const Scheme>;
 
 struct VlmSchemeConfig {
   std::uint32_t s = 2;
@@ -26,7 +63,7 @@ struct VlmSchemeConfig {
 };
 
 // The paper's contribution: variable-length bit-array masking.
-class VlmScheme {
+class VlmScheme final : public Scheme {
  public:
   explicit VlmScheme(const VlmSchemeConfig& config)
       : encoder_(EncoderConfig{config.s, config.salt_seed,
@@ -34,14 +71,14 @@ class VlmScheme {
         sizing_(config.load_factor, config.limits),
         estimator_(config.s) {}
 
-  const Encoder& encoder() const { return encoder_; }
-  const VlmSizingPolicy& sizing() const { return sizing_; }
-  const PairEstimator& estimator() const { return estimator_; }
-
-  // A fresh per-period RSU state sized from the RSU's historical volume.
-  RsuState make_rsu_state(double history_volume) const {
-    return RsuState(sizing_.array_size_for(history_volume));
+  std::string_view name() const override { return "vlm"; }
+  const Encoder& encoder() const override { return encoder_; }
+  const PairEstimator& estimator() const override { return estimator_; }
+  std::size_t array_size_for(double history_volume) const override {
+    return sizing_.array_size_for(history_volume);
   }
+
+  const VlmSizingPolicy& sizing() const { return sizing_; }
 
  private:
   Encoder encoder_;
@@ -57,7 +94,7 @@ struct FbmSchemeConfig {
 };
 
 // The fixed-length baseline of ref. [9]; identical protocol, one global m.
-class FbmScheme {
+class FbmScheme final : public Scheme {
  public:
   explicit FbmScheme(const FbmSchemeConfig& config)
       : encoder_(EncoderConfig{config.s, config.salt_seed,
@@ -65,18 +102,38 @@ class FbmScheme {
         sizing_(config.array_size),
         estimator_(config.s) {}
 
-  const Encoder& encoder() const { return encoder_; }
-  const FbmSizingPolicy& sizing() const { return sizing_; }
-  const PairEstimator& estimator() const { return estimator_; }
-
-  RsuState make_rsu_state(double /*history_volume*/ = 0.0) const {
-    return RsuState(sizing_.array_size());
+  std::string_view name() const override { return "fbm"; }
+  const Encoder& encoder() const override { return encoder_; }
+  const PairEstimator& estimator() const override { return estimator_; }
+  std::size_t array_size_for(double history_volume) const override {
+    return sizing_.array_size_for(history_volume);
   }
+
+  const FbmSizingPolicy& sizing() const { return sizing_; }
 
  private:
   Encoder encoder_;
   FbmSizingPolicy sizing_;
   PairEstimator estimator_;
 };
+
+SchemePtr make_vlm_scheme(const VlmSchemeConfig& config = {});
+SchemePtr make_fbm_scheme(const FbmSchemeConfig& config = {});
+
+// Everything a CLI needs to select a scheme by name; fields irrelevant
+// to the chosen scheme are ignored (load_factor for FBM, array_size for
+// VLM).
+struct SchemeOptions {
+  std::uint32_t s = 2;
+  double load_factor = 8.0;                       // VLM f̄
+  std::size_t array_size = std::size_t{1} << 17;  // FBM global m
+  std::uint64_t salt_seed = 0x5EEDBA5EBA11AD00ull;
+  SizingLimits limits = {};
+  SlotSelection slot_selection = SlotSelection::kPerVehicleUniform;
+};
+
+// Factory by name: "vlm" or "fbm". Throws std::invalid_argument for an
+// unknown name, listing the valid ones.
+SchemePtr make_scheme(std::string_view name, const SchemeOptions& options = {});
 
 }  // namespace vlm::core

@@ -1,6 +1,7 @@
 #include "vcps/central_server.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/bit_array.h"
 #include "common/require.h"
@@ -8,11 +9,11 @@
 namespace vlm::vcps {
 
 CentralServer::CentralServer(const CentralServerConfig& config)
-    : s_(config.s),
-      sizing_(config.sizing),
+    : scheme_(config.scheme),
       history_alpha_(config.history_alpha),
       validation_(config.validation),
-      estimator_(config.s) {
+      decode_workers_(config.decode_workers) {
+  VLM_REQUIRE(scheme_ != nullptr, "central server needs a scheme");
   VLM_REQUIRE(config.history_alpha > 0.0 && config.history_alpha <= 1.0,
               "history EWMA weight must be in (0, 1]");
   VLM_REQUIRE(!validation_.enabled || (validation_.tolerance_sigmas > 0.0 &&
@@ -39,10 +40,7 @@ double CentralServer::history_volume(core::RsuId id) const {
 }
 
 std::size_t CentralServer::array_size_for(core::RsuId id) const {
-  const double volume = history_volume(id);
-  return std::visit(
-      [volume](const auto& policy) { return policy.array_size_for(volume); },
-      sizing_);
+  return scheme_->array_size_for(history_volume(id));
 }
 
 void CentralServer::begin_period(std::uint64_t period) {
@@ -51,9 +49,12 @@ void CentralServer::begin_period(std::uint64_t period) {
   period_ = period;
   reports_.clear();
   quarantined_.clear();
+  stats_ = PipelineStats{};
+  stats_.period = period;
 }
 
 QuarantineReason CentralServer::ingest(const RsuReport& report) {
+  const auto start = std::chrono::steady_clock::now();
   auto history_it = history_.find(report.rsu);
   VLM_REQUIRE(history_it != history_.end(), "report from unregistered RSU");
   VLM_REQUIRE(report.period == period_, "report for a different period");
@@ -64,13 +65,25 @@ QuarantineReason CentralServer::ingest(const RsuReport& report) {
   const common::BitArray bits =
       common::BitArray::from_bytes(report.array_size, report.bits);
 
+  auto account = [&](QuarantineReason reason) {
+    stats_.ingest_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (reason == QuarantineReason::kNone) {
+      ++stats_.reports_ingested;
+    } else {
+      ++stats_.reports_quarantined;
+    }
+    return reason;
+  };
+
   if (validation_.enabled) {
     const core::ReportValidator validator(validation_.tolerance_sigmas);
     const auto assessment =
         validator.assess(report.counter, report.array_size, bits.count_zeros());
     if (assessment.verdict != core::ReportVerdict::kPlausible) {
       quarantined_[report.rsu] = QuarantineReason::kZeroCountAnomaly;
-      return QuarantineReason::kZeroCountAnomaly;
+      return account(QuarantineReason::kZeroCountAnomaly);
     }
     const double history = history_it->second;
     if (history >= validation_.min_history_for_ratio_check) {
@@ -78,7 +91,7 @@ QuarantineReason CentralServer::ingest(const RsuReport& report) {
       if (counter > history * validation_.max_history_ratio ||
           counter < history / validation_.max_history_ratio) {
         quarantined_[report.rsu] = QuarantineReason::kVolumeAnomaly;
-        return QuarantineReason::kVolumeAnomaly;
+        return account(QuarantineReason::kVolumeAnomaly);
       }
     }
   }
@@ -89,7 +102,7 @@ QuarantineReason CentralServer::ingest(const RsuReport& report) {
   history_it->second = (1.0 - history_alpha_) * history_it->second +
                        history_alpha_ * static_cast<double>(report.counter);
   reports_.emplace(report.rsu, report);
-  return QuarantineReason::kNone;
+  return account(QuarantineReason::kNone);
 }
 
 QuarantineReason CentralServer::quarantine_reason(core::RsuId id) const {
@@ -115,14 +128,14 @@ core::RsuState rebuild_state(const RsuReport& r) {
 core::PairEstimate CentralServer::estimate(core::RsuId a,
                                            core::RsuId b) const {
   VLM_REQUIRE(a != b, "point-to-point estimation needs two distinct RSUs");
-  return estimator_.estimate(rebuild_state(report_for(a)),
-                             rebuild_state(report_for(b)));
+  return scheme_->estimator().estimate(rebuild_state(report_for(a)),
+                                       rebuild_state(report_for(b)));
 }
 
 core::EstimateInterval CentralServer::estimate_with_interval(
     core::RsuId a, core::RsuId b, double z) const {
   VLM_REQUIRE(a != b, "point-to-point estimation needs two distinct RSUs");
-  const core::IntervalEstimator interval(s_, z);
+  const core::IntervalEstimator interval(scheme_->s(), z);
   return interval.estimate(rebuild_state(report_for(a)),
                            rebuild_state(report_for(b)));
 }
@@ -141,7 +154,8 @@ core::OdMatrix CentralServer::estimate_matrix(double z) const {
   std::vector<core::RsuState> states;
   states.reserve(order.size());
   for (core::RsuId id : order) states.push_back(rebuild_state(report_for(id)));
-  return core::estimate_od_matrix(states, s_, z);
+  return core::estimate_od_matrix(states, scheme_->s(), z, decode_workers_,
+                                  &stats_.decode);
 }
 
 }  // namespace vlm::vcps

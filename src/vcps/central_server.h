@@ -4,26 +4,26 @@
 // The server never sees a vehicle identifier — only counters and bit
 // arrays. Each period it (1) tells every RSU its array size, derived from
 // the exponentially weighted history of that RSU's point volume
-// (Section IV-B's n̄_x) under the configured sizing policy (VLM
-// variable-length or FBM fixed-length), (2) ingests reports, updating the
-// history, and (3) answers point-to-point queries via the Eq. 5 MLE.
+// (Section IV-B's n̄_x) under the configured Scheme (VLM variable-length,
+// FBM fixed-length, or any future implementation — the server is fully
+// scheme-generic), (2) ingests reports, updating the history, and
+// (3) answers point-to-point queries via the Eq. 5 MLE; the full K×K
+// matrix decode runs the fused kernel over a parallel pair pipeline and
+// records throughput counters in `stats()`.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
-#include <variant>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/od_matrix.h"
 #include "core/report_validator.h"
-#include "core/sizing.h"
+#include "core/scheme.h"
 #include "core/types.h"
 #include "vcps/messages.h"
 
 namespace vlm::vcps {
-
-using SizingPolicy = std::variant<core::VlmSizingPolicy, core::FbmSizingPolicy>;
 
 // Optional defenses against polluted reports (see vcps/adversary.h for
 // the threat model each check addresses).
@@ -48,16 +48,33 @@ enum class QuarantineReason {
 };
 
 struct CentralServerConfig {
-  std::uint32_t s = 2;
-  SizingPolicy sizing = core::VlmSizingPolicy(8.0);
+  // The masking scheme the deployment runs. Selecting VLM vs FBM (or any
+  // other Scheme implementation) is this single construction.
+  core::SchemePtr scheme = core::make_vlm_scheme();
   // EWMA weight of the newest period when updating history volumes.
   double history_alpha = 0.25;
   ReportValidationConfig validation = {};
+  // Threads for the K×K matrix decode: 1 = serial, 0 = one per core.
+  // Any value yields bit-identical estimates.
+  unsigned decode_workers = 0;
+};
+
+// Per-period observability: what the ingest and decode phases did and
+// how long they took. Reset by begin_period(); decode fields cover the
+// most recent estimate_matrix() call.
+struct PipelineStats {
+  std::uint64_t period = 0;
+  std::size_t reports_ingested = 0;
+  std::size_t reports_quarantined = 0;
+  double ingest_seconds = 0.0;  // cumulative wall time inside ingest()
+  core::DecodeStats decode;
 };
 
 class CentralServer {
  public:
   explicit CentralServer(const CentralServerConfig& config);
+
+  const core::Scheme& scheme() const { return *scheme_; }
 
   // Registers an RSU with its initial historical average volume (from
   // past data, as the paper assumes). Must precede any sizing query.
@@ -66,7 +83,7 @@ class CentralServer {
   bool is_registered(core::RsuId id) const;
   double history_volume(core::RsuId id) const;
 
-  // m_x for the upcoming period under the configured policy.
+  // m_x for the upcoming period under the configured scheme.
   std::size_t array_size_for(core::RsuId id) const;
 
   // Starts period `period`, discarding the previous period's reports.
@@ -95,21 +112,26 @@ class CentralServer {
 
   // The full point-to-point matrix over every RSU that reported this
   // period, in the order given by `matrix_order()`. Needs >= 2 reports.
+  // Runs the batched decode pipeline (config.decode_workers threads) and
+  // records its throughput in stats().decode.
   std::vector<core::RsuId> matrix_order() const;
   core::OdMatrix estimate_matrix(double z = 1.96) const;
+
+  // Ingest/decode counters and timings for the current period.
+  const PipelineStats& stats() const { return stats_; }
 
  private:
   const RsuReport& report_for(core::RsuId id) const;
 
-  std::uint32_t s_;
-  SizingPolicy sizing_;
+  core::SchemePtr scheme_;
   double history_alpha_;
   ReportValidationConfig validation_;
-  core::PairEstimator estimator_;
+  unsigned decode_workers_;
   std::uint64_t period_ = 0;
   std::unordered_map<core::RsuId, double> history_;
   std::unordered_map<core::RsuId, RsuReport> reports_;
   std::unordered_map<core::RsuId, QuarantineReason> quarantined_;
+  mutable PipelineStats stats_;  // decode fields written by const decode
 };
 
 }  // namespace vlm::vcps

@@ -13,8 +13,7 @@ constexpr std::uint64_t kCertLifetimePeriods = 1'000'000;
 
 VcpsSimulation::VcpsSimulation(const SimulationConfig& config,
                                std::span<const RsuSite> sites)
-    : encoder_(config.encoder),
-      ca_(config.ca_master_secret),
+    : ca_(config.ca_master_secret),
       server_(config.server),
       channel_(config.channel, common::mix64(config.seed ^ 0xC4A22E1ull)),
       seed_(config.seed) {
@@ -51,7 +50,7 @@ std::size_t VcpsSimulation::drive_vehicle_as(
     const core::VehicleIdentity& identity,
     std::span<const std::size_t> rsu_positions) {
   VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
-  Vehicle vehicle(identity, encoder_, ca_,
+  Vehicle vehicle(identity, encoder(), ca_,
                   common::mix64(identity.masked_key() ^ period_));
   std::size_t exchanges = 0;
   for (std::size_t position : rsu_positions) {

@@ -23,7 +23,9 @@
 namespace vlm::vcps {
 
 struct SimulationConfig {
-  core::EncoderConfig encoder;
+  // Vehicles encode with the scheme configured on the server — the
+  // scheme owns the one encoder both sides must share, so a VLM/FBM
+  // (or future-scheme) deployment is a single Scheme construction here.
   CentralServerConfig server;
   ChannelConfig channel;
   std::uint64_t ca_master_secret = 0xCAFEBABE12345678ull;
@@ -43,7 +45,8 @@ class VcpsSimulation {
   const Rsu& rsu(std::size_t position) const;
   const CentralServer& server() const { return server_; }
   const DsrcChannel& channel() const { return channel_; }
-  const core::Encoder& encoder() const { return encoder_; }
+  const core::Scheme& scheme() const { return server_.scheme(); }
+  const core::Encoder& encoder() const { return server_.scheme().encoder(); }
 
   // Starts a measurement period: server re-derives every RSU's array size
   // from history; RSUs reset their state.
@@ -71,7 +74,6 @@ class VcpsSimulation {
   std::uint64_t vehicles_driven() const { return vehicles_driven_; }
 
  private:
-  core::Encoder encoder_;
   CertificateAuthority ca_;
   CentralServer server_;
   DsrcChannel channel_;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace vlm::common {
@@ -170,6 +172,100 @@ TEST(BitArraySerialization, EmptyPatternRoundTripsAtWordBoundary) {
   const BitArray restored = BitArray::from_bytes(128, bits.to_bytes());
   EXPECT_TRUE(restored.test(127));
   EXPECT_EQ(restored.count_ones(), 1u);
+}
+
+// Reference implementation the fused kernel must match: materialize the
+// unfolded array, OR, and count each zero set independently.
+JointZeroCounts naive_joint_zero_counts(const BitArray& a, const BitArray& b) {
+  const BitArray& small = a.size() <= b.size() ? a : b;
+  const BitArray& large = a.size() <= b.size() ? b : a;
+  const BitArray combined = small.size() == large.size()
+                                ? small | large
+                                : small.unfolded(large.size()) | large;
+  JointZeroCounts out;
+  out.size_small = small.size();
+  out.size_large = large.size();
+  out.zeros_small = small.count_zeros();
+  out.zeros_large = large.count_zeros();
+  out.zeros_or = combined.count_zeros();
+  return out;
+}
+
+BitArray patterned(std::size_t size, std::size_t stride, std::size_t phase) {
+  BitArray bits(size);
+  for (std::size_t i = phase; i < size; i += stride) bits.set(i);
+  return bits;
+}
+
+void expect_matches_naive(const BitArray& a, const BitArray& b) {
+  const JointZeroCounts naive = naive_joint_zero_counts(a, b);
+  const JointZeroCounts fused = joint_zero_counts(a, b);
+  EXPECT_EQ(fused.size_small, naive.size_small);
+  EXPECT_EQ(fused.size_large, naive.size_large);
+  EXPECT_EQ(fused.zeros_small, naive.zeros_small);
+  EXPECT_EQ(fused.zeros_large, naive.zeros_large);
+  EXPECT_EQ(fused.zeros_or, naive.zeros_or);
+  EXPECT_GT(fused.words_scanned, 0u);
+}
+
+TEST(JointZeroCounts, MatchesNaiveAcrossUnequalLengths) {
+  // Word-aligned unequal sizes: the cyclic-indexing fast path.
+  const std::vector<std::pair<std::size_t, std::size_t>> sizes{
+      {64, 512}, {128, 1024}, {1 << 10, 1 << 14}, {1 << 12, 1 << 12}};
+  for (const auto& [small_size, large_size] : sizes) {
+    expect_matches_naive(patterned(small_size, 3, 1),
+                         patterned(large_size, 7, 2));
+  }
+}
+
+TEST(JointZeroCounts, MatchesNaiveForSubWordSizes) {
+  // The sizing floor produces 8..32-bit arrays; these hit the
+  // materializing fallback.
+  expect_matches_naive(patterned(8, 2, 0), patterned(64, 5, 1));
+  expect_matches_naive(patterned(16, 3, 1), patterned(16, 4, 0));
+  expect_matches_naive(patterned(32, 5, 2), patterned(1 << 10, 9, 3));
+}
+
+TEST(JointZeroCounts, OrderInsensitive) {
+  const BitArray small = patterned(256, 3, 0);
+  const BitArray large = patterned(4096, 11, 5);
+  const JointZeroCounts ab = joint_zero_counts(small, large);
+  const JointZeroCounts ba = joint_zero_counts(large, small);
+  EXPECT_EQ(ab.size_small, ba.size_small);
+  EXPECT_EQ(ab.zeros_small, ba.zeros_small);
+  EXPECT_EQ(ab.zeros_large, ba.zeros_large);
+  EXPECT_EQ(ab.zeros_or, ba.zeros_or);
+  EXPECT_EQ(ab.words_scanned, ba.words_scanned);
+}
+
+TEST(JointZeroCounts, AllZeroAndAllOneExtremes) {
+  BitArray zeros(512);
+  BitArray ones(4096);
+  for (std::size_t i = 0; i < 4096; ++i) ones.set(i);
+  const JointZeroCounts counts = joint_zero_counts(zeros, ones);
+  EXPECT_EQ(counts.zeros_small, 512u);
+  EXPECT_EQ(counts.zeros_large, 0u);
+  EXPECT_EQ(counts.zeros_or, 0u);
+}
+
+TEST(JointZeroCounts, RejectsIncompatibleSizes) {
+  // 192 does not divide 512 — the kernel must refuse with a clear error
+  // rather than decode garbage, whichever way the caller orders them.
+  const BitArray a(192), b(512);
+  EXPECT_THROW((void)joint_zero_counts(a, b), std::invalid_argument);
+  EXPECT_THROW((void)joint_zero_counts(b, a), std::invalid_argument);
+  try {
+    (void)joint_zero_counts(a, b);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("powers of two"), std::string::npos);
+  }
+}
+
+TEST(JointZeroCounts, RejectsEmptyOperands) {
+  const BitArray empty;
+  const BitArray bits(64);
+  EXPECT_THROW((void)joint_zero_counts(empty, bits), std::invalid_argument);
 }
 
 }  // namespace

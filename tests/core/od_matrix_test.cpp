@@ -8,6 +8,9 @@
 #include <vector>
 
 #include "core/encoder.h"
+#include "core/pair_simulation.h"
+#include "core/scheme.h"
+#include "roadnet/sioux_falls.h"
 
 namespace vlm::core {
 namespace {
@@ -90,6 +93,76 @@ TEST(OdMatrix, HandlesMixedArraySizes) {
   // All 3,000 RSU-0 vehicles also passed RSU 1.
   const EstimateInterval& e = matrix.at(0, 1);
   EXPECT_NEAR(e.n_c_hat, 3000.0, std::max(4.0 * e.stddev, 450.0));
+}
+
+TEST(OdMatrix, ParallelDecodeBitIdenticalToSerialOnSiouxFalls) {
+  // 24 RSUs sized from the Sioux Falls trip table's per-node demand under
+  // VLM sizing (mixed array sizes, so unfolding paths are exercised).
+  // The parallel pipeline must reproduce the serial result bit for bit.
+  const roadnet::TripTable trips = roadnet::sioux_falls_trip_table();
+  ASSERT_EQ(trips.node_count(), 24u);
+  const VlmScheme scheme(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  std::vector<RsuState> states;
+  states.reserve(24);
+  for (roadnet::NodeIndex n = 0; n < 24; ++n) {
+    states.push_back(scheme.make_rsu_state(trips.node_demand(n) / 16.0));
+  }
+  // Deterministic traffic: vehicle i visits RSU r with a per-RSU
+  // probability shaped by the node demand, hashed from (i, r).
+  const Encoder& enc = scheme.encoder();
+  const double total = trips.total_demand();
+  for (std::uint64_t i = 0; i < 30'000; ++i) {
+    const VehicleIdentity v = synthetic_vehicle(7, i);
+    for (std::size_t r = 0; r < 24; ++r) {
+      const double p =
+          4.0 * trips.node_demand(static_cast<roadnet::NodeIndex>(r)) / total;
+      const std::uint64_t h =
+          common::mix64((i + 1) * 0x9E3779B97F4A7C15ull ^ (r + 1));
+      if (static_cast<double>(h % 10'000) < p * 10'000.0) {
+        states[r].record(enc.bit_index(v, RsuId{r + 1},
+                                       states[r].array_size()));
+      }
+    }
+  }
+
+  DecodeStats serial_stats, parallel_stats;
+  const OdMatrix serial = estimate_od_matrix(states, 2, 1.96, 1,
+                                             &serial_stats);
+  const OdMatrix parallel = estimate_od_matrix(states, 2, 1.96, 8,
+                                               &parallel_stats);
+  for (std::size_t a = 0; a < 24; ++a) {
+    for (std::size_t b = a + 1; b < 24; ++b) {
+      const EstimateInterval& se = serial.at(a, b);
+      const EstimateInterval& pe = parallel.at(a, b);
+      EXPECT_EQ(se.n_c_hat, pe.n_c_hat) << "pair (" << a << "," << b << ")";
+      EXPECT_EQ(se.stddev, pe.stddev);
+      EXPECT_EQ(se.lower, pe.lower);
+      EXPECT_EQ(se.upper, pe.upper);
+      EXPECT_EQ(se.floor_stddev, pe.floor_stddev);
+      EXPECT_EQ(se.degraded, pe.degraded);
+    }
+  }
+  // Stats are deterministic too: same pairs, same words, regardless of
+  // the worker count.
+  EXPECT_EQ(serial_stats.pairs_decoded, 24u * 23u / 2u);
+  EXPECT_EQ(parallel_stats.pairs_decoded, serial_stats.pairs_decoded);
+  EXPECT_EQ(parallel_stats.words_scanned, serial_stats.words_scanned);
+  EXPECT_GT(serial_stats.words_scanned, 0u);
+  EXPECT_EQ(serial_stats.workers, 1u);
+  EXPECT_EQ(parallel_stats.workers, 8u);
+  EXPECT_GE(serial_stats.wall_seconds, 0.0);
+}
+
+TEST(OdMatrix, DecodeStatsThroughputHelpers) {
+  DecodeStats stats;
+  stats.pairs_decoded = 100;
+  stats.words_scanned = 1024 * 1024 / 8;  // 1 MiB worth of words
+  stats.wall_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(stats.pairs_per_second(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.mib_per_second(), 0.5);
+  DecodeStats idle;
+  EXPECT_DOUBLE_EQ(idle.pairs_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(idle.mib_per_second(), 0.0);
 }
 
 TEST(OdMatrix, Guards) {

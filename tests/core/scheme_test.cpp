@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "core/pair_simulation.h"
 
 namespace vlm::core {
@@ -55,6 +58,89 @@ TEST(Schemes, EndToEndThroughFacade) {
   }
   const PairEstimate e = scheme.estimator().estimate(x, y);
   EXPECT_NEAR(e.n_c_hat, 2000.0, 2000.0 * 0.2);
+}
+
+// --- Polymorphic interface ---
+
+TEST(SchemeInterface, DispatchesThroughBasePointer) {
+  const SchemePtr vlm = make_vlm_scheme({.s = 2, .load_factor = 8.0});
+  const SchemePtr fbm = make_fbm_scheme({.s = 2, .array_size = 1 << 17});
+  ASSERT_NE(vlm, nullptr);
+  ASSERT_NE(fbm, nullptr);
+  EXPECT_EQ(vlm->name(), "vlm");
+  EXPECT_EQ(fbm->name(), "fbm");
+  // VLM sizes from history; FBM ignores it. Same call, different policy.
+  EXPECT_NE(vlm->array_size_for(1'000), vlm->array_size_for(400'000));
+  EXPECT_EQ(fbm->array_size_for(1'000), fbm->array_size_for(400'000));
+  EXPECT_EQ(fbm->array_size_for(1'000), std::size_t{1} << 17);
+  EXPECT_EQ(vlm->s(), 2u);
+  EXPECT_EQ(fbm->s(), 2u);
+}
+
+TEST(SchemeInterface, SchemesShareOneEncoderInstance) {
+  // The encoder returned by the scheme must be stable (vehicle and server
+  // sides hold references to it for the lifetime of a deployment).
+  const SchemePtr scheme = make_vlm_scheme();
+  const Encoder& a = scheme->encoder();
+  const Encoder& b = scheme->encoder();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(SchemeFactory, MakesSchemesByName) {
+  SchemeOptions options;
+  options.s = 3;
+  options.load_factor = 4.0;
+  options.array_size = 1 << 15;
+  const SchemePtr vlm = make_scheme("vlm", options);
+  const SchemePtr fbm = make_scheme("fbm", options);
+  EXPECT_EQ(vlm->name(), "vlm");
+  EXPECT_EQ(fbm->name(), "fbm");
+  EXPECT_EQ(vlm->s(), 3u);
+  EXPECT_EQ(fbm->s(), 3u);
+  EXPECT_EQ(fbm->array_size_for(1e6), std::size_t{1} << 15);
+  // load_factor 4 at n=16'384 -> 65'536 bits exactly.
+  EXPECT_EQ(vlm->array_size_for(16'384), std::size_t{1} << 16);
+}
+
+TEST(SchemeFactory, RejectsUnknownName) {
+  EXPECT_THROW((void)make_scheme("hll"), std::invalid_argument);
+  try {
+    (void)make_scheme("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("vlm"), std::string::npos);
+  }
+}
+
+TEST(SchemeInterface, SimulatesPairsThroughScheme) {
+  // The scheme-driven simulate_pair overload sizes each array by the
+  // scheme's own policy and must agree with the explicit-size call.
+  const SchemePtr scheme = make_vlm_scheme({.s = 2, .load_factor = 8.0});
+  const PairWorkload w{10'000, 80'000, 2'000};
+  const PairStates via_scheme = simulate_pair(*scheme, w, 11);
+  EXPECT_EQ(via_scheme.x.array_size(), scheme->array_size_for(10'000));
+  EXPECT_EQ(via_scheme.y.array_size(), scheme->array_size_for(80'000));
+  const PairStates explicit_sizes = simulate_pair(
+      scheme->encoder(), w, scheme->array_size_for(10'000),
+      scheme->array_size_for(80'000), 11);
+  EXPECT_EQ(via_scheme.x.bits(), explicit_sizes.x.bits());
+  EXPECT_EQ(via_scheme.y.bits(), explicit_sizes.y.bits());
+}
+
+TEST(SchemeInterface, EstimatesThroughBaseMatchConcrete) {
+  // A caller holding only Scheme& must reproduce the concrete scheme's
+  // estimate exactly — the abstraction adds no numeric drift.
+  const VlmScheme concrete(VlmSchemeConfig{.s = 2, .load_factor = 8.0});
+  const SchemePtr base = make_vlm_scheme({.s = 2, .load_factor = 8.0});
+  const PairWorkload w{20'000, 20'000, 4'000};
+  const std::size_t m = concrete.array_size_for(20'000);
+  const PairStates sc = simulate_pair(concrete.encoder(), w, m, m, 5);
+  const PairStates sb = simulate_pair(base->encoder(), w, m, m, 5);
+  EXPECT_EQ(sc.x.bits(), sb.x.bits());
+  EXPECT_DOUBLE_EQ(concrete.estimator().estimate(sc.x, sc.y).raw,
+                   base->estimator().estimate(sb.x, sb.y).raw);
 }
 
 }  // namespace

@@ -62,7 +62,8 @@ TEST(Diurnal, HourlyPeriodsResizeArraysAcrossTheDay) {
   // wide range between night and peak.
   const DiurnalProfile profile = DiurnalProfile::standard_weekday();
   vcps::SimulationConfig config;
-  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.server.history_alpha = 1.0;
   config.seed = 31;
   const std::vector<vcps::RsuSite> sites{

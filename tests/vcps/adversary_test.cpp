@@ -12,8 +12,7 @@ namespace {
 
 CentralServerConfig defended_config() {
   CentralServerConfig config;
-  config.s = 2;
-  config.sizing = core::VlmSizingPolicy(8.0);
+  config.scheme = core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.validation.enabled = true;
   config.validation.tolerance_sigmas = 6.0;
   config.validation.max_history_ratio = 4.0;

@@ -11,8 +11,7 @@ namespace {
 
 CentralServerConfig vlm_config() {
   CentralServerConfig config;
-  config.s = 2;
-  config.sizing = core::VlmSizingPolicy(8.0);
+  config.scheme = core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.history_alpha = 0.5;
   return config;
 }
@@ -35,7 +34,7 @@ TEST(CentralServer, SizesFromHistoryUnderVlmPolicy) {
 
 TEST(CentralServer, FixedSizeUnderFbmPolicy) {
   CentralServerConfig config = vlm_config();
-  config.sizing = core::FbmSizingPolicy(1 << 17);
+  config.scheme = core::make_fbm_scheme({.s = 2, .array_size = 1 << 17});
   CentralServer server(config);
   server.register_rsu(core::RsuId{1}, 451'000.0);
   EXPECT_EQ(server.array_size_for(core::RsuId{1}), std::size_t{1} << 17);

@@ -116,8 +116,8 @@ TEST(EventSim, ReportsFeedTheCentralServerPipeline) {
   sim.run();
 
   CentralServerConfig server_config;
-  server_config.s = 2;
-  server_config.sizing = core::FbmSizingPolicy(1 << 14);
+  server_config.scheme =
+      core::make_fbm_scheme({.s = 2, .array_size = 1 << 14});
   CentralServer server(server_config);
   server.register_rsu(core::RsuId{1}, 3'000.0);
   server.register_rsu(core::RsuId{2}, 3'000.0);

@@ -25,8 +25,8 @@ TEST(MultiPeriodIntegration, FivePeriodsStayHealthy) {
                                      15, 1e-3});
 
   SimulationConfig config;
-  config.server.s = 2;
-  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.server.history_alpha = 0.5;
   config.server.validation.enabled = true;
   config.seed = 777;

@@ -18,9 +18,9 @@ TEST(ProtocolEquivalence, FullStackMatchesCoreRecording) {
 
   // Protocol side: two sites with histories that produce 2^14 and 2^16.
   SimulationConfig config;
-  config.encoder = encoder_config;
-  config.server.s = 2;
-  config.server.sizing = core::VlmSizingPolicy(8.0);
+  // The scheme owns the encoder both sides share.
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.seed = 42;
   const std::vector<RsuSite> sites{RsuSite{id_x, 1'500.0},
                                    RsuSite{id_y, 6'000.0}};
@@ -68,7 +68,8 @@ TEST(ProtocolEquivalence, ReportSerializationIsLossless) {
   // The estimate computed from serialized reports equals the estimate
   // from the in-memory states (the server only ever sees bytes).
   SimulationConfig config;
-  config.server.sizing = core::VlmSizingPolicy(8.0);
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
   config.seed = 7;
   const std::vector<RsuSite> sites{RsuSite{core::RsuId{1}, 2'000.0},
                                    RsuSite{core::RsuId{2}, 2'000.0}};

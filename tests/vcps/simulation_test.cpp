@@ -14,8 +14,8 @@ namespace {
 
 SimulationConfig vlm_sim_config(double load_factor = 8.0) {
   SimulationConfig config;
-  config.server.s = 2;
-  config.server.sizing = core::VlmSizingPolicy(load_factor);
+  config.server.scheme =
+      core::make_vlm_scheme({.s = 2, .load_factor = load_factor});
   config.seed = 11;
   return config;
 }

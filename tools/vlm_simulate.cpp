@@ -68,15 +68,16 @@ int main(int argc, char** argv) {
   try {
     const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
     vcps::SimulationConfig config;
-    config.server.s = static_cast<std::uint32_t>(parser.get_int("s"));
     config.seed = seed;
-    if (parser.get_string("scheme") == "fbm") {
-      config.server.sizing = core::FbmSizingPolicy(
-          static_cast<std::size_t>(parser.get_double("fbm-m")));
-    } else {
-      config.server.sizing =
-          core::VlmSizingPolicy(parser.get_double("load-factor"));
-    }
+    // Scheme selection is one factory call; everything downstream
+    // (server sizing, vehicle encoding, decode) is scheme-generic.
+    core::SchemeOptions scheme_options;
+    scheme_options.s = static_cast<std::uint32_t>(parser.get_int("s"));
+    scheme_options.load_factor = parser.get_double("load-factor");
+    scheme_options.array_size =
+        static_cast<std::size_t>(parser.get_double("fbm-m"));
+    config.server.scheme =
+        core::make_scheme(parser.get_string("scheme"), scheme_options);
 
     const std::string network = parser.get_string("network");
     std::unique_ptr<vcps::VcpsSimulation> sim;
@@ -151,6 +152,12 @@ int main(int argc, char** argv) {
     std::printf("simulated %llu vehicles across %zu RSUs; wrote %s\n",
                 static_cast<unsigned long long>(sim->vehicles_driven()),
                 sim->rsu_count(), parser.get_string("out").c_str());
+    const vcps::PipelineStats& stats = sim->server().stats();
+    std::printf(
+        "pipeline [%s]: %zu reports ingested, %zu quarantined, ingest "
+        "%.1f ms\n",
+        std::string(sim->scheme().name()).c_str(), stats.reports_ingested,
+        stats.reports_quarantined, stats.ingest_seconds * 1e3);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
