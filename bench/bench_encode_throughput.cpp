@@ -1,0 +1,223 @@
+// Encode-throughput bench: the serial vehicle-at-a-time protocol ingest
+// vs the sharded parallel engine (drive_vehicles), on a Zipf multi-RSU
+// workload, plus the raw batch-encode kernel (Encoder::bit_indices into a
+// ShardedBitArray) isolated from the protocol.
+//
+//   $ bench_encode_throughput                                  # 24 RSUs, 1M vehicles
+//   $ bench_encode_throughput --rsus 6 --vehicles 20000 --repeat 1   # smoke
+//
+// Emits one JSON object so CI and scripts can track the speedup:
+//   - "serial_seconds": drive_vehicle per vehicle (the pre-engine path);
+//   - "sharded_serial_seconds": drive_vehicles with 1 worker;
+//   - "sharded_parallel_seconds": drive_vehicles with one worker per core
+//     — asserted report-identical (bits AND counters) to both runs above;
+//   - "raw_*": the protocol-free encode kernel on the largest RSU.
+// Exits non-zero if any run's reports disagree.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bit_array.h"
+#include "common/cli.h"
+#include "common/parallel.h"
+#include "common/visited_mask.h"
+#include "core/pair_simulation.h"
+#include "traffic/multi_rsu_workload.h"
+#include "vcps/simulation.h"
+
+namespace {
+
+using namespace vlm;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool reports_identical(const vcps::VcpsSimulation& a,
+                       const vcps::VcpsSimulation& b) {
+  if (a.rsu_count() != b.rsu_count()) return false;
+  for (std::size_t r = 0; r < a.rsu_count(); ++r) {
+    const vcps::RsuReport ra = a.rsu(r).make_report(a.current_period());
+    const vcps::RsuReport rb = b.rsu(r).make_report(b.current_period());
+    if (ra.counter != rb.counter || ra.array_size != rb.array_size ||
+        ra.bits != rb.bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::ArgParser parser("bench_encode_throughput",
+                           "sharded parallel ingest vs the serial encode path");
+  parser.add_int("rsus", 24, "deployment size K (zipf workload)");
+  parser.add_int("vehicles", 1'000'000, "vehicles per period");
+  parser.add_int("workers", 0, "ingest workers (0 = one per core)");
+  parser.add_double("load-factor", 8.0, "VLM load factor f̄");
+  parser.add_int("repeat", 3, "timing repetitions (best-of)");
+  parser.add_int("seed", 7, "workload + simulation seed");
+  if (!parser.parse(argc, argv)) return 0;
+
+  const auto k = static_cast<std::size_t>(parser.get_int("rsus"));
+  const auto vehicles = static_cast<std::uint64_t>(parser.get_int("vehicles"));
+  const unsigned workers =
+      parser.get_int("workers") == 0
+          ? common::default_worker_count()
+          : static_cast<unsigned>(parser.get_int("workers"));
+  const int repeat = std::max(1, static_cast<int>(parser.get_int("repeat")));
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  traffic::MultiRsuConfig workload_config;
+  workload_config.rsu_count = k;
+  workload_config.vehicle_count = vehicles;
+  workload_config.seed = seed;
+  traffic::MultiRsuWorkload workload(workload_config);
+  // Ground-truth pass (untimed) for the per-site history volumes.
+  workload.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+
+  vcps::SimulationConfig sim_config;
+  sim_config.seed = seed;
+  sim_config.server.scheme = core::make_vlm_scheme(
+      {.s = 2, .load_factor = parser.get_double("load-factor")});
+  std::vector<vcps::RsuSite> sites;
+  for (std::size_t r = 0; r < k; ++r) {
+    sites.push_back(vcps::RsuSite{
+        core::RsuId{r + 1},
+        static_cast<double>(workload.node_volumes()[r])});
+  }
+
+  const vcps::ItineraryProvider provider =
+      [&workload, k](std::uint64_t v, std::vector<std::size_t>& positions) {
+        thread_local common::VisitedMask visited(0);
+        thread_local std::vector<std::uint32_t> rsus;
+        if (visited.universe_size() != k) visited = common::VisitedMask(k);
+        workload.itinerary(v, visited, rsus);
+        positions.assign(rsus.begin(), rsus.end());
+      };
+
+  // One full measurement period through the serial vehicle-at-a-time path.
+  auto run_serial = [&](double& seconds) {
+    auto sim = std::make_unique<vcps::VcpsSimulation>(sim_config, sites);
+    sim->begin_period();
+    common::VisitedMask visited(k);
+    std::vector<std::uint32_t> rsus;
+    std::vector<std::size_t> positions;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t v = 0; v < vehicles; ++v) {
+      workload.itinerary(v, visited, rsus);
+      positions.assign(rsus.begin(), rsus.end());
+      sim->drive_vehicle(positions);
+    }
+    seconds = seconds_since(t0);
+    sim->end_period();
+    return sim;
+  };
+
+  // Same period through the sharded engine.
+  auto run_sharded = [&](unsigned w, double& seconds,
+                         vcps::IngestStats* stats_out) {
+    auto sim = std::make_unique<vcps::VcpsSimulation>(sim_config, sites);
+    sim->begin_period();
+    const auto t0 = std::chrono::steady_clock::now();
+    const vcps::IngestStats stats = sim->drive_vehicles(vehicles, provider, w);
+    seconds = seconds_since(t0);
+    sim->end_period();
+    if (stats_out != nullptr) *stats_out = stats;
+    return sim;
+  };
+
+  double serial_best = 1e300, sharded_serial_best = 1e300,
+         sharded_parallel_best = 1e300;
+  std::unique_ptr<vcps::VcpsSimulation> serial, sharded1, shardedN;
+  vcps::IngestStats parallel_stats;
+  for (int rep = 0; rep < repeat; ++rep) {
+    double s = 0.0;
+    serial = run_serial(s);
+    serial_best = std::min(serial_best, s);
+    sharded1 = run_sharded(1, s, nullptr);
+    sharded_serial_best = std::min(sharded_serial_best, s);
+    shardedN = run_sharded(workers, s, &parallel_stats);
+    sharded_parallel_best = std::min(sharded_parallel_best, s);
+  }
+  const bool identical = reports_identical(*serial, *sharded1) &&
+                         reports_identical(*serial, *shardedN);
+
+  // Raw kernel: batch-encode every vehicle against the busiest RSU —
+  // serial bit_index + set() vs per-worker bit_indices + set_bulk() into
+  // ShardedBitArray shards.
+  std::vector<core::VehicleIdentity> identities(vehicles);
+  for (std::uint64_t v = 0; v < vehicles; ++v) {
+    identities[v] = core::synthetic_vehicle(seed, v + 1);
+  }
+  const core::Encoder& encoder = serial->encoder();
+  const core::RsuId raw_rsu{1};  // zipf rank 0: the largest array
+  const core::EncodeTarget target(serial->rsu(0).state().array_size());
+
+  double raw_serial_best = 1e300, raw_parallel_best = 1e300;
+  common::BitArray raw_serial_bits(target.array_size());
+  common::BitArray raw_parallel_bits(target.array_size());
+  for (int rep = 0; rep < repeat; ++rep) {
+    common::BitArray bits(target.array_size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const core::VehicleIdentity& v : identities) {
+      bits.set(encoder.bit_index(v, raw_rsu, target));
+    }
+    raw_serial_best = std::min(raw_serial_best, seconds_since(t0));
+    raw_serial_bits = bits;
+
+    common::ShardedBitArray sharded(target.array_size(), workers);
+    const auto t1 = std::chrono::steady_clock::now();
+    common::parallel_slices(
+        identities.size(), workers,
+        [&](unsigned worker, std::size_t begin, std::size_t end) {
+          constexpr std::size_t kChunk = 8192;
+          std::vector<std::size_t> indices(kChunk);
+          common::BitArray& shard = sharded.shard(worker);
+          for (std::size_t i = begin; i < end; i += kChunk) {
+            const std::size_t len = std::min(kChunk, end - i);
+            const std::span<std::size_t> out(indices.data(), len);
+            encoder.bit_indices(
+                std::span<const core::VehicleIdentity>(&identities[i], len),
+                raw_rsu, target, out);
+            shard.set_bulk(out);
+          }
+        });
+    raw_parallel_bits = sharded.merged();
+    raw_parallel_best = std::min(raw_parallel_best, seconds_since(t1));
+  }
+  const bool raw_identical = raw_serial_bits == raw_parallel_bits;
+
+  const auto per_sec = [&](double seconds) {
+    return static_cast<double>(vehicles) / seconds;
+  };
+  std::printf(
+      "{\"rsus\": %zu, \"vehicles\": %llu, \"workers\": %u, \"exchanges\": "
+      "%llu,\n"
+      " \"serial_seconds\": %.6f,\n"
+      " \"sharded_serial_seconds\": %.6f,\n"
+      " \"sharded_parallel_seconds\": %.6f,\n"
+      " \"speedup_sharded_serial\": %.2f,\n"
+      " \"speedup_sharded_parallel\": %.2f,\n"
+      " \"serial_vehicles_per_second\": %.0f,\n"
+      " \"parallel_vehicles_per_second\": %.0f,\n"
+      " \"raw_encode_serial_seconds\": %.6f,\n"
+      " \"raw_encode_parallel_seconds\": %.6f,\n"
+      " \"raw_encode_parallel_vehicles_per_second\": %.0f,\n"
+      " \"reports_bit_identical\": %s,\n"
+      " \"raw_bits_identical\": %s}\n",
+      k, static_cast<unsigned long long>(vehicles), parallel_stats.workers,
+      static_cast<unsigned long long>(parallel_stats.exchanges), serial_best,
+      sharded_serial_best, sharded_parallel_best,
+      serial_best / sharded_serial_best, serial_best / sharded_parallel_best,
+      per_sec(serial_best), per_sec(sharded_parallel_best), raw_serial_best,
+      raw_parallel_best, per_sec(raw_parallel_best),
+      identical ? "true" : "false", raw_identical ? "true" : "false");
+  return identical && raw_identical ? 0 : 1;
+}

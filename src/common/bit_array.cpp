@@ -56,7 +56,7 @@ BitArray BitArray::unfolded(std::size_t target_size) const {
   return out;
 }
 
-BitArray& BitArray::operator|=(const BitArray& other) {
+BitArray& BitArray::merge_or(const BitArray& other) {
   VLM_REQUIRE(bit_count_ == other.bit_count_,
               "bitwise OR requires equal-sized arrays (unfold first)");
   std::size_t ones = 0;
@@ -66,6 +66,44 @@ BitArray& BitArray::operator|=(const BitArray& other) {
   }
   ones_ = ones;
   return *this;
+}
+
+void BitArray::set_bulk(std::span<const std::size_t> indices) {
+  for (const std::size_t index : indices) {
+    VLM_REQUIRE(index < bit_count_, "bit index out of range");
+    words_[index / kWordBits] |= std::uint64_t{1} << (index % kWordBits);
+  }
+  std::size_t ones = 0;
+  for (const std::uint64_t w : words_) {
+    ones += static_cast<std::size_t>(std::popcount(w));
+  }
+  ones_ = ones;
+}
+
+ShardedBitArray::ShardedBitArray(std::size_t bit_count, unsigned shard_count) {
+  VLM_REQUIRE(shard_count >= 1, "need at least one shard");
+  shards_.reserve(shard_count);
+  for (unsigned s = 0; s < shard_count; ++s) shards_.emplace_back(bit_count);
+}
+
+BitArray& ShardedBitArray::shard(unsigned s) {
+  VLM_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s];
+}
+
+const BitArray& ShardedBitArray::shard(unsigned s) const {
+  VLM_REQUIRE(s < shards_.size(), "shard index out of range");
+  return shards_[s];
+}
+
+BitArray ShardedBitArray::merged() const {
+  BitArray out = shards_.front();
+  for (std::size_t s = 1; s < shards_.size(); ++s) out.merge_or(shards_[s]);
+  return out;
+}
+
+void ShardedBitArray::reset() {
+  for (BitArray& shard : shards_) shard.reset();
 }
 
 std::vector<std::uint8_t> BitArray::to_bytes() const {

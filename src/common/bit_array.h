@@ -30,6 +30,13 @@ class BitArray {
   void set(std::size_t index);
   bool test(std::size_t index) const;
 
+  // Bulk ingest: sets every index in `indices` (duplicates are fine — OR
+  // is idempotent) with plain word writes, then recomputes `ones_` with
+  // one popcount sweep instead of per-bit branch bookkeeping. Amortizes
+  // the O(m/64) recount over the batch, so callers should hand it chunks
+  // of at least a few thousand indices.
+  void set_bulk(std::span<const std::size_t> indices);
+
   // Clears every bit (start of a new measurement period).
   void reset();
 
@@ -48,8 +55,14 @@ class BitArray {
   // copy. The zero fraction is invariant under unfolding.
   BitArray unfolded(std::size_t target_size) const;
 
+  // Word-level OR-merge (Eq. 4): the shard-combining primitive of the
+  // parallel ingestion engine. `ones_` is recomputed by popcount during
+  // the single word sweep, never per bit. Both operands must have equal
+  // size. Returns *this.
+  BitArray& merge_or(const BitArray& other);
+
   // Bitwise OR (Eq. 4). Both operands must have equal size.
-  BitArray& operator|=(const BitArray& other);
+  BitArray& operator|=(const BitArray& other) { return merge_or(other); }
   friend BitArray operator|(BitArray lhs, const BitArray& rhs) {
     lhs |= rhs;
     return lhs;
@@ -76,6 +89,35 @@ class BitArray {
   std::size_t bit_count_ = 0;
   std::size_t ones_ = 0;
   std::vector<std::uint64_t> words_;
+};
+
+// One bit array per worker over the same index space. Each ingest worker
+// sets bits into its own shard with zero synchronization; the period
+// close OR-merges the shards into one array. Because the period array is
+// exactly the OR of every vehicle's single set bit and OR is commutative
+// and associative, the merged array is bit-identical to a serial ingest
+// of the same replies — for ANY shard count and ANY assignment of
+// vehicles to shards.
+class ShardedBitArray {
+ public:
+  ShardedBitArray(std::size_t bit_count, unsigned shard_count);
+
+  std::size_t size() const { return shards_.front().size(); }
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  BitArray& shard(unsigned s);
+  const BitArray& shard(unsigned s) const;
+
+  // OR of all shards (merge_or pairwise, ones by popcount).
+  BitArray merged() const;
+
+  // Clears every shard for a new period.
+  void reset();
+
+ private:
+  std::vector<BitArray> shards_;
 };
 
 // Result of the fused decode kernel below. `zeros_or` is the zero count

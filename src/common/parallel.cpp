@@ -16,20 +16,30 @@ unsigned default_worker_count() {
 
 void parallel_for(std::size_t count, unsigned workers,
                   const std::function<void(std::size_t)>& body) {
+  parallel_slices(count, workers,
+                  [&body](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) body(i);
+                  });
+}
+
+void parallel_slices(
+    std::size_t count, unsigned workers,
+    const std::function<void(unsigned worker, std::size_t begin,
+                             std::size_t end)>& body) {
   VLM_REQUIRE(workers >= 1, "need at least one worker");
   if (count == 0) return;
   const unsigned used = static_cast<unsigned>(
       std::min<std::size_t>(workers, count));
   if (used == 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    body(0, 0, count);
     return;
   }
 
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  auto run_slice = [&](std::size_t begin, std::size_t end) {
+  auto run_slice = [&](unsigned worker, std::size_t begin, std::size_t end) {
     try {
-      for (std::size_t i = begin; i < end; ++i) body(i);
+      body(worker, begin, end);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
@@ -43,7 +53,7 @@ void parallel_for(std::size_t count, unsigned workers,
     const std::size_t begin = static_cast<std::size_t>(w) * chunk;
     const std::size_t end = std::min(count, begin + chunk);
     if (begin >= end) break;
-    threads.emplace_back(run_slice, begin, end);
+    threads.emplace_back(run_slice, w, begin, end);
   }
   for (std::thread& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);

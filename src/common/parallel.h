@@ -25,4 +25,16 @@ unsigned default_worker_count();
 void parallel_for(std::size_t count, unsigned workers,
                   const std::function<void(std::size_t)>& body);
 
+// Sharded-aggregation primitive: covers [0, count) with at most `workers`
+// disjoint contiguous slices and runs body(worker, begin, end) for each,
+// one thread per slice. The worker index is dense in [0, used) where
+// used = min(workers, count), so callers can pre-size one shard of local
+// state per worker and merge after the call returns (workers == 1 runs
+// inline). Slice boundaries depend only on (count, workers), never on
+// scheduling.
+void parallel_slices(
+    std::size_t count, unsigned workers,
+    const std::function<void(unsigned worker, std::size_t begin,
+                             std::size_t end)>& body);
+
 }  // namespace vlm::common

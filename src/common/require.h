@@ -40,3 +40,12 @@ namespace vlm::common {
       ::vlm::common::throw_assertion_failure(#expr, __FILE__, __LINE__);     \
     }                                                                        \
   } while (false)
+
+// Hot-kernel invariant: checked in debug builds, compiled away under
+// NDEBUG. Use only where the condition is already validated at the API
+// boundary (e.g. the encoder's per-array-size power-of-two guard).
+#ifdef NDEBUG
+#define VLM_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define VLM_DEBUG_ASSERT(expr) VLM_ASSERT(expr)
+#endif

@@ -1,0 +1,48 @@
+// Reusable dense visited mask with O(1) reset.
+//
+// The itinerary generators dedup a handful of draws against a universe of
+// a few dozen to a few thousand RSUs, once per vehicle, millions of times
+// per period. A std::find over the partial list is O(visits²) per vehicle
+// and a real bitmask would need an O(universe/64) clear per vehicle;
+// this mask stamps each slot with the pass number instead, so begin_pass()
+// is a single increment and insert/contains are one load each. One
+// instance per worker thread, reused across every vehicle in its slice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vlm::common {
+
+class VisitedMask {
+ public:
+  explicit VisitedMask(std::size_t universe_size)
+      : stamps_(universe_size, 0) {}
+
+  std::size_t universe_size() const { return stamps_.size(); }
+
+  // Starts a new dedup pass (forgets every previous insert).
+  void begin_pass() {
+    if (++pass_ == 0) {  // stamp wraparound: invalidate stale stamps
+      stamps_.assign(stamps_.size(), 0);
+      pass_ = 1;
+    }
+  }
+
+  bool contains(std::size_t index) const { return stamps_[index] == pass_; }
+
+  // Marks `index` visited; returns true iff it was NOT already visited
+  // in the current pass.
+  bool insert(std::size_t index) {
+    if (stamps_[index] == pass_) return false;
+    stamps_[index] = pass_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t pass_ = 0;
+};
+
+}  // namespace vlm::common

@@ -11,6 +11,12 @@ namespace {
 constexpr std::uint64_t kSlotDomain = 0xC2B2AE3D27D4EB4Full;
 }  // namespace
 
+EncodeTarget::EncodeTarget(std::size_t array_size) {
+  VLM_REQUIRE(common::is_power_of_two(array_size),
+              "bit array sizes must be powers of two (Section IV-A)");
+  mask_ = static_cast<std::uint64_t>(array_size) - 1;
+}
+
 Encoder::Encoder(const EncoderConfig& config)
     : config_(config), salts_(config.s, config.salt_seed) {
   VLM_REQUIRE(config.s >= 2,
@@ -35,10 +41,40 @@ std::uint64_t Encoder::logical_bit(const VehicleIdentity& vehicle,
 
 std::size_t Encoder::bit_index(const VehicleIdentity& vehicle, RsuId rsu,
                                std::size_t array_size) const {
-  VLM_REQUIRE(common::is_power_of_two(array_size),
-              "bit array sizes must be powers of two (Section IV-A)");
+  return bit_index(vehicle, rsu, EncodeTarget(array_size));
+}
+
+std::size_t Encoder::bit_index(const VehicleIdentity& vehicle, RsuId rsu,
+                               const EncodeTarget& target) const {
+  VLM_DEBUG_ASSERT(common::is_power_of_two(target.array_size()));
   const std::uint64_t b = logical_bit(vehicle, slot_for(vehicle, rsu));
-  return static_cast<std::size_t>(b & (array_size - 1));
+  return static_cast<std::size_t>(b & target.mask());
+}
+
+void Encoder::bit_indices(std::span<const VehicleIdentity> vehicles, RsuId rsu,
+                          const EncodeTarget& target,
+                          std::span<std::size_t> out) const {
+  VLM_REQUIRE(vehicles.size() == out.size(),
+              "batch encode needs one output slot per vehicle");
+  const std::uint64_t mask = target.mask();
+  const std::uint64_t slot_input = rsu.value ^ kSlotDomain;
+  if (config_.slot_selection == SlotSelection::kLiteralPerRsu) {
+    // Literal rule: the slot is a function of the RSU alone — hoist the
+    // whole slot selection out of the loop.
+    const std::uint64_t salt =
+        salts_[common::hash_to_range(slot_input, config_.s)];
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      out[i] = static_cast<std::size_t>(
+          common::mix64(vehicles[i].masked_key() ^ salt) & mask);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < vehicles.size(); ++i) {
+    const std::uint64_t masked = vehicles[i].masked_key();
+    const std::uint64_t salt =
+        salts_[common::hash_to_range(masked ^ slot_input, config_.s)];
+    out[i] = static_cast<std::size_t>(common::mix64(masked ^ salt) & mask);
+  }
 }
 
 }  // namespace vlm::core

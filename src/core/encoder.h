@@ -31,11 +31,31 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/hashing.h"
 #include "core/types.h"
 
 namespace vlm::core {
+
+// Precomputed per-array-size encode context. The power-of-two requirement
+// (Section IV-A) is validated ONCE here instead of per vehicle × RSU, so
+// the per-vehicle hot path is two hashes plus a mask; release builds keep
+// only a debug-build guard on the fast path. Construct one per (RSU,
+// period) — or per batch — and reuse it for every vehicle.
+class EncodeTarget {
+ public:
+  // Throws std::invalid_argument unless `array_size` is a power of two.
+  explicit EncodeTarget(std::size_t array_size);
+
+  std::size_t array_size() const {
+    return static_cast<std::size_t>(mask_) + 1;
+  }
+  std::uint64_t mask() const { return mask_; }
+
+ private:
+  std::uint64_t mask_;
+};
 
 enum class SlotSelection {
   // Slot = H(masked_key, rsu) mod s: per-vehicle uniform, matches the
@@ -69,9 +89,24 @@ class Encoder {
                             std::uint32_t slot) const;
 
   // The full reply a vehicle sends to an RSU whose bit array has
-  // `array_size` bits (must be a power of two): b mod m.
+  // `array_size` bits (must be a power of two): b mod m. Convenience
+  // boundary API — validates the size on every call by constructing an
+  // EncodeTarget.
   std::size_t bit_index(const VehicleIdentity& vehicle, RsuId rsu,
                         std::size_t array_size) const;
+
+  // Hot-path variant: the size guard already ran when `target` was built,
+  // so this is hash + hash + mask (debug builds re-assert the guard).
+  std::size_t bit_index(const VehicleIdentity& vehicle, RsuId rsu,
+                        const EncodeTarget& target) const;
+
+  // Batch encode: out[i] = bit_index(vehicles[i], rsu, target) with the
+  // per-RSU slot-hash input and the fold mask hoisted out of the loop.
+  // `out.size()` must equal `vehicles.size()`. This is the kernel the
+  // sharded ingestion engine feeds whole vehicle slices through.
+  void bit_indices(std::span<const VehicleIdentity> vehicles, RsuId rsu,
+                   const EncodeTarget& target,
+                   std::span<std::size_t> out) const;
 
  private:
   EncoderConfig config_;

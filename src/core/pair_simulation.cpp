@@ -23,23 +23,25 @@ PairStates simulate_pair(const Encoder& encoder, const PairWorkload& workload,
   VLM_REQUIRE(rsu_x != rsu_y, "pair simulation needs two distinct RSUs");
 
   PairStates states{RsuState(m_x), RsuState(m_y)};
+  // Validate the two sizes once; the loops below run the guard-free path.
+  const EncodeTarget target_x(m_x), target_y(m_y);
   std::uint64_t vehicle_index = 0;
 
   // Vehicles in S_x ∩ S_y: one reply to each RSU.
   for (std::uint64_t i = 0; i < workload.n_c; ++i) {
     const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
-    states.x.record(encoder.bit_index(v, rsu_x, m_x));
-    states.y.record(encoder.bit_index(v, rsu_y, m_y));
+    states.x.record(encoder.bit_index(v, rsu_x, target_x));
+    states.y.record(encoder.bit_index(v, rsu_y, target_y));
   }
   // Vehicles in S_x − S_y.
   for (std::uint64_t i = workload.n_c; i < workload.n_x; ++i) {
     const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
-    states.x.record(encoder.bit_index(v, rsu_x, m_x));
+    states.x.record(encoder.bit_index(v, rsu_x, target_x));
   }
   // Vehicles in S_y − S_x.
   for (std::uint64_t i = workload.n_c; i < workload.n_y; ++i) {
     const VehicleIdentity v = synthetic_vehicle(seed, vehicle_index++);
-    states.y.record(encoder.bit_index(v, rsu_y, m_y));
+    states.y.record(encoder.bit_index(v, rsu_y, target_y));
   }
   return states;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hashing.h"
 #include "common/require.h"
 
 namespace vlm::traffic {
@@ -26,35 +27,46 @@ MultiRsuWorkload::MultiRsuWorkload(const MultiRsuConfig& config)
   for (double& c : popularity_cdf_) c /= total;
 }
 
+void MultiRsuWorkload::itinerary(std::uint64_t vehicle_index,
+                                 common::VisitedMask& visited,
+                                 std::vector<std::uint32_t>& out) const {
+  VLM_REQUIRE(vehicle_index < config_.vehicle_count,
+              "vehicle index out of range");
+  VLM_REQUIRE(visited.universe_size() == config_.rsu_count,
+              "visited mask must be sized to the RSU count");
+  common::Xoshiro256ss rng(common::mix64(config_.seed ^ vehicle_index));
+  const std::uint64_t span_count =
+      config_.min_visits +
+      rng.uniform(config_.max_visits - config_.min_visits + 1);
+  out.clear();
+  visited.begin_pass();
+  while (out.size() < span_count) {
+    const double u = rng.uniform_double();
+    const auto it = std::lower_bound(popularity_cdf_.begin(),
+                                     popularity_cdf_.end(), u);
+    const auto r = static_cast<std::uint32_t>(
+        std::distance(popularity_cdf_.begin(), it));
+    if (visited.insert(r)) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end());
+}
+
 void MultiRsuWorkload::for_each_vehicle(
     const std::function<void(std::uint64_t, std::span<const std::uint32_t>)>&
         visit) {
   volumes_.assign(config_.rsu_count, 0);
   pair_counts_.assign(config_.rsu_count * config_.rsu_count, 0);
-  common::Xoshiro256ss rng(config_.seed);
 
+  common::VisitedMask visited(config_.rsu_count);
   std::vector<std::uint32_t> rsus;
   for (std::uint64_t v = 0; v < config_.vehicle_count; ++v) {
-    const std::uint64_t span_count =
-        config_.min_visits +
-        rng.uniform(config_.max_visits - config_.min_visits + 1);
-    rsus.clear();
-    while (rsus.size() < span_count) {
-      const double u = rng.uniform_double();
-      const auto it = std::lower_bound(popularity_cdf_.begin(),
-                                       popularity_cdf_.end(), u);
-      const auto r = static_cast<std::uint32_t>(
-          std::distance(popularity_cdf_.begin(), it));
-      if (std::find(rsus.begin(), rsus.end(), r) == rsus.end()) {
-        rsus.push_back(r);
-      }
-    }
+    itinerary(v, visited, rsus);
+    // Itineraries are sorted, so rsus[i] < rsus[j] for i < j and the pair
+    // counter needs no per-pair min/max.
     for (std::size_t i = 0; i < rsus.size(); ++i) {
       ++volumes_[rsus[i]];
       for (std::size_t j = i + 1; j < rsus.size(); ++j) {
-        const auto lo = std::min(rsus[i], rsus[j]);
-        const auto hi = std::max(rsus[i], rsus[j]);
-        ++pair_counts_[lo * config_.rsu_count + hi];
+        ++pair_counts_[rsus[i] * config_.rsu_count + rsus[j]];
       }
     }
     visit(v, rsus);

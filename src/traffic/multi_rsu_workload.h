@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/visited_mask.h"
 
 namespace vlm::traffic {
 
@@ -32,9 +33,21 @@ class MultiRsuWorkload {
 
   const MultiRsuConfig& config() const { return config_; }
 
-  // Streams each vehicle's visit list (distinct RSU indices, unordered).
-  // Deterministic for a given config. While streaming, ground-truth
-  // counters are accumulated and are available afterwards.
+  // Vehicle `vehicle_index`'s visit list: distinct RSU indices, sorted
+  // ascending. A pure function of (config, vehicle_index) — the RNG is
+  // seeded per vehicle (mix64(seed ^ v)) instead of drawn from one
+  // sequential stream — so any worker can generate any vehicle
+  // independently and a sharded ingest over ANY worker count sees
+  // vehicle-for-vehicle identical itineraries. `visited` is per-caller
+  // dedup scratch sized rsu_count (keep one per worker thread and reuse
+  // it across vehicles); `out` is cleared and refilled.
+  void itinerary(std::uint64_t vehicle_index, common::VisitedMask& visited,
+                 std::vector<std::uint32_t>& out) const;
+
+  // Streams each vehicle's visit list (distinct RSU indices, sorted), in
+  // vehicle order, via itinerary(). Deterministic for a given config.
+  // While streaming, ground-truth counters are accumulated and are
+  // available afterwards.
   void for_each_vehicle(
       const std::function<void(std::uint64_t vehicle_index,
                                std::span<const std::uint32_t> rsus)>& visit);

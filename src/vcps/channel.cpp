@@ -1,11 +1,20 @@
 #include "vcps/channel.h"
 
+#include "common/hashing.h"
 #include "common/require.h"
 
 namespace vlm::vcps {
 
+namespace {
+// Domain separators so the query-loss, reply-loss, and duplication draws
+// of one exchange are independent.
+constexpr std::uint64_t kQueryDomain = 0x9E6C63C0DE11F00Dull;
+constexpr std::uint64_t kReplyDomain = 0xB5EC0DEDF00DCAFEull;
+constexpr std::uint64_t kDuplicateDomain = 0x2545F4914F6CDD1Dull;
+}  // namespace
+
 DsrcChannel::DsrcChannel(const ChannelConfig& config, std::uint64_t seed)
-    : config_(config), rng_(seed) {
+    : config_(config), seed_(seed), rng_(seed) {
   VLM_REQUIRE(config.query_loss >= 0.0 && config.query_loss < 1.0,
               "query loss must be in [0, 1)");
   VLM_REQUIRE(config.reply_loss >= 0.0 && config.reply_loss < 1.0,
@@ -33,6 +42,56 @@ int DsrcChannel::deliveries_for_reply() {
     return 2;
   }
   return 1;
+}
+
+double DsrcChannel::unit_draw(std::uint64_t period,
+                              std::uint64_t vehicle_number, core::RsuId rsu,
+                              std::uint64_t domain) const {
+  // Two mix rounds over the exchange coordinates: one round leaves
+  // measurable XOR structure between adjacent vehicle numbers.
+  const std::uint64_t h = common::mix64(
+      common::mix64(seed_ ^ domain ^ period * 0x9E3779B97F4A7C15ull) ^
+      vehicle_number * 0xC2B2AE3D27D4EB4Full ^
+      rsu.value * 0xD1B54A32D192ED03ull);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool DsrcChannel::query_delivered_for(std::uint64_t period,
+                                      std::uint64_t vehicle_number,
+                                      core::RsuId rsu,
+                                      ChannelTally& tally) const {
+  if (config_.query_loss > 0.0 &&
+      unit_draw(period, vehicle_number, rsu, kQueryDomain) <
+          config_.query_loss) {
+    ++tally.queries_lost;
+    return false;
+  }
+  return true;
+}
+
+int DsrcChannel::deliveries_for_reply_for(std::uint64_t period,
+                                          std::uint64_t vehicle_number,
+                                          core::RsuId rsu,
+                                          ChannelTally& tally) const {
+  if (config_.reply_loss > 0.0 &&
+      unit_draw(period, vehicle_number, rsu, kReplyDomain) <
+          config_.reply_loss) {
+    ++tally.replies_lost;
+    return 0;
+  }
+  if (config_.reply_duplicate > 0.0 &&
+      unit_draw(period, vehicle_number, rsu, kDuplicateDomain) <
+          config_.reply_duplicate) {
+    ++tally.replies_duplicated;
+    return 2;
+  }
+  return 1;
+}
+
+void DsrcChannel::absorb(const ChannelTally& tally) {
+  queries_lost_ += tally.queries_lost;
+  replies_lost_ += tally.replies_lost;
+  replies_duplicated_ += tally.replies_duplicated;
 }
 
 }  // namespace vlm::vcps

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "common/rng.h"
+#include "core/types.h"
 
 namespace vlm::vcps {
 
@@ -20,21 +21,50 @@ struct ChannelConfig {
   double reply_duplicate = 0.0; // probability a delivered reply arrives twice
 };
 
+// Worker-local failure tallies for the sharded ingest path: each worker
+// counts the outcomes it sampled, and the shards are summed into the
+// channel's counters after the join (addition commutes, so the totals
+// are independent of the vehicle-to-worker assignment).
+struct ChannelTally {
+  std::uint64_t queries_lost = 0;
+  std::uint64_t replies_lost = 0;
+  std::uint64_t replies_duplicated = 0;
+};
+
 class DsrcChannel {
  public:
   DsrcChannel(const ChannelConfig& config, std::uint64_t seed);
 
-  // Per-message outcomes. `deliveries_for_reply` returns 0 (lost),
+  // Per-message outcomes drawn from the channel's sequential stream (the
+  // serial drive_vehicle path). `deliveries_for_reply` returns 0 (lost),
   // 1 (normal), or 2 (duplicated).
   bool query_delivered();
   int deliveries_for_reply();
+
+  // Order-independent outcomes for the sharded ingest path: the draw is a
+  // pure hash of (channel seed, period, vehicle number, RSU id), so every
+  // worker count — and every execution order — samples the identical
+  // outcome for a given exchange. Counts into the caller's tally instead
+  // of the shared counters; absorb() merges tallies after the join.
+  bool query_delivered_for(std::uint64_t period, std::uint64_t vehicle_number,
+                           core::RsuId rsu, ChannelTally& tally) const;
+  int deliveries_for_reply_for(std::uint64_t period,
+                               std::uint64_t vehicle_number, core::RsuId rsu,
+                               ChannelTally& tally) const;
+
+  // Adds a worker's tally to the channel counters.
+  void absorb(const ChannelTally& tally);
 
   std::uint64_t queries_lost() const { return queries_lost_; }
   std::uint64_t replies_lost() const { return replies_lost_; }
   std::uint64_t replies_duplicated() const { return replies_duplicated_; }
 
  private:
+  double unit_draw(std::uint64_t period, std::uint64_t vehicle_number,
+                   core::RsuId rsu, std::uint64_t domain) const;
+
   ChannelConfig config_;
+  std::uint64_t seed_;
   common::Xoshiro256ss rng_;
   std::uint64_t queries_lost_ = 0;
   std::uint64_t replies_lost_ = 0;

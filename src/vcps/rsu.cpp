@@ -18,6 +18,12 @@ bool Rsu::handle_reply(const Reply& reply) {
   return true;
 }
 
+void Rsu::absorb_shard(const core::RsuState& shard,
+                       std::uint64_t invalid_replies) {
+  state_.merge(shard);
+  invalid_replies_ += invalid_replies;
+}
+
 RsuReport Rsu::make_report(std::uint64_t period) const {
   RsuReport report;
   report.rsu = id_;

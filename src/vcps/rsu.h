@@ -28,6 +28,13 @@ class Rsu {
   // Returns false (and counts) if the reply is malformed.
   bool handle_reply(const Reply& reply);
 
+  // Merges a worker shard collected for THIS RSU during the current
+  // period (counters add, bit arrays OR — order-independent), plus the
+  // malformed-reply count the worker tallied. The shard's array size
+  // must match the RSU's current size.
+  void absorb_shard(const core::RsuState& shard,
+                    std::uint64_t invalid_replies);
+
   RsuReport make_report(std::uint64_t period) const;
 
   // New measurement period, possibly with a re-sized array (the central

@@ -1,8 +1,12 @@
 #include "vcps/simulation.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/hashing.h"
-#include "core/pair_simulation.h"
+#include "common/parallel.h"
 #include "common/require.h"
+#include "core/pair_simulation.h"
 #include "vcps/vehicle.h"
 
 namespace vlm::vcps {
@@ -65,6 +69,96 @@ std::size_t VcpsSimulation::drive_vehicle_as(
     }
   }
   return exchanges;
+}
+
+IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
+                                           const ItineraryProvider& itinerary,
+                                           unsigned workers) {
+  VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned used = workers == 0 ? common::default_worker_count() : workers;
+  const std::uint64_t base = vehicles_driven_;
+  const std::size_t rsu_count = rsus_.size();
+
+  // Worker-local state: one RsuState shard per (worker, RSU) — bits plus
+  // counter — a failure tally, a malformed-reply count per RSU, and an
+  // exchange count. Nothing shared is written until the join.
+  const unsigned shard_count = static_cast<unsigned>(
+      std::min<std::uint64_t>(used, count == 0 ? 1 : count));
+  std::vector<std::vector<core::RsuState>> shards;
+  std::vector<std::vector<std::uint64_t>> invalid(
+      shard_count, std::vector<std::uint64_t>(rsu_count, 0));
+  std::vector<ChannelTally> tallies(shard_count);
+  std::vector<std::uint64_t> exchanges(shard_count, 0);
+  shards.reserve(shard_count);
+  for (unsigned w = 0; w < shard_count; ++w) {
+    std::vector<core::RsuState> shard;
+    shard.reserve(rsu_count);
+    for (const Rsu& rsu : rsus_) {
+      shard.emplace_back(rsu.state().array_size());
+    }
+    shards.push_back(std::move(shard));
+  }
+
+  common::parallel_slices(
+      static_cast<std::size_t>(count), used,
+      [&](unsigned worker, std::size_t begin, std::size_t end) {
+        std::vector<core::RsuState>& shard = shards[worker];
+        ChannelTally& tally = tallies[worker];
+        std::vector<std::size_t> positions;
+        for (std::size_t v = begin; v < end; ++v) {
+          // Same numbering as the serial drive_vehicle counter, so the
+          // vehicle identities — and therefore the bits — are the same
+          // population regardless of how the ingest is driven.
+          const std::uint64_t vehicle_number = base + v + 1;
+          const core::VehicleIdentity identity =
+              core::synthetic_vehicle(seed_, vehicle_number);
+          Vehicle vehicle(identity, encoder(), ca_,
+                          common::mix64(identity.masked_key() ^ period_));
+          itinerary(v, positions);
+          for (const std::size_t position : positions) {
+            VLM_REQUIRE(position < shard.size(), "RSU position out of range");
+            const Rsu& rsu = rsus_[position];
+            if (!channel_.query_delivered_for(period_, vehicle_number,
+                                              rsu.id(), tally)) {
+              continue;
+            }
+            const auto reply = vehicle.handle_query(rsu.make_query(period_));
+            if (!reply.has_value()) continue;
+            const int deliveries = channel_.deliveries_for_reply_for(
+                period_, vehicle_number, rsu.id(), tally);
+            for (int d = 0; d < deliveries; ++d) {
+              if (reply->bit_index >= shard[position].array_size()) {
+                ++invalid[worker][position];
+              } else {
+                shard[position].record(reply->bit_index);
+                ++exchanges[worker];
+              }
+            }
+          }
+        }
+      });
+
+  // Period close: OR-merge every worker's shards into the real RSUs and
+  // sum the tallies. All merges commute, so the result is independent of
+  // worker count and merge order.
+  IngestStats stats;
+  for (std::size_t r = 0; r < rsu_count; ++r) {
+    for (unsigned w = 0; w < shard_count; ++w) {
+      rsus_[r].absorb_shard(shards[w][r], invalid[w][r]);
+    }
+  }
+  for (unsigned w = 0; w < shard_count; ++w) {
+    channel_.absorb(tallies[w]);
+    stats.exchanges += exchanges[w];
+  }
+  vehicles_driven_ += count;
+  stats.vehicles = count;
+  stats.workers = shard_count;
+  stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
 }
 
 void VcpsSimulation::end_period() {

@@ -37,6 +37,24 @@ struct RsuSite {
   double initial_history_volume = 0.0;
 };
 
+// Itinerary provider for the batch ingest path: fills `positions`
+// (indices into the registered site list) for vehicle `v` in [0, count).
+// Must be a pure function of `v` — workers call it concurrently, each for
+// its own slice of vehicles.
+using ItineraryProvider =
+    std::function<void(std::uint64_t v, std::vector<std::size_t>& positions)>;
+
+// Throughput counters for one drive_vehicles() call.
+struct IngestStats {
+  std::uint64_t vehicles = 0;
+  std::uint64_t exchanges = 0;  // successful query/reply deliveries
+  unsigned workers = 1;
+  double seconds = 0.0;
+  double vehicles_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(vehicles) / seconds : 0.0;
+  }
+};
+
 class VcpsSimulation {
  public:
   VcpsSimulation(const SimulationConfig& config, std::span<const RsuSite> sites);
@@ -63,6 +81,22 @@ class VcpsSimulation {
   // known vehicle).
   std::size_t drive_vehicle_as(const core::VehicleIdentity& identity,
                                std::span<const std::size_t> rsu_positions);
+
+  // Sharded batch ingest: drives `count` fresh vehicles (numbered as if
+  // drive_vehicle had been called `count` times) through the full
+  // protocol across `workers` threads (0 = one per core). Each worker
+  // runs a contiguous vehicle slice against its own per-RSU shard states
+  // and the shards are OR-merged into the real RSUs after the join, so
+  // the per-RSU bits AND counters are bit-identical for every worker
+  // count. Channel loss/duplication draws are seeded per (vehicle, RSU)
+  // via DsrcChannel::*_for — order-independent, unlike the sequential
+  // stream drive_vehicle consumes — which means a lossy drive_vehicles
+  // run matches other drive_vehicles runs exactly, and matches a
+  // drive_vehicle loop exactly when the channel is loss-free (no draws
+  // happen at all).
+  IngestStats drive_vehicles(std::uint64_t count,
+                             const ItineraryProvider& itinerary,
+                             unsigned workers = 0);
 
   // Ends the period: every RSU reports to the central server.
   void end_period();

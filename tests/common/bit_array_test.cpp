@@ -142,6 +142,122 @@ TEST(BitArrayOr, IsCommutativeAndIdempotent) {
   EXPECT_EQ((a | b) | b, a | b);
 }
 
+// --- Word-level merge + bulk set (sharded ingest primitives) ---
+
+// merge_or / set_bulk maintain the cached ones-counter by popcount; these
+// tests pin that against the per-bit reference across sub-word,
+// word-aligned, and unaligned sizes.
+
+BitArray patterned(std::size_t size, std::size_t stride, std::size_t phase) {
+  BitArray bits(size);
+  for (std::size_t i = phase; i < size; i += stride) bits.set(i);
+  return bits;
+}
+
+BitArray reference_or(const BitArray& a, const BitArray& b) {
+  BitArray out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.test(i) || b.test(i)) out.set(i);
+  }
+  return out;
+}
+
+TEST(BitArrayMergeOr, OnesCounterMatchesPerBitReference) {
+  for (const std::size_t size : {13u, 64u, 100u, 128u, 257u}) {
+    const BitArray a = patterned(size, 3, 1);
+    const BitArray b = patterned(size, 5, 2);
+    BitArray merged = a;
+    merged.merge_or(b);
+    const BitArray expected = reference_or(a, b);
+    EXPECT_EQ(merged, expected) << "size " << size;
+    EXPECT_EQ(merged.count_ones(), expected.count_ones()) << "size " << size;
+    EXPECT_EQ(merged.count_zeros(), size - merged.count_ones());
+  }
+}
+
+TEST(BitArrayMergeOr, ReturnsSelfForChaining) {
+  BitArray a(64), b(64), c(64);
+  b.set(1);
+  c.set(2);
+  a.merge_or(b).merge_or(c);
+  EXPECT_EQ(a.count_ones(), 2u);
+}
+
+TEST(BitArraySetBulk, MatchesPerBitSetAcrossSizes) {
+  for (const std::size_t size : {13u, 64u, 100u, 128u}) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < size; i += 3) indices.push_back(i);
+    indices.push_back(size - 1);
+    indices.push_back(0);  // duplicates must stay idempotent
+    BitArray bulk(size);
+    bulk.set_bulk(indices);
+    BitArray per_bit(size);
+    for (const std::size_t i : indices) per_bit.set(i);
+    EXPECT_EQ(bulk, per_bit) << "size " << size;
+    EXPECT_EQ(bulk.count_ones(), per_bit.count_ones()) << "size " << size;
+  }
+}
+
+TEST(BitArraySetBulk, EmptySpanIsNoOp) {
+  BitArray bits(32);
+  bits.set(5);
+  bits.set_bulk({});
+  EXPECT_EQ(bits.count_ones(), 1u);
+}
+
+TEST(BitArraySetBulk, RejectsOutOfRangeIndex) {
+  BitArray bits(32);
+  const std::vector<std::size_t> indices{1, 32};
+  EXPECT_THROW(bits.set_bulk(indices), std::invalid_argument);
+}
+
+TEST(BitArraySetBulk, CounterStaysConsistentAfterFurtherSets) {
+  BitArray bits(100);
+  const std::vector<std::size_t> indices{0, 63, 64, 99};
+  bits.set_bulk(indices);
+  bits.set(64);  // already set via bulk
+  bits.set(50);
+  EXPECT_EQ(bits.count_ones(), 5u);
+}
+
+TEST(ShardedBitArray, MergedEqualsSerialSetForAnyShardCount) {
+  const std::size_t size = 100;  // unaligned on purpose
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < size; i += 7) indices.push_back(i);
+  BitArray serial(size);
+  for (const std::size_t i : indices) serial.set(i);
+  for (const unsigned shard_count : {1u, 3u, 8u}) {
+    ShardedBitArray sharded(size, shard_count);
+    EXPECT_EQ(sharded.size(), size);
+    EXPECT_EQ(sharded.shard_count(), shard_count);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      sharded.shard(static_cast<unsigned>(j) % shard_count).set(indices[j]);
+    }
+    EXPECT_EQ(sharded.merged(), serial) << "shards " << shard_count;
+    EXPECT_EQ(sharded.merged().count_ones(), serial.count_ones());
+  }
+}
+
+TEST(ShardedBitArray, OverlappingShardWritesStayIdempotent) {
+  ShardedBitArray sharded(64, 4);
+  for (unsigned w = 0; w < 4; ++w) sharded.shard(w).set(17);
+  EXPECT_EQ(sharded.merged().count_ones(), 1u);
+}
+
+TEST(ShardedBitArray, ResetClearsEveryShard) {
+  ShardedBitArray sharded(64, 3);
+  sharded.shard(0).set(1);
+  sharded.shard(2).set(2);
+  sharded.reset();
+  EXPECT_EQ(sharded.merged().count_ones(), 0u);
+}
+
+TEST(ShardedBitArray, RejectsBadShardAccess) {
+  ShardedBitArray sharded(64, 2);
+  EXPECT_THROW((void)sharded.shard(2), std::invalid_argument);
+  EXPECT_THROW(ShardedBitArray(64, 0), std::invalid_argument);
+}
+
 // --- Serialization ---
 
 TEST(BitArraySerialization, RoundTrips) {
@@ -189,12 +305,6 @@ JointZeroCounts naive_joint_zero_counts(const BitArray& a, const BitArray& b) {
   out.zeros_large = large.count_zeros();
   out.zeros_or = combined.count_zeros();
   return out;
-}
-
-BitArray patterned(std::size_t size, std::size_t stride, std::size_t phase) {
-  BitArray bits(size);
-  for (std::size_t i = phase; i < size; i += stride) bits.set(i);
-  return bits;
 }
 
 void expect_matches_naive(const BitArray& a, const BitArray& b) {

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace vlm::common {
@@ -53,6 +57,69 @@ TEST(ParallelFor, Guards) {
 
 TEST(ParallelFor, DefaultWorkerCountIsPositive) {
   EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(ParallelSlices, SlicesCoverRangeDisjointlyInOrder) {
+  std::vector<std::atomic<int>> hits(997);  // prime: uneven final chunk
+  parallel_slices(hits.size(), 7,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    EXPECT_LT(begin, end);
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSlices, WorkerIndicesAreDense) {
+  // Shard-local state is indexed by the worker argument, so the indices
+  // handed out must be exactly 0..used-1 with no gaps or repeats.
+  std::mutex mutex;
+  std::vector<unsigned> seen;
+  parallel_slices(100, 5, [&](unsigned worker, std::size_t, std::size_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.push_back(worker);
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 5u);
+  for (unsigned w = 0; w < 5; ++w) EXPECT_EQ(seen[w], w);
+}
+
+TEST(ParallelSlices, MoreWorkersThanItemsUsesOneSlicePerItem) {
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> slices;
+  parallel_slices(3, 16, [&](unsigned, std::size_t begin, std::size_t end) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    slices.emplace_back(begin, end);
+  });
+  EXPECT_EQ(slices.size(), 3u);
+}
+
+TEST(ParallelSlices, SingleWorkerRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  parallel_slices(10, 1, [&](unsigned worker, std::size_t begin,
+                             std::size_t end) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(ParallelSlices, EmptyRangeNeverCallsBody) {
+  int calls = 0;
+  parallel_slices(0, 4, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelSlices, PropagatesFirstWorkerException) {
+  EXPECT_THROW(parallel_slices(100, 4,
+                               [](unsigned worker, std::size_t, std::size_t) {
+                                 if (worker == 2) {
+                                   throw std::runtime_error("boom");
+                                 }
+                               }),
+               std::runtime_error);
 }
 
 }  // namespace

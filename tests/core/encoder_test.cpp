@@ -137,5 +137,48 @@ TEST(Encoder, LogicalBitSlotBounds) {
   EXPECT_THROW((void)enc.logical_bit(vehicle(1), 3), std::invalid_argument);
 }
 
+// --- EncodeTarget + batch encode (the hoisted hot path) ---
+
+TEST(EncodeTarget, ValidatesPowerOfTwoOnce) {
+  EXPECT_THROW(EncodeTarget(1000), std::invalid_argument);
+  EXPECT_THROW(EncodeTarget(0), std::invalid_argument);
+  const EncodeTarget target(1024);
+  EXPECT_EQ(target.array_size(), 1024u);
+  EXPECT_EQ(target.mask(), 1023u);
+}
+
+TEST(EncodeTarget, HotOverloadMatchesValidatingOverload) {
+  Encoder enc(EncoderConfig{});
+  const EncodeTarget target(1 << 14);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const VehicleIdentity v = vehicle(i);
+    const RsuId r{i % 7 + 1};
+    EXPECT_EQ(enc.bit_index(v, r, target), enc.bit_index(v, r, 1 << 14));
+  }
+}
+
+TEST(Encoder, BatchBitIndicesMatchPerCallLoop) {
+  for (const SlotSelection mode :
+       {SlotSelection::kPerVehicleUniform, SlotSelection::kLiteralPerRsu}) {
+    Encoder enc(EncoderConfig{4, 7, mode});
+    const EncodeTarget target(1 << 12);
+    const RsuId r{42};
+    std::vector<VehicleIdentity> vehicles;
+    for (std::uint64_t i = 0; i < 500; ++i) vehicles.push_back(vehicle(i));
+    std::vector<std::size_t> batch(vehicles.size());
+    enc.bit_indices(vehicles, r, target, batch);
+    for (std::size_t i = 0; i < vehicles.size(); ++i) {
+      EXPECT_EQ(batch[i], enc.bit_index(vehicles[i], r, target))
+          << "mode " << static_cast<int>(mode) << " vehicle " << i;
+    }
+  }
+}
+
+TEST(Encoder, BatchBitIndicesEmptyIsNoOp) {
+  Encoder enc(EncoderConfig{});
+  const EncodeTarget target(256);
+  enc.bit_indices({}, RsuId{1}, target, {});
+}
+
 }  // namespace
 }  // namespace vlm::core

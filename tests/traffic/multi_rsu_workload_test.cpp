@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 #include <vector>
+
+#include "common/visited_mask.h"
 
 namespace vlm::traffic {
 namespace {
@@ -63,6 +66,78 @@ TEST(MultiRsuWorkload, DeterministicPerSeed) {
   b.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
   EXPECT_EQ(a.node_volumes(), b.node_volumes());
   EXPECT_EQ(a.pair_volume(2, 5), b.pair_volume(2, 5));
+}
+
+// --- Splittable itineraries (random-access generation) ---
+
+TEST(MultiRsuWorkload, ItineraryIsPureAndSorted) {
+  const MultiRsuWorkload workload(small_config());
+  common::VisitedMask visited(10);
+  std::vector<std::uint32_t> first, again;
+  // Call out of order and repeatedly: the result depends only on
+  // (config, vehicle index), never on call history.
+  for (const std::uint64_t v : {17u, 3u, 17u, 19'999u, 0u, 17u}) {
+    workload.itinerary(v, visited, first);
+    EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+    workload.itinerary(v, visited, again);
+    EXPECT_EQ(first, again) << "vehicle " << v;
+  }
+}
+
+TEST(MultiRsuWorkload, ItineraryMatchesForEachVehicleStream) {
+  MultiRsuWorkload streamed(small_config());
+  const MultiRsuWorkload random_access(small_config());
+  common::VisitedMask visited(10);
+  std::vector<std::uint32_t> expected;
+  streamed.for_each_vehicle(
+      [&](std::uint64_t v, std::span<const std::uint32_t> rsus) {
+        random_access.itinerary(v, visited, expected);
+        ASSERT_EQ(std::vector<std::uint32_t>(rsus.begin(), rsus.end()),
+                  expected)
+            << "vehicle " << v;
+      });
+}
+
+TEST(MultiRsuWorkload, ItineraryGuards) {
+  const MultiRsuWorkload workload(small_config());
+  std::vector<std::uint32_t> out;
+  common::VisitedMask right(10), wrong(9);
+  EXPECT_THROW(workload.itinerary(20'000, right, out), std::invalid_argument);
+  EXPECT_THROW(workload.itinerary(0, wrong, out), std::invalid_argument);
+}
+
+TEST(MultiRsuWorkload, SeedConfigItinerariesAreFrozen) {
+  // Golden snapshot of the per-vehicle generator for the seed config
+  // (rsus=10, vehicles=20000, zipf=1.0, visits 2..4, seed=3). Any change
+  // to the seeding/dedup/sort pipeline shows up here before it silently
+  // shifts every figure bench.
+  const MultiRsuWorkload workload(small_config());
+  const std::vector<std::vector<std::uint32_t>> expected{
+      {0, 3},
+      {0, 7, 8},
+      {0, 6, 8, 9},
+      {0, 1, 4},
+      {0, 1},
+      {0, 1, 6},
+      {0, 1},
+      {0, 7, 9},
+  };
+  common::VisitedMask visited(10);
+  std::vector<std::uint32_t> rsus;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    workload.itinerary(v, visited, rsus);
+    EXPECT_EQ(rsus, expected[v]) << "vehicle " << v;
+  }
+}
+
+TEST(MultiRsuWorkload, SeedConfigVolumesAreFrozen) {
+  // Aggregate golden values over the full 20k-vehicle seed workload.
+  MultiRsuWorkload workload(small_config());
+  workload.for_each_vehicle([](std::uint64_t, std::span<const std::uint32_t>) {});
+  const std::vector<std::uint64_t> expected{14907, 10344, 7548, 5880, 4816,
+                                            4274,  3617,  3202, 2853, 2569};
+  EXPECT_EQ(workload.node_volumes(), expected);
+  EXPECT_EQ(workload.pair_volume(0, 1), 7447u);
 }
 
 TEST(MultiRsuWorkload, Guards) {

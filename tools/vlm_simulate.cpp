@@ -8,11 +8,13 @@
 // The tool drives the FULL protocol (certificates, queries, replies,
 // serialized reports) through vcps::VcpsSimulation, so the archive is
 // exactly what a deployment's central server would hold.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/visited_mask.h"
 #include "roadnet/assignment.h"
 #include "roadnet/sioux_falls.h"
 #include "roadnet/synthetic_city.h"
@@ -26,20 +28,40 @@ namespace {
 
 using namespace vlm;
 
-// Drives all vehicles of the chosen workload through the simulation and
-// returns the per-site ground-truth volumes (for the printed summary).
-std::vector<std::uint64_t> drive_network_workload(
-    vcps::VcpsSimulation& sim, const roadnet::AssignmentResult& assignment,
-    std::size_t node_count, std::uint64_t seed) {
-  std::vector<std::uint64_t> volumes(node_count, 0);
+// Trajectory streams are sequential (one RNG stream), so for the sharded
+// ingest we materialize them once (flat index list + offsets) and hand
+// drive_vehicles an O(1) random-access itinerary provider. Ground-truth
+// volumes are counted during materialization.
+struct MaterializedTrips {
+  std::vector<std::size_t> flat;
+  std::vector<std::size_t> offsets{0};
+  std::vector<std::uint64_t> volumes;
+
+  std::uint64_t vehicle_count() const { return offsets.size() - 1; }
+
+  vcps::ItineraryProvider provider() const {
+    return [this](std::uint64_t v, std::vector<std::size_t>& positions) {
+      positions.assign(flat.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                       flat.begin() +
+                           static_cast<std::ptrdiff_t>(offsets[v + 1]));
+    };
+  }
+};
+
+MaterializedTrips materialize_network_workload(
+    const roadnet::AssignmentResult& assignment, std::size_t node_count,
+    std::uint64_t seed) {
+  MaterializedTrips out;
+  out.volumes.assign(node_count, 0);
   roadnet::TrajectorySampler sampler(assignment, seed);
-  std::vector<std::size_t> positions;
   sampler.for_each_vehicle([&](std::span<const roadnet::NodeIndex> nodes) {
-    positions.assign(nodes.begin(), nodes.end());
-    for (roadnet::NodeIndex n : nodes) ++volumes[n];
-    sim.drive_vehicle(positions);
+    for (roadnet::NodeIndex n : nodes) {
+      out.flat.push_back(n);
+      ++out.volumes[n];
+    }
+    out.offsets.push_back(out.flat.size());
   });
-  return volumes;
+  return out;
 }
 
 }  // namespace
@@ -63,6 +85,7 @@ int main(int argc, char** argv) {
   parser.add_int("rsus", 32, "RSU count (zipf workload)");
   parser.add_int("vehicles", 200'000, "vehicle count (zipf workload)");
   parser.add_int("seed", 1, "simulation seed");
+  parser.add_int("workers", 0, "ingest worker threads (0 = one per core)");
   if (!parser.parse(argc, argv)) return 0;
 
   try {
@@ -79,8 +102,11 @@ int main(int argc, char** argv) {
     config.server.scheme =
         core::make_scheme(parser.get_string("scheme"), scheme_options);
 
+    const unsigned workers =
+        static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
     const std::string network = parser.get_string("network");
     std::unique_ptr<vcps::VcpsSimulation> sim;
+    vcps::IngestStats ingest;
     if (network == "zipf") {
       traffic::MultiRsuConfig workload_config;
       workload_config.rsu_count =
@@ -99,12 +125,22 @@ int main(int argc, char** argv) {
       }
       sim = std::make_unique<vcps::VcpsSimulation>(config, sites);
       sim->begin_period();
-      std::vector<std::size_t> positions;
-      workload.for_each_vehicle(
-          [&](std::uint64_t, std::span<const std::uint32_t> rsus) {
+      // Zipf itineraries are splittable (pure per-vehicle RNG), so the
+      // sharded engine generates them directly inside each worker.
+      const std::size_t rsu_count = workload_config.rsu_count;
+      ingest = sim->drive_vehicles(
+          workload_config.vehicle_count,
+          [&workload, rsu_count](std::uint64_t v,
+                                 std::vector<std::size_t>& positions) {
+            thread_local common::VisitedMask visited(0);
+            thread_local std::vector<std::uint32_t> rsus;
+            if (visited.universe_size() != rsu_count) {
+              visited = common::VisitedMask(rsu_count);
+            }
+            workload.itinerary(v, visited, rsus);
             positions.assign(rsus.begin(), rsus.end());
-            sim->drive_vehicle(positions);
-          });
+          },
+          workers);
     } else {
       roadnet::Graph graph;
       roadnet::TripTable trips(2);
@@ -138,7 +174,10 @@ int main(int argc, char** argv) {
       }
       sim = std::make_unique<vcps::VcpsSimulation>(config, sites);
       sim->begin_period();
-      drive_network_workload(*sim, assignment, graph.node_count(), seed);
+      const MaterializedTrips trips_flat =
+          materialize_network_workload(assignment, graph.node_count(), seed);
+      ingest = sim->drive_vehicles(trips_flat.vehicle_count(),
+                                   trips_flat.provider(), workers);
     }
     sim->end_period();
 
@@ -152,6 +191,9 @@ int main(int argc, char** argv) {
     std::printf("simulated %llu vehicles across %zu RSUs; wrote %s\n",
                 static_cast<unsigned long long>(sim->vehicles_driven()),
                 sim->rsu_count(), parser.get_string("out").c_str());
+    std::printf("ingest: %u workers, %.1f ms, %.0f vehicles/s\n",
+                ingest.workers, ingest.seconds * 1e3,
+                ingest.vehicles_per_second());
     const vcps::PipelineStats& stats = sim->server().stats();
     std::printf(
         "pipeline [%s]: %zu reports ingested, %zu quarantined, ingest "
