@@ -164,6 +164,7 @@ int main(int argc, char** argv) {
                          naive_total == serial.total_estimated_common();
   std::printf(
       "{\"rsus\": %zu, \"m\": %zu, \"pairs\": %zu, \"workers\": %u,\n"
+      " \"kernel_isa\": \"%s\",\n"
       " \"naive_serial_seconds\": %.6f,\n"
       " \"fused_serial_seconds\": %.6f,\n"
       " \"fused_parallel_seconds\": %.6f,\n"
@@ -172,7 +173,8 @@ int main(int argc, char** argv) {
       " \"parallel_pairs_per_second\": %.0f,\n"
       " \"parallel_scan_mib_per_second\": %.0f,\n"
       " \"parallel_bit_identical_to_serial\": %s}\n",
-      k, m, serial_stats.pairs_decoded, parallel_stats.workers, naive_best,
+      k, m, serial_stats.pairs_decoded, parallel_stats.workers,
+      parallel_stats.kernel_isa, naive_best,
       fused_serial_best, fused_parallel_best, naive_best / fused_serial_best,
       naive_best / fused_parallel_best, parallel_stats.pairs_per_second(),
       parallel_stats.mib_per_second(), identical ? "true" : "false");

@@ -200,6 +200,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\"rsus\": %zu, \"vehicles\": %llu, \"workers\": %u, \"exchanges\": "
       "%llu,\n"
+      " \"kernel_isa\": \"%s\",\n"
       " \"serial_seconds\": %.6f,\n"
       " \"sharded_serial_seconds\": %.6f,\n"
       " \"sharded_parallel_seconds\": %.6f,\n"
@@ -213,7 +214,8 @@ int main(int argc, char** argv) {
       " \"reports_bit_identical\": %s,\n"
       " \"raw_bits_identical\": %s}\n",
       k, static_cast<unsigned long long>(vehicles), parallel_stats.workers,
-      static_cast<unsigned long long>(parallel_stats.exchanges), serial_best,
+      static_cast<unsigned long long>(parallel_stats.exchanges),
+      parallel_stats.kernel_isa, serial_best,
       sharded_serial_best, sharded_parallel_best,
       serial_best / sharded_serial_best, serial_best / sharded_parallel_best,
       per_sec(serial_best), per_sec(sharded_parallel_best), raw_serial_best,

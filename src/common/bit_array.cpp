@@ -1,7 +1,8 @@
 #include "common/bit_array.h"
 
-#include <bit>
+#include <algorithm>
 
+#include "common/kernels/kernels.h"
 #include "common/require.h"
 
 namespace vlm::common {
@@ -39,45 +40,60 @@ BitArray BitArray::unfolded(std::size_t target_size) const {
   VLM_REQUIRE(target_size >= bit_count_ && target_size % bit_count_ == 0,
               "unfold target must be a positive multiple of the array size");
   BitArray out(target_size);
-  // Word-level fast path when the source is word-aligned; bit-level
-  // otherwise (sizes below 64 bits, which the sizing policy can produce for
-  // very light RSUs).
   if (bit_count_ % kWordBits == 0) {
+    // Word-aligned source: every output word is a whole source word.
     const std::size_t src_words = words_.size();
     for (std::size_t w = 0; w < out.words_.size(); ++w) {
       out.words_[w] = words_[w % src_words];
     }
-    out.ones_ = ones_ * (target_size / bit_count_);
   } else {
-    for (std::size_t i = 0; i < target_size; ++i) {
-      if (test(i % bit_count_)) out.set(i);
+    // Non-word-aligned source (sub-64-bit arrays from very light RSUs,
+    // or odd sizes in tests): assemble each output word from source
+    // fragments read with word-level shifts — a fragment is bounded by
+    // the end of the output word, the end of the source, or the end of
+    // the array, so this is O(words_out · max(1, 64/size)) instead of
+    // the former one-bit-at-a-time set/test loop.
+    auto read_bits = [&](std::size_t pos, std::size_t len) {
+      const std::size_t w = pos / kWordBits;
+      const std::size_t off = pos % kWordBits;
+      std::uint64_t bits = words_[w] >> off;
+      if (off + len > kWordBits) {
+        bits |= words_[w + 1] << (kWordBits - off);
+      }
+      if (len < kWordBits) bits &= (std::uint64_t{1} << len) - 1;
+      return bits;
+    };
+    std::size_t out_bit = 0;
+    std::size_t src_pos = 0;
+    while (out_bit < target_size) {
+      const std::size_t len =
+          std::min({kWordBits - out_bit % kWordBits, bit_count_ - src_pos,
+                    target_size - out_bit});
+      out.words_[out_bit / kWordBits] |= read_bits(src_pos, len)
+                                         << (out_bit % kWordBits);
+      out_bit += len;
+      src_pos += len;
+      if (src_pos == bit_count_) src_pos = 0;
     }
   }
+  // Unfolding repeats the pattern exactly target/size times, so the
+  // ones count scales with the ratio — no recount sweep needed.
+  out.ones_ = ones_ * (target_size / bit_count_);
   return out;
 }
 
 BitArray& BitArray::merge_or(const BitArray& other) {
   VLM_REQUIRE(bit_count_ == other.bit_count_,
               "bitwise OR requires equal-sized arrays (unfold first)");
-  std::size_t ones = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    words_[w] |= other.words_[w];
-    ones += static_cast<std::size_t>(std::popcount(words_[w]));
-  }
-  ones_ = ones;
+  ones_ = kernels::active().merge_or(words_.data(), other.words_.data(),
+                                     words_.size());
   return *this;
 }
 
 void BitArray::set_bulk(std::span<const std::size_t> indices) {
-  for (const std::size_t index : indices) {
-    VLM_REQUIRE(index < bit_count_, "bit index out of range");
-    words_[index / kWordBits] |= std::uint64_t{1} << (index % kWordBits);
-  }
-  std::size_t ones = 0;
-  for (const std::uint64_t w : words_) {
-    ones += static_cast<std::size_t>(std::popcount(w));
-  }
-  ones_ = ones;
+  if (indices.empty()) return;
+  ones_ = kernels::active().set_scatter(words_.data(), bit_count_,
+                                        indices.data(), indices.size());
 }
 
 ShardedBitArray::ShardedBitArray(std::size_t bit_count, unsigned shard_count) {
@@ -115,16 +131,6 @@ std::vector<std::uint8_t> BitArray::to_bytes() const {
   return bytes;
 }
 
-namespace {
-
-std::size_t popcount_words(std::span<const std::uint64_t> words) {
-  std::size_t ones = 0;
-  for (std::uint64_t w : words) ones += static_cast<std::size_t>(std::popcount(w));
-  return ones;
-}
-
-}  // namespace
-
 JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b) {
   VLM_REQUIRE(!a.empty() && !b.empty(),
               "joint zero counts need two non-empty arrays");
@@ -143,21 +149,12 @@ JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b) {
   const std::span<const std::uint64_t> lw = large.words();
   if (small.size() % BitArray::kWordBits == 0) {
     // Word-aligned sizes: the per-array zero counts are maintained by the
-    // arrays themselves (O(1)), so the only sweep is one popcount per word
-    // of the OR — streaming the larger array once and wrapping an index
-    // into the smaller array's words instead of materializing the unfold.
-    std::size_t ones_or = 0;
-    if (sw.size() == lw.size()) {
-      for (std::size_t w = 0; w < lw.size(); ++w) {
-        ones_or += static_cast<std::size_t>(std::popcount(lw[w] | sw[w]));
-      }
-    } else {
-      std::size_t si = 0;
-      for (std::size_t w = 0; w < lw.size(); ++w) {
-        ones_or += static_cast<std::size_t>(std::popcount(lw[w] | sw[si]));
-        if (++si == sw.size()) si = 0;
-      }
-    }
+    // arrays themselves (O(1)), so the only sweep is the fused OR +
+    // popcount kernel — streaming the larger array once and indexing the
+    // smaller array's words cyclically instead of materializing the
+    // unfold. The sweep runs on whichever ISA the dispatch selected.
+    const std::size_t ones_or = kernels::active().or_popcount_cyclic(
+        lw.data(), lw.size(), sw.data(), sw.size());
     out.zeros_small = small.count_zeros();
     out.zeros_large = large.count_zeros();
     out.zeros_or = large.size() - ones_or;
@@ -193,7 +190,7 @@ BitArray BitArray::from_bytes(std::size_t bit_count,
     VLM_REQUIRE((out.words_.back() & ~mask) == 0,
                 "byte buffer sets bits past the declared bit count");
   }
-  out.ones_ = popcount_words(out.words_);
+  out.ones_ = kernels::active().popcount(out.words_.data(), out.words_.size());
   return out;
 }
 

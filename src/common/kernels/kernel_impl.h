@@ -1,0 +1,58 @@
+// Shared pieces of the kernel variants (internal header).
+//
+// The scatter half of set_scatter is inherently scalar (random single-bit
+// writes); only the recount sweep differs per ISA. Likewise every SIMD
+// variant needs a scalar tail for sub-vector remainders and a scalar
+// cyclic fallback for wrap periods that do not align to vector lanes.
+// Keeping these here guarantees all variants share identical semantics.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/require.h"
+
+namespace vlm::common::kernels::detail {
+
+// Validate-then-scatter: no word is touched unless every index is in
+// range, so a rejected batch leaves the array (and its cached ones
+// count) consistent.
+inline void scatter_checked(std::uint64_t* words, std::size_t bit_count,
+                            const std::size_t* indices,
+                            std::size_t n_indices) {
+  for (std::size_t j = 0; j < n_indices; ++j) {
+    VLM_REQUIRE(indices[j] < bit_count, "bit index out of range");
+  }
+  for (std::size_t j = 0; j < n_indices; ++j) {
+    words[indices[j] / 64] |= std::uint64_t{1} << (indices[j] % 64);
+  }
+}
+
+inline std::size_t popcount_tail(const std::uint64_t* words, std::size_t begin,
+                                 std::size_t end) {
+  std::size_t ones = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    ones += static_cast<std::size_t>(std::popcount(words[i]));
+  }
+  return ones;
+}
+
+// Scalar fused OR + popcount with full cyclic generality — the reference
+// the vector paths defer to for lane-incompatible wrap periods and
+// sub-vector tails. `small_offset` is the cyclic position of large[begin].
+inline std::size_t or_popcount_cyclic_tail(const std::uint64_t* large,
+                                           std::size_t begin, std::size_t end,
+                                           const std::uint64_t* small,
+                                           std::size_t n_small,
+                                           std::size_t small_offset) {
+  std::size_t ones = 0;
+  std::size_t si = small_offset;
+  for (std::size_t i = begin; i < end; ++i) {
+    ones += static_cast<std::size_t>(std::popcount(large[i] | small[si]));
+    if (++si == n_small) si = 0;
+  }
+  return ones;
+}
+
+}  // namespace vlm::common::kernels::detail

@@ -1,0 +1,126 @@
+// Runtime ISA selection: compiled-in variants ∩ CPUID features, with a
+// VLM_KERNELS environment override so CI, sanitizer jobs, and A/B
+// benches can pin one code path deterministically.
+#include "common/kernels/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/require.h"
+
+namespace vlm::common::kernels {
+namespace {
+
+bool cpu_supports(Isa isa) {
+#if defined(__x86_64__)
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+const KernelTable* compiled_table(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar_table();
+    case Isa::kAvx2:
+      return detail::avx2_table();
+    case Isa::kAvx512:
+      return detail::avx512_table();
+  }
+  return nullptr;
+}
+
+bool parse_isa(const char* text, Isa& out) {
+  if (std::strcmp(text, "scalar") == 0) {
+    out = Isa::kScalar;
+  } else if (std::strcmp(text, "avx2") == 0) {
+    out = Isa::kAvx2;
+  } else if (std::strcmp(text, "avx512") == 0) {
+    out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const KernelTable& select_active() {
+  Isa chosen = Isa::kScalar;
+  if (available(Isa::kAvx2)) chosen = Isa::kAvx2;
+  if (available(Isa::kAvx512)) chosen = Isa::kAvx512;
+  const char* env = std::getenv("VLM_KERNELS");
+  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
+    Isa requested = Isa::kScalar;
+    if (!parse_isa(env, requested)) {
+      std::fprintf(stderr,
+                   "vlm: warning: VLM_KERNELS='%s' is not one of "
+                   "scalar|avx2|avx512|auto; using %s\n",
+                   env, isa_name(chosen));
+    } else if (!available(requested)) {
+      // Fall back instead of crashing so one exported value works
+      // across a heterogeneous CI fleet.
+      std::fprintf(stderr,
+                   "vlm: warning: VLM_KERNELS=%s is unavailable on this host "
+                   "(%s); using %s\n",
+                   env,
+                   compiled(requested) ? "CPU lacks the feature"
+                                       : "variant not compiled in",
+                   isa_name(chosen));
+    } else {
+      chosen = requested;
+    }
+  }
+  return *compiled_table(chosen);
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool compiled(Isa isa) { return compiled_table(isa) != nullptr; }
+
+bool available(Isa isa) { return compiled(isa) && cpu_supports(isa); }
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (available(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+const KernelTable& table_for(Isa isa) {
+  VLM_REQUIRE(available(isa), "kernel ISA is not available on this host");
+  return *compiled_table(isa);
+}
+
+const KernelTable& active() {
+  // Thread-safe one-time selection (magic static); every BitArray
+  // operation after the first call hits a resolved reference.
+  static const KernelTable& table = select_active();
+  return table;
+}
+
+const char* active_name() { return active().name; }
+
+}  // namespace vlm::common::kernels

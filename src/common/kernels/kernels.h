@@ -1,0 +1,101 @@
+// Vectorized bit-kernel layer with runtime ISA dispatch.
+//
+// The four word-level loops that dominate both the decode pipeline
+// (joint_zero_counts for Eq. 5) and the sharded ingest engine (shard
+// OR-merge, bulk set + recount) are hoisted here behind a per-ISA
+// dispatch table: a portable scalar baseline that every build carries,
+// plus AVX2 (nibble-LUT popcount) and AVX-512-VPOPCNTDQ variants that
+// are compiled only when the toolchain supports the flags and selected
+// only when the CPU reports the features. Selection happens once, at
+// first use, and can be pinned with VLM_KERNELS=scalar|avx2|avx512 so
+// CI and sanitizer runs control exactly which code path they cover.
+//
+// Every variant computes bit-identical results: the dispatch is a pure
+// performance decision, asserted by the differential fuzz suite
+// (tests/common/kernels_fuzz_test.cpp) and by bench_kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vlm::common::kernels {
+
+enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+// One implementation of the four hot kernels. All pointers are non-null
+// in every table this module hands out.
+struct KernelTable {
+  Isa isa = Isa::kScalar;
+  const char* name = "scalar";
+
+  // Total popcount of words[0..n).
+  std::size_t (*popcount)(const std::uint64_t* words, std::size_t n);
+
+  // Fused OR + popcount with cyclic indexing of the smaller operand:
+  // returns popcount of (large[i] | small[i % n_small]) over
+  // i in [0, n_large) without materializing the unfolded array — the
+  // word-level form of the paper's Eq. 3 unfolding feeding Eq. 4's OR.
+  // n_small may be smaller than, equal to, or larger than n_large; only
+  // the first n_large words of a larger `small` are read.
+  std::size_t (*or_popcount_cyclic)(const std::uint64_t* large,
+                                    std::size_t n_large,
+                                    const std::uint64_t* small,
+                                    std::size_t n_small);
+
+  // In-place dst[i] |= src[i] over [0, n); returns the popcount of the
+  // merged result in the same sweep (shard-combining primitive).
+  std::size_t (*merge_or)(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n);
+
+  // Bulk ingest: validates every index against bit_count (throws
+  // std::invalid_argument before touching the words on violation), sets
+  // the bits with plain word writes, then recounts ones over the
+  // ceil(bit_count/64) words in one vectorized sweep. Returns the new
+  // ones count.
+  std::size_t (*set_scatter)(std::uint64_t* words, std::size_t bit_count,
+                             const std::size_t* indices,
+                             std::size_t n_indices);
+};
+
+// Human-readable ISA name ("scalar", "avx2", "avx512").
+const char* isa_name(Isa isa);
+
+// The portable baseline; always present, the reference for every
+// differential test.
+const KernelTable& scalar_table();
+
+// Whether the variant was compiled into this binary (toolchain had the
+// flags and the target is x86-64).
+bool compiled(Isa isa);
+
+// Whether the variant is usable here: compiled in AND the CPU reports
+// the feature bits. Scalar is always available.
+bool available(Isa isa);
+
+// Every available variant, scalar first — what the fuzz suite iterates.
+std::vector<Isa> available_isas();
+
+// Table for a specific available ISA; throws std::invalid_argument if
+// `available(isa)` is false.
+const KernelTable& table_for(Isa isa);
+
+// The table every BitArray operation routes through. Selected once at
+// first use: the best available ISA, unless the VLM_KERNELS environment
+// variable pins one ("scalar", "avx2", "avx512"; "auto"/empty keep the
+// default). Pinning an ISA the host lacks falls back to the best
+// available one with a warning on stderr rather than crashing, so a CI
+// matrix can export one value across heterogeneous runners.
+const KernelTable& active();
+
+// isa_name(active().isa) — for stats lines and bench JSON.
+const char* active_name();
+
+namespace detail {
+// Variant factories. Each TU returns nullptr when its ISA was not
+// compiled in; kernels.cpp combines this with CPUID at selection time.
+const KernelTable* avx2_table();
+const KernelTable* avx512_table();
+}  // namespace detail
+
+}  // namespace vlm::common::kernels

@@ -1,0 +1,181 @@
+// AVX2 kernels: 256-bit sweeps with the nibble-LUT (Mula) popcount —
+// vpshufb over a 16-entry bit-count table for both nibbles of every
+// byte, accumulated bytewise and folded into 64-bit lanes with vpsadbw.
+// Four vectors of byte counts (max 8 per byte, 32 total) are summed
+// before each fold, keeping the SAD off the critical path.
+//
+// Compiled with -mavx2 for this translation unit only; nothing here is
+// inlined elsewhere (access is exclusively via the dispatch table), so
+// the rest of the binary stays baseline x86-64.
+#include "common/kernels/kernels.h"
+
+#if defined(VLM_KERNELS_COMPILE_AVX2) && defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/kernels/kernel_impl.h"
+
+namespace vlm::common::kernels {
+namespace {
+
+inline __m256i load256(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+// Per-byte popcount of a 256-bit vector (values 0..8).
+inline __m256i byte_counts(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+inline __m256i fold64(__m256i counts) {
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+inline std::size_t hsum(__m256i acc) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+std::size_t pop_block(const std::uint64_t* w, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i c = byte_counts(load256(w + i));
+    c = _mm256_add_epi8(c, byte_counts(load256(w + i + 4)));
+    c = _mm256_add_epi8(c, byte_counts(load256(w + i + 8)));
+    c = _mm256_add_epi8(c, byte_counts(load256(w + i + 12)));
+    acc = _mm256_add_epi64(acc, fold64(c));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(acc, fold64(byte_counts(load256(w + i))));
+  }
+  return hsum(acc) + detail::popcount_tail(w, i, n);
+}
+
+// Fused popcount of (a[i] | b[i]) over [0, n) — no wrap; callers align
+// period boundaries so b always starts at its word 0.
+std::size_t or_pop_block(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i c = byte_counts(_mm256_or_si256(load256(a + i), load256(b + i)));
+    c = _mm256_add_epi8(
+        c, byte_counts(_mm256_or_si256(load256(a + i + 4), load256(b + i + 4))));
+    c = _mm256_add_epi8(
+        c, byte_counts(_mm256_or_si256(load256(a + i + 8), load256(b + i + 8))));
+    c = _mm256_add_epi8(c, byte_counts(_mm256_or_si256(load256(a + i + 12),
+                                                       load256(b + i + 12))));
+    acc = _mm256_add_epi64(acc, fold64(c));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, fold64(byte_counts(_mm256_or_si256(load256(a + i), load256(b + i)))));
+  }
+  std::size_t ones = hsum(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+  }
+  return ones;
+}
+
+std::size_t popcount_avx2(const std::uint64_t* words, std::size_t n) {
+  return pop_block(words, n);
+}
+
+std::size_t or_popcount_cyclic_avx2(const std::uint64_t* large,
+                                    std::size_t n_large,
+                                    const std::uint64_t* small,
+                                    std::size_t n_small) {
+  if (n_small >= n_large) return or_pop_block(large, small, n_large);
+  if (n_small == 1 || n_small == 2 || n_small == 4) {
+    // The whole period fits in (a divisor of) one vector: broadcast it
+    // once and stream the larger array against the pattern.
+    __m256i pat;
+    if (n_small == 1) {
+      pat = _mm256_set1_epi64x(static_cast<long long>(small[0]));
+    } else if (n_small == 2) {
+      pat = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(small)));
+    } else {
+      pat = load256(small);
+    }
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n_large; i += 4) {
+      acc = _mm256_add_epi64(
+          acc, fold64(byte_counts(_mm256_or_si256(load256(large + i), pat))));
+    }
+    return hsum(acc) + detail::or_popcount_cyclic_tail(large, i, n_large, small,
+                                                       n_small, i % n_small);
+  }
+  if (n_small < 8) {
+    // 3, 5, 6, 7: wrap period incompatible with 4-word lanes and too
+    // short to amortize per-period block calls. Power-of-two sizing
+    // never produces these; keep them correct via the scalar reference.
+    return detail::or_popcount_cyclic_tail(large, 0, n_large, small, n_small,
+                                           0);
+  }
+  // General cyclic case: step a whole period at a time so the smaller
+  // operand always starts at word 0 — no wrap inside a block.
+  std::size_t ones = 0;
+  std::size_t i = 0;
+  for (; i + n_small <= n_large; i += n_small) {
+    ones += or_pop_block(large + i, small, n_small);
+  }
+  return ones + or_pop_block(large + i, small, n_large - i);
+}
+
+std::size_t merge_or_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i merged = _mm256_or_si256(load256(dst + i), load256(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), merged);
+    acc = _mm256_add_epi64(acc, fold64(byte_counts(merged)));
+  }
+  std::size_t ones = hsum(acc);
+  for (; i < n; ++i) {
+    dst[i] |= src[i];
+    ones += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return ones;
+}
+
+std::size_t set_scatter_avx2(std::uint64_t* words, std::size_t bit_count,
+                             const std::size_t* indices,
+                             std::size_t n_indices) {
+  detail::scatter_checked(words, bit_count, indices, n_indices);
+  return pop_block(words, (bit_count + 63) / 64);
+}
+
+}  // namespace
+
+const KernelTable* detail::avx2_table() {
+  static const KernelTable table{Isa::kAvx2, "avx2", popcount_avx2,
+                                 or_popcount_cyclic_avx2, merge_or_avx2,
+                                 set_scatter_avx2};
+  return &table;
+}
+
+}  // namespace vlm::common::kernels
+
+#else  // !VLM_KERNELS_COMPILE_AVX2
+
+namespace vlm::common::kernels {
+const KernelTable* detail::avx2_table() { return nullptr; }
+}  // namespace vlm::common::kernels
+
+#endif

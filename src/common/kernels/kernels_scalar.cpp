@@ -1,0 +1,59 @@
+// Portable scalar baseline: one std::popcount per word, no intrinsics.
+// This is the reference implementation every SIMD variant is fuzzed
+// against, and the code path VLM_KERNELS=scalar pins for sanitizers.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/kernels/kernel_impl.h"
+#include "common/kernels/kernels.h"
+
+namespace vlm::common::kernels {
+namespace {
+
+std::size_t popcount_scalar(const std::uint64_t* words, std::size_t n) {
+  return detail::popcount_tail(words, 0, n);
+}
+
+std::size_t or_popcount_cyclic_scalar(const std::uint64_t* large,
+                                      std::size_t n_large,
+                                      const std::uint64_t* small,
+                                      std::size_t n_small) {
+  if (n_small >= n_large) {
+    // The cyclic index never wraps: a plain fused sweep.
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n_large; ++i) {
+      ones += static_cast<std::size_t>(std::popcount(large[i] | small[i]));
+    }
+    return ones;
+  }
+  return detail::or_popcount_cyclic_tail(large, 0, n_large, small, n_small, 0);
+}
+
+std::size_t merge_or_scalar(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] |= src[i];
+    ones += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return ones;
+}
+
+std::size_t set_scatter_scalar(std::uint64_t* words, std::size_t bit_count,
+                               const std::size_t* indices,
+                               std::size_t n_indices) {
+  detail::scatter_checked(words, bit_count, indices, n_indices);
+  return detail::popcount_tail(words, 0, (bit_count + 63) / 64);
+}
+
+}  // namespace
+
+const KernelTable& scalar_table() {
+  static const KernelTable table{Isa::kScalar, "scalar", popcount_scalar,
+                                 or_popcount_cyclic_scalar, merge_or_scalar,
+                                 set_scatter_scalar};
+  return table;
+}
+
+}  // namespace vlm::common::kernels

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
 
@@ -70,6 +71,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
                                            words_per_pair.end(),
                                            std::size_t{0});
     stats->workers = used;
+    stats->kernel_isa = common::kernels::active_name();
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();

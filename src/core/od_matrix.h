@@ -26,6 +26,9 @@ struct DecodeStats {
   std::size_t words_scanned = 0;  // 64-bit words the fused kernels touched
   unsigned workers = 1;           // threads the pair list was spread over
   double wall_seconds = 0.0;
+  // ISA the kernel dispatch selected for the sweeps ("scalar", "avx2",
+  // "avx512") — a static string, never freed.
+  const char* kernel_isa = "scalar";
 
   double pairs_per_second() const {
     return wall_seconds > 0.0

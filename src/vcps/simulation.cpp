@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/hashing.h"
+#include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
 #include "core/pair_simulation.h"
@@ -155,6 +156,7 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   vehicles_driven_ += count;
   stats.vehicles = count;
   stats.workers = shard_count;
+  stats.kernel_isa = common::kernels::active_name();
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

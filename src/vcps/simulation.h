@@ -50,6 +50,9 @@ struct IngestStats {
   std::uint64_t exchanges = 0;  // successful query/reply deliveries
   unsigned workers = 1;
   double seconds = 0.0;
+  // ISA the kernel dispatch selected for the shard merge/recount sweeps
+  // ("scalar", "avx2", "avx512") — a static string, never freed.
+  const char* kernel_isa = "scalar";
   double vehicles_per_second() const {
     return seconds > 0.0 ? static_cast<double>(vehicles) / seconds : 0.0;
   }

@@ -116,6 +116,39 @@ TEST(BitArrayUnfold, RejectsNonMultipleTarget) {
   EXPECT_THROW((void)bits.unfolded(4), std::invalid_argument);
 }
 
+// Word-assembly slow path (non-word-aligned sources): every output bit
+// must equal source bit i % size, and the cached ones count must scale
+// by exactly the unfold ratio.
+TEST(BitArrayUnfold, NonAlignedSourcesMatchBitOracle) {
+  for (const std::size_t size : {1u, 7u, 63u}) {
+    for (const std::size_t ratio : {2u, 3u, 16u, 100u}) {
+      BitArray bits(size);
+      for (std::size_t i = 0; i < size; i += 2) bits.set(i);
+      const BitArray unfolded = bits.unfolded(size * ratio);
+      ASSERT_EQ(unfolded.size(), size * ratio);
+      for (std::size_t i = 0; i < unfolded.size(); ++i) {
+        EXPECT_EQ(unfolded.test(i), bits.test(i % size))
+            << "size=" << size << " ratio=" << ratio << " bit " << i;
+      }
+      EXPECT_EQ(unfolded.count_ones(), bits.count_ones() * ratio)
+          << "size=" << size << " ratio=" << ratio;
+    }
+  }
+}
+
+TEST(BitArrayUnfold, SingleBitSourceExtremes) {
+  // size 1 is the deepest possible fold: the unfold is all-zeros or
+  // all-ones depending on the single source bit.
+  BitArray zero(1);
+  EXPECT_EQ(zero.unfolded(4096).count_ones(), 0u);
+  BitArray one(1);
+  one.set(0);
+  const BitArray u = one.unfolded(4096);
+  EXPECT_EQ(u.count_ones(), 4096u);
+  EXPECT_TRUE(u.test(0));
+  EXPECT_TRUE(u.test(4095));
+}
+
 // --- Bitwise OR (paper Eq. 4) ---
 
 TEST(BitArrayOr, CombinesBits) {
@@ -280,6 +313,37 @@ TEST(BitArraySerialization, RejectsTrailingGarbageBits) {
   // Declared 12 bits -> 2 bytes; bit 13 set is out of range.
   std::vector<std::uint8_t> bytes{0x00, 0xF0};
   EXPECT_THROW((void)BitArray::from_bytes(12, bytes), std::invalid_argument);
+}
+
+TEST(BitArraySerialization, RoundTripsNonWordMultipleSizes) {
+  // Sizes that are neither byte- nor word-multiples: the final byte is
+  // partially occupied and the recount must still be exact.
+  for (const std::size_t size : {1u, 7u, 9u, 63u, 65u, 130u, 1000u}) {
+    BitArray bits(size);
+    for (std::size_t i = 0; i < size; i += 3) bits.set(i);
+    if (size > 1) bits.set(size - 1);
+    const auto bytes = bits.to_bytes();
+    EXPECT_EQ(bytes.size(), (size + 7) / 8) << "size=" << size;
+    const BitArray restored = BitArray::from_bytes(size, bytes);
+    EXPECT_EQ(restored, bits) << "size=" << size;
+    EXPECT_EQ(restored.count_ones(), bits.count_ones()) << "size=" << size;
+  }
+}
+
+TEST(BitArraySerialization, RejectsAnyBitPastDeclaredSize) {
+  // Regression: every unused bit position of the final byte must be
+  // rejected, not just the top one — a malformed report cannot smuggle
+  // extra ones past the recount.
+  for (const std::size_t size : {1u, 7u, 9u, 65u}) {
+    std::vector<std::uint8_t> bytes((size + 7) / 8, 0);
+    for (std::size_t bad = size; bad < bytes.size() * 8; ++bad) {
+      std::vector<std::uint8_t> tampered = bytes;
+      tampered[bad / 8] = static_cast<std::uint8_t>(1u << (bad % 8));
+      EXPECT_THROW((void)BitArray::from_bytes(size, tampered),
+                   std::invalid_argument)
+          << "size=" << size << " trailing bit " << bad;
+    }
+  }
 }
 
 TEST(BitArraySerialization, EmptyPatternRoundTripsAtWordBoundary) {

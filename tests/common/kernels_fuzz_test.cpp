@@ -1,0 +1,138 @@
+// Differential fuzz: every SIMD kernel variant present on this host is
+// run against the scalar baseline over randomized inputs — word counts
+// straddling vector widths, unaligned tails, arbitrary cyclic periods,
+// and the power-of-two unfold ratios (up to 2^10) the sizing policy
+// actually produces. Counts AND mutated words must match exactly; a
+// variant the host lacks is skipped, never failed, so one test binary
+// serves the whole CI matrix.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/kernels/kernels.h"
+#include "common/rng.h"
+
+namespace vlm::common::kernels {
+namespace {
+
+std::vector<std::uint64_t> random_words(std::size_t n,
+                                        common::Xoshiro256ss& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) {
+    // Mix densities so tails of all-zero / all-one words appear too.
+    switch (rng.uniform(4)) {
+      case 0: w = 0; break;
+      case 1: w = ~std::uint64_t{0}; break;
+      default: w = rng.next(); break;
+    }
+  }
+  return out;
+}
+
+class KernelFuzz : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!available(GetParam())) {
+      GTEST_SKIP() << isa_name(GetParam()) << " not available on this host";
+    }
+  }
+  const KernelTable& variant() { return table_for(GetParam()); }
+  const KernelTable& scalar() { return scalar_table(); }
+};
+
+TEST_P(KernelFuzz, PopcountMatchesScalar) {
+  common::Xoshiro256ss rng(0xF122);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 1 + rng.uniform(600);
+    const auto words = random_words(n, rng);
+    EXPECT_EQ(variant().popcount(words.data(), n),
+              scalar().popcount(words.data(), n))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(KernelFuzz, OrPopcountCyclicMatchesScalarForArbitraryPeriods) {
+  common::Xoshiro256ss rng(0xF123);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n_large = 1 + rng.uniform(500);
+    // Periods deliberately include 1..17 (broadcast + fallback paths)
+    // and values larger than n_large.
+    const std::size_t n_small = 1 + rng.uniform(trial % 2 == 0 ? 17 : 600);
+    const auto large = random_words(n_large, rng);
+    const auto small = random_words(n_small, rng);
+    EXPECT_EQ(
+        variant().or_popcount_cyclic(large.data(), n_large, small.data(),
+                                     n_small),
+        scalar().or_popcount_cyclic(large.data(), n_large, small.data(),
+                                    n_small))
+        << "n_large=" << n_large << " n_small=" << n_small;
+  }
+}
+
+TEST_P(KernelFuzz, OrPopcountCyclicMatchesScalarForPowerOfTwoUnfolds) {
+  common::Xoshiro256ss rng(0xF124);
+  for (int trial = 0; trial < 200; ++trial) {
+    // The sizing policy's real shape: both word counts are powers of
+    // two, ratio up to 2^10 (the paper's deepest unfold).
+    const std::size_t n_small = std::size_t{1} << rng.uniform(7);   // 1..64
+    const std::size_t ratio = std::size_t{1} << rng.uniform(11);    // 1..1024
+    const std::size_t n_large = n_small * ratio;
+    const auto large = random_words(n_large, rng);
+    const auto small = random_words(n_small, rng);
+    EXPECT_EQ(
+        variant().or_popcount_cyclic(large.data(), n_large, small.data(),
+                                     n_small),
+        scalar().or_popcount_cyclic(large.data(), n_large, small.data(),
+                                    n_small))
+        << "n_small=" << n_small << " ratio=" << ratio;
+  }
+}
+
+TEST_P(KernelFuzz, MergeOrMatchesScalarWordsAndCount) {
+  common::Xoshiro256ss rng(0xF125);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 1 + rng.uniform(600);
+    const auto base = random_words(n, rng);
+    const auto src = random_words(n, rng);
+    std::vector<std::uint64_t> dst_variant = base;
+    std::vector<std::uint64_t> dst_scalar = base;
+    const std::size_t ones_variant =
+        variant().merge_or(dst_variant.data(), src.data(), n);
+    const std::size_t ones_scalar =
+        scalar().merge_or(dst_scalar.data(), src.data(), n);
+    EXPECT_EQ(ones_variant, ones_scalar) << "n=" << n;
+    EXPECT_EQ(dst_variant, dst_scalar) << "n=" << n;
+  }
+}
+
+TEST_P(KernelFuzz, SetScatterMatchesScalarWordsAndCount) {
+  common::Xoshiro256ss rng(0xF126);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Sub-word arrays (bit_count < 64) through multi-word, never a
+    // multiple of 64 in half the trials.
+    const std::size_t bit_count = 1 + rng.uniform(4000);
+    const std::size_t n_words = (bit_count + 63) / 64;
+    const std::size_t n_indices = rng.uniform(2 * bit_count + 1);
+    std::vector<std::size_t> indices(n_indices);
+    for (auto& idx : indices) idx = rng.uniform(bit_count);  // dups likely
+    std::vector<std::uint64_t> words_variant(n_words, 0);
+    std::vector<std::uint64_t> words_scalar(n_words, 0);
+    const std::size_t ones_variant = variant().set_scatter(
+        words_variant.data(), bit_count, indices.data(), indices.size());
+    const std::size_t ones_scalar = scalar().set_scatter(
+        words_scalar.data(), bit_count, indices.data(), indices.size());
+    EXPECT_EQ(ones_variant, ones_scalar) << "bits=" << bit_count;
+    EXPECT_EQ(words_variant, words_scalar) << "bits=" << bit_count;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelFuzz,
+                         ::testing::Values(Isa::kAvx2, Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& param) {
+                           return isa_name(param.param);
+                         });
+
+}  // namespace
+}  // namespace vlm::common::kernels

@@ -1,0 +1,153 @@
+// Deterministic unit tests of the kernel dispatch layer: selection
+// invariants, and hand-computable edge cases for every variant the host
+// can run (broadcast patterns, sub-vector tails, scatter validation).
+#include "common/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace vlm::common::kernels {
+namespace {
+
+TEST(KernelDispatch, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(compiled(Isa::kScalar));
+  EXPECT_TRUE(available(Isa::kScalar));
+  EXPECT_EQ(&table_for(Isa::kScalar), &scalar_table());
+  EXPECT_EQ(scalar_table().isa, Isa::kScalar);
+  EXPECT_STREQ(scalar_table().name, "scalar");
+}
+
+TEST(KernelDispatch, AvailableIsasStartWithScalar) {
+  const std::vector<Isa> isas = available_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (const Isa isa : isas) {
+    const KernelTable& table = table_for(isa);
+    EXPECT_EQ(table.isa, isa);
+    EXPECT_STREQ(table.name, isa_name(isa));
+    EXPECT_NE(table.popcount, nullptr);
+    EXPECT_NE(table.or_popcount_cyclic, nullptr);
+    EXPECT_NE(table.merge_or, nullptr);
+    EXPECT_NE(table.set_scatter, nullptr);
+  }
+}
+
+TEST(KernelDispatch, ActiveIsAnAvailableIsa) {
+  const std::vector<Isa> isas = available_isas();
+  EXPECT_NE(std::find(isas.begin(), isas.end(), active().isa), isas.end());
+  EXPECT_STREQ(active_name(), isa_name(active().isa));
+}
+
+TEST(KernelDispatch, UnavailableIsaThrows) {
+  for (const Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (!available(isa)) {
+      EXPECT_THROW((void)table_for(isa), std::invalid_argument);
+    }
+  }
+}
+
+TEST(KernelDispatch, IsaNames) {
+  EXPECT_STREQ(isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(isa_name(Isa::kAvx512), "avx512");
+}
+
+class KernelVariants : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!available(GetParam())) {
+      GTEST_SKIP() << isa_name(GetParam()) << " not available on this host";
+    }
+  }
+  const KernelTable& table() { return table_for(GetParam()); }
+};
+
+TEST_P(KernelVariants, PopcountKnownPatterns) {
+  // Sizes straddle vector widths: sub-vector, exact, and ragged tails.
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 8u, 13u, 16u, 31u, 64u, 100u}) {
+    const std::vector<std::uint64_t> zeros(n, 0);
+    const std::vector<std::uint64_t> ones(n, ~std::uint64_t{0});
+    const std::vector<std::uint64_t> alt(n, 0x5555555555555555ull);
+    EXPECT_EQ(table().popcount(zeros.data(), n), 0u) << "n=" << n;
+    EXPECT_EQ(table().popcount(ones.data(), n), 64 * n) << "n=" << n;
+    EXPECT_EQ(table().popcount(alt.data(), n), 32 * n) << "n=" << n;
+  }
+}
+
+TEST_P(KernelVariants, OrPopcountCyclicBroadcastPeriods) {
+  // Periods 1, 2, 4, 8 exercise the pattern-broadcast paths; 16 the
+  // period-block path; 3 and 5 the scalar fallback.
+  const std::size_t n_large = 53;  // ragged on purpose
+  std::vector<std::uint64_t> large(n_large, 0);
+  for (std::size_t i = 0; i < n_large; i += 2) large[i] = 0x0F0Full;  // 8 bits
+  for (const std::size_t n_small : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
+    std::vector<std::uint64_t> small(n_small, 0);
+    small[n_small - 1] = 0xF000ull;  // 4 bits, disjoint from large's
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < n_large; ++i) {
+      expected += static_cast<std::size_t>(
+          std::popcount(large[i] | small[i % n_small]));
+    }
+    EXPECT_EQ(
+        table().or_popcount_cyclic(large.data(), n_large, small.data(), n_small),
+        expected)
+        << "period " << n_small;
+  }
+}
+
+TEST_P(KernelVariants, OrPopcountCyclicSmallNotSmallerThanLarge) {
+  // n_small >= n_large must read only the first n_large words.
+  const std::vector<std::uint64_t> large(5, 0x3ull);
+  const std::vector<std::uint64_t> small(9, 0xCull);
+  EXPECT_EQ(table().or_popcount_cyclic(large.data(), 5, small.data(), 9),
+            5u * 4u);
+  EXPECT_EQ(table().or_popcount_cyclic(large.data(), 5, small.data(), 5),
+            5u * 4u);
+}
+
+TEST_P(KernelVariants, MergeOrMergesAndCounts) {
+  for (const std::size_t n : {1u, 4u, 9u, 16u, 27u}) {
+    std::vector<std::uint64_t> dst(n, 0x5555555555555555ull);
+    const std::vector<std::uint64_t> src(n, 0xAAAAAAAAAAAAAAAAull);
+    EXPECT_EQ(table().merge_or(dst.data(), src.data(), n), 64 * n) << "n=" << n;
+    for (const std::uint64_t w : dst) EXPECT_EQ(w, ~std::uint64_t{0});
+  }
+}
+
+TEST_P(KernelVariants, SetScatterSetsValidatesAndCounts) {
+  std::vector<std::uint64_t> words(3, 0);
+  const std::size_t bit_count = 130;  // ragged final word
+  const std::vector<std::size_t> indices{0, 64, 129, 129, 1};
+  EXPECT_EQ(table().set_scatter(words.data(), bit_count, indices.data(),
+                                indices.size()),
+            4u);
+  EXPECT_EQ(words[0], 0x3ull);
+  EXPECT_EQ(words[1], 0x1ull);
+  EXPECT_EQ(words[2], 0x2ull);
+}
+
+TEST_P(KernelVariants, SetScatterRejectsBeforeMutating) {
+  std::vector<std::uint64_t> words(2, 0);
+  const std::vector<std::size_t> indices{5, 128};  // second is out of range
+  EXPECT_THROW(
+      (void)table().set_scatter(words.data(), 128, indices.data(), 2),
+      std::invalid_argument);
+  EXPECT_EQ(words[0], 0u);  // nothing written before validation passed
+  EXPECT_EQ(words[1], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelVariants,
+                         ::testing::Values(Isa::kScalar, Isa::kAvx2,
+                                           Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<Isa>& param) {
+                           return isa_name(param.param);
+                         });
+
+}  // namespace
+}  // namespace vlm::common::kernels

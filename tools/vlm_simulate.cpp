@@ -191,8 +191,8 @@ int main(int argc, char** argv) {
     std::printf("simulated %llu vehicles across %zu RSUs; wrote %s\n",
                 static_cast<unsigned long long>(sim->vehicles_driven()),
                 sim->rsu_count(), parser.get_string("out").c_str());
-    std::printf("ingest: %u workers, %.1f ms, %.0f vehicles/s\n",
-                ingest.workers, ingest.seconds * 1e3,
+    std::printf("ingest: %u workers, %s kernels, %.1f ms, %.0f vehicles/s\n",
+                ingest.workers, ingest.kernel_isa, ingest.seconds * 1e3,
                 ingest.vehicles_per_second());
     const vcps::PipelineStats& stats = sim->server().stats();
     std::printf(
