@@ -1,21 +1,32 @@
 // Decode-throughput bench: the seed's serial materializing decode vs the
-// fused + parallel K×K pipeline, on a 24-RSU workload at m = 2^22.
+// per-pair fused path vs the cache-blocked batch decode, on a 64-RSU
+// workload at m = 2^22.
 //
 //   $ bench_decode_throughput                  # full-size run, JSON out
 //   $ bench_decode_throughput --m-exp 14 --rsus 6 --repeat 1   # smoke
+//   $ bench_decode_throughput --sweep --m-exp 16 --repeat 1    # CI sweep
 //
 // Emits one JSON object so CI and scripts can track the speedup:
 //   - "naive_serial_seconds": per-pair unfold-copy + OR materialization +
 //     three separate popcount sweeps (the decode path before the fused
 //     kernel existed), run serially over all K(K-1)/2 pairs;
-//   - "fused_serial_seconds": estimate_od_matrix with 1 worker;
-//   - "fused_parallel_seconds": estimate_od_matrix with one worker per
-//     core — asserted bit-identical to the serial result.
+//   - "pairwise_serial_seconds": estimate_od_matrix, per-pair fused
+//     kernel, 1 worker (the committed path before cache blocking);
+//   - "blocked_serial_seconds" / "blocked_parallel_seconds": the
+//     cache-blocked batch decode — asserted bit-identical to the
+//     pairwise result cell by cell ("blocked_bit_identical_to_pairwise")
+//     and across worker counts ("parallel_bit_identical_to_serial");
+//   - with --sweep, a "sweep" array covering K ∈ {8, 24, 64} × several
+//     tile sizes, each entry carrying its own identity flag, summarized
+//     in "sweep_all_identical".
+// Exit status is 0 only if every identity assertion held.
 #include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "common/bit_array.h"
@@ -99,15 +110,30 @@ bool cells_identical(const core::OdMatrix& a, const core::OdMatrix& b) {
   return true;
 }
 
+core::OdMatrix decode(std::span<const core::RsuState> states,
+                      core::DecodeMode mode, unsigned workers,
+                      std::size_t tile_words, core::DecodeStats* stats) {
+  core::DecodeOptions options;
+  options.workers = workers;
+  options.mode = mode;
+  options.tile_words = tile_words;
+  return core::estimate_od_matrix(states, 2, 1.96, options, stats);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::ArgParser parser("bench_decode_throughput",
-                           "fused+parallel K×K decode vs the seed serial path");
-  parser.add_int("rsus", 24, "deployment size K");
+  common::ArgParser parser(
+      "bench_decode_throughput",
+      "cache-blocked K×K decode vs the per-pair and seed serial paths");
+  parser.add_int("rsus", 64, "deployment size K");
   parser.add_int("m-exp", 22, "log2 of every RSU's array size");
   parser.add_int("workers", 0, "parallel decode workers (0 = one per core)");
   parser.add_int("repeat", 3, "timing repetitions (best-of)");
+  parser.add_int("tile-words", 0, "blocked-path tile size in words (0 = auto)");
+  parser.add_flag("sweep", false,
+                  "also sweep K in {8,24,64} x tile sizes and assert "
+                  "blocked == pairwise for every combination");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto k = static_cast<std::size_t>(parser.get_int("rsus"));
@@ -116,12 +142,18 @@ int main(int argc, char** argv) {
   const int repeat = std::max(1, static_cast<int>(parser.get_int("repeat")));
   const auto workers =
       static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
+  const auto tile_words = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, parser.get_int("tile-words")));
+  const bool sweep = parser.get_flag("sweep");
 
   // Deterministic synthetic states at load factor ~8 (the paper's f̄).
+  // The sweep reuses prefixes of the same fleet, so build the largest K
+  // needed once.
+  const std::size_t max_k = sweep ? std::max<std::size_t>(k, 64) : k;
   std::vector<core::RsuState> states;
-  states.reserve(k);
+  states.reserve(max_k);
   std::uint64_t h = 0xDEC0DEull;
-  for (std::size_t r = 0; r < k; ++r) {
+  for (std::size_t r = 0; r < max_k; ++r) {
     core::RsuState rsu(m);
     const std::size_t records = m / 8;
     for (std::size_t i = 0; i < records; ++i) {
@@ -129,14 +161,16 @@ int main(int argc, char** argv) {
     }
     states.push_back(std::move(rsu));
   }
+  const std::span<const core::RsuState> main_states(states.data(), k);
 
   const core::IntervalEstimator interval(2, 1.96);
   const core::PairEstimator estimator(2);
 
-  double naive_best = 1e300, fused_serial_best = 1e300,
-         fused_parallel_best = 1e300;
-  core::OdMatrix serial(k, 2, 1.96), parallel(k, 2, 1.96);
-  core::DecodeStats serial_stats, parallel_stats;
+  double naive_best = 1e300, pairwise_best = 1e300, blocked_serial_best = 1e300,
+         blocked_parallel_best = 1e300;
+  core::OdMatrix pairwise(k), blocked_serial(k), blocked_parallel(k);
+  core::DecodeStats pairwise_stats, blocked_serial_stats,
+      blocked_parallel_stats;
   double naive_total = 0.0;
   for (int rep = 0; rep < repeat; ++rep) {
     // Seed path: serial loop, materializing decode per pair.
@@ -151,32 +185,101 @@ int main(int argc, char** argv) {
     naive_best = std::min(naive_best, seconds_since(t0));
 
     const auto t1 = std::chrono::steady_clock::now();
-    serial = core::estimate_od_matrix(states, 2, 1.96, 1, &serial_stats);
-    fused_serial_best = std::min(fused_serial_best, seconds_since(t1));
+    pairwise = decode(main_states, core::DecodeMode::kPairwise, 1,
+                      tile_words, &pairwise_stats);
+    pairwise_best = std::min(pairwise_best, seconds_since(t1));
 
     const auto t2 = std::chrono::steady_clock::now();
-    parallel =
-        core::estimate_od_matrix(states, 2, 1.96, workers, &parallel_stats);
-    fused_parallel_best = std::min(fused_parallel_best, seconds_since(t2));
+    blocked_serial = decode(main_states, core::DecodeMode::kBlocked, 1,
+                            tile_words, &blocked_serial_stats);
+    blocked_serial_best = std::min(blocked_serial_best, seconds_since(t2));
+
+    const auto t3 = std::chrono::steady_clock::now();
+    blocked_parallel = decode(main_states, core::DecodeMode::kBlocked, workers,
+                              tile_words, &blocked_parallel_stats);
+    blocked_parallel_best = std::min(blocked_parallel_best, seconds_since(t3));
   }
 
-  const bool identical = cells_identical(serial, parallel) &&
-                         naive_total == serial.total_estimated_common();
+  const bool blocked_identical =
+      cells_identical(pairwise, blocked_serial) &&
+      naive_total == pairwise.total_estimated_common();
+  const bool parallel_identical =
+      cells_identical(blocked_serial, blocked_parallel);
+
+  // Optional sweep: every (K, tile_words) combination must reproduce the
+  // pairwise cells bit for bit — the blocking is a traffic optimization,
+  // never an approximation.
+  std::string sweep_json;
+  bool sweep_identical = true;
+  if (sweep) {
+    static constexpr std::size_t kSweepK[] = {8, 24, 64};
+    static constexpr std::size_t kSweepTiles[] = {256, 1024, 4096, 0};
+    sweep_json = ",\n \"sweep\": [";
+    bool first = true;
+    for (const std::size_t kk : kSweepK) {
+      const std::span<const core::RsuState> subset(states.data(), kk);
+      core::DecodeStats ref_stats;
+      const core::OdMatrix reference =
+          decode(subset, core::DecodeMode::kPairwise, 1, 0, &ref_stats);
+      for (const std::size_t tiles : kSweepTiles) {
+        core::DecodeStats stats;
+        const auto ts = std::chrono::steady_clock::now();
+        const core::OdMatrix candidate =
+            decode(subset, core::DecodeMode::kBlocked, workers, tiles, &stats);
+        const double elapsed = seconds_since(ts);
+        const bool identical = cells_identical(reference, candidate);
+        sweep_identical = sweep_identical && identical;
+        char entry[256];
+        std::snprintf(entry, sizeof entry,
+                      "%s\n  {\"rsus\": %zu, \"tile_words\": %zu, "
+                      "\"seconds\": %.6f, \"pairs_per_second\": %.0f, "
+                      "\"identical\": %s}",
+                      first ? "" : ",", kk, stats.tile_words, elapsed,
+                      elapsed > 0.0
+                          ? static_cast<double>(stats.pairs_decoded) / elapsed
+                          : 0.0,
+                      identical ? "true" : "false");
+        sweep_json += entry;
+        first = false;
+      }
+    }
+    sweep_json += "\n ],\n \"sweep_all_identical\": ";
+    sweep_json += sweep_identical ? "true" : "false";
+  }
+
   std::printf(
       "{\"rsus\": %zu, \"m\": %zu, \"pairs\": %zu, \"workers\": %u,\n"
       " \"kernel_isa\": \"%s\",\n"
+      " \"tile_words\": %zu,\n"
+      " \"dram_passes_saved\": %zu,\n"
       " \"naive_serial_seconds\": %.6f,\n"
-      " \"fused_serial_seconds\": %.6f,\n"
-      " \"fused_parallel_seconds\": %.6f,\n"
-      " \"speedup_fused_serial\": %.2f,\n"
-      " \"speedup_fused_parallel\": %.2f,\n"
-      " \"parallel_pairs_per_second\": %.0f,\n"
-      " \"parallel_scan_mib_per_second\": %.0f,\n"
-      " \"parallel_bit_identical_to_serial\": %s}\n",
-      k, m, serial_stats.pairs_decoded, parallel_stats.workers,
-      parallel_stats.kernel_isa, naive_best,
-      fused_serial_best, fused_parallel_best, naive_best / fused_serial_best,
-      naive_best / fused_parallel_best, parallel_stats.pairs_per_second(),
-      parallel_stats.mib_per_second(), identical ? "true" : "false");
-  return identical ? 0 : 1;
+      " \"pairwise_serial_seconds\": %.6f,\n"
+      " \"blocked_serial_seconds\": %.6f,\n"
+      " \"blocked_parallel_seconds\": %.6f,\n"
+      " \"speedup_pairwise_over_naive\": %.2f,\n"
+      " \"speedup_blocked_over_pairwise\": %.2f,\n"
+      " \"pairwise_pairs_per_second\": %.0f,\n"
+      " \"blocked_pairs_per_second\": %.0f,\n"
+      " \"blocked_scan_mib_per_second\": %.0f,\n"
+      " \"pool_threads\": %u,\n"
+      " \"pool_lifetime_dispatches\": %llu,\n"
+      " \"blocked_bit_identical_to_pairwise\": %s,\n"
+      " \"parallel_bit_identical_to_serial\": %s%s}\n",
+      k, m, pairwise_stats.pairs_decoded, blocked_parallel_stats.workers,
+      blocked_parallel_stats.kernel_isa, blocked_serial_stats.tile_words,
+      blocked_serial_stats.dram_passes_saved, naive_best, pairwise_best,
+      blocked_serial_best, blocked_parallel_best, naive_best / pairwise_best,
+      pairwise_best / blocked_serial_best,
+      pairwise_stats.pairs_per_second(),
+      blocked_serial_best > 0.0
+          ? static_cast<double>(blocked_serial_stats.pairs_decoded) /
+                blocked_serial_best
+          : 0.0,
+      blocked_serial_stats.mib_per_second(),
+      blocked_parallel_stats.pool_threads,
+      static_cast<unsigned long long>(
+          blocked_parallel_stats.pool_lifetime_dispatches),
+      blocked_identical ? "true" : "false",
+      parallel_identical ? "true" : "false", sweep_json.c_str());
+  return blocked_identical && parallel_identical && sweep_identical ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #include "common/bit_array.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/kernels/kernels.h"
+#include "common/parallel.h"
 #include "common/require.h"
 
 namespace vlm::common {
@@ -123,10 +125,18 @@ void ShardedBitArray::reset() {
 }
 
 std::vector<std::uint8_t> BitArray::to_bytes() const {
+  // Word-wise, mirroring from_bytes: load each word once and shift its
+  // bytes out, instead of re-reading words_[b / 8] for every output byte.
   std::vector<std::uint8_t> bytes((bit_count_ + 7) / 8, 0);
-  for (std::size_t b = 0; b < bytes.size(); ++b) {
-    bytes[b] = static_cast<std::uint8_t>(
-        (words_[b / 8] >> ((b % 8) * 8)) & 0xFFu);
+  std::size_t b = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    const std::size_t limit = std::min<std::size_t>(8, bytes.size() - b);
+    for (std::size_t i = 0; i < limit; ++i) {
+      bytes[b + i] = static_cast<std::uint8_t>(word & 0xFFu);
+      word >>= 8;
+    }
+    b += limit;
   }
   return bytes;
 }
@@ -170,6 +180,169 @@ JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b) {
     out.zeros_large = large.count_zeros();
     out.zeros_or = combined.count_zeros();
     out.words_scanned = sw.size() + 2 * lw.size() + combined.words().size();
+  }
+  return out;
+}
+
+namespace {
+
+// Auto tile size: budget ~1 MiB of L2 for one tile of every array, so a
+// whole tile sweep (anchor + every partner tile) stays cache-resident
+// while the batch kernel reuses it K−1 times. Clamped so tiny
+// deployments still amortize the per-tile kernel-call overhead and huge
+// ones never fall below a vector-friendly tile.
+std::size_t auto_tile_words(std::size_t array_count) {
+  constexpr std::size_t kBudgetWords = (std::size_t{1} << 20) / sizeof(std::uint64_t);
+  const std::size_t per_array =
+      std::clamp<std::size_t>(kBudgetWords / std::max<std::size_t>(1, array_count),
+                              std::size_t{256}, std::size_t{65536});
+  return std::bit_floor(per_array);
+}
+
+}  // namespace
+
+std::vector<JointZeroCounts> joint_zero_counts_batch(
+    std::span<const BitArray* const> arrays, const BatchDecodeOptions& options,
+    BatchDecodeStats* stats) {
+  const std::size_t k = arrays.size();
+  VLM_REQUIRE(k >= 2, "batch decode needs at least two arrays");
+  for (const BitArray* array : arrays) {
+    VLM_REQUIRE(array != nullptr && !array->empty(),
+                "joint zero counts need two non-empty arrays");
+  }
+  const kernels::KernelTable& table =
+      options.table != nullptr ? *options.table : kernels::active();
+
+  // Pass 1 (serial, cheap): order every pair exactly as joint_zero_counts
+  // does (small = first operand on size ties, so the anchor — the larger
+  // array — is the second), validate unfold-compatibility up front, fill
+  // the O(1) per-array fields, and group the word-aligned pairs by anchor
+  // so one tile of the anchor can be swept against all its partners.
+  struct GroupEntry {
+    const std::uint64_t* partner_words;
+    std::size_t partner_n;
+    std::size_t pair;  // upper-triangle slot in `out`
+  };
+  std::vector<JointZeroCounts> out(k * (k - 1) / 2);
+  std::vector<std::vector<GroupEntry>> groups(k);
+  std::vector<std::size_t> pairs_touching(k, 0);
+  std::size_t fallback_pairs = 0;
+  std::size_t max_anchor_words = 0;
+  std::size_t p = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b, ++p) {
+      const BitArray& first = *arrays[a];
+      const BitArray& second = *arrays[b];
+      const bool first_is_small = first.size() <= second.size();
+      const BitArray& small = first_is_small ? first : second;
+      const BitArray& large = first_is_small ? second : first;
+      VLM_REQUIRE(large.size() % small.size() == 0,
+                  "array sizes are not unfold-compatible: the smaller size "
+                  "must divide the larger — size both arrays as powers of two "
+                  "(Section IV-A) and this holds automatically");
+      if (small.size() % BitArray::kWordBits != 0) {
+        // Sub-word arrays (sizing floor): a handful of bytes — reuse the
+        // per-pair materializing fallback, bit for bit.
+        out[p] = joint_zero_counts(first, second);
+        ++fallback_pairs;
+        continue;
+      }
+      JointZeroCounts& counts = out[p];
+      counts.size_small = small.size();
+      counts.size_large = large.size();
+      counts.zeros_small = small.count_zeros();
+      counts.zeros_large = large.count_zeros();
+      counts.words_scanned = small.words().size() + large.words().size();
+      const std::size_t anchor = first_is_small ? b : a;
+      groups[anchor].push_back(
+          GroupEntry{small.words().data(), small.words().size(), p});
+      ++pairs_touching[a];
+      ++pairs_touching[b];
+      max_anchor_words = std::max(max_anchor_words, large.words().size());
+    }
+  }
+
+  std::size_t tile_words = 0;
+  std::size_t tiles = 0;
+  if (max_anchor_words > 0) {
+    tile_words = options.tile_words != 0 ? options.tile_words
+                                         : auto_tile_words(k);
+    tiles = (max_anchor_words + tile_words - 1) / tile_words;
+
+    // Flatten the anchor groups: each batch gets a contiguous run of
+    // accumulator slots, so the kernel can += straight into the worker's
+    // slab and slot → pair stays a precomputed lookup.
+    struct AnchorBatch {
+      const std::uint64_t* anchor_words;
+      std::size_t anchor_n;
+      std::vector<const std::uint64_t*> partner_ptrs;
+      std::vector<std::size_t> partner_words;
+      std::size_t slot_offset;
+    };
+    std::vector<AnchorBatch> batches;
+    std::vector<std::size_t> slot_pair;
+    batches.reserve(k);
+    for (std::size_t anchor = 0; anchor < k; ++anchor) {
+      if (groups[anchor].empty()) continue;
+      AnchorBatch batch;
+      batch.anchor_words = arrays[anchor]->words().data();
+      batch.anchor_n = arrays[anchor]->words().size();
+      batch.slot_offset = slot_pair.size();
+      for (const GroupEntry& entry : groups[anchor]) {
+        batch.partner_ptrs.push_back(entry.partner_words);
+        batch.partner_words.push_back(entry.partner_n);
+        slot_pair.push_back(entry.pair);
+      }
+      batches.push_back(std::move(batch));
+    }
+
+    // Pass 2 (parallel over tiles): every worker accumulates OR+popcount
+    // partials for its own tile slice into its own slab. Slices are
+    // contiguous and integer partials are summed in fixed slot order
+    // below, so the result is bit-identical for every (workers,
+    // tile_words) choice.
+    const unsigned workers =
+        options.workers == 0 ? default_worker_count() : options.workers;
+    const unsigned slabs =
+        static_cast<unsigned>(std::min<std::size_t>(workers, tiles));
+    std::vector<std::vector<std::size_t>> acc(
+        slabs, std::vector<std::size_t>(slot_pair.size(), 0));
+    parallel_slices(
+        tiles, workers,
+        [&](unsigned worker, std::size_t tile_begin, std::size_t tile_end) {
+          std::vector<std::size_t>& slab = acc[worker];
+          for (std::size_t t = tile_begin; t < tile_end; ++t) {
+            const std::size_t begin = t * tile_words;
+            for (const AnchorBatch& batch : batches) {
+              if (begin >= batch.anchor_n) continue;
+              const std::size_t end =
+                  std::min(batch.anchor_n, begin + tile_words);
+              table.or_popcount_cyclic_batch(
+                  batch.anchor_words, begin, end, batch.partner_ptrs.data(),
+                  batch.partner_words.data(), batch.partner_ptrs.size(),
+                  slab.data() + batch.slot_offset);
+            }
+          }
+        });
+
+    for (std::size_t slot = 0; slot < slot_pair.size(); ++slot) {
+      std::size_t ones = 0;
+      for (const std::vector<std::size_t>& slab : acc) ones += slab[slot];
+      JointZeroCounts& counts = out[slot_pair[slot]];
+      counts.zeros_or = counts.size_large - ones;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->tile_words = tile_words;
+    stats->tiles = tiles;
+    stats->fallback_pairs = fallback_pairs;
+    stats->dram_passes_saved = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (pairs_touching[i] > 0) {
+        stats->dram_passes_saved += pairs_touching[i] - 1;
+      }
+    }
   }
   return out;
 }

@@ -141,4 +141,52 @@ struct JointZeroCounts {
 // a sizing hint. O(m_y / 64) time, O(1) extra space.
 JointZeroCounts joint_zero_counts(const BitArray& a, const BitArray& b);
 
+namespace kernels {
+struct KernelTable;
+}  // namespace kernels
+
+// Options for the cache-blocked batch decode below.
+struct BatchDecodeOptions {
+  // Anchor-tile size in 64-bit words; 0 picks a power of two sized so
+  // that one tile of every array together fits comfortably in L2 (the
+  // classic GEMM blocking budget). Any positive value is correct — the
+  // tiling never changes the counts, only the cache behavior.
+  std::size_t tile_words = 0;
+  // Threads the tile range is spread over (0 = one per core, 1 = serial).
+  // Every worker accumulates into its own per-pair slots and the partials
+  // are summed in a fixed order, so the counts are bit-identical for any
+  // worker count and any tile size.
+  unsigned workers = 1;
+  // Kernel variant to run the tile sweeps on; nullptr = kernels::active().
+  // The differential fuzz suite uses this to pin each compiled ISA.
+  const kernels::KernelTable* table = nullptr;
+};
+
+// Observability for one joint_zero_counts_batch call.
+struct BatchDecodeStats {
+  std::size_t tile_words = 0;  // tile size actually used
+  std::size_t tiles = 0;       // tiles in the sweep (over the largest array)
+  // Full-array loads the per-pair path would have done minus the one load
+  // per array the tile sweep does: for each array, (pairs touching it) −
+  // 1. The DRAM-traffic reduction the blocking buys.
+  std::size_t dram_passes_saved = 0;
+  // Pairs routed through the sub-word materializing fallback instead of
+  // the tile sweep (arrays below one word, from the sizing floor).
+  std::size_t fallback_pairs = 0;
+};
+
+// Batch decode: JointZeroCounts for EVERY unordered pair of `arrays`, in
+// upper-triangle row-major order ((0,1), (0,2), ..., (1,2), ...) — the
+// K-RSU form of joint_zero_counts, bit-identical to calling it per pair
+// but with O(K·m) DRAM traffic per tile sweep instead of O(K²·m): the
+// word range is partitioned into tiles, and each tile is combined with
+// every partner while it is cache-hot (per-pair OR+popcount partials land
+// in deterministic accumulator slots). Pairs whose smaller array is below
+// one word fall back to the per-pair kernel. Size-incompatibility throws
+// exactly as joint_zero_counts does, before any counting starts.
+std::vector<JointZeroCounts> joint_zero_counts_batch(
+    std::span<const BitArray* const> arrays,
+    const BatchDecodeOptions& options = {},
+    BatchDecodeStats* stats = nullptr);
+
 }  // namespace vlm::common

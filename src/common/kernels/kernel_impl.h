@@ -55,4 +55,38 @@ inline std::size_t or_popcount_cyclic_tail(const std::uint64_t* large,
   return ones;
 }
 
+// Shared structure of the batch kernel: split each partner's view of the
+// anchor tile into the fastest applicable sub-kernel. `or_block(a, b, n)`
+// must be the ISA's no-wrap fused OR+popcount of a[i] | b[i] over [0, n);
+// `or_cyclic(large, n_large, small, n_small)` its full cyclic entry
+// starting at the small array's word 0. With power-of-two array sizes and
+// a power-of-two tile size, every partner lands in one of the two fast
+// cases: either the tile reads a contiguous run of the partner (period >=
+// tile, case 1) or the tile starts exactly on a period boundary (period
+// divides the tile start, case 2). The offset-wrap reference below only
+// catches non-power-of-two sizes from tests.
+template <typename OrBlockFn, typename OrCyclicFn>
+inline void or_popcount_cyclic_batch_impl(
+    const std::uint64_t* anchor, std::size_t tile_begin, std::size_t tile_end,
+    const std::uint64_t* const* partners, const std::size_t* partner_words,
+    std::size_t n_partners, std::size_t* ones_acc, const OrBlockFn& or_block,
+    const OrCyclicFn& or_cyclic) {
+  const std::size_t len = tile_end - tile_begin;
+  for (std::size_t j = 0; j < n_partners; ++j) {
+    const std::uint64_t* small = partners[j];
+    const std::size_t n_small = partner_words[j];
+    const std::size_t offset = tile_begin % n_small;
+    std::size_t ones;
+    if (offset + len <= n_small) {
+      ones = or_block(anchor + tile_begin, small + offset, len);
+    } else if (offset == 0) {
+      ones = or_cyclic(anchor + tile_begin, len, small, n_small);
+    } else {
+      ones = or_popcount_cyclic_tail(anchor, tile_begin, tile_end, small,
+                                     n_small, offset);
+    }
+    ones_acc[j] += ones;
+  }
+}
+
 }  // namespace vlm::common::kernels::detail

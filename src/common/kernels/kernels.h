@@ -1,8 +1,9 @@
 // Vectorized bit-kernel layer with runtime ISA dispatch.
 //
-// The four word-level loops that dominate both the decode pipeline
-// (joint_zero_counts for Eq. 5) and the sharded ingest engine (shard
-// OR-merge, bulk set + recount) are hoisted here behind a per-ISA
+// The word-level loops that dominate both the decode pipeline
+// (joint_zero_counts for Eq. 5, per pair and cache-blocked batch) and the
+// sharded ingest engine (shard OR-merge, bulk set + recount) are hoisted
+// here behind a per-ISA
 // dispatch table: a portable scalar baseline that every build carries,
 // plus AVX2 (nibble-LUT popcount) and AVX-512-VPOPCNTDQ variants that
 // are compiled only when the toolchain supports the flags and selected
@@ -23,8 +24,8 @@ namespace vlm::common::kernels {
 
 enum class Isa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 
-// One implementation of the four hot kernels. All pointers are non-null
-// in every table this module hands out.
+// One implementation of the hot kernels. All pointers are non-null in
+// every table this module hands out.
 struct KernelTable {
   Isa isa = Isa::kScalar;
   const char* name = "scalar";
@@ -42,6 +43,30 @@ struct KernelTable {
                                     std::size_t n_large,
                                     const std::uint64_t* small,
                                     std::size_t n_small);
+
+  // Cache-blocked batch form of or_popcount_cyclic: processes ONE tile
+  // [tile_begin, tile_end) of a shared anchor (larger) array against
+  // n_partners partner arrays, accumulating the fused OR+popcount of
+  // each pair into ones_acc[j] (+=, so callers sweep tiles and let the
+  // partials add up). Partner j is indexed cyclically with period
+  // partner_words[j] starting at cyclic position tile_begin %
+  // partner_words[j] — Eq. 3 unfolding is still never materialized, and
+  // mixed per-pair sizes are handled by anchoring the tile on the larger
+  // array. The anchor tile is streamed once per partner while it is
+  // cache-hot, which is the whole point: the batch caller loads each
+  // array tile from DRAM once instead of once per pair.
+  //
+  // Requires tile_begin < tile_end and partner_words[j] >= 1. Partials
+  // are exact integer popcounts, so any tiling of [0, n_anchor) sums to
+  // exactly the or_popcount_cyclic result — asserted by the differential
+  // fuzz suite for every compiled ISA.
+  void (*or_popcount_cyclic_batch)(const std::uint64_t* anchor,
+                                   std::size_t tile_begin,
+                                   std::size_t tile_end,
+                                   const std::uint64_t* const* partners,
+                                   const std::size_t* partner_words,
+                                   std::size_t n_partners,
+                                   std::size_t* ones_acc);
 
   // In-place dst[i] |= src[i] over [0, n); returns the popcount of the
   // merged result in the same sweep (shard-combining primitive).

@@ -137,6 +137,18 @@ std::size_t or_popcount_cyclic_avx2(const std::uint64_t* large,
   return ones + or_pop_block(large + i, small, n_large - i);
 }
 
+void or_popcount_cyclic_batch_avx2(const std::uint64_t* anchor,
+                                   std::size_t tile_begin,
+                                   std::size_t tile_end,
+                                   const std::uint64_t* const* partners,
+                                   const std::size_t* partner_words,
+                                   std::size_t n_partners,
+                                   std::size_t* ones_acc) {
+  detail::or_popcount_cyclic_batch_impl(anchor, tile_begin, tile_end, partners,
+                                        partner_words, n_partners, ones_acc,
+                                        or_pop_block, or_popcount_cyclic_avx2);
+}
+
 std::size_t merge_or_avx2(std::uint64_t* dst, const std::uint64_t* src,
                           std::size_t n) {
   __m256i acc = _mm256_setzero_si256();
@@ -165,7 +177,8 @@ std::size_t set_scatter_avx2(std::uint64_t* words, std::size_t bit_count,
 
 const KernelTable* detail::avx2_table() {
   static const KernelTable table{Isa::kAvx2, "avx2", popcount_avx2,
-                                 or_popcount_cyclic_avx2, merge_or_avx2,
+                                 or_popcount_cyclic_avx2,
+                                 or_popcount_cyclic_batch_avx2, merge_or_avx2,
                                  set_scatter_avx2};
   return &table;
 }

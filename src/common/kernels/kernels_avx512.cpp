@@ -144,6 +144,18 @@ std::size_t or_popcount_cyclic_avx512(const std::uint64_t* large,
   return ones + or_pop_block(large + i, small, n_large - i);
 }
 
+void or_popcount_cyclic_batch_avx512(const std::uint64_t* anchor,
+                                     std::size_t tile_begin,
+                                     std::size_t tile_end,
+                                     const std::uint64_t* const* partners,
+                                     const std::size_t* partner_words,
+                                     std::size_t n_partners,
+                                     std::size_t* ones_acc) {
+  detail::or_popcount_cyclic_batch_impl(
+      anchor, tile_begin, tile_end, partners, partner_words, n_partners,
+      ones_acc, or_pop_block, or_popcount_cyclic_avx512);
+}
+
 std::size_t merge_or_avx512(std::uint64_t* dst, const std::uint64_t* src,
                             std::size_t n) {
   __m512i acc = _mm512_setzero_si512();
@@ -175,8 +187,9 @@ std::size_t set_scatter_avx512(std::uint64_t* words, std::size_t bit_count,
 
 const KernelTable* detail::avx512_table() {
   static const KernelTable table{Isa::kAvx512, "avx512", popcount_avx512,
-                                 or_popcount_cyclic_avx512, merge_or_avx512,
-                                 set_scatter_avx512};
+                                 or_popcount_cyclic_avx512,
+                                 or_popcount_cyclic_batch_avx512,
+                                 merge_or_avx512, set_scatter_avx512};
   return &table;
 }
 

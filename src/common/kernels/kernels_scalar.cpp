@@ -30,6 +30,30 @@ std::size_t or_popcount_cyclic_scalar(const std::uint64_t* large,
   return detail::or_popcount_cyclic_tail(large, 0, n_large, small, n_small, 0);
 }
 
+void or_popcount_cyclic_batch_scalar(const std::uint64_t* anchor,
+                                     std::size_t tile_begin,
+                                     std::size_t tile_end,
+                                     const std::uint64_t* const* partners,
+                                     const std::size_t* partner_words,
+                                     std::size_t n_partners,
+                                     std::size_t* ones_acc) {
+  detail::or_popcount_cyclic_batch_impl(
+      anchor, tile_begin, tile_end, partners, partner_words, n_partners,
+      ones_acc,
+      [](const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          ones += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+        }
+        return ones;
+      },
+      [](const std::uint64_t* large, std::size_t n_large,
+         const std::uint64_t* small, std::size_t n_small) {
+        return detail::or_popcount_cyclic_tail(large, 0, n_large, small,
+                                               n_small, 0);
+      });
+}
+
 std::size_t merge_or_scalar(std::uint64_t* dst, const std::uint64_t* src,
                             std::size_t n) {
   std::size_t ones = 0;
@@ -51,8 +75,9 @@ std::size_t set_scatter_scalar(std::uint64_t* words, std::size_t bit_count,
 
 const KernelTable& scalar_table() {
   static const KernelTable table{Isa::kScalar, "scalar", popcount_scalar,
-                                 or_popcount_cyclic_scalar, merge_or_scalar,
-                                 set_scatter_scalar};
+                                 or_popcount_cyclic_scalar,
+                                 or_popcount_cyclic_batch_scalar,
+                                 merge_or_scalar, set_scatter_scalar};
   return table;
 }
 

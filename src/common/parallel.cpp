@@ -1,6 +1,8 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -10,8 +12,143 @@
 
 namespace vlm::common {
 
+namespace {
+// True while this thread is executing a pool task; a nested region must
+// run inline instead of re-entering run() (the outer region holds the
+// pool, so waiting on it would deadlock).
+thread_local bool t_inside_pool_task = false;
+}  // namespace
+
 unsigned default_worker_count() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+struct WorkerPool::State {
+  std::vector<std::thread> threads;
+
+  std::mutex mutex;
+  std::condition_variable work_cv;  // workers wait here for a new region
+  std::condition_variable done_cv;  // run() waits here for completion
+  // Region state, all guarded by `mutex`. A region is published by
+  // bumping `generation`; workers drain `next` until it reaches `used`.
+  std::uint64_t generation = 0;
+  const std::function<void(unsigned)>* task = nullptr;
+  unsigned used = 0;
+  unsigned next = 0;
+  unsigned completed = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+
+  // Serializes top-level regions (the pool runs one region at a time).
+  std::mutex run_mutex;
+  std::atomic<std::uint64_t> dispatches{0};
+
+  // Drains tasks of the current region. `lock` must hold `mutex`; the
+  // lock is released around each task body.
+  void drain(std::unique_lock<std::mutex>& lock) {
+    while (next < used) {
+      const unsigned index = next++;
+      lock.unlock();
+      std::exception_ptr error;
+      t_inside_pool_task = true;
+      try {
+        (*task)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      t_inside_pool_task = false;
+      lock.lock();
+      if (error && !first_error) first_error = error;
+      if (++completed == used) done_cv.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    std::uint64_t seen = 0;
+    for (;;) {
+      work_cv.wait(lock, [&] {
+        return stop || (generation != seen && next < used);
+      });
+      if (stop) return;
+      seen = generation;
+      drain(lock);
+    }
+  }
+};
+
+WorkerPool::WorkerPool() : state_(new State) {
+  // The calling thread always participates in a region, so the pool only
+  // needs hardware_concurrency − 1 helpers (zero on a single-core host,
+  // where every region then runs inline on the caller).
+  const unsigned helpers = default_worker_count() - 1;
+  state_->threads.reserve(helpers);
+  for (unsigned t = 0; t < helpers; ++t) {
+    state_->threads.emplace_back([this] { state_->worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->work_cv.notify_all();
+  for (std::thread& t : state_->threads) t.join();
+  delete state_;
+}
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+unsigned WorkerPool::thread_count() const {
+  return static_cast<unsigned>(state_->threads.size());
+}
+
+std::uint64_t WorkerPool::dispatch_count() const {
+  return state_->dispatches.load(std::memory_order_relaxed);
+}
+
+void WorkerPool::run(unsigned used,
+                     const std::function<void(unsigned)>& task) {
+  if (used == 0) return;
+  if (t_inside_pool_task) {
+    // Nested region: the caller is itself a pool task, so the pool is
+    // busy with the enclosing region. Run serially; keep the contract of
+    // completing every task and rethrowing the first error.
+    std::exception_ptr error;
+    for (unsigned i = 0; i < used; ++i) {
+      try {
+        task(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> run_lock(state_->run_mutex);
+  state_->dispatches.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->task = &task;
+  state_->used = used;
+  state_->next = 0;
+  state_->completed = 0;
+  state_->first_error = nullptr;
+  ++state_->generation;
+  lock.unlock();
+  state_->work_cv.notify_all();
+
+  lock.lock();
+  state_->drain(lock);  // the caller works too
+  state_->done_cv.wait(lock, [&] { return state_->completed == state_->used; });
+  state_->task = nullptr;
+  const std::exception_ptr error = state_->first_error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for(std::size_t count, unsigned workers,
@@ -35,28 +172,15 @@ void parallel_slices(
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto run_slice = [&](unsigned worker, std::size_t begin, std::size_t end) {
-    try {
-      body(worker, begin, end);
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(used);
+  // Same slice geometry as ever — a pure function of (count, used) — but
+  // executed on the persistent pool instead of freshly spawned threads.
   const std::size_t chunk = (count + used - 1) / used;
-  for (unsigned w = 0; w < used; ++w) {
+  const unsigned slices = static_cast<unsigned>((count + chunk - 1) / chunk);
+  WorkerPool::instance().run(slices, [&](unsigned w) {
     const std::size_t begin = static_cast<std::size_t>(w) * chunk;
     const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back(run_slice, w, begin, end);
-  }
-  for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+    body(w, begin, end);
+  });
 }
 
 }  // namespace vlm::common

@@ -27,8 +27,11 @@ PairEstimate PairEstimator::estimate(const RsuState& x,
   // The fused kernel orders the operands itself, never materializes the
   // unfolded array, and returns the three zero counts Eq. 5 needs in a
   // single pass over the larger array.
-  const common::JointZeroCounts counts =
-      common::joint_zero_counts(x.bits(), y.bits());
+  return from_counts(common::joint_zero_counts(x.bits(), y.bits()));
+}
+
+PairEstimate PairEstimator::from_counts(
+    const common::JointZeroCounts& counts) const {
   const std::size_t m_x = counts.size_small;
   const std::size_t m_y = counts.size_large;
 

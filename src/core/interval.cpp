@@ -24,6 +24,16 @@ EstimateInterval IntervalEstimator::estimate(const RsuState& x,
   return out;
 }
 
+EstimateInterval IntervalEstimator::from_counts(
+    const common::JointZeroCounts& counts, double n_x, double n_y,
+    PairEstimate* point) const {
+  const PairEstimate pair = estimator_.from_counts(counts);
+  if (point != nullptr) *point = pair;
+  EstimateInterval out = annotate(pair, n_x, n_y);
+  out.degraded = out.degraded || pair.saturated;
+  return out;
+}
+
 EstimateInterval IntervalEstimator::annotate(const PairEstimate& estimate,
                                              double n_x, double n_y) const {
   VLM_REQUIRE(n_x >= 0.0 && n_y >= 0.0, "counters must be non-negative");

@@ -38,6 +38,14 @@ class IntervalEstimator {
   EstimateInterval estimate(const RsuState& x, const RsuState& y,
                             PairEstimate* point = nullptr) const;
 
+  // Same as `estimate`, starting from zero counts the batch decode has
+  // already measured. `n_x`/`n_y` must be the counters of the first and
+  // second operand the counts were taken from, in that order — annotate's
+  // variance model is not symmetric in them.
+  EstimateInterval from_counts(const common::JointZeroCounts& counts,
+                               double n_x, double n_y,
+                               PairEstimate* point = nullptr) const;
+
   // Annotates an existing estimate. `n_x`/`n_y` are the RSU counters.
   EstimateInterval annotate(const PairEstimate& estimate, double n_x,
                             double n_y) const;

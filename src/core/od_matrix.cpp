@@ -1,18 +1,65 @@
 #include "core/od_matrix.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 
+#include "common/bit_array.h"
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
 
 namespace vlm::core {
 
-OdMatrix::OdMatrix(std::size_t rsu_count, std::uint32_t s, double z)
+namespace {
+
+const char* mode_name(DecodeMode mode) {
+  switch (mode) {
+    case DecodeMode::kPairwise:
+      return "pairwise";
+    case DecodeMode::kBlocked:
+      return "blocked";
+    case DecodeMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+// VLM_DECODE=pairwise|blocked|auto overrides the caller's mode, exactly
+// like VLM_KERNELS overrides ISA selection: parsed once, warn-and-keep
+// on an unrecognized value so a stale export degrades loudly instead of
+// crashing a fleet.
+DecodeMode apply_env_override(DecodeMode mode) {
+  static const struct Override {
+    bool active = false;
+    DecodeMode mode = DecodeMode::kAuto;
+  } override = [] {
+    Override parsed;
+    const char* env = std::getenv("VLM_DECODE");
+    if (env == nullptr || *env == '\0') return parsed;
+    if (std::strcmp(env, "pairwise") == 0) {
+      parsed = {true, DecodeMode::kPairwise};
+    } else if (std::strcmp(env, "blocked") == 0) {
+      parsed = {true, DecodeMode::kBlocked};
+    } else if (std::strcmp(env, "auto") == 0) {
+      parsed = {true, DecodeMode::kAuto};
+    } else {
+      std::fprintf(stderr,
+                   "vlm: warning: VLM_DECODE='%s' is not one of "
+                   "pairwise|blocked|auto; ignoring\n",
+                   env);
+    }
+    return parsed;
+  }();
+  return override.active ? override.mode : mode;
+}
+
+}  // namespace
+
+OdMatrix::OdMatrix(std::size_t rsu_count)
     : k_(rsu_count), cells_(rsu_count * (rsu_count - 1) / 2) {
-  (void)s;
-  (void)z;
   VLM_REQUIRE(rsu_count >= 2, "an OD matrix needs at least two RSUs");
 }
 
@@ -39,11 +86,14 @@ double OdMatrix::total_estimated_common() const {
 }
 
 OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
-                            double z, unsigned workers, DecodeStats* stats) {
+                            double z, const DecodeOptions& options,
+                            DecodeStats* stats) {
   const auto start = std::chrono::steady_clock::now();
-  OdMatrix matrix(states.size(), s, z);
+  const std::uint64_t pool_before = common::WorkerPool::instance().dispatch_count();
+  OdMatrix matrix(states.size());
   const IntervalEstimator estimator(s, z);
-  const unsigned used = workers == 0 ? common::default_worker_count() : workers;
+  const unsigned used =
+      options.workers == 0 ? common::default_worker_count() : options.workers;
 
   // Flatten the upper triangle into an index list so the pair loop can be
   // sliced across workers. Pair p covers cells_[p] exactly, and every
@@ -57,13 +107,44 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     for (std::size_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
   }
 
+  DecodeMode mode = apply_env_override(options.mode);
+  if (mode == DecodeMode::kAuto) {
+    // One pair has nothing to block over; three or more arrays is where
+    // tile reuse starts paying.
+    mode = k >= 3 ? DecodeMode::kBlocked : DecodeMode::kPairwise;
+  }
+
   std::vector<std::size_t> words_per_pair(pairs.size(), 0);
-  common::parallel_for(pairs.size(), used, [&](std::size_t p) {
-    const auto [a, b] = pairs[p];
-    PairEstimate point;
-    matrix.cell(a, b) = estimator.estimate(states[a], states[b], &point);
-    words_per_pair[p] = point.words_scanned;
-  });
+  common::BatchDecodeStats batch_stats;
+  if (mode == DecodeMode::kBlocked) {
+    // Measure every pair's zero counts with the cache-blocked batch
+    // sweep, then map them through the identical Eq. 5 / interval math
+    // the pairwise path uses. Both stages are deterministic, so so is
+    // the composition.
+    std::vector<const common::BitArray*> arrays;
+    arrays.reserve(k);
+    for (const RsuState& state : states) arrays.push_back(&state.bits());
+    common::BatchDecodeOptions batch_options;
+    batch_options.tile_words = options.tile_words;
+    batch_options.workers = used;
+    const std::vector<common::JointZeroCounts> counts =
+        common::joint_zero_counts_batch(arrays, batch_options, &batch_stats);
+    common::parallel_for(pairs.size(), used, [&](std::size_t p) {
+      const auto [a, b] = pairs[p];
+      PairEstimate point;
+      matrix.cell(a, b) = estimator.from_counts(
+          counts[p], static_cast<double>(states[a].counter()),
+          static_cast<double>(states[b].counter()), &point);
+      words_per_pair[p] = point.words_scanned;
+    });
+  } else {
+    common::parallel_for(pairs.size(), used, [&](std::size_t p) {
+      const auto [a, b] = pairs[p];
+      PairEstimate point;
+      matrix.cell(a, b) = estimator.estimate(states[a], states[b], &point);
+      words_per_pair[p] = point.words_scanned;
+    });
+  }
 
   if (stats != nullptr) {
     stats->pairs_decoded = pairs.size();
@@ -72,11 +153,25 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
                                            std::size_t{0});
     stats->workers = used;
     stats->kernel_isa = common::kernels::active_name();
+    stats->path = mode_name(mode);
+    stats->tile_words = batch_stats.tile_words;
+    stats->dram_passes_saved = batch_stats.dram_passes_saved;
+    const common::WorkerPool& pool = common::WorkerPool::instance();
+    stats->pool_lifetime_dispatches = pool.dispatch_count();
+    stats->pool_dispatches = stats->pool_lifetime_dispatches - pool_before;
+    stats->pool_threads = pool.thread_count();
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
   }
   return matrix;
+}
+
+OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
+                            double z, unsigned workers, DecodeStats* stats) {
+  DecodeOptions options;
+  options.workers = workers;
+  return estimate_od_matrix(states, s, z, options, stats);
 }
 
 }  // namespace vlm::core

@@ -1,13 +1,22 @@
 // Full origin-destination matrix estimation over a deployment of K RSUs.
 //
 // The paper estimates one pair at a time; a transportation study wants
-// the whole K×K point-to-point matrix. This runs the pair estimator
-// (with intervals) over every unordered pair via the fused zero-count
-// kernel — O(K² m_max / 64) words total, which the Section IV-E per-pair
-// bound makes practical — and optionally fans the pair list out over
-// worker threads. Each pair writes only its own cell, so the parallel
-// result is bit-identical to the serial one for any worker count (a test
-// asserts this on a 24-RSU workload).
+// the whole K×K point-to-point matrix. Two decode paths produce it:
+//
+//   - pairwise: the fused zero-count kernel per pair — O(K² m_max / 64)
+//     words of DRAM traffic, every array re-read K−1 times.
+//   - blocked (default for K >= 3): the GEMM-style cache-blocked batch
+//     decode — the word range is tiled, and each cache-hot tile is
+//     combined with every partner before moving on, cutting DRAM traffic
+//     to O(K m_max / 64) per tile sweep. The arithmetic is the same
+//     integer popcounts landing in deterministic accumulator slots, so
+//     the result is bit-identical to the pairwise path for every worker
+//     count and tile size (tests and a differential fuzz suite assert
+//     this).
+//
+// Each pair writes only its own cell, so the parallel result is
+// bit-identical to the serial one for any worker count (a test asserts
+// this on a 24-RSU workload).
 #pragma once
 
 #include <cstddef>
@@ -20,15 +29,39 @@
 
 namespace vlm::core {
 
+// How estimate_od_matrix walks the pair set. The VLM_DECODE environment
+// variable (pairwise|blocked|auto), when set, overrides whatever the
+// caller passes — mirroring VLM_KERNELS, so CI can pin one path
+// process-wide without threading options through every layer.
+enum class DecodeMode {
+  kPairwise,  // per-pair fused kernel (the pre-blocking behavior)
+  kBlocked,   // cache-blocked batch decode
+  kAuto,      // blocked when K >= 3, pairwise for a single pair
+};
+
 // Observability for one decode (K×K estimation) run.
 struct DecodeStats {
   std::size_t pairs_decoded = 0;
   std::size_t words_scanned = 0;  // 64-bit words the fused kernels touched
-  unsigned workers = 1;           // threads the pair list was spread over
+  unsigned workers = 1;           // threads the work was spread over
   double wall_seconds = 0.0;
   // ISA the kernel dispatch selected for the sweeps ("scalar", "avx2",
   // "avx512") — a static string, never freed.
   const char* kernel_isa = "scalar";
+  // Decode path actually taken ("pairwise" or "blocked") after resolving
+  // kAuto and the VLM_DECODE override — a static string, never freed.
+  const char* path = "pairwise";
+  // Blocked path only (0 on pairwise): anchor-tile size in 64-bit words
+  // and the full-array DRAM loads the tiling avoided versus per-pair.
+  std::size_t tile_words = 0;
+  std::size_t dram_passes_saved = 0;
+  // Persistent-pool accounting: parallel regions this run dispatched to
+  // the shared WorkerPool, the pool's lifetime total after the run (the
+  // gap between the two is reuse by earlier phases — no thread was
+  // spawned for any of them), and the helper threads it keeps parked.
+  std::uint64_t pool_dispatches = 0;
+  std::uint64_t pool_lifetime_dispatches = 0;
+  unsigned pool_threads = 0;
 
   double pairs_per_second() const {
     return wall_seconds > 0.0
@@ -43,9 +76,17 @@ struct DecodeStats {
   }
 };
 
+// Knobs for estimate_od_matrix. Defaults reproduce the serial blocked
+// decode; every combination yields bit-identical estimates.
+struct DecodeOptions {
+  unsigned workers = 1;  // 1 = serial, 0 = one per hardware core
+  DecodeMode mode = DecodeMode::kAuto;
+  std::size_t tile_words = 0;  // blocked path tile size; 0 = auto (L2 budget)
+};
+
 class OdMatrix {
  public:
-  OdMatrix(std::size_t rsu_count, std::uint32_t s, double z);
+  explicit OdMatrix(std::size_t rsu_count);
 
   std::size_t rsu_count() const { return k_; }
 
@@ -56,7 +97,8 @@ class OdMatrix {
 
  private:
   friend OdMatrix estimate_od_matrix(std::span<const RsuState>, std::uint32_t,
-                                     double, unsigned, DecodeStats*);
+                                     double, const DecodeOptions&,
+                                     DecodeStats*);
   EstimateInterval& cell(std::size_t a, std::size_t b);
 
   std::size_t k_;
@@ -65,9 +107,16 @@ class OdMatrix {
 
 // Estimates every unordered pair among `states`. Requires >= 2 RSUs.
 // Symmetric: at(a, b) == at(b, a); the diagonal is invalid to query.
-// `workers` spreads the pair list over that many threads (1 = serial,
-// 0 = one per hardware core); the output is identical for any value.
-// When `stats` is non-null it receives the run's decode counters.
+// The output is bit-identical for every DecodeOptions combination; only
+// throughput changes. When `stats` is non-null it receives the run's
+// decode counters.
+OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
+                            double z, const DecodeOptions& options,
+                            DecodeStats* stats = nullptr);
+
+// Convenience overload: `workers` spreads the work over that many
+// threads (1 = serial, 0 = one per hardware core) with every other knob
+// at its default.
 OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
                             double z = 1.96, unsigned workers = 1,
                             DecodeStats* stats = nullptr);

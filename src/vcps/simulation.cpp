@@ -77,6 +77,8 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
                                            unsigned workers) {
   VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
   const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t pool_before =
+      common::WorkerPool::instance().dispatch_count();
   const unsigned used = workers == 0 ? common::default_worker_count() : workers;
   const std::uint64_t base = vehicles_driven_;
   const std::size_t rsu_count = rsus_.size();
@@ -157,6 +159,9 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   stats.vehicles = count;
   stats.workers = shard_count;
   stats.kernel_isa = common::kernels::active_name();
+  stats.pool_lifetime_dispatches =
+      common::WorkerPool::instance().dispatch_count();
+  stats.pool_dispatches = stats.pool_lifetime_dispatches - pool_before;
   stats.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

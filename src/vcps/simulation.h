@@ -53,6 +53,11 @@ struct IngestStats {
   // ISA the kernel dispatch selected for the shard merge/recount sweeps
   // ("scalar", "avx2", "avx512") — a static string, never freed.
   const char* kernel_isa = "scalar";
+  // Parallel regions this ingest dispatched to the persistent WorkerPool
+  // and the pool's lifetime total afterwards — the pooled threads are
+  // reused across periods, never respawned per call.
+  std::uint64_t pool_dispatches = 0;
+  std::uint64_t pool_lifetime_dispatches = 0;
   double vehicles_per_second() const {
     return seconds > 0.0 ? static_cast<double>(vehicles) / seconds : 0.0;
   }

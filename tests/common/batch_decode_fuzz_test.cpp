@@ -1,0 +1,98 @@
+// Differential fuzz of the cache-blocked batch decode: random fleets
+// (K, mixed power-of-two sizes down to the sub-word sizing floor),
+// random tile sizes, and random worker counts, asserted bit-identical —
+// every field of JointZeroCounts — to the per-pair fused kernel, on
+// every kernel variant compiled in and available on this host. The
+// blocking and the parallel reduction must never change a single count.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_array.h"
+#include "common/kernels/kernels.h"
+#include "common/rng.h"
+
+namespace vlm::common {
+namespace {
+
+BitArray random_array(std::size_t bits, Xoshiro256ss& rng) {
+  BitArray out(bits);
+  // Load factors from sparse to near-saturated, so zero counts span the
+  // whole range (including saturation corner cases).
+  const std::size_t sets = rng.uniform(2 * bits + 1);
+  for (std::size_t i = 0; i < sets; ++i) {
+    out.set(static_cast<std::size_t>(rng.uniform(bits)));
+  }
+  return out;
+}
+
+class BatchDecodeFuzz : public ::testing::TestWithParam<kernels::Isa> {
+ protected:
+  void SetUp() override {
+    if (!kernels::available(GetParam())) {
+      GTEST_SKIP() << kernels::isa_name(GetParam())
+                   << " not available on this host";
+    }
+  }
+};
+
+TEST_P(BatchDecodeFuzz, BlockedMatchesPerPairEverywhere) {
+  const kernels::KernelTable& table = kernels::table_for(GetParam());
+  Xoshiro256ss rng(0xB10C + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t k = 2 + rng.uniform(9);  // 2..10 arrays
+    std::vector<BitArray> arrays;
+    arrays.reserve(k);
+    for (std::size_t r = 0; r < k; ++r) {
+      // Power-of-two sizes from the sub-word sizing floor (8 bits) to
+      // 2^14, so unfold ratios, sub-word fallbacks, and equal-size pairs
+      // all occur.
+      const std::size_t bits = std::size_t{1} << (3 + rng.uniform(12));
+      arrays.push_back(random_array(bits, rng));
+    }
+    std::vector<const BitArray*> ptrs;
+    for (const BitArray& a : arrays) ptrs.push_back(&a);
+
+    BatchDecodeOptions options;
+    const std::size_t tile_choices[] = {1, 2, 3, 8, 64, 1024, 0};
+    options.tile_words = tile_choices[rng.uniform(7)];
+    const unsigned worker_choices[] = {1, 2, 3, 7};
+    options.workers = worker_choices[rng.uniform(4)];
+    options.table = &table;
+    BatchDecodeStats stats;
+    const std::vector<JointZeroCounts> got =
+        joint_zero_counts_batch(ptrs, options, &stats);
+
+    ASSERT_EQ(got.size(), k * (k - 1) / 2);
+    std::size_t p = 0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b, ++p) {
+        const JointZeroCounts expected =
+            joint_zero_counts(arrays[a], arrays[b]);
+        EXPECT_EQ(got[p].size_small, expected.size_small)
+            << "trial=" << trial << " pair (" << a << "," << b
+            << ") tile=" << options.tile_words
+            << " workers=" << options.workers;
+        EXPECT_EQ(got[p].size_large, expected.size_large);
+        EXPECT_EQ(got[p].zeros_small, expected.zeros_small);
+        EXPECT_EQ(got[p].zeros_large, expected.zeros_large);
+        EXPECT_EQ(got[p].zeros_or, expected.zeros_or);
+        EXPECT_EQ(got[p].words_scanned, expected.words_scanned);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, BatchDecodeFuzz,
+                         ::testing::Values(kernels::Isa::kScalar,
+                                           kernels::Isa::kAvx2,
+                                           kernels::Isa::kAvx512),
+                         [](const ::testing::TestParamInfo<kernels::Isa>&
+                                param) {
+                           return kernels::isa_name(param.param);
+                         });
+
+}  // namespace
+}  // namespace vlm::common

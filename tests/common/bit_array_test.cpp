@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -440,6 +441,131 @@ TEST(JointZeroCounts, RejectsEmptyOperands) {
   const BitArray empty;
   const BitArray bits(64);
   EXPECT_THROW((void)joint_zero_counts(empty, bits), std::invalid_argument);
+}
+
+TEST(JointZeroCounts, SubWordFallbackMatchesReferenceExhaustively) {
+  // Every sizing-floor combination the fallback can see: sub-word vs
+  // sub-word (equal and unfolding) and sub-word vs multi-word, across
+  // several phases, against the materializing reference.
+  for (const std::size_t small_size : {8u, 16u, 32u}) {
+    for (const std::size_t factor : {1u, 2u, 4u, 16u, 64u}) {
+      for (std::size_t phase = 0; phase < 3; ++phase) {
+        expect_matches_naive(patterned(small_size, 3, phase),
+                             patterned(small_size * factor, 5, phase + 1));
+      }
+    }
+  }
+}
+
+// --- to_bytes word-wise rewrite ---
+
+TEST(BitArraySerialization, ToBytesMatchesPerBitExtraction) {
+  // The word-wise to_bytes must emit exactly the bytes a per-bit walk
+  // would, including the partially occupied final byte.
+  for (const std::size_t size : {1u, 5u, 8u, 13u, 64u, 65u, 71u, 127u, 128u,
+                                 129u, 1000u, 4096u}) {
+    const BitArray bits = patterned(size, 3, size % 3);
+    const std::vector<std::uint8_t> bytes = bits.to_bytes();
+    ASSERT_EQ(bytes.size(), (size + 7) / 8) << "size=" << size;
+    for (std::size_t i = 0; i < size; ++i) {
+      EXPECT_EQ((bytes[i / 8] >> (i % 8)) & 1u, bits.test(i) ? 1u : 0u)
+          << "size=" << size << " bit " << i;
+    }
+    EXPECT_EQ(BitArray::from_bytes(size, bytes), bits) << "size=" << size;
+  }
+}
+
+// --- Cache-blocked batch decode ---
+
+TEST(JointZeroCountsBatch, MatchesPerPairForEveryTileAndWorkerChoice) {
+  std::vector<BitArray> arrays;
+  for (const auto& [size, stride, phase] :
+       {std::tuple<std::size_t, std::size_t, std::size_t>{1 << 12, 3, 0},
+        {1 << 14, 5, 1},
+        {1 << 12, 7, 2},
+        {1 << 13, 11, 3},
+        {1 << 14, 13, 4}}) {
+    arrays.push_back(patterned(size, stride, phase));
+  }
+  std::vector<const BitArray*> ptrs;
+  for (const BitArray& a : arrays) ptrs.push_back(&a);
+
+  // Reference: the per-pair kernel, in upper-triangle row-major order.
+  std::vector<JointZeroCounts> expected;
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    for (std::size_t b = a + 1; b < arrays.size(); ++b) {
+      expected.push_back(joint_zero_counts(arrays[a], arrays[b]));
+    }
+  }
+
+  for (const std::size_t tile_words :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{64},
+        std::size_t{1 << 20}}) {
+    for (const unsigned workers : {1u, 2u, 5u, 16u}) {
+      BatchDecodeOptions options;
+      options.tile_words = tile_words;
+      options.workers = workers;
+      BatchDecodeStats stats;
+      const std::vector<JointZeroCounts> got =
+          joint_zero_counts_batch(ptrs, options, &stats);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t p = 0; p < expected.size(); ++p) {
+        EXPECT_EQ(got[p].size_small, expected[p].size_small)
+            << "tile=" << tile_words << " workers=" << workers << " pair "
+            << p;
+        EXPECT_EQ(got[p].size_large, expected[p].size_large);
+        EXPECT_EQ(got[p].zeros_small, expected[p].zeros_small);
+        EXPECT_EQ(got[p].zeros_large, expected[p].zeros_large);
+        EXPECT_EQ(got[p].zeros_or, expected[p].zeros_or);
+        EXPECT_EQ(got[p].words_scanned, expected[p].words_scanned);
+      }
+      EXPECT_GT(stats.tile_words, 0u);
+      EXPECT_GT(stats.tiles, 0u);
+      EXPECT_EQ(stats.fallback_pairs, 0u);
+      // 5 arrays × (4 pairs each − 1 load) saved passes.
+      EXPECT_EQ(stats.dram_passes_saved, 5u * 3u);
+    }
+  }
+}
+
+TEST(JointZeroCountsBatch, SubWordArraysUseTheFallback) {
+  // One sub-word array among word-sized ones: its pairs must fall back
+  // to the materializing kernel and still match, and word-sized pairs
+  // must still take the tile sweep.
+  const BitArray tiny = patterned(16, 2, 1);
+  const BitArray mid = patterned(256, 3, 0);
+  const BitArray big = patterned(1024, 5, 2);
+  const std::vector<const BitArray*> ptrs{&tiny, &mid, &big};
+  BatchDecodeStats stats;
+  const std::vector<JointZeroCounts> got =
+      joint_zero_counts_batch(ptrs, {}, &stats);
+  ASSERT_EQ(got.size(), 3u);
+  const JointZeroCounts tm = joint_zero_counts(tiny, mid);
+  const JointZeroCounts tb = joint_zero_counts(tiny, big);
+  const JointZeroCounts mb = joint_zero_counts(mid, big);
+  EXPECT_EQ(got[0].zeros_or, tm.zeros_or);
+  EXPECT_EQ(got[0].words_scanned, tm.words_scanned);
+  EXPECT_EQ(got[1].zeros_or, tb.zeros_or);
+  EXPECT_EQ(got[2].zeros_or, mb.zeros_or);
+  EXPECT_EQ(got[2].words_scanned, mb.words_scanned);
+  EXPECT_EQ(stats.fallback_pairs, 2u);
+  // Only the (mid, big) pair is tiled: neither array is reused, so no
+  // DRAM pass is saved.
+  EXPECT_EQ(stats.dram_passes_saved, 0u);
+}
+
+TEST(JointZeroCountsBatch, Guards) {
+  const BitArray a = patterned(128, 3, 0);
+  const BitArray incompatible(192);  // 192 does not divide 512
+  const BitArray b(512);
+  const std::vector<const BitArray*> one{&a};
+  EXPECT_THROW((void)joint_zero_counts_batch(one), std::invalid_argument);
+  const std::vector<const BitArray*> bad{&incompatible, &b};
+  EXPECT_THROW((void)joint_zero_counts_batch(bad), std::invalid_argument);
+  const BitArray empty;
+  const std::vector<const BitArray*> has_empty{&a, &empty};
+  EXPECT_THROW((void)joint_zero_counts_batch(has_empty),
+               std::invalid_argument);
 }
 
 }  // namespace

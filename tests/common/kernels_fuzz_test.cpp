@@ -90,6 +90,44 @@ TEST_P(KernelFuzz, OrPopcountCyclicMatchesScalarForPowerOfTwoUnfolds) {
   }
 }
 
+TEST_P(KernelFuzz, OrPopcountCyclicBatchMatchesScalar) {
+  common::Xoshiro256ss rng(0xF127);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n_anchor = 1 + rng.uniform(400);
+    const std::size_t n_partners = 1 + rng.uniform(6);
+    const auto anchor = random_words(n_anchor, rng);
+    std::vector<std::vector<std::uint64_t>> storage;
+    std::vector<const std::uint64_t*> partners;
+    std::vector<std::size_t> periods;
+    for (std::size_t j = 0; j < n_partners; ++j) {
+      // Mix power-of-two periods (the production shape) with arbitrary
+      // ones so every alignment branch of the batch kernel fires.
+      const std::size_t period = trial % 2 == 0
+                                     ? std::size_t{1} << rng.uniform(9)
+                                     : 1 + rng.uniform(500);
+      storage.push_back(random_words(period, rng));
+      partners.push_back(storage.back().data());
+      periods.push_back(period);
+    }
+    // Random tile inside the anchor, so tile_begin % period takes every
+    // residue class.
+    const std::size_t tile_begin = rng.uniform(n_anchor);
+    const std::size_t tile_end =
+        tile_begin + 1 + rng.uniform(n_anchor - tile_begin);
+    std::vector<std::size_t> acc_variant(n_partners, 7);
+    std::vector<std::size_t> acc_scalar(n_partners, 7);
+    variant().or_popcount_cyclic_batch(anchor.data(), tile_begin, tile_end,
+                                       partners.data(), periods.data(),
+                                       n_partners, acc_variant.data());
+    scalar().or_popcount_cyclic_batch(anchor.data(), tile_begin, tile_end,
+                                      partners.data(), periods.data(),
+                                      n_partners, acc_scalar.data());
+    EXPECT_EQ(acc_variant, acc_scalar)
+        << "n_anchor=" << n_anchor << " tile=[" << tile_begin << ","
+        << tile_end << ") trial=" << trial;
+  }
+}
+
 TEST_P(KernelFuzz, MergeOrMatchesScalarWordsAndCount) {
   common::Xoshiro256ss rng(0xF125);
   for (int trial = 0; trial < 400; ++trial) {

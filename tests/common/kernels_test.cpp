@@ -33,6 +33,7 @@ TEST(KernelDispatch, AvailableIsasStartWithScalar) {
     EXPECT_STREQ(table.name, isa_name(isa));
     EXPECT_NE(table.popcount, nullptr);
     EXPECT_NE(table.or_popcount_cyclic, nullptr);
+    EXPECT_NE(table.or_popcount_cyclic_batch, nullptr);
     EXPECT_NE(table.merge_or, nullptr);
     EXPECT_NE(table.set_scatter, nullptr);
   }
@@ -109,6 +110,51 @@ TEST_P(KernelVariants, OrPopcountCyclicSmallNotSmallerThanLarge) {
             5u * 4u);
   EXPECT_EQ(table().or_popcount_cyclic(large.data(), 5, small.data(), 5),
             5u * 4u);
+}
+
+TEST_P(KernelVariants, OrPopcountCyclicBatchMatchesPerPartnerReference) {
+  // One anchor tile against partners of every alignment class: period >=
+  // tile starting mid-period (contiguous block), period dividing the
+  // tile start (cyclic from word 0), and a period that straddles the
+  // tile start (the generic wrap fallback). Accumulation must be `+=`.
+  const std::size_t n_anchor = 64;
+  std::vector<std::uint64_t> anchor(n_anchor);
+  for (std::size_t i = 0; i < n_anchor; ++i) {
+    anchor[i] = 0x0101010101010101ull << (i % 5);
+  }
+  const std::vector<std::size_t> periods{1, 2, 4, 8, 16, 64, 3, 7};
+  std::vector<std::vector<std::uint64_t>> partner_storage;
+  std::vector<const std::uint64_t*> partners;
+  for (const std::size_t period : periods) {
+    std::vector<std::uint64_t> p(period);
+    for (std::size_t i = 0; i < period; ++i) {
+      p[i] = 0xF0F0F0F0F0F0F0F0ull >> (i % 7);
+    }
+    partner_storage.push_back(std::move(p));
+    partners.push_back(partner_storage.back().data());
+  }
+
+  for (const auto& [tile_begin, tile_end] :
+       {std::pair<std::size_t, std::size_t>{0, 64},
+        {0, 13},
+        {13, 29},
+        {32, 64},
+        {63, 64}}) {
+    std::vector<std::size_t> acc(periods.size(), 100);  // preloaded: +=
+    table().or_popcount_cyclic_batch(anchor.data(), tile_begin, tile_end,
+                                     partners.data(), periods.data(),
+                                     periods.size(), acc.data());
+    for (std::size_t j = 0; j < periods.size(); ++j) {
+      std::size_t expected = 100;
+      for (std::size_t i = tile_begin; i < tile_end; ++i) {
+        expected += static_cast<std::size_t>(
+            std::popcount(anchor[i] | partners[j][i % periods[j]]));
+      }
+      EXPECT_EQ(acc[j], expected)
+          << "tile [" << tile_begin << "," << tile_end << ") partner period "
+          << periods[j];
+    }
+  }
 }
 
 TEST_P(KernelVariants, MergeOrMergesAndCounts) {

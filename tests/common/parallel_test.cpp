@@ -122,5 +122,78 @@ TEST(ParallelSlices, PropagatesFirstWorkerException) {
                std::runtime_error);
 }
 
+TEST(WorkerPool, RunsEveryTaskIndexExactlyOnce) {
+  WorkerPool& pool = WorkerPool::instance();
+  for (const unsigned used : {0u, 1u, 2u, 5u, 16u}) {
+    std::vector<std::atomic<int>> hits(used);
+    pool.run(used, [&](unsigned w) { hits[w].fetch_add(1); });
+    for (unsigned w = 0; w < used; ++w) {
+      EXPECT_EQ(hits[w].load(), 1) << "used=" << used << " slot " << w;
+    }
+  }
+}
+
+TEST(WorkerPool, DispatchCountGrowsWhileThreadsStayConstant) {
+  WorkerPool& pool = WorkerPool::instance();
+  const unsigned threads_before = pool.thread_count();
+  const std::uint64_t dispatches_before = pool.dispatch_count();
+  for (int i = 0; i < 5; ++i) {
+    parallel_for(64, 4, [](std::size_t) {});
+  }
+  // Reuse, not respawn: the region counter moved, the thread count
+  // didn't.
+  EXPECT_GE(pool.dispatch_count(), dispatches_before + 5);
+  EXPECT_EQ(pool.thread_count(), threads_before);
+}
+
+TEST(WorkerPool, SerialRegionsBypassThePool) {
+  WorkerPool& pool = WorkerPool::instance();
+  const std::uint64_t before = pool.dispatch_count();
+  parallel_for(100, 1, [](std::size_t) {});
+  parallel_slices(100, 1, [](unsigned, std::size_t, std::size_t) {});
+  EXPECT_EQ(pool.dispatch_count(), before);
+}
+
+TEST(WorkerPool, NestedRegionsRunInlineWithoutDeadlock) {
+  // A parallel region launched from inside a pool task must complete
+  // (inline) instead of waiting on pool threads that are busy running
+  // the outer region.
+  std::atomic<int> inner_total{0};
+  parallel_slices(8, 4, [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      parallel_for(10, 4,
+                   [&](std::size_t) { inner_total.fetch_add(1); });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 10);
+}
+
+TEST(WorkerPool, NestedRegionPropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_slices(4, 4,
+                      [&](unsigned, std::size_t, std::size_t) {
+                        parallel_for(4, 4, [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("inner");
+                        });
+                      }),
+      std::runtime_error);
+}
+
+TEST(WorkerPool, ConcurrentRegionsFromManyThreadsSerializeSafely) {
+  // Regions are serialized on one pool; hammer it from several external
+  // threads at once and check every region still ran completely.
+  std::vector<std::thread> threads;
+  std::atomic<int> total{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 20; ++rep) {
+        parallel_for(16, 3, [&](std::size_t) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 16);
+}
+
 }  // namespace
 }  // namespace vlm::common

@@ -205,11 +205,25 @@ int main(int argc, char** argv) {
       std::printf("total estimated pairwise common traffic: %.0f\n",
                   matrix.total_estimated_common());
       std::printf(
-          "decode: %zu pairs on %u worker(s), %s kernels, in %.1f ms — "
-          "%.0f pairs/s, %.0f MiB/s scanned\n",
+          "decode: %zu pairs on %u worker(s), %s kernels, %s path, in "
+          "%.1f ms — %.0f pairs/s, %.0f MiB/s scanned\n",
           decode_stats.pairs_decoded, decode_stats.workers,
-          decode_stats.kernel_isa, decode_stats.wall_seconds * 1e3,
-          decode_stats.pairs_per_second(), decode_stats.mib_per_second());
+          decode_stats.kernel_isa, decode_stats.path,
+          decode_stats.wall_seconds * 1e3, decode_stats.pairs_per_second(),
+          decode_stats.mib_per_second());
+      if (decode_stats.tile_words > 0) {
+        std::printf(
+            "decode blocking: %zu-word tiles, %zu full-array DRAM passes "
+            "saved\n",
+            decode_stats.tile_words, decode_stats.dram_passes_saved);
+      }
+      std::printf(
+          "decode pool: %llu dispatch(es) this run to %u pooled thread(s), "
+          "%llu lifetime (reused, not respawned)\n",
+          static_cast<unsigned long long>(decode_stats.pool_dispatches),
+          decode_stats.pool_threads,
+          static_cast<unsigned long long>(
+              decode_stats.pool_lifetime_dispatches));
       if (!parser.get_string("csv").empty()) {
         common::CsvWriter csv(parser.get_string("csv"),
                               {"rsu_a", "rsu_b", "estimate", "lower", "upper",

@@ -194,6 +194,11 @@ int main(int argc, char** argv) {
     std::printf("ingest: %u workers, %s kernels, %.1f ms, %.0f vehicles/s\n",
                 ingest.workers, ingest.kernel_isa, ingest.seconds * 1e3,
                 ingest.vehicles_per_second());
+    std::printf(
+        "ingest pool: %llu dispatch(es) this run, %llu lifetime (threads "
+        "reused, not respawned)\n",
+        static_cast<unsigned long long>(ingest.pool_dispatches),
+        static_cast<unsigned long long>(ingest.pool_lifetime_dispatches));
     const vcps::PipelineStats& stats = sim->server().stats();
     std::printf(
         "pipeline [%s]: %zu reports ingested, %zu quarantined, ingest "
