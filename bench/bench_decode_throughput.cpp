@@ -22,7 +22,6 @@
 // Exit status is 0 only if every identity assertion held.
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <span>
@@ -36,16 +35,13 @@
 #include "core/interval.h"
 #include "core/od_matrix.h"
 #include "core/rsu_state.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
 using namespace vlm;
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 // The seed's zero counting: a full popcount sweep over the words (the
 // array did not maintain its count incrementally back then).
@@ -174,7 +170,7 @@ int main(int argc, char** argv) {
   double naive_total = 0.0;
   for (int rep = 0; rep < repeat; ++rep) {
     // Seed path: serial loop, materializing decode per pair.
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t0;
     naive_total = 0.0;
     for (std::size_t a = 0; a < k; ++a) {
       for (std::size_t b = a + 1; b < k; ++b) {
@@ -182,22 +178,22 @@ int main(int argc, char** argv) {
                            .n_c_hat;
       }
     }
-    naive_best = std::min(naive_best, seconds_since(t0));
+    naive_best = std::min(naive_best, t0.seconds());
 
-    const auto t1 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t1;
     pairwise = decode(main_states, core::DecodeMode::kPairwise, 1,
                       tile_words, &pairwise_stats);
-    pairwise_best = std::min(pairwise_best, seconds_since(t1));
+    pairwise_best = std::min(pairwise_best, t1.seconds());
 
-    const auto t2 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t2;
     blocked_serial = decode(main_states, core::DecodeMode::kBlocked, 1,
                             tile_words, &blocked_serial_stats);
-    blocked_serial_best = std::min(blocked_serial_best, seconds_since(t2));
+    blocked_serial_best = std::min(blocked_serial_best, t2.seconds());
 
-    const auto t3 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t3;
     blocked_parallel = decode(main_states, core::DecodeMode::kBlocked, workers,
                               tile_words, &blocked_parallel_stats);
-    blocked_parallel_best = std::min(blocked_parallel_best, seconds_since(t3));
+    blocked_parallel_best = std::min(blocked_parallel_best, t3.seconds());
   }
 
   const bool blocked_identical =
@@ -223,10 +219,10 @@ int main(int argc, char** argv) {
           decode(subset, core::DecodeMode::kPairwise, 1, 0, &ref_stats);
       for (const std::size_t tiles : kSweepTiles) {
         core::DecodeStats stats;
-        const auto ts = std::chrono::steady_clock::now();
+        const obs::Stopwatch ts;
         const core::OdMatrix candidate =
             decode(subset, core::DecodeMode::kBlocked, workers, tiles, &stats);
-        const double elapsed = seconds_since(ts);
+        const double elapsed = ts.seconds();
         const bool identical = cells_identical(reference, candidate);
         sweep_identical = sweep_identical && identical;
         char entry[256];
@@ -264,7 +260,8 @@ int main(int argc, char** argv) {
       " \"pool_threads\": %u,\n"
       " \"pool_lifetime_dispatches\": %llu,\n"
       " \"blocked_bit_identical_to_pairwise\": %s,\n"
-      " \"parallel_bit_identical_to_serial\": %s%s}\n",
+      " \"parallel_bit_identical_to_serial\": %s%s,\n"
+      " \"metrics\": %s}\n",
       k, m, pairwise_stats.pairs_decoded, blocked_parallel_stats.workers,
       blocked_parallel_stats.kernel_isa, blocked_serial_stats.tile_words,
       blocked_serial_stats.dram_passes_saved, naive_best, pairwise_best,
@@ -280,6 +277,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           blocked_parallel_stats.pool_lifetime_dispatches),
       blocked_identical ? "true" : "false",
-      parallel_identical ? "true" : "false", sweep_json.c_str());
+      parallel_identical ? "true" : "false", sweep_json.c_str(),
+      obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
   return blocked_identical && parallel_identical && sweep_identical ? 0 : 1;
 }

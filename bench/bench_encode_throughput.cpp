@@ -14,7 +14,6 @@
 //   - "raw_*": the protocol-free encode kernel on the largest RSU.
 // Exits non-zero if any run's reports disagree.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <span>
@@ -25,18 +24,15 @@
 #include "common/parallel.h"
 #include "common/visited_mask.h"
 #include "core/pair_simulation.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "traffic/multi_rsu_workload.h"
 #include "vcps/simulation.h"
 
 namespace {
 
 using namespace vlm;
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 bool reports_identical(const vcps::VcpsSimulation& a,
                        const vcps::VcpsSimulation& b) {
@@ -109,13 +105,13 @@ int main(int argc, char** argv) {
     common::VisitedMask visited(k);
     std::vector<std::uint32_t> rsus;
     std::vector<std::size_t> positions;
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t0;
     for (std::uint64_t v = 0; v < vehicles; ++v) {
       workload.itinerary(v, visited, rsus);
       positions.assign(rsus.begin(), rsus.end());
       sim->drive_vehicle(positions);
     }
-    seconds = seconds_since(t0);
+    seconds = t0.seconds();
     sim->end_period();
     return sim;
   };
@@ -125,9 +121,9 @@ int main(int argc, char** argv) {
                          vcps::IngestStats* stats_out) {
     auto sim = std::make_unique<vcps::VcpsSimulation>(sim_config, sites);
     sim->begin_period();
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t0;
     const vcps::IngestStats stats = sim->drive_vehicles(vehicles, provider, w);
-    seconds = seconds_since(t0);
+    seconds = t0.seconds();
     sim->end_period();
     if (stats_out != nullptr) *stats_out = stats;
     return sim;
@@ -165,15 +161,15 @@ int main(int argc, char** argv) {
   common::BitArray raw_parallel_bits(target.array_size());
   for (int rep = 0; rep < repeat; ++rep) {
     common::BitArray bits(target.array_size());
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t0;
     for (const core::VehicleIdentity& v : identities) {
       bits.set(encoder.bit_index(v, raw_rsu, target));
     }
-    raw_serial_best = std::min(raw_serial_best, seconds_since(t0));
+    raw_serial_best = std::min(raw_serial_best, t0.seconds());
     raw_serial_bits = bits;
 
     common::ShardedBitArray sharded(target.array_size(), workers);
-    const auto t1 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t1;
     common::parallel_slices(
         identities.size(), workers,
         [&](unsigned worker, std::size_t begin, std::size_t end) {
@@ -190,7 +186,7 @@ int main(int argc, char** argv) {
           }
         });
     raw_parallel_bits = sharded.merged();
-    raw_parallel_best = std::min(raw_parallel_best, seconds_since(t1));
+    raw_parallel_best = std::min(raw_parallel_best, t1.seconds());
   }
   const bool raw_identical = raw_serial_bits == raw_parallel_bits;
 
@@ -212,7 +208,8 @@ int main(int argc, char** argv) {
       " \"raw_encode_parallel_seconds\": %.6f,\n"
       " \"raw_encode_parallel_vehicles_per_second\": %.0f,\n"
       " \"reports_bit_identical\": %s,\n"
-      " \"raw_bits_identical\": %s}\n",
+      " \"raw_bits_identical\": %s,\n"
+      " \"metrics\": %s}\n",
       k, static_cast<unsigned long long>(vehicles), parallel_stats.workers,
       static_cast<unsigned long long>(parallel_stats.exchanges),
       parallel_stats.kernel_isa, serial_best,
@@ -220,6 +217,7 @@ int main(int argc, char** argv) {
       serial_best / sharded_serial_best, serial_best / sharded_parallel_best,
       per_sec(serial_best), per_sec(sharded_parallel_best), raw_serial_best,
       raw_parallel_best, per_sec(raw_parallel_best),
-      identical ? "true" : "false", raw_identical ? "true" : "false");
+      identical ? "true" : "false", raw_identical ? "true" : "false",
+      obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
   return identical && raw_identical ? 0 : 1;
 }

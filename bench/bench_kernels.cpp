@@ -12,7 +12,6 @@
 // the same inputs (counts AND merged words); the process exits non-zero
 // on any mismatch, so CI runs double as a bit-exactness gate.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +20,9 @@
 #include "common/cli.h"
 #include "common/kernels/kernels.h"
 #include "common/rng.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -39,12 +41,9 @@ template <typename Fn>
 double time_kernel(int repeat, std::size_t iters, Fn&& fn) {
   double best = 1e300;
   for (int rep = 0; rep < repeat; ++rep) {
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Stopwatch t0;
     for (std::size_t i = 0; i < iters; ++i) fn();
-    const double total =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    best = std::min(best, total / static_cast<double>(iters));
+    best = std::min(best, t0.seconds() / static_cast<double>(iters));
   }
   return best;
 }
@@ -100,6 +99,9 @@ int main(int argc, char** argv) {
   double min_large_fused_speedup = 1e300;
 
   for (unsigned exp = min_exp; exp <= max_exp; exp += exp_step) {
+    // One span per sweep size, so the embedded snapshot carries the
+    // sweep's own phase trace alongside the kernel timings.
+    const obs::Span sweep_span(obs::phase("bench/kernel_sweep"));
     const std::size_t m = std::size_t{1} << exp;
     const std::size_t n = std::max<std::size_t>(1, m / 64);
     const std::size_t ns = std::max<std::size_t>(1, n / unfold);
@@ -208,9 +210,11 @@ int main(int argc, char** argv) {
       " \"unfold_ratio\": %zu,\n"
       " \"sizes\": [\n%s\n ],\n"
       " \"min_fused_speedup_m_ge_2e20\": %.2f,\n"
-      " \"identical\": %s}\n",
+      " \"identical\": %s,\n"
+      " \"metrics\": %s}\n",
       dispatched.name, isas.c_str(), unfold, sizes_json.c_str(),
       min_large_fused_speedup < 1e300 ? min_large_fused_speedup : 0.0,
-      identical ? "true" : "false");
+      identical ? "true" : "false",
+      obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
   return identical ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
+#include "obs/metrics.h"
 
 namespace vlm::common {
 
@@ -115,8 +116,14 @@ const BitArray& ShardedBitArray::shard(unsigned s) const {
 }
 
 BitArray ShardedBitArray::merged() const {
+  static obs::Histogram& merge_phase = obs::phase("ingest/shard_merge");
+  static obs::Counter& merge_words =
+      obs::MetricsRegistry::global().counter("ingest/merge_words");
+  const obs::Span span(merge_phase);
   BitArray out = shards_.front();
   for (std::size_t s = 1; s < shards_.size(); ++s) out.merge_or(shards_[s]);
+  merge_words.add(static_cast<std::uint64_t>(out.words().size()) *
+                  (shards_.size() - 1));
   return out;
 }
 

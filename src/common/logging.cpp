@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
+#include <set>
 
 namespace vlm::common {
 
@@ -38,6 +41,18 @@ LogLevel parse_log_level(const std::string& name) {
   if (name == "warn") return LogLevel::kWarn;
   if (name == "error") return LogLevel::kError;
   if (name == "off") return LogLevel::kOff;
+  // Same warn-and-fall-back convention as VLM_KERNELS / VLM_DECODE: a
+  // misspelled VLM_LOG should degrade loudly, once per distinct value,
+  // instead of silently running at the wrong verbosity.
+  static std::mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (warned->insert(name).second) {
+    std::fprintf(stderr,
+                 "vlm: warning: log level '%s' is not one of "
+                 "debug|info|warn|error|off; using info\n",
+                 name.c_str());
+  }
   return LogLevel::kInfo;
 }
 

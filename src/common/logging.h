@@ -15,7 +15,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-// Parses a level name; returns kInfo for unrecognized names.
+// Parses a level name; unrecognized names warn once per distinct value
+// on stderr (the VLM_KERNELS warn-and-fall-back convention) and map to
+// kInfo.
 LogLevel parse_log_level(const std::string& name);
 
 // Emits `message` to stderr if `level` is at or above the current level.

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/require.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace vlm::common {
 
@@ -17,6 +19,33 @@ namespace {
 // run inline instead of re-entering run() (the outer region holds the
 // pool, so waiting on it would deadlock).
 thread_local bool t_inside_pool_task = false;
+
+// Pool observability. Everything hangs off fixed names so the key set is
+// identical whether a run used 1 worker (pool untouched) or many — the
+// handles register on the first parallel region of the process, not per
+// worker. Utilization is derivable as task.total / (region.total ×
+// (pool/threads + 1)).
+struct PoolMetrics {
+  obs::Counter& dispatches;
+  obs::Counter& tasks;
+  obs::Gauge& threads;
+  obs::Histogram& queue_wait;  // time run() waits for the pool to free up
+  obs::Histogram& region;      // wall time of one dispatched region
+  obs::Histogram& task;        // per-task busy time inside regions
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    return new PoolMetrics{r.counter("pool/dispatches"),
+                           r.counter("pool/tasks"),
+                           r.gauge("pool/threads"),
+                           obs::phase("pool/queue_wait"),
+                           obs::phase("pool/region"),
+                           obs::phase("pool/task")};
+  }();
+  return *metrics;
+}
 }  // namespace
 
 unsigned default_worker_count() {
@@ -51,10 +80,13 @@ struct WorkerPool::State {
       lock.unlock();
       std::exception_ptr error;
       t_inside_pool_task = true;
-      try {
-        (*task)(index);
-      } catch (...) {
-        error = std::current_exception();
+      {
+        const obs::Span task_span(pool_metrics().task);
+        try {
+          (*task)(index);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
       t_inside_pool_task = false;
       lock.lock();
@@ -130,7 +162,14 @@ void WorkerPool::run(unsigned used,
     return;
   }
 
+  PoolMetrics& metrics = pool_metrics();
+  obs::Stopwatch queue_wait;
   const std::lock_guard<std::mutex> run_lock(state_->run_mutex);
+  metrics.queue_wait.observe(queue_wait.nanos());
+  const obs::Span region_span(metrics.region);
+  metrics.dispatches.inc();
+  metrics.tasks.add(used);
+  metrics.threads.set(static_cast<double>(thread_count()));
   state_->dispatches.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->task = &task;
@@ -165,6 +204,10 @@ void parallel_slices(
                              std::size_t end)>& body) {
   VLM_REQUIRE(workers >= 1, "need at least one worker");
   if (count == 0) return;
+  // Touch the pool metric handles even on the inline path below, so a
+  // 1-worker run exports the same metric key set as an N-worker run
+  // (values differ; the schema must not).
+  pool_metrics();
   const unsigned used = static_cast<unsigned>(
       std::min<std::size_t>(workers, count));
   if (used == 1) {

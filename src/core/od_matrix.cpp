@@ -1,6 +1,5 @@
 #include "core/od_matrix.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,10 +9,50 @@
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace vlm::core {
 
 namespace {
+
+// Decode metrics. The DecodeStats a caller receives is a per-run view
+// over exactly these atoms: every field is incremented here and added to
+// the registry at the same site, so a registry delta across one decode
+// equals the struct (a test pins this). The handles register together on
+// the first decode, keeping the exported key set independent of path,
+// worker count, and tile size.
+struct DecodeMetrics {
+  obs::Counter& runs;
+  obs::Counter& pairs;
+  obs::Counter& words_scanned;
+  obs::Gauge& workers;
+  obs::Gauge& tile_words;
+  obs::Gauge& dram_passes_saved;
+  obs::Info& kernel_isa;
+  obs::Info& path;
+  obs::Histogram& total;       // whole estimate_od_matrix call
+  obs::Histogram& tile_sweep;  // blocked path: the batched zero-count sweep
+  obs::Histogram& estimate;    // Eq. 5 / interval math over the pair list
+};
+
+DecodeMetrics& decode_metrics() {
+  static DecodeMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    return new DecodeMetrics{r.counter("decode/runs"),
+                             r.counter("decode/pairs"),
+                             r.counter("decode/words_scanned"),
+                             r.gauge("decode/workers"),
+                             r.gauge("decode/tile_words"),
+                             r.gauge("decode/dram_passes_saved"),
+                             r.info("kernel/isa"),
+                             r.info("decode/path"),
+                             obs::phase("decode/total"),
+                             obs::phase("decode/tile_sweep"),
+                             obs::phase("decode/estimate")};
+  }();
+  return *metrics;
+}
 
 const char* mode_name(DecodeMode mode) {
   switch (mode) {
@@ -88,7 +127,8 @@ double OdMatrix::total_estimated_common() const {
 OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
                             double z, const DecodeOptions& options,
                             DecodeStats* stats) {
-  const auto start = std::chrono::steady_clock::now();
+  DecodeMetrics& metrics = decode_metrics();
+  obs::Span total_span(metrics.total);
   const std::uint64_t pool_before = common::WorkerPool::instance().dispatch_count();
   OdMatrix matrix(states.size());
   const IntervalEstimator estimator(s, z);
@@ -127,8 +167,13 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     common::BatchDecodeOptions batch_options;
     batch_options.tile_words = options.tile_words;
     batch_options.workers = used;
-    const std::vector<common::JointZeroCounts> counts =
-        common::joint_zero_counts_batch(arrays, batch_options, &batch_stats);
+    std::vector<common::JointZeroCounts> counts;
+    {
+      const obs::Span sweep_span(metrics.tile_sweep);
+      counts =
+          common::joint_zero_counts_batch(arrays, batch_options, &batch_stats);
+    }
+    const obs::Span estimate_span(metrics.estimate);
     common::parallel_for(pairs.size(), used, [&](std::size_t p) {
       const auto [a, b] = pairs[p];
       PairEstimate point;
@@ -138,6 +183,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
       words_per_pair[p] = point.words_scanned;
     });
   } else {
+    const obs::Span estimate_span(metrics.estimate);
     common::parallel_for(pairs.size(), used, [&](std::size_t p) {
       const auto [a, b] = pairs[p];
       PairEstimate point;
@@ -146,11 +192,24 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     });
   }
 
+  // Registry and struct are fed from the same values: DecodeStats is the
+  // per-run view of what this call just added to the global counters.
+  const std::size_t words_scanned = std::accumulate(
+      words_per_pair.begin(), words_per_pair.end(), std::size_t{0});
+  metrics.runs.inc();
+  metrics.pairs.add(pairs.size());
+  metrics.words_scanned.add(words_scanned);
+  metrics.workers.set(static_cast<double>(used));
+  metrics.tile_words.set(static_cast<double>(batch_stats.tile_words));
+  metrics.dram_passes_saved.set(
+      static_cast<double>(batch_stats.dram_passes_saved));
+  metrics.kernel_isa.set(common::kernels::active_name());
+  metrics.path.set(mode_name(mode));
+  const double wall_seconds = total_span.finish();
+
   if (stats != nullptr) {
     stats->pairs_decoded = pairs.size();
-    stats->words_scanned = std::accumulate(words_per_pair.begin(),
-                                           words_per_pair.end(),
-                                           std::size_t{0});
+    stats->words_scanned = words_scanned;
     stats->workers = used;
     stats->kernel_isa = common::kernels::active_name();
     stats->path = mode_name(mode);
@@ -160,9 +219,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     stats->pool_lifetime_dispatches = pool.dispatch_count();
     stats->pool_dispatches = stats->pool_lifetime_dispatches - pool_before;
     stats->pool_threads = pool.thread_count();
-    stats->wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    stats->wall_seconds = wall_seconds;
   }
   return matrix;
 }

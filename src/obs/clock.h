@@ -1,0 +1,46 @@
+// The one wall-clock the repo times with.
+//
+// Every phase timer, span, and throughput counter reads this steady
+// (monotonic) clock, so durations from different layers are comparable
+// and never jump with NTP adjustments. Library and bench code should use
+// Stopwatch instead of open-coding std::chrono arithmetic — the
+// duplicated stopwatch snippets this replaces drifted in precision and
+// unit choices.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vlm::obs {
+
+struct MonotonicClock {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint now() { return std::chrono::steady_clock::now(); }
+
+  static double seconds_since(TimePoint start) {
+    return std::chrono::duration<double>(now() - start).count();
+  }
+
+  static std::uint64_t nanos_since(TimePoint start) {
+    const auto elapsed = now() - start;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+  }
+};
+
+// Starts running on construction; read as often as needed.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicClock::now()) {}
+
+  double seconds() const { return MonotonicClock::seconds_since(start_); }
+  std::uint64_t nanos() const { return MonotonicClock::nanos_since(start_); }
+  void restart() { start_ = MonotonicClock::now(); }
+
+ private:
+  MonotonicClock::TimePoint start_;
+};
+
+}  // namespace vlm::obs

@@ -1,0 +1,68 @@
+// Snapshot exporters: JSON (stable key order), Prometheus text
+// exposition, and a per-period CSV time series, plus the VLM_METRICS /
+// VLM_METRICS_FORMAT environment plumbing the CLI tools share.
+//
+//   VLM_METRICS=<path>            write a snapshot here at tool exit
+//   VLM_METRICS_FORMAT=json|prom|csv   output format (default json;
+//                                 unrecognized values warn once to
+//                                 stderr and fall back, mirroring the
+//                                 VLM_KERNELS convention)
+//
+// A --metrics <path> CLI flag, when present, takes precedence over the
+// environment path; the format override applies either way.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace vlm::obs {
+
+enum class ExportFormat { kJson, kPrometheus, kCsv };
+
+const char* export_format_name(ExportFormat format);
+
+// Parses "json" | "prom" | "csv". Returns false (and leaves `format`
+// untouched) on anything else.
+bool parse_export_format(std::string_view name, ExportFormat& format);
+
+// One JSON object with sections "counters", "gauges", "info", "spans",
+// every section sorted by metric name. `extra` — already-serialized
+// members ("\"period\": 1,\n") — is spliced in as the object's first
+// fields so callers can annotate without re-parsing. Span entries carry
+// count/total/min/max/p50/p99, suffixed _seconds for nanosecond-unit
+// histograms.
+std::string to_json(const Snapshot& snapshot, std::string_view extra = {},
+                    int indent = 1);
+
+// Prometheus text exposition: counters as vlm_<name>_total, gauges as
+// vlm_<name>, histograms as summary-style count/sum/quantile lines,
+// info as vlm_<name>_info{value="..."} 1. '/' and other non-identifier
+// characters in names become '_'.
+std::string to_prometheus_text(const Snapshot& snapshot);
+
+// CSV time series: csv_header() once, then one to_csv_rows() block per
+// period. Rows are "period,kind,name,count,total,min,max,p50,p99,value".
+std::string csv_header();
+std::string to_csv_rows(const Snapshot& snapshot, std::uint64_t period);
+
+// Resolved export destination after combining a CLI --metrics flag with
+// the environment. `path` empty means metrics export is off.
+struct ExportConfig {
+  std::string path;
+  ExportFormat format = ExportFormat::kJson;
+};
+
+// Combines `cli_path` (wins when non-empty) with VLM_METRICS, and
+// `cli_format` (wins when non-empty) with VLM_METRICS_FORMAT.
+// Unrecognized format names warn once to stderr and keep json.
+ExportConfig resolve_export_config(std::string_view cli_path,
+                                   std::string_view cli_format);
+
+// Writes `content` to `path` (truncating). Returns false and warns on
+// stderr if the file cannot be written.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace vlm::obs

@@ -1,12 +1,41 @@
 #include "vcps/central_server.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/bit_array.h"
 #include "common/require.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 
 namespace vlm::vcps {
+
+namespace {
+
+// Server-side metrics: one span per ingested report plus quarantine
+// reasons as labeled counters. PipelineStats stays a per-instance,
+// per-period view fed from the same increments (several servers can
+// coexist in one process — tests and benches do — so the instance view
+// cannot be a bare registry delta; the registry aggregates them all).
+struct ServerMetrics {
+  obs::Counter& reports_ingested;
+  obs::Counter& quarantined_zero_count;
+  obs::Counter& quarantined_volume;
+  obs::Histogram& ingest;  // wall time of one CentralServer::ingest call
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    return new ServerMetrics{
+        r.counter("server/reports_ingested"),
+        r.counter("server/quarantine/zero_count_anomaly"),
+        r.counter("server/quarantine/volume_anomaly"),
+        obs::phase("server/ingest")};
+  }();
+  return *metrics;
+}
+
+}  // namespace
 
 CentralServer::CentralServer(const CentralServerConfig& config)
     : scheme_(config.scheme),
@@ -54,7 +83,8 @@ void CentralServer::begin_period(std::uint64_t period) {
 }
 
 QuarantineReason CentralServer::ingest(const RsuReport& report) {
-  const auto start = std::chrono::steady_clock::now();
+  ServerMetrics& metrics = server_metrics();
+  obs::Span ingest_span(metrics.ingest);
   auto history_it = history_.find(report.rsu);
   VLM_REQUIRE(history_it != history_.end(), "report from unregistered RSU");
   VLM_REQUIRE(report.period == period_, "report for a different period");
@@ -66,13 +96,20 @@ QuarantineReason CentralServer::ingest(const RsuReport& report) {
       common::BitArray::from_bytes(report.array_size, report.bits);
 
   auto account = [&](QuarantineReason reason) {
-    stats_.ingest_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    if (reason == QuarantineReason::kNone) {
-      ++stats_.reports_ingested;
-    } else {
-      ++stats_.reports_quarantined;
+    stats_.ingest_seconds += ingest_span.finish();
+    switch (reason) {
+      case QuarantineReason::kNone:
+        ++stats_.reports_ingested;
+        metrics.reports_ingested.inc();
+        break;
+      case QuarantineReason::kZeroCountAnomaly:
+        ++stats_.reports_quarantined;
+        metrics.quarantined_zero_count.inc();
+        break;
+      case QuarantineReason::kVolumeAnomaly:
+        ++stats_.reports_quarantined;
+        metrics.quarantined_volume.inc();
+        break;
     }
     return reason;
   };

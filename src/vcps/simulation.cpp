@@ -1,20 +1,59 @@
 #include "vcps/simulation.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/hashing.h"
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
 #include "core/pair_simulation.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "vcps/vehicle.h"
 
 namespace vlm::vcps {
 
 namespace {
 constexpr std::uint64_t kCertLifetimePeriods = 1'000'000;
+
+// Ingest-side metrics. IngestStats is the per-call view over these atoms
+// (same increments, same sites — a test pins the equivalence). All
+// handles register together on the first period, so the exported key set
+// is identical for every worker count: the per-worker encode time lands
+// in ONE histogram whose count is the number of workers, never in
+// per-worker keys.
+struct IngestMetrics {
+  obs::Counter& vehicles;
+  obs::Counter& exchanges;
+  obs::Counter& queries_lost;
+  obs::Counter& replies_lost;
+  obs::Counter& replies_duplicated;
+  obs::Info& kernel_isa;
+  obs::Histogram& period_begin;   // begin_period(): sizing + RSU resets
+  obs::Histogram& period_ingest;  // one whole drive_vehicles() call
+  obs::Histogram& period_close;   // end_period(): reports into the server
+  obs::Histogram& encode_worker;  // per-worker protocol/encode slice time
+  obs::Histogram& shard_merge;    // OR-merging worker shards into RSUs
+};
+
+IngestMetrics& ingest_metrics() {
+  static IngestMetrics* metrics = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::global();
+    return new IngestMetrics{r.counter("ingest/vehicles"),
+                             r.counter("ingest/exchanges"),
+                             r.counter("channel/queries_lost"),
+                             r.counter("channel/replies_lost"),
+                             r.counter("channel/replies_duplicated"),
+                             r.info("kernel/isa"),
+                             obs::phase("period/begin"),
+                             obs::phase("period/ingest"),
+                             obs::phase("period/close"),
+                             obs::phase("ingest/encode_worker"),
+                             obs::phase("ingest/shard_merge")};
+  }();
+  return *metrics;
 }
+}  // namespace
 
 VcpsSimulation::VcpsSimulation(const SimulationConfig& config,
                                std::span<const RsuSite> sites)
@@ -37,6 +76,7 @@ const Rsu& VcpsSimulation::rsu(std::size_t position) const {
 }
 
 void VcpsSimulation::begin_period() {
+  const obs::Span span(ingest_metrics().period_begin);
   ++period_;
   server_.begin_period(period_);
   for (Rsu& rsu : rsus_) {
@@ -76,7 +116,8 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
                                            const ItineraryProvider& itinerary,
                                            unsigned workers) {
   VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
-  const auto start = std::chrono::steady_clock::now();
+  IngestMetrics& metrics = ingest_metrics();
+  obs::Span ingest_span(metrics.period_ingest);
   const std::uint64_t pool_before =
       common::WorkerPool::instance().dispatch_count();
   const unsigned used = workers == 0 ? common::default_worker_count() : workers;
@@ -106,6 +147,7 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   common::parallel_slices(
       static_cast<std::size_t>(count), used,
       [&](unsigned worker, std::size_t begin, std::size_t end) {
+        const obs::Span encode_span(metrics.encode_worker);
         std::vector<core::RsuState>& shard = shards[worker];
         ChannelTally& tally = tallies[worker];
         std::vector<std::size_t> positions;
@@ -146,13 +188,20 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   // sum the tallies. All merges commute, so the result is independent of
   // worker count and merge order.
   IngestStats stats;
-  for (std::size_t r = 0; r < rsu_count; ++r) {
-    for (unsigned w = 0; w < shard_count; ++w) {
-      rsus_[r].absorb_shard(shards[w][r], invalid[w][r]);
+  {
+    const obs::Span merge_span(metrics.shard_merge);
+    for (std::size_t r = 0; r < rsu_count; ++r) {
+      for (unsigned w = 0; w < shard_count; ++w) {
+        rsus_[r].absorb_shard(shards[w][r], invalid[w][r]);
+      }
     }
   }
+  ChannelTally lost;
   for (unsigned w = 0; w < shard_count; ++w) {
     channel_.absorb(tallies[w]);
+    lost.queries_lost += tallies[w].queries_lost;
+    lost.replies_lost += tallies[w].replies_lost;
+    lost.replies_duplicated += tallies[w].replies_duplicated;
     stats.exchanges += exchanges[w];
   }
   vehicles_driven_ += count;
@@ -162,14 +211,22 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   stats.pool_lifetime_dispatches =
       common::WorkerPool::instance().dispatch_count();
   stats.pool_dispatches = stats.pool_lifetime_dispatches - pool_before;
-  stats.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+
+  // Mirror the per-call stats into the registry — same values, same
+  // site, so a registry delta across one call equals the struct.
+  metrics.vehicles.add(count);
+  metrics.exchanges.add(stats.exchanges);
+  metrics.queries_lost.add(lost.queries_lost);
+  metrics.replies_lost.add(lost.replies_lost);
+  metrics.replies_duplicated.add(lost.replies_duplicated);
+  metrics.kernel_isa.set(stats.kernel_isa);
+  stats.seconds = ingest_span.finish();
   return stats;
 }
 
 void VcpsSimulation::end_period() {
   VLM_REQUIRE(period_open_, "no open period to end");
+  const obs::Span span(ingest_metrics().period_close);
   for (const Rsu& rsu : rsus_) {
     server_.ingest(rsu.make_report(period_));
   }

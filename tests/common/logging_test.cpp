@@ -28,6 +28,26 @@ TEST_F(LoggingTest, ParseRecognizesAllNames) {
   EXPECT_EQ(parse_log_level("garbage"), LogLevel::kInfo);
 }
 
+TEST_F(LoggingTest, UnrecognizedNameWarnsOncePerDistinctValue) {
+  // Names unique to this test, so the warn-once set cannot have seen
+  // them regardless of which tests ran before.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("loud-bogus-level"), LogLevel::kInfo);
+  const std::string first = testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("log level 'loud-bogus-level'"), std::string::npos);
+  EXPECT_NE(first.find("using info"), std::string::npos);
+
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("loud-bogus-level"), LogLevel::kInfo);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  // A different bad value warns again: once per distinct name.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(parse_log_level("other-bogus-level"), LogLevel::kInfo);
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("other-bogus-level"),
+            std::string::npos);
+}
+
 TEST_F(LoggingTest, SuppressedLevelsProduceNoOutput) {
   set_log_level(LogLevel::kError);
   testing::internal::CaptureStderr();

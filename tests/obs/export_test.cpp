@@ -1,0 +1,148 @@
+// Exporters: stable key order independent of registration order, the
+// three wire formats, and the CLI/environment resolution rules.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace vlm::obs {
+namespace {
+
+Snapshot sample_snapshot() {
+  MetricsRegistry registry;
+  // Deliberately registered out of alphabetical order.
+  registry.counter("ingest/vehicles").add(7);
+  registry.counter("channel/queries_lost").add(1);
+  registry.gauge("decode/workers").set(4.0);
+  registry.info("kernel/isa").set("avx2");
+  registry.histogram("period/ingest", Unit::kNanoseconds)
+      .observe(1'500'000'000);
+  registry.histogram("decode/pairs_raw").observe(12);
+  return registry.snapshot();
+}
+
+TEST(ExportTest, JsonSectionsAreSortedByName) {
+  const std::string json = to_json(sample_snapshot());
+  const std::size_t channel = json.find("channel/queries_lost");
+  const std::size_t vehicles = json.find("ingest/vehicles");
+  ASSERT_NE(channel, std::string::npos);
+  ASSERT_NE(vehicles, std::string::npos);
+  EXPECT_LT(channel, vehicles);
+  const std::size_t pairs = json.find("\"decode/pairs_raw\"");
+  const std::size_t period = json.find("\"period/ingest\"");
+  ASSERT_NE(pairs, std::string::npos);
+  ASSERT_NE(period, std::string::npos);
+  EXPECT_LT(pairs, period);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"info\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST(ExportTest, JsonSuffixesNanosecondHistogramsWithSeconds) {
+  const std::string json = to_json(sample_snapshot());
+  // The nanosecond phase exports as seconds; the raw histogram does not.
+  EXPECT_NE(json.find("\"total_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 12"), std::string::npos);
+}
+
+TEST(ExportTest, JsonSplicesExtraAsFirstMembers) {
+  const std::string json = to_json(sample_snapshot(), "\"period\": 3,");
+  const std::size_t period = json.find("\"period\": 3,");
+  ASSERT_NE(period, std::string::npos);
+  EXPECT_LT(period, json.find("\"counters\""));
+}
+
+TEST(ExportTest, EmptySnapshotIsStillValidJsonShape) {
+  const std::string json = to_json(Snapshot{});
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\": {}"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusManglesNamesAndTypesLines) {
+  const std::string text = to_prometheus_text(sample_snapshot());
+  EXPECT_NE(text.find("# TYPE vlm_ingest_vehicles_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("vlm_ingest_vehicles_total 7"), std::string::npos);
+  EXPECT_NE(text.find("vlm_decode_workers 4"), std::string::npos);
+  EXPECT_NE(text.find("vlm_kernel_isa_info{value=\"avx2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vlm_period_ingest_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("vlm_period_ingest_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+}
+
+TEST(ExportTest, CsvRowsCarryPeriodAndKind) {
+  const Snapshot snap = sample_snapshot();
+  const std::string rows = to_csv_rows(snap, 2);
+  EXPECT_NE(rows.find("2,counter,ingest/vehicles,,,,,,,7"),
+            std::string::npos);
+  EXPECT_NE(rows.find("2,gauge,decode/workers,"), std::string::npos);
+  EXPECT_NE(rows.find("2,info,kernel/isa,,,,,,,avx2"), std::string::npos);
+  EXPECT_NE(rows.find("2,span,period/ingest,1,1.5,"), std::string::npos);
+  EXPECT_EQ(csv_header(),
+            "period,kind,name,count,total,min,max,p50,p99,value\n");
+}
+
+TEST(ExportTest, ParseExportFormatAcceptsExactlyTheThreeNames) {
+  ExportFormat format = ExportFormat::kCsv;
+  EXPECT_TRUE(parse_export_format("json", format));
+  EXPECT_EQ(format, ExportFormat::kJson);
+  EXPECT_TRUE(parse_export_format("prom", format));
+  EXPECT_EQ(format, ExportFormat::kPrometheus);
+  EXPECT_TRUE(parse_export_format("csv", format));
+  EXPECT_EQ(format, ExportFormat::kCsv);
+  format = ExportFormat::kPrometheus;
+  EXPECT_FALSE(parse_export_format("xml", format));
+  EXPECT_EQ(format, ExportFormat::kPrometheus);  // untouched on failure
+  EXPECT_FALSE(parse_export_format("", format));
+}
+
+TEST(ExportTest, ResolveConfigPrefersCliOverEnvironment) {
+  setenv("VLM_METRICS", "/tmp/env.json", 1);
+  setenv("VLM_METRICS_FORMAT", "csv", 1);
+  const ExportConfig cli = resolve_export_config("/tmp/cli.json", "prom");
+  EXPECT_EQ(cli.path, "/tmp/cli.json");
+  EXPECT_EQ(cli.format, ExportFormat::kPrometheus);
+  const ExportConfig env = resolve_export_config("", "");
+  EXPECT_EQ(env.path, "/tmp/env.json");
+  EXPECT_EQ(env.format, ExportFormat::kCsv);
+  unsetenv("VLM_METRICS");
+  unsetenv("VLM_METRICS_FORMAT");
+  const ExportConfig off = resolve_export_config("", "");
+  EXPECT_TRUE(off.path.empty());
+  EXPECT_EQ(off.format, ExportFormat::kJson);
+}
+
+TEST(ExportTest, UnrecognizedFormatWarnsOnceAndKeepsJson) {
+  testing::internal::CaptureStderr();
+  const ExportConfig first = resolve_export_config("/tmp/x.json", "yaml");
+  const ExportConfig second = resolve_export_config("/tmp/x.json", "yaml");
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(first.format, ExportFormat::kJson);
+  EXPECT_EQ(second.format, ExportFormat::kJson);
+  EXPECT_NE(warnings.find("metrics format 'yaml'"), std::string::npos);
+  // Warn-once: the second resolve with the same bad value stays silent.
+  EXPECT_EQ(warnings.find("yaml"), warnings.rfind("yaml"));
+}
+
+TEST(ExportTest, WriteTextFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/vlm_export_test_metrics.json";
+  EXPECT_TRUE(write_text_file(path, "{\"ok\": true}\n"));
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {};
+  const std::size_t read = std::fread(buffer, 1, sizeof buffer, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "{\"ok\": true}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vlm::obs

@@ -1,0 +1,205 @@
+// Metrics registry: log2 bucket boundaries, quantile interpolation
+// against hand-computed oracles, span nesting, and — under the TSan CI
+// job — exact totals from concurrent writers (the slabs are relaxed
+// atomics; losing an increment would show up here as an off-by-N).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace vlm::obs {
+namespace {
+
+TEST(MetricsTest, BucketBoundariesFollowBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 20) - 1), 20u);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 20), 21u);
+  EXPECT_EQ(Histogram::bucket_of(UINT64_MAX), 64u);
+  // Bounds agree with bucket_of: lower is inclusive, upper exclusive.
+  for (unsigned b = 1; b < 20; ++b) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_lower(b),
+                     static_cast<double>(std::uint64_t{1} << (b - 1)));
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(b),
+                     static_cast<double>(std::uint64_t{1} << b));
+  }
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower(0), 0.0);
+}
+
+TEST(MetricsTest, SummaryCountsTotalsMinMaxExactly) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/values");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.total, 5050.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(MetricsTest, QuantilesMatchRankInterpolationOracle) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/values");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.observe(v);
+  const HistogramSummary s = h.summary();
+  // Hand-computed: cumulative counts per bucket are 1 (b1), 3, 7, 15,
+  // 31, 63 (b6), 100 (b7). p50 target = 50 lands in bucket 6 = [32, 64)
+  // holding 32 observations, 19 past the cumulative 31.
+  EXPECT_DOUBLE_EQ(s.p50, 32.0 + (50.0 - 31.0) / 32.0 * 32.0);
+  // p99 target = 99 lands in bucket 7 = [64, 128) holding 37, 36 past 63.
+  EXPECT_DOUBLE_EQ(s.p99, 64.0 + (99.0 - 63.0) / 37.0 * 64.0);
+}
+
+TEST(MetricsTest, QuantileOfAllZerosIsZero) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/zeros");
+  for (int i = 0; i < 10; ++i) h.observe(0);
+  const HistogramSummary s = h.summary();
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(MetricsTest, NanosecondHistogramsScaleToSeconds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/latency", Unit::kNanoseconds);
+  h.observe(2'000'000'000);  // 2 s
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.unit, Unit::kNanoseconds);
+  EXPECT_DOUBLE_EQ(s.total, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 2.0);
+}
+
+TEST(MetricsTest, RegistryReturnsSameHandleForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("t/count");
+  Counter& b = registry.counter("t/count");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.inc();
+  EXPECT_EQ(a.value(), 4u);
+  EXPECT_NE(&registry.counter("t/other"), &a);
+}
+
+TEST(MetricsTest, SnapshotSortsEverySectionByName) {
+  MetricsRegistry registry;
+  registry.counter("t/zeta").inc();
+  registry.counter("t/alpha").add(2);
+  registry.gauge("t/g2").set(2.0);
+  registry.gauge("t/g1").set(1.0);
+  registry.info("t/isa").set("scalar");
+  registry.histogram("t/h").observe(5);
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "t/alpha");
+  EXPECT_EQ(snap.counters[0].second, 2u);
+  EXPECT_EQ(snap.counters[1].first, "t/zeta");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "t/g1");
+  ASSERT_EQ(snap.info.size(), 1u);
+  EXPECT_EQ(snap.info[0].second, "scalar");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1u);
+}
+
+TEST(MetricsTest, SpanRecordsOnceAndTracksDepth) {
+  MetricsRegistry registry;
+  Histogram& phase_hist = registry.histogram("t/phase", Unit::kNanoseconds);
+  const unsigned base = Span::depth();
+  {
+    Span outer(phase_hist);
+    EXPECT_EQ(Span::depth(), base + 1);
+    {
+      Span inner(phase_hist);
+      EXPECT_EQ(Span::depth(), base + 2);
+    }
+    EXPECT_EQ(Span::depth(), base + 1);
+    EXPECT_GE(outer.finish(), 0.0);
+    EXPECT_EQ(Span::depth(), base);
+    EXPECT_DOUBLE_EQ(outer.finish(), 0.0);  // second finish is a no-op
+  }
+  EXPECT_EQ(phase_hist.summary().count, 2u);  // outer once, inner once
+}
+
+// Concurrency suites run under the TSan CI job; exact totals prove no
+// increment was lost to a race.
+TEST(MetricsConcurrency, CountersSumExactlyAcrossThreads) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("t/concurrent");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kEach = 10'000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kEach; ++i) counter.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kEach);
+}
+
+TEST(MetricsConcurrency, HistogramCountAndTotalExactAcrossThreads) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/concurrent");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kEach = 5'000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kEach; ++i) h.observe(t + 1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, kThreads * kEach);
+  // Sum of t+1 for t in [0, 8) is 36, times kEach observations each.
+  EXPECT_DOUBLE_EQ(s.total, 36.0 * static_cast<double>(kEach));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+}
+
+TEST(MetricsConcurrency, SpansFromManyThreadsAllRecord) {
+  MetricsRegistry registry;
+  Histogram& phase_hist = registry.histogram("t/span", Unit::kNanoseconds);
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kEach = 250;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&phase_hist] {
+      for (unsigned i = 0; i < kEach; ++i) {
+        const Span span(phase_hist);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(phase_hist.summary().count, kThreads * kEach);
+}
+
+TEST(MetricsConcurrency, RegistrationRacesResolveToOneHandle) {
+  MetricsRegistry registry;
+  constexpr unsigned kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter& c = registry.counter("t/raced");
+      c.inc();
+      seen[t] = &c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (unsigned t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(registry.counter("t/raced").value(), kThreads);
+}
+
+}  // namespace
+}  // namespace vlm::obs

@@ -20,6 +20,9 @@
 #include "core/multi_period.h"
 #include "core/od_matrix.h"
 #include "core/report_validator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_text.h"
 #include "vcps/archive.h"
 
 namespace {
@@ -61,6 +64,11 @@ int main(int argc, char** argv) {
                  "decode threads for --matrix (0 = one per core, 1 = serial; "
                  "any value gives bit-identical estimates)");
   parser.add_string("csv", "", "with --matrix: also write every pair to CSV");
+  parser.add_string("metrics", "",
+                    "write the metrics snapshot here (VLM_METRICS when empty)");
+  parser.add_string("metrics-format", "",
+                    "json|prom|csv (VLM_METRICS_FORMAT when empty; default "
+                    "json)");
   if (!parser.parse(argc, argv)) return 0;
 
   try {
@@ -204,26 +212,7 @@ int main(int argc, char** argv) {
                   flows.size(), table.to_string().c_str());
       std::printf("total estimated pairwise common traffic: %.0f\n",
                   matrix.total_estimated_common());
-      std::printf(
-          "decode: %zu pairs on %u worker(s), %s kernels, %s path, in "
-          "%.1f ms — %.0f pairs/s, %.0f MiB/s scanned\n",
-          decode_stats.pairs_decoded, decode_stats.workers,
-          decode_stats.kernel_isa, decode_stats.path,
-          decode_stats.wall_seconds * 1e3, decode_stats.pairs_per_second(),
-          decode_stats.mib_per_second());
-      if (decode_stats.tile_words > 0) {
-        std::printf(
-            "decode blocking: %zu-word tiles, %zu full-array DRAM passes "
-            "saved\n",
-            decode_stats.tile_words, decode_stats.dram_passes_saved);
-      }
-      std::printf(
-          "decode pool: %llu dispatch(es) this run to %u pooled thread(s), "
-          "%llu lifetime (reused, not respawned)\n",
-          static_cast<unsigned long long>(decode_stats.pool_dispatches),
-          decode_stats.pool_threads,
-          static_cast<unsigned long long>(
-              decode_stats.pool_lifetime_dispatches));
+      std::printf("%s", obs::format_decode_stats(decode_stats).c_str());
       if (!parser.get_string("csv").empty()) {
         common::CsvWriter csv(parser.get_string("csv"),
                               {"rsu_a", "rsu_b", "estimate", "lower", "upper",
@@ -240,6 +229,37 @@ int main(int argc, char** argv) {
         }
         std::printf("wrote %zu pairs to %s\n", flows.size(),
                     parser.get_string("csv").c_str());
+      }
+    }
+
+    // One registry snapshot covering the whole run (decode spans, pool
+    // counters); format/destination shared with vlm_simulate.
+    const obs::ExportConfig metrics_config = obs::resolve_export_config(
+        parser.get_string("metrics"), parser.get_string("metrics-format"));
+    if (!metrics_config.path.empty()) {
+      const obs::Snapshot snapshot = obs::MetricsRegistry::global().snapshot();
+      std::string content;
+      switch (metrics_config.format) {
+        case obs::ExportFormat::kJson: {
+          char extra[64];
+          std::snprintf(extra, sizeof extra, "\"period\": %llu,",
+                        static_cast<unsigned long long>(archive.period));
+          content = obs::to_json(snapshot, extra);
+          content += '\n';
+          break;
+        }
+        case obs::ExportFormat::kPrometheus:
+          content = obs::to_prometheus_text(snapshot);
+          break;
+        case obs::ExportFormat::kCsv:
+          content = obs::csv_header() +
+                    obs::to_csv_rows(snapshot, archive.period);
+          break;
+      }
+      if (obs::write_text_file(metrics_config.path, content)) {
+        std::printf("wrote %s metrics to %s\n",
+                    obs::export_format_name(metrics_config.format),
+                    metrics_config.path.c_str());
       }
     }
     return 0;

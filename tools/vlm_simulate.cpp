@@ -1,13 +1,17 @@
-// vlm_simulate — run one measurement period end to end and archive the
-// RSU reports for offline analysis with vlm_analyze.
+// vlm_simulate — run one or more measurement periods end to end and
+// archive the RSU reports for offline analysis with vlm_analyze.
 //
 //   $ vlm_simulate --network sioux-falls --out period.bin
 //   $ vlm_simulate --network grid --rows 8 --cols 8 --demand 300000 ...
 //   $ vlm_simulate --network zipf --rsus 40 --vehicles 250000 ...
+//   $ vlm_simulate --periods 4 --metrics metrics.json        # phase trace
 //
 // The tool drives the FULL protocol (certificates, queries, replies,
 // serialized reports) through vcps::VcpsSimulation, so the archive is
-// exactly what a deployment's central server would hold.
+// exactly what a deployment's central server would hold. With --metrics
+// (or VLM_METRICS=<path>) it also writes the obs registry trace: one
+// snapshot per period, counters/spans keyed identically for every worker
+// count, in json, prom, or csv (VLM_METRICS_FORMAT / --metrics-format).
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -15,6 +19,10 @@
 
 #include "common/cli.h"
 #include "common/visited_mask.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_text.h"
 #include "roadnet/assignment.h"
 #include "roadnet/sioux_falls.h"
 #include "roadnet/synthetic_city.h"
@@ -64,16 +72,61 @@ MaterializedTrips materialize_network_workload(
   return out;
 }
 
+// One period's registry state, captured right after end_period() so the
+// exported series is cumulative (and therefore monotone) per metric.
+struct PeriodTrace {
+  std::uint64_t period = 0;
+  double wall_seconds = 0.0;
+  obs::Snapshot snapshot;
+};
+
+void write_metrics(const obs::ExportConfig& config, unsigned workers,
+                   const std::vector<PeriodTrace>& traces) {
+  if (config.path.empty() || traces.empty()) return;
+  std::string content;
+  switch (config.format) {
+    case obs::ExportFormat::kJson: {
+      content = "{\n \"tool\": \"vlm_simulate\",\n \"workers\": " +
+                std::to_string(workers) + ",\n \"periods\": [";
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        char extra[96];
+        std::snprintf(extra, sizeof extra,
+                      "\"period\": %llu,\n  \"period_wall_seconds\": %.9g,",
+                      static_cast<unsigned long long>(traces[i].period),
+                      traces[i].wall_seconds);
+        content += i == 0 ? "\n " : ",\n ";
+        content += obs::to_json(traces[i].snapshot, extra, 2);
+      }
+      content += "\n ]\n}\n";
+      break;
+    }
+    case obs::ExportFormat::kPrometheus:
+      content = obs::to_prometheus_text(traces.back().snapshot);
+      break;
+    case obs::ExportFormat::kCsv:
+      content = obs::csv_header();
+      for (const PeriodTrace& trace : traces) {
+        content += obs::to_csv_rows(trace.snapshot, trace.period);
+      }
+      break;
+  }
+  if (obs::write_text_file(config.path, content)) {
+    std::printf("wrote %s metrics (%zu period(s)) to %s\n",
+                obs::export_format_name(config.format), traces.size(),
+                config.path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   common::ArgParser parser("vlm_simulate",
-                           "simulate one measurement period and archive it");
+                           "simulate measurement periods and archive them");
   parser.add_string("network", "sioux-falls",
                     "'sioux-falls', 'grid', 'zipf', or 'tntp'");
   parser.add_string("net-file", "", "TNTP network file (network=tntp)");
   parser.add_string("trips-file", "", "TNTP trips file (network=tntp)");
-  parser.add_string("out", "period.bin", "archive output path");
+  parser.add_string("out", "period.bin", "archive output path (last period)");
   parser.add_string("scheme", "vlm", "'vlm' or 'fbm'");
   parser.add_int("s", 2, "logical bit array size");
   parser.add_double("load-factor", 8.0, "VLM load factor f̄");
@@ -86,6 +139,13 @@ int main(int argc, char** argv) {
   parser.add_int("vehicles", 200'000, "vehicle count (zipf workload)");
   parser.add_int("seed", 1, "simulation seed");
   parser.add_int("workers", 0, "ingest worker threads (0 = one per core)");
+  parser.add_int("periods", 1, "measurement periods to simulate");
+  parser.add_string("metrics", "",
+                    "write the metrics/phase trace here (VLM_METRICS when "
+                    "empty)");
+  parser.add_string("metrics-format", "",
+                    "json|prom|csv (VLM_METRICS_FORMAT when empty; default "
+                    "json)");
   if (!parser.parse(argc, argv)) return 0;
 
   try {
@@ -104,9 +164,20 @@ int main(int argc, char** argv) {
 
     const unsigned workers =
         static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
+    const auto periods = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, parser.get_int("periods")));
+    const obs::ExportConfig metrics_config = obs::resolve_export_config(
+        parser.get_string("metrics"), parser.get_string("metrics-format"));
     const std::string network = parser.get_string("network");
+
+    // Workload setup happens entirely BEFORE the period loop, so the
+    // per-period phase spans (period/begin + period/ingest +
+    // period/close) tile the measured wall time of each period.
     std::unique_ptr<vcps::VcpsSimulation> sim;
-    vcps::IngestStats ingest;
+    std::unique_ptr<traffic::MultiRsuWorkload> zipf_workload;
+    MaterializedTrips trips_flat;
+    vcps::ItineraryProvider itinerary;
+    std::uint64_t vehicles_per_period = 0;
     if (network == "zipf") {
       traffic::MultiRsuConfig workload_config;
       workload_config.rsu_count =
@@ -114,33 +185,32 @@ int main(int argc, char** argv) {
       workload_config.vehicle_count =
           static_cast<std::uint64_t>(parser.get_int("vehicles"));
       workload_config.seed = seed;
-      traffic::MultiRsuWorkload workload(workload_config);
-      workload.for_each_vehicle(
+      zipf_workload =
+          std::make_unique<traffic::MultiRsuWorkload>(workload_config);
+      zipf_workload->for_each_vehicle(
           [](std::uint64_t, std::span<const std::uint32_t>) {});
       std::vector<vcps::RsuSite> sites;
       for (std::size_t r = 0; r < workload_config.rsu_count; ++r) {
         sites.push_back(vcps::RsuSite{
             core::RsuId{r + 1},
-            static_cast<double>(workload.node_volumes()[r])});
+            static_cast<double>(zipf_workload->node_volumes()[r])});
       }
       sim = std::make_unique<vcps::VcpsSimulation>(config, sites);
-      sim->begin_period();
       // Zipf itineraries are splittable (pure per-vehicle RNG), so the
       // sharded engine generates them directly inside each worker.
       const std::size_t rsu_count = workload_config.rsu_count;
-      ingest = sim->drive_vehicles(
-          workload_config.vehicle_count,
-          [&workload, rsu_count](std::uint64_t v,
-                                 std::vector<std::size_t>& positions) {
-            thread_local common::VisitedMask visited(0);
-            thread_local std::vector<std::uint32_t> rsus;
-            if (visited.universe_size() != rsu_count) {
-              visited = common::VisitedMask(rsu_count);
-            }
-            workload.itinerary(v, visited, rsus);
-            positions.assign(rsus.begin(), rsus.end());
-          },
-          workers);
+      const traffic::MultiRsuWorkload* workload = zipf_workload.get();
+      itinerary = [workload, rsu_count](std::uint64_t v,
+                                        std::vector<std::size_t>& positions) {
+        thread_local common::VisitedMask visited(0);
+        thread_local std::vector<std::uint32_t> rsus;
+        if (visited.universe_size() != rsu_count) {
+          visited = common::VisitedMask(rsu_count);
+        }
+        workload->itinerary(v, visited, rsus);
+        positions.assign(rsus.begin(), rsus.end());
+      };
+      vehicles_per_period = workload_config.vehicle_count;
     } else {
       roadnet::Graph graph;
       roadnet::TripTable trips(2);
@@ -173,38 +243,47 @@ int main(int argc, char** argv) {
                                       assignment.expected_node_volume(n)});
       }
       sim = std::make_unique<vcps::VcpsSimulation>(config, sites);
-      sim->begin_period();
-      const MaterializedTrips trips_flat =
+      trips_flat =
           materialize_network_workload(assignment, graph.node_count(), seed);
-      ingest = sim->drive_vehicles(trips_flat.vehicle_count(),
-                                   trips_flat.provider(), workers);
+      itinerary = trips_flat.provider();
+      vehicles_per_period = trips_flat.vehicle_count();
     }
-    sim->end_period();
 
-    // Archive every RSU's report.
+    vcps::IngestStats ingest;
+    std::vector<PeriodTrace> traces;
+    traces.reserve(periods);
+    for (std::uint64_t p = 0; p < periods; ++p) {
+      const obs::Stopwatch period_wall;
+      sim->begin_period();
+      ingest = sim->drive_vehicles(vehicles_per_period, itinerary, workers);
+      sim->end_period();
+      PeriodTrace trace;
+      trace.period = sim->current_period();
+      trace.wall_seconds = period_wall.seconds();
+      if (!metrics_config.path.empty()) {
+        trace.snapshot = obs::MetricsRegistry::global().snapshot();
+      }
+      traces.push_back(std::move(trace));
+    }
+
+    // Archive every RSU's report for the final period.
     vcps::PeriodArchive archive;
     archive.period = sim->current_period();
     for (std::size_t r = 0; r < sim->rsu_count(); ++r) {
       archive.reports.push_back(sim->rsu(r).make_report(archive.period));
     }
     vcps::save_archive(parser.get_string("out"), archive);
-    std::printf("simulated %llu vehicles across %zu RSUs; wrote %s\n",
-                static_cast<unsigned long long>(sim->vehicles_driven()),
-                sim->rsu_count(), parser.get_string("out").c_str());
-    std::printf("ingest: %u workers, %s kernels, %.1f ms, %.0f vehicles/s\n",
-                ingest.workers, ingest.kernel_isa, ingest.seconds * 1e3,
-                ingest.vehicles_per_second());
     std::printf(
-        "ingest pool: %llu dispatch(es) this run, %llu lifetime (threads "
-        "reused, not respawned)\n",
-        static_cast<unsigned long long>(ingest.pool_dispatches),
-        static_cast<unsigned long long>(ingest.pool_lifetime_dispatches));
-    const vcps::PipelineStats& stats = sim->server().stats();
-    std::printf(
-        "pipeline [%s]: %zu reports ingested, %zu quarantined, ingest "
-        "%.1f ms\n",
-        std::string(sim->scheme().name()).c_str(), stats.reports_ingested,
-        stats.reports_quarantined, stats.ingest_seconds * 1e3);
+        "simulated %llu vehicles across %zu RSUs over %llu period(s); "
+        "wrote %s\n",
+        static_cast<unsigned long long>(sim->vehicles_driven()),
+        sim->rsu_count(), static_cast<unsigned long long>(periods),
+        parser.get_string("out").c_str());
+    std::printf("%s", obs::format_ingest_stats(ingest).c_str());
+    std::printf("%s", obs::format_pipeline_stats(sim->scheme().name(),
+                                                 sim->server().stats())
+                          .c_str());
+    write_metrics(metrics_config, ingest.workers, traces);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
