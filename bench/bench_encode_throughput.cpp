@@ -11,6 +11,10 @@
 //   - "sharded_serial_seconds": drive_vehicles with 1 worker;
 //   - "sharded_parallel_seconds": drive_vehicles with one worker per core
 //     — asserted report-identical (bits AND counters) to both runs above;
+//   - "batch_*": drive_vehicles through the columnar batch pipeline
+//     (IngestMode::kBatch), serial and parallel, with a
+//     "batch_bit_identical_to_serial" flag that covers every checked
+//     worker count;
 //   - "raw_*": the protocol-free encode kernel on the largest RSU.
 // Exits non-zero if any run's reports disagree.
 #include <algorithm>
@@ -98,6 +102,17 @@ int main(int argc, char** argv) {
         positions.assign(rsus.begin(), rsus.end());
       };
 
+  // Native CSR bulk form for the batch runs: one provider call per worker
+  // slice, no per-vehicle std::function hop or positions copy.
+  const vcps::BulkItineraryProvider bulk_provider =
+      [&workload, k](std::uint64_t begin, std::uint64_t end,
+                     std::vector<std::uint32_t>& positions,
+                     std::vector<std::uint64_t>& offsets) {
+        thread_local common::VisitedMask visited(0);
+        if (visited.universe_size() != k) visited = common::VisitedMask(k);
+        workload.itineraries(begin, end, visited, positions, offsets);
+      };
+
   // One full measurement period through the serial vehicle-at-a-time path.
   auto run_serial = [&](double& seconds) {
     auto sim = std::make_unique<vcps::VcpsSimulation>(sim_config, sites);
@@ -116,13 +131,22 @@ int main(int argc, char** argv) {
     return sim;
   };
 
-  // Same period through the sharded engine.
-  auto run_sharded = [&](unsigned w, double& seconds,
+  // Same period through the sharded engine, with the per-slice engine
+  // pinned explicitly so "sharded_*" stays comparable across releases
+  // (always the per-vehicle scalar loop) while "batch_*" measures the
+  // columnar pipeline.
+  // Scalar runs keep the per-vehicle provider for comparability with the
+  // pre-refactor releases; batch runs feed the bulk CSR form the pipeline
+  // is designed around (a test pins that the two forms are bit-identical).
+  auto run_sharded = [&](unsigned w, vcps::IngestMode mode, double& seconds,
                          vcps::IngestStats* stats_out) {
     auto sim = std::make_unique<vcps::VcpsSimulation>(sim_config, sites);
     sim->begin_period();
     const obs::Stopwatch t0;
-    const vcps::IngestStats stats = sim->drive_vehicles(vehicles, provider, w);
+    const vcps::IngestStats stats =
+        mode == vcps::IngestMode::kBatch
+            ? sim->drive_vehicles(vehicles, bulk_provider, w, mode)
+            : sim->drive_vehicles(vehicles, provider, w, mode);
     seconds = t0.seconds();
     sim->end_period();
     if (stats_out != nullptr) *stats_out = stats;
@@ -130,20 +154,35 @@ int main(int argc, char** argv) {
   };
 
   double serial_best = 1e300, sharded_serial_best = 1e300,
-         sharded_parallel_best = 1e300;
-  std::unique_ptr<vcps::VcpsSimulation> serial, sharded1, shardedN;
-  vcps::IngestStats parallel_stats;
+         sharded_parallel_best = 1e300, batch_serial_best = 1e300,
+         batch_parallel_best = 1e300;
+  std::unique_ptr<vcps::VcpsSimulation> serial, sharded1, shardedN, batchN;
+  vcps::IngestStats parallel_stats, batch_stats;
   for (int rep = 0; rep < repeat; ++rep) {
     double s = 0.0;
     serial = run_serial(s);
     serial_best = std::min(serial_best, s);
-    sharded1 = run_sharded(1, s, nullptr);
+    sharded1 = run_sharded(1, vcps::IngestMode::kScalar, s, nullptr);
     sharded_serial_best = std::min(sharded_serial_best, s);
-    shardedN = run_sharded(workers, s, &parallel_stats);
+    shardedN = run_sharded(workers, vcps::IngestMode::kScalar, s,
+                           &parallel_stats);
     sharded_parallel_best = std::min(sharded_parallel_best, s);
+    run_sharded(1, vcps::IngestMode::kBatch, s, nullptr);
+    batch_serial_best = std::min(batch_serial_best, s);
+    batchN = run_sharded(workers, vcps::IngestMode::kBatch, s, &batch_stats);
+    batch_parallel_best = std::min(batch_parallel_best, s);
   }
   const bool identical = reports_identical(*serial, *sharded1) &&
                          reports_identical(*serial, *shardedN);
+
+  // Batch acceptance gate: for EVERY checked worker count, the columnar
+  // engine's reports must equal the serial per-vehicle path bit for bit.
+  bool batch_identical = reports_identical(*serial, *batchN);
+  for (const unsigned w : {1u, 2u, std::max(2u, workers / 2)}) {
+    double s = 0.0;
+    const auto batch_w = run_sharded(w, vcps::IngestMode::kBatch, s, nullptr);
+    batch_identical = batch_identical && reports_identical(*serial, *batch_w);
+  }
 
   // Raw kernel: batch-encode every vehicle against the busiest RSU —
   // serial bit_index + set() vs per-worker bit_indices + set_bulk() into
@@ -204,10 +243,18 @@ int main(int argc, char** argv) {
       " \"speedup_sharded_parallel\": %.2f,\n"
       " \"serial_vehicles_per_second\": %.0f,\n"
       " \"parallel_vehicles_per_second\": %.0f,\n"
+      " \"batch_serial_seconds\": %.6f,\n"
+      " \"batch_parallel_seconds\": %.6f,\n"
+      " \"speedup_batch_serial\": %.2f,\n"
+      " \"speedup_batch_parallel\": %.2f,\n"
+      " \"batch_vehicles_per_second\": %.0f,\n"
+      " \"batch_stage_seconds\": {\"materialize\": %.6f, \"hash\": %.6f, "
+      "\"channel\": %.6f, \"scatter\": %.6f},\n"
       " \"raw_encode_serial_seconds\": %.6f,\n"
       " \"raw_encode_parallel_seconds\": %.6f,\n"
       " \"raw_encode_parallel_vehicles_per_second\": %.0f,\n"
       " \"reports_bit_identical\": %s,\n"
+      " \"batch_bit_identical_to_serial\": %s,\n"
       " \"raw_bits_identical\": %s,\n"
       " \"metrics\": %s}\n",
       k, static_cast<unsigned long long>(vehicles), parallel_stats.workers,
@@ -215,9 +262,14 @@ int main(int argc, char** argv) {
       parallel_stats.kernel_isa, serial_best,
       sharded_serial_best, sharded_parallel_best,
       serial_best / sharded_serial_best, serial_best / sharded_parallel_best,
-      per_sec(serial_best), per_sec(sharded_parallel_best), raw_serial_best,
-      raw_parallel_best, per_sec(raw_parallel_best),
-      identical ? "true" : "false", raw_identical ? "true" : "false",
+      per_sec(serial_best), per_sec(sharded_parallel_best), batch_serial_best,
+      batch_parallel_best, serial_best / batch_serial_best,
+      serial_best / batch_parallel_best, per_sec(batch_parallel_best),
+      batch_stats.materialize_seconds, batch_stats.hash_seconds,
+      batch_stats.channel_seconds, batch_stats.scatter_seconds,
+      raw_serial_best, raw_parallel_best, per_sec(raw_parallel_best),
+      identical ? "true" : "false", batch_identical ? "true" : "false",
+      raw_identical ? "true" : "false",
       obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
-  return identical && raw_identical ? 0 : 1;
+  return identical && batch_identical && raw_identical ? 0 : 1;
 }

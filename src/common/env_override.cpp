@@ -1,0 +1,51 @@
+#include "common/env_override.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace vlm::common {
+
+namespace {
+
+// Emits the unrecognized-value warning at most once per (var, value)
+// pair for the life of the process (same convention as the logging and
+// metrics-export resolvers).
+bool first_sighting(const char* var, const char* text) {
+  static std::mutex mutex;
+  static auto* seen = new std::set<std::string>();  // leaked: process-lifetime
+  const std::lock_guard<std::mutex> lock(mutex);
+  return seen->insert(std::string(var) + "=" + text).second;
+}
+
+}  // namespace
+
+int parse_env_enum_text(const char* var, const char* text,
+                        std::span<const EnvEnumChoice> choices, int fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  for (const EnvEnumChoice& choice : choices) {
+    if (std::strcmp(text, choice.name) == 0) return choice.value;
+  }
+  if (first_sighting(var, text)) {
+    std::string accepted;
+    for (const EnvEnumChoice& choice : choices) {
+      if (!accepted.empty()) accepted += '|';
+      accepted += choice.name;
+    }
+    std::fprintf(stderr,
+                 "vlm: warning: %s='%s' is not one of %s; keeping the "
+                 "default\n",
+                 var, text, accepted.c_str());
+  }
+  return fallback;
+}
+
+int parse_env_enum(const char* var, std::span<const EnvEnumChoice> choices,
+                   int fallback) {
+  return parse_env_enum_text(var, std::getenv(var), choices, fallback);
+}
+
+}  // namespace vlm::common

@@ -4,25 +4,6 @@
 
 namespace vlm::common {
 
-std::uint64_t splitmix64_next(std::uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ull;
-  return mix64(state);
-}
-
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
-std::uint64_t hash_to_range(std::uint64_t x, std::uint64_t bound) {
-  VLM_REQUIRE(bound > 0, "hash range bound must be positive");
-  return mix64(x) % bound;
-}
-
 SaltArray::SaltArray(std::size_t count, std::uint64_t seed) {
   VLM_REQUIRE(count > 0, "salt array must hold at least one salt");
   salts_.reserve(count);

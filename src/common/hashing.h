@@ -9,25 +9,45 @@
 // range; all of the paper's probabilistic analysis only needs H to behave
 // uniformly, which these mixers do to measurable accuracy (see
 // tests/common/hashing_test.cpp for chi-square checks).
+// The primitives are header-inline: mix64 sits inside every per-exchange
+// loop in the system (encoder slots, channel draws, vehicle identities),
+// and a cross-TU call per hash measurably caps batch-ingest throughput.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/require.h"
+
 namespace vlm::common {
+
+// Stateless avalanche mix of a 64-bit value (the finalizer of splitmix64).
+// This is the paper's H before range reduction. The SIMD kernels carry a
+// lane-parallel copy (kernel_impl.h mix64_inline); the fuzz suites pin
+// the two bit-for-bit equal.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
 
 // SplitMix64 step: advances `state` and returns a mixed 64-bit value.
 // Used for seeding and for deriving per-entity keys.
-std::uint64_t splitmix64_next(std::uint64_t& state);
-
-// Stateless avalanche mix of a 64-bit value (the finalizer of splitmix64).
-// This is the paper's H before range reduction.
-std::uint64_t mix64(std::uint64_t x);
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  return mix64(state);
+}
 
 // Hash a 64-bit value into [0, bound). bound must be positive. Uses the
 // full mixed value modulo bound; for power-of-two bounds (the only bounds
 // the schemes use) this is an exact uniform reduction of the low bits.
-std::uint64_t hash_to_range(std::uint64_t x, std::uint64_t bound);
+inline std::uint64_t hash_to_range(std::uint64_t x, std::uint64_t bound) {
+  VLM_REQUIRE(bound > 0, "hash range bound must be positive");
+  return mix64(x) % bound;
+}
 
 // The public salt array X of the paper: `s` random 64-bit constants shared
 // by every vehicle, generated deterministically from a seed so that
@@ -38,6 +58,9 @@ class SaltArray {
 
   std::size_t size() const { return salts_.size(); }
   std::uint64_t operator[](std::size_t i) const;
+
+  // Contiguous salt storage for the batch encode kernel's gather loads.
+  const std::uint64_t* data() const { return salts_.data(); }
 
  private:
   std::vector<std::uint64_t> salts_;

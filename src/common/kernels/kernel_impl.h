@@ -15,6 +15,38 @@
 
 namespace vlm::common::kernels::detail {
 
+// splitmix64 finalizer, bit-for-bit common::mix64 (asserted by the
+// encoder unit tests). Re-stated here as an inline so the kernel TUs —
+// which must stay self-contained and call-free in their inner loops —
+// do not depend on the out-of-line common/hashing.cpp definition.
+inline std::uint64_t mix64_inline(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Scalar reference for the batch bit-index encode over [begin, end) —
+// the exact semantics every vector variant must reproduce, and the
+// fallback they defer to for non-power-of-two slot counts (the modulo
+// defeats lane-wise folding; power-of-two sizing never produces them).
+inline void encode_batch_tail(const std::uint64_t* masked_keys,
+                              std::size_t begin, std::size_t end,
+                              std::uint64_t slot_input,
+                              const std::uint64_t* salts,
+                              std::uint64_t slot_count,
+                              std::uint64_t fold_mask, std::size_t* out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint64_t key = masked_keys[i];
+    const std::uint64_t salt =
+        slot_count == 1 ? salts[0]
+                        : salts[mix64_inline(key ^ slot_input) % slot_count];
+    out[i] = static_cast<std::size_t>(mix64_inline(key ^ salt) & fold_mask);
+  }
+}
+
 // Validate-then-scatter: no word is touched unless every index is in
 // range, so a rejected batch leaves the array (and its cached ones
 // count) consistent.

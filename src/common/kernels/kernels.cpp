@@ -4,9 +4,8 @@
 #include "common/kernels/kernels.h"
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
+#include "common/env_override.h"
 #include "common/require.h"
 
 namespace vlm::common::kernels {
@@ -41,43 +40,31 @@ const KernelTable* compiled_table(Isa isa) {
   return nullptr;
 }
 
-bool parse_isa(const char* text, Isa& out) {
-  if (std::strcmp(text, "scalar") == 0) {
-    out = Isa::kScalar;
-  } else if (std::strcmp(text, "avx2") == 0) {
-    out = Isa::kAvx2;
-  } else if (std::strcmp(text, "avx512") == 0) {
-    out = Isa::kAvx512;
-  } else {
-    return false;
-  }
-  return true;
-}
-
 const KernelTable& select_active() {
   Isa chosen = Isa::kScalar;
   if (available(Isa::kAvx2)) chosen = Isa::kAvx2;
   if (available(Isa::kAvx512)) chosen = Isa::kAvx512;
-  const char* env = std::getenv("VLM_KERNELS");
-  if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
-    Isa requested = Isa::kScalar;
-    if (!parse_isa(env, requested)) {
-      std::fprintf(stderr,
-                   "vlm: warning: VLM_KERNELS='%s' is not one of "
-                   "scalar|avx2|avx512|auto; using %s\n",
-                   env, isa_name(chosen));
-    } else if (!available(requested)) {
+  // "auto" maps to the unset sentinel: both keep the best available ISA.
+  static constexpr common::EnvEnumChoice kChoices[] = {
+      {"scalar", static_cast<int>(Isa::kScalar)},
+      {"avx2", static_cast<int>(Isa::kAvx2)},
+      {"avx512", static_cast<int>(Isa::kAvx512)},
+      {"auto", -1}};
+  const int parsed = common::parse_env_enum("VLM_KERNELS", kChoices, -1);
+  if (parsed >= 0) {
+    const Isa requested = static_cast<Isa>(parsed);
+    if (available(requested)) {
+      chosen = requested;
+    } else {
       // Fall back instead of crashing so one exported value works
       // across a heterogeneous CI fleet.
       std::fprintf(stderr,
                    "vlm: warning: VLM_KERNELS=%s is unavailable on this host "
                    "(%s); using %s\n",
-                   env,
+                   isa_name(requested),
                    compiled(requested) ? "CPU lacks the feature"
                                        : "variant not compiled in",
                    isa_name(chosen));
-    } else {
-      chosen = requested;
     }
   }
   return *compiled_table(chosen);

@@ -2,8 +2,8 @@
 //
 // The word-level loops that dominate both the decode pipeline
 // (joint_zero_counts for Eq. 5, per pair and cache-blocked batch) and the
-// sharded ingest engine (shard OR-merge, bulk set + recount) are hoisted
-// here behind a per-ISA
+// sharded ingest engine (batch bit-index hashing, shard OR-merge, bulk
+// set + recount) are hoisted here behind a per-ISA
 // dispatch table: a portable scalar baseline that every build carries,
 // plus AVX2 (nibble-LUT popcount) and AVX-512-VPOPCNTDQ variants that
 // are compiled only when the toolchain supports the flags and selected
@@ -81,6 +81,21 @@ struct KernelTable {
   std::size_t (*set_scatter)(std::uint64_t* words, std::size_t bit_count,
                              const std::size_t* indices,
                              std::size_t n_indices);
+
+  // Batch bit-index encode — the vehicle-side hash of Section IV-B over
+  // a whole exchange slice. For each masked key k = masked_keys[i]:
+  //     slot   = mix64(k ^ slot_input) % slot_count   (skipped when
+  //              slot_count == 1: salts[0] serves every lane)
+  //     out[i] = mix64(k ^ salts[slot]) & fold_mask
+  // with mix64 the splitmix64 finalizer, bit-for-bit common::mix64. The
+  // SIMD variants vectorize the power-of-two slot_count the sizing
+  // policy produces (modulo becomes an AND, salts via gather) and defer
+  // other counts to the scalar reference, so every variant is exact for
+  // every input — asserted by the differential fuzz suite.
+  void (*encode_batch)(const std::uint64_t* masked_keys, std::size_t n,
+                       std::uint64_t slot_input, const std::uint64_t* salts,
+                       std::uint64_t slot_count, std::uint64_t fold_mask,
+                       std::size_t* out);
 };
 
 // Human-readable ISA name ("scalar", "avx2", "avx512").

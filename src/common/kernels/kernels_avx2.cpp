@@ -173,13 +173,81 @@ std::size_t set_scatter_avx2(std::uint64_t* words, std::size_t bit_count,
   return pop_block(words, (bit_count + 63) / 64);
 }
 
+// 64x64 -> low 64 multiply. AVX2 has no vpmullq, so build it from 32-bit
+// partial products: lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+// The hi*hi term only feeds bits >= 64 and is dropped.
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+// Four lanes of the splitmix64 finalizer — bit-for-bit common::mix64.
+inline __m256i mix64x4(__m256i x) {
+  const __m256i m1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xBF58476D1CE4E5B9ull));
+  const __m256i m2 = _mm256_set1_epi64x(
+      static_cast<long long>(0x94D049BB133111EBull));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+  x = mullo64(x, m1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  x = mullo64(x, m2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+void encode_batch_avx2(const std::uint64_t* masked_keys, std::size_t n,
+                       std::uint64_t slot_input, const std::uint64_t* salts,
+                       std::uint64_t slot_count, std::uint64_t fold_mask,
+                       std::size_t* out) {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t));
+  if (slot_count != 1 && (slot_count & (slot_count - 1)) != 0) {
+    // Non-power-of-two s: the slot modulo defeats lane-wise folding and
+    // the sizing policy never produces it; scalar keeps it exact.
+    detail::encode_batch_tail(masked_keys, 0, n, slot_input, salts,
+                              slot_count, fold_mask, out);
+    return;
+  }
+  const __m256i vfold = _mm256_set1_epi64x(static_cast<long long>(fold_mask));
+  std::size_t i = 0;
+  if (slot_count == 1) {
+    const __m256i vsalt =
+        _mm256_set1_epi64x(static_cast<long long>(salts[0]));
+    for (; i + 4 <= n; i += 4) {
+      const __m256i key = load256(masked_keys + i);
+      const __m256i bits = _mm256_and_si256(
+          mix64x4(_mm256_xor_si256(key, vsalt)), vfold);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), bits);
+    }
+  } else {
+    const __m256i vslot_input =
+        _mm256_set1_epi64x(static_cast<long long>(slot_input));
+    const __m256i vslot_mask =
+        _mm256_set1_epi64x(static_cast<long long>(slot_count - 1));
+    for (; i + 4 <= n; i += 4) {
+      const __m256i key = load256(masked_keys + i);
+      const __m256i slot = _mm256_and_si256(
+          mix64x4(_mm256_xor_si256(key, vslot_input)), vslot_mask);
+      const __m256i salt = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(salts), slot, 8);
+      const __m256i bits = _mm256_and_si256(
+          mix64x4(_mm256_xor_si256(key, salt)), vfold);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), bits);
+    }
+  }
+  detail::encode_batch_tail(masked_keys, i, n, slot_input, salts, slot_count,
+                            fold_mask, out);
+}
+
 }  // namespace
 
 const KernelTable* detail::avx2_table() {
   static const KernelTable table{Isa::kAvx2, "avx2", popcount_avx2,
                                  or_popcount_cyclic_avx2,
                                  or_popcount_cyclic_batch_avx2, merge_or_avx2,
-                                 set_scatter_avx2};
+                                 set_scatter_avx2, encode_batch_avx2};
   return &table;
 }
 

@@ -183,13 +183,103 @@ std::size_t set_scatter_avx512(std::uint64_t* words, std::size_t bit_count,
   return pop_block(words, (bit_count + 63) / 64);
 }
 
+// 64x64 -> low 64 multiply from 32-bit partial products. vpmullq needs
+// AVX-512DQ, which this TU deliberately does not require (the dispatch
+// gate checks F + VPOPCNTDQ only), so the emulation keeps the feature
+// set unchanged: lo*lo + ((lo*hi + hi*lo) << 32), hi*hi dropped.
+inline __m512i mullo64(__m512i a, __m512i b) {
+  const __m512i a_hi = _mm512_srli_epi64(a, 32);
+  const __m512i b_hi = _mm512_srli_epi64(b, 32);
+  const __m512i lo = _mm512_mul_epu32(a, b);
+  const __m512i cross =
+      _mm512_add_epi64(_mm512_mul_epu32(a, b_hi), _mm512_mul_epu32(a_hi, b));
+  return _mm512_add_epi64(lo, _mm512_slli_epi64(cross, 32));
+}
+
+// Eight lanes of the splitmix64 finalizer — bit-for-bit common::mix64.
+inline __m512i mix64x8(__m512i x) {
+  const __m512i m1 = _mm512_set1_epi64(
+      static_cast<long long>(0xBF58476D1CE4E5B9ull));
+  const __m512i m2 = _mm512_set1_epi64(
+      static_cast<long long>(0x94D049BB133111EBull));
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 30));
+  x = mullo64(x, m1);
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 27));
+  x = mullo64(x, m2);
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+void encode_batch_avx512(const std::uint64_t* masked_keys, std::size_t n,
+                         std::uint64_t slot_input, const std::uint64_t* salts,
+                         std::uint64_t slot_count, std::uint64_t fold_mask,
+                         std::size_t* out) {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t));
+  if (slot_count != 1 && (slot_count & (slot_count - 1)) != 0) {
+    // Non-power-of-two s: the slot modulo defeats lane-wise folding and
+    // the sizing policy never produces it; scalar keeps it exact.
+    detail::encode_batch_tail(masked_keys, 0, n, slot_input, salts,
+                              slot_count, fold_mask, out);
+    return;
+  }
+  const __m512i vfold = _mm512_set1_epi64(static_cast<long long>(fold_mask));
+  const __m512i vsalt0 = _mm512_set1_epi64(static_cast<long long>(salts[0]));
+  const __m512i vslot_input =
+      _mm512_set1_epi64(static_cast<long long>(slot_input));
+  const __m512i vslot_mask =
+      _mm512_set1_epi64(static_cast<long long>(slot_count - 1));
+  const bool single_slot = slot_count == 1;
+  // s <= 8 (every sizing policy in the tree): the whole salt table fits
+  // one register, so the per-lane lookup is a vpermq instead of a
+  // vpgatherqq — the gather costs more than the second mix64 round.
+  const bool salts_in_register = slot_count <= 8;
+  __m512i vsalts = _mm512_setzero_si512();
+  if (!single_slot && salts_in_register) {
+    alignas(64) std::uint64_t padded[8] = {};
+    for (std::uint64_t sl = 0; sl < slot_count; ++sl) padded[sl] = salts[sl];
+    vsalts = _mm512_load_si512(padded);
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i key = load512(masked_keys + i);
+    __m512i salt = vsalt0;
+    if (!single_slot) {
+      const __m512i slot = _mm512_and_si512(
+          mix64x8(_mm512_xor_si512(key, vslot_input)), vslot_mask);
+      salt = salts_in_register ? _mm512_permutexvar_epi64(slot, vsalts)
+                               : _mm512_i64gather_epi64(slot, salts, 8);
+    }
+    const __m512i bits =
+        _mm512_and_si512(mix64x8(_mm512_xor_si512(key, salt)), vfold);
+    _mm512_storeu_si512(reinterpret_cast<void*>(out + i), bits);
+  }
+  if (i < n) {
+    const __mmask8 mask = tail_mask(n - i);
+    const __m512i key = _mm512_maskz_loadu_epi64(mask, masked_keys + i);
+    __m512i salt = vsalt0;
+    if (!single_slot) {
+      // Masked-off lanes hold key 0 — their slot index is still in
+      // range, and neither lookup reads beyond the table for them.
+      const __m512i slot = _mm512_and_si512(
+          mix64x8(_mm512_xor_si512(key, vslot_input)), vslot_mask);
+      salt = salts_in_register
+                 ? _mm512_permutexvar_epi64(slot, vsalts)
+                 : _mm512_mask_i64gather_epi64(_mm512_setzero_si512(), mask,
+                                               slot, salts, 8);
+    }
+    const __m512i bits =
+        _mm512_and_si512(mix64x8(_mm512_xor_si512(key, salt)), vfold);
+    _mm512_mask_storeu_epi64(out + i, mask, bits);
+  }
+}
+
 }  // namespace
 
 const KernelTable* detail::avx512_table() {
   static const KernelTable table{Isa::kAvx512, "avx512", popcount_avx512,
                                  or_popcount_cyclic_avx512,
                                  or_popcount_cyclic_batch_avx512,
-                                 merge_or_avx512, set_scatter_avx512};
+                                 merge_or_avx512, set_scatter_avx512,
+                                 encode_batch_avx512};
   return &table;
 }
 

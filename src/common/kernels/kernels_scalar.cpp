@@ -71,13 +71,22 @@ std::size_t set_scatter_scalar(std::uint64_t* words, std::size_t bit_count,
   return detail::popcount_tail(words, 0, (bit_count + 63) / 64);
 }
 
+void encode_batch_scalar(const std::uint64_t* masked_keys, std::size_t n,
+                         std::uint64_t slot_input, const std::uint64_t* salts,
+                         std::uint64_t slot_count, std::uint64_t fold_mask,
+                         std::size_t* out) {
+  detail::encode_batch_tail(masked_keys, 0, n, slot_input, salts, slot_count,
+                            fold_mask, out);
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() {
   static const KernelTable table{Isa::kScalar, "scalar", popcount_scalar,
                                  or_popcount_cyclic_scalar,
                                  or_popcount_cyclic_batch_scalar,
-                                 merge_or_scalar, set_scatter_scalar};
+                                 merge_or_scalar, set_scatter_scalar,
+                                 encode_batch_scalar};
   return table;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -50,6 +51,19 @@ PoolMetrics& pool_metrics() {
 
 unsigned default_worker_count() {
   return std::max(1u, std::thread::hardware_concurrency());
+}
+
+unsigned resolve_worker_count(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned resolved = default_worker_count();
+  static const bool noted = [resolved] {
+    std::fprintf(stderr,
+                 "vlm: note: --workers not set; using one per core (%u)\n",
+                 resolved);
+    return true;
+  }();
+  (void)noted;
+  return resolved;
 }
 
 struct WorkerPool::State {

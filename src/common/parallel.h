@@ -28,6 +28,14 @@ namespace vlm::common {
 // at 1).
 unsigned default_worker_count();
 
+// CLI-facing resolution of a requested worker count: nonzero passes
+// through, 0 (the "unset" flag value) maps to default_worker_count()
+// with a warn-once stderr note saying what was picked — so a user who
+// left --workers unset sees the machine-wide default being applied
+// instead of silently getting some implicit count (same warn-once style
+// as the VLM_KERNELS fallback).
+unsigned resolve_worker_count(unsigned requested);
+
 // Runs body(i) for every i in [0, count), distributed over `workers`
 // threads (contiguous slices). workers == 1 runs inline.
 void parallel_for(std::size_t count, unsigned workers,

@@ -1,68 +1,10 @@
 #include "common/rng.h"
 
-#include <bit>
-
-#include "common/hashing.h"
-#include "common/require.h"
-
 namespace vlm::common {
 
-Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
-  // Seed expansion via splitmix64, per the xoshiro authors' recommendation.
-  std::uint64_t s = seed;
-  for (auto& word : state_) {
-    word = splitmix64_next(s);
-  }
-  // An all-zero state is the one fixed point; splitmix64 cannot produce
-  // four zero outputs in a row, but guard anyway.
-  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
-    state_[0] = 0x9E3779B97F4A7C15ull;
-  }
-}
-
-std::uint64_t Xoshiro256ss::next() {
-  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = std::rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Xoshiro256ss::uniform(std::uint64_t bound) {
-  VLM_REQUIRE(bound > 0, "uniform bound must be positive");
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  auto mul = [&](std::uint64_t x) {
-    return static_cast<unsigned __int128>(x) *
-           static_cast<unsigned __int128>(bound);
-  };
-  unsigned __int128 m = mul(next());
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      m = mul(next());
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
-double Xoshiro256ss::uniform_double() {
-  // 53 high bits -> [0, 1) with full double precision.
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Xoshiro256ss::bernoulli(double p) {
-  VLM_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
-  return uniform_double() < p;
-}
-
 Xoshiro256ss Xoshiro256ss::fork(std::uint64_t stream_id) {
-  return Xoshiro256ss(mix64(state_[0] ^ mix64(stream_id ^ 0xA5A5A5A5A5A5A5A5ull)));
+  return Xoshiro256ss(
+      mix64(state_[0] ^ mix64(stream_id ^ 0xA5A5A5A5A5A5A5A5ull)));
 }
 
 }  // namespace vlm::common

@@ -3,10 +3,20 @@
 // Self-contained xoshiro256** implementation (Blackman & Vigna). Every
 // experiment harness takes an explicit seed so that paper figures are
 // regenerated bit-for-bit across runs.
+//
+// Construction and the draw methods are header-inline on purpose: the
+// workload generators build one generator per vehicle and take only a
+// handful of draws from it, so a cross-TU call per draw measurably caps
+// the batch-ingest materialize stage. Inlining changes zero outputs —
+// same state transitions, same values.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+
+#include "common/hashing.h"
+#include "common/require.h"
 
 namespace vlm::common {
 
@@ -14,9 +24,32 @@ class Xoshiro256ss {
  public:
   using result_type = std::uint64_t;
 
-  explicit Xoshiro256ss(std::uint64_t seed);
+  explicit Xoshiro256ss(std::uint64_t seed) {
+    // Seed expansion via splitmix64, per the xoshiro authors'
+    // recommendation.
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      word = splitmix64_next(s);
+    }
+    // An all-zero state is the one fixed point; splitmix64 cannot produce
+    // four zero outputs in a row, but guard anyway.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+      state_[0] = 0x9E3779B97F4A7C15ull;
+    }
+  }
 
-  std::uint64_t next();
+  std::uint64_t next() {
+    const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = std::rotl(state_[3], 45);
+    return result;
+  }
 
   // UniformRandomBitGenerator interface so <random> distributions work too.
   std::uint64_t operator()() { return next(); }
@@ -24,17 +57,40 @@ class Xoshiro256ss {
   static constexpr std::uint64_t max() { return ~std::uint64_t{0}; }
 
   // Uniform integer in [0, bound). bound must be positive. Uses Lemire's
-  // multiply-shift rejection method (unbiased).
-  std::uint64_t uniform(std::uint64_t bound);
+  // nearly-divisionless multiply-shift rejection method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound) {
+    VLM_REQUIRE(bound > 0, "uniform bound must be positive");
+    auto mul = [&](std::uint64_t x) {
+      return static_cast<unsigned __int128>(x) *
+             static_cast<unsigned __int128>(bound);
+    };
+    unsigned __int128 m = mul(next());
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = mul(next());
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform double in [0, 1).
-  double uniform_double();
+  double uniform_double() {
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   // Bernoulli draw with success probability p in [0, 1].
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    VLM_REQUIRE(p >= 0.0 && p <= 1.0,
+                "bernoulli probability must be in [0,1]");
+    return uniform_double() < p;
+  }
 
   // Forks an independent stream (for per-entity generators) by mixing the
-  // current state with `stream_id`.
+  // current state with `stream_id`. Out of line: nowhere near a hot loop.
   Xoshiro256ss fork(std::uint64_t stream_id);
 
  private:

@@ -1,0 +1,57 @@
+// std::vector without the resize() memset, for buffers that are always
+// fully overwritten before being read.
+//
+// vector<T>::resize value-initializes every new element — a full memset
+// pass over the buffer. For the ingest pipeline's bucket columns that
+// pass is pure waste: the columns are sized exactly by a counting pass
+// and then every slot is written through a cursor (or by a batch
+// kernel), so tens of MB per worker per period would be zeroed only to
+// be overwritten. UninitAllocator makes default-construction of
+// trivially-constructible elements a no-op, turning resize() into a pure
+// size bump (plus allocation when capacity grows).
+//
+// Only safe when every element in [0, size()) is written before it is
+// read — the call sites must guarantee that, exactly as they would for a
+// raw `new T[n]` buffer.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vlm::common {
+
+template <typename T, typename Base = std::allocator<T>>
+class UninitAllocator : public Base {
+ public:
+  static_assert(std::is_trivially_default_constructible_v<T>,
+                "UninitAllocator only skips trivial default-construction");
+  using Base::Base;
+
+  template <typename U>
+  struct rebind {
+    using other =
+        UninitAllocator<U, typename std::allocator_traits<
+                               Base>::template rebind_alloc<U>>;
+  };
+
+  // Value-initialization requests (the resize() path) become
+  // default-initialization — a no-op for trivial T. Construction with
+  // arguments (push_back, emplace) is unchanged.
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+  template <typename U>
+  void construct(U* p) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+};
+
+// Drop-in vector whose resize() leaves new elements indeterminate.
+template <typename T>
+using UninitVector = std::vector<T, UninitAllocator<T>>;
+
+}  // namespace vlm::common

@@ -1,5 +1,8 @@
 #include "core/encoder.h"
 
+#include <algorithm>
+
+#include "common/kernels/kernels.h"
 #include "common/math_util.h"
 #include "common/require.h"
 
@@ -56,25 +59,40 @@ void Encoder::bit_indices(std::span<const VehicleIdentity> vehicles, RsuId rsu,
                           std::span<std::size_t> out) const {
   VLM_REQUIRE(vehicles.size() == out.size(),
               "batch encode needs one output slot per vehicle");
-  const std::uint64_t mask = target.mask();
+  // Chunked key extraction keeps the vectorized kernel fed from a small
+  // stack buffer instead of materializing a second full-size column.
+  constexpr std::size_t kChunk = 512;
+  std::uint64_t keys[kChunk];
+  for (std::size_t offset = 0; offset < vehicles.size(); offset += kChunk) {
+    const std::size_t len = std::min(kChunk, vehicles.size() - offset);
+    for (std::size_t i = 0; i < len; ++i) {
+      keys[i] = vehicles[offset + i].masked_key();
+    }
+    bit_indices(std::span<const std::uint64_t>(keys, len), rsu, target,
+                out.subspan(offset, len));
+  }
+}
+
+void Encoder::bit_indices(std::span<const std::uint64_t> masked_keys,
+                          RsuId rsu, const EncodeTarget& target,
+                          std::span<std::size_t> out) const {
+  VLM_REQUIRE(masked_keys.size() == out.size(),
+              "batch encode needs one output slot per vehicle");
   const std::uint64_t slot_input = rsu.value ^ kSlotDomain;
   if (config_.slot_selection == SlotSelection::kLiteralPerRsu) {
-    // Literal rule: the slot is a function of the RSU alone — hoist the
-    // whole slot selection out of the loop.
+    // Literal rule: the slot is a function of the RSU alone — resolve
+    // the single salt here and let the kernel skip slot hashing.
     const std::uint64_t salt =
         salts_[common::hash_to_range(slot_input, config_.s)];
-    for (std::size_t i = 0; i < vehicles.size(); ++i) {
-      out[i] = static_cast<std::size_t>(
-          common::mix64(vehicles[i].masked_key() ^ salt) & mask);
-    }
+    common::kernels::active().encode_batch(masked_keys.data(),
+                                           masked_keys.size(), 0, &salt, 1,
+                                           target.mask(), out.data());
     return;
   }
-  for (std::size_t i = 0; i < vehicles.size(); ++i) {
-    const std::uint64_t masked = vehicles[i].masked_key();
-    const std::uint64_t salt =
-        salts_[common::hash_to_range(masked ^ slot_input, config_.s)];
-    out[i] = static_cast<std::size_t>(common::mix64(masked ^ salt) & mask);
-  }
+  common::kernels::active().encode_batch(masked_keys.data(),
+                                         masked_keys.size(), slot_input,
+                                         salts_.data(), config_.s,
+                                         target.mask(), out.data());
 }
 
 }  // namespace vlm::core

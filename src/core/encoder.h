@@ -102,9 +102,17 @@ class Encoder {
 
   // Batch encode: out[i] = bit_index(vehicles[i], rsu, target) with the
   // per-RSU slot-hash input and the fold mask hoisted out of the loop.
-  // `out.size()` must equal `vehicles.size()`. This is the kernel the
-  // sharded ingestion engine feeds whole vehicle slices through.
+  // `out.size()` must equal `vehicles.size()`. Extracts masked keys in
+  // chunks and routes them through the masked-key overload below.
   void bit_indices(std::span<const VehicleIdentity> vehicles, RsuId rsu,
+                   const EncodeTarget& target,
+                   std::span<std::size_t> out) const;
+
+  // Columnar form: the same batch encode over pre-extracted masked keys
+  // (masked_keys[i] = id ^ K_v), dispatched through the runtime-selected
+  // encode_batch kernel — the hot path of the batch ingest pipeline.
+  // Bit-identical to per-call bit_index for every key.
+  void bit_indices(std::span<const std::uint64_t> masked_keys, RsuId rsu,
                    const EncodeTarget& target,
                    std::span<std::size_t> out) const;
 

@@ -1,11 +1,9 @@
 #include "core/od_matrix.h"
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <numeric>
 
 #include "common/bit_array.h"
+#include "common/env_override.h"
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
@@ -71,28 +69,12 @@ const char* mode_name(DecodeMode mode) {
 // on an unrecognized value so a stale export degrades loudly instead of
 // crashing a fleet.
 DecodeMode apply_env_override(DecodeMode mode) {
-  static const struct Override {
-    bool active = false;
-    DecodeMode mode = DecodeMode::kAuto;
-  } override = [] {
-    Override parsed;
-    const char* env = std::getenv("VLM_DECODE");
-    if (env == nullptr || *env == '\0') return parsed;
-    if (std::strcmp(env, "pairwise") == 0) {
-      parsed = {true, DecodeMode::kPairwise};
-    } else if (std::strcmp(env, "blocked") == 0) {
-      parsed = {true, DecodeMode::kBlocked};
-    } else if (std::strcmp(env, "auto") == 0) {
-      parsed = {true, DecodeMode::kAuto};
-    } else {
-      std::fprintf(stderr,
-                   "vlm: warning: VLM_DECODE='%s' is not one of "
-                   "pairwise|blocked|auto; ignoring\n",
-                   env);
-    }
-    return parsed;
-  }();
-  return override.active ? override.mode : mode;
+  static constexpr common::EnvEnumChoice kChoices[] = {
+      {"pairwise", static_cast<int>(DecodeMode::kPairwise)},
+      {"blocked", static_cast<int>(DecodeMode::kBlocked)},
+      {"auto", static_cast<int>(DecodeMode::kAuto)}};
+  static const int parsed = common::parse_env_enum("VLM_DECODE", kChoices, -1);
+  return parsed < 0 ? mode : static_cast<DecodeMode>(parsed);
 }
 
 }  // namespace

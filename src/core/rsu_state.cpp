@@ -30,6 +30,11 @@ void RsuState::record(std::size_t bit_index) {
   bits_.set(bit_index);
 }
 
+void RsuState::record_bulk(std::span<const std::size_t> indices) {
+  bits_.set_bulk(indices);
+  counter_ += indices.size();
+}
+
 void RsuState::merge(const RsuState& other) {
   VLM_REQUIRE(array_size() == other.array_size(),
               "can only merge states with equal array sizes");

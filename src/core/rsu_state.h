@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "common/bit_array.h"
 
@@ -23,6 +24,13 @@ class RsuState {
 
   // Online coding (Eqs. 1-2): n += 1; B[index] = 1. O(1).
   void record(std::size_t bit_index);
+
+  // Bulk online coding for the batch ingest path: record(indices[i]) for
+  // every i, with the bit sets routed through the dispatched set_scatter
+  // kernel and the counter bumped once by the batch size. A duplicated
+  // delivery appears twice in `indices` and counts twice, exactly like
+  // two record() calls.
+  void record_bulk(std::span<const std::size_t> indices);
 
   // Merges a sub-period collected elsewhere for the SAME RSU (sharded or
   // failover collection): counters add, bit arrays OR. Both states must

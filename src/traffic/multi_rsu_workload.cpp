@@ -25,6 +25,96 @@ MultiRsuWorkload::MultiRsuWorkload(const MultiRsuConfig& config)
     popularity_cdf_[r] = total;
   }
   for (double& c : popularity_cdf_) c /= total;
+
+  // 2^53-scaled thresholds: cdf * 2^53 is exact (power-of-two scale), so
+  // floor(...) + 1 is exactly the first draw value strictly above cdf[r].
+  cdf_thresholds_.resize(config.rsu_count);
+  for (std::size_t r = 0; r < config.rsu_count; ++r) {
+    cdf_thresholds_[r] =
+        static_cast<std::uint64_t>(popularity_cdf_[r] * 0x1p53) + 1;
+  }
+
+  // Guide table: 8 buckets per rank keeps the per-draw scan at ~1 step
+  // even under heavy skew, while staying a few KiB for city-scale K.
+  // Bucket j covers draws d with (d * buckets) >> 53 == j, whose smallest
+  // member is ceil(j * 2^53 / buckets); the guide entry is that draw's
+  // selected rank, a valid scan start for the whole bucket.
+  const std::uint64_t buckets = config.rsu_count * 8;
+  zipf_guide_.resize(buckets + 1);
+  std::uint32_t rank = 0;
+  for (std::uint64_t j = 0; j <= buckets; ++j) {
+    const std::uint64_t smallest_draw = static_cast<std::uint64_t>(
+        ((static_cast<unsigned __int128>(j) << 53) + buckets - 1) / buckets);
+    while (rank < config.rsu_count && cdf_thresholds_[rank] <= smallest_draw) {
+      ++rank;
+    }
+    zipf_guide_[j] = rank;
+  }
+}
+
+void MultiRsuWorkload::sample_into(std::uint64_t vehicle_index,
+                                   common::VisitedMask& visited,
+                                   std::vector<std::uint32_t>& out) const {
+  // Counter-based splitmix64 stream, seeded per vehicle: no generator
+  // state to expand (a Xoshiro construction costs four splitmix rounds
+  // before the first draw) and each draw is one add plus two multiplies.
+  // Plenty of stream quality for a synthetic workload, and the same
+  // splittability: any worker generates any vehicle independently.
+  std::uint64_t stream = common::mix64(config_.seed ^ vehicle_index);
+  // Bounded draw by 128-bit multiply; the bias (< range / 2^64) is far
+  // below anything a 20k..1M-vehicle workload can resolve.
+  const std::uint64_t visit_range =
+      config_.max_visits - config_.min_visits + 1;
+  const std::uint64_t span_count =
+      config_.min_visits +
+      static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(common::splitmix64_next(stream)) *
+           visit_range) >>
+          64);
+  const std::size_t first = out.size();
+  const std::uint64_t* thresholds = cdf_thresholds_.data();
+  const std::uint64_t buckets = zipf_guide_.size() - 1;
+  // Exactly span_count entries get accepted, so size once and fill
+  // through a raw cursor — no per-accept growth/size bookkeeping. Dedup
+  // by scanning the few entries already accepted for this vehicle: at
+  // itinerary sizes (a handful of visits) that beats the epoch-mask
+  // lookup, and for the rare wide-itinerary config it falls back to the
+  // caller's mask. Either way the accept/reject sequence — and therefore
+  // every draw — is unchanged.
+  out.resize(first + span_count);
+  std::uint32_t* cursor = out.data() + first;
+  std::uint32_t* const cursor_end = cursor + span_count;
+  const bool scan_dedup = span_count <= 16;
+  if (!scan_dedup) visited.begin_pass();
+  while (cursor != cursor_end) {
+    // Rank selection is lower_bound(popularity_cdf_, draw * 2^-53) — the
+    // number of CDF entries < the uniform — done entirely on the
+    // 2^53-scaled integer thresholds. The guide table jumps straight to
+    // the answer's neighborhood, so the scan below runs ~one iteration
+    // instead of a branch-mispredicting binary search. Same rank either
+    // way.
+    const std::uint64_t draw = common::splitmix64_next(stream) >> 11;
+    std::uint32_t r = zipf_guide_[static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(draw) * buckets) >> 53)];
+    while (thresholds[r] <= draw) ++r;
+    if (scan_dedup) {
+      bool seen = false;
+      for (const std::uint32_t* it = out.data() + first; it != cursor; ++it) {
+        seen |= (*it == r);
+      }
+      if (!seen) *cursor++ = r;
+    } else if (visited.insert(r)) {
+      *cursor++ = r;
+    }
+  }
+  // Itineraries are at most max_visits (<= rsu_count) entries; insertion
+  // sort beats the std::sort dispatch at these sizes.
+  for (std::size_t i = first + 1; i < out.size(); ++i) {
+    const std::uint32_t value = out[i];
+    std::size_t j = i;
+    for (; j > first && out[j - 1] > value; --j) out[j] = out[j - 1];
+    out[j] = value;
+  }
 }
 
 void MultiRsuWorkload::itinerary(std::uint64_t vehicle_index,
@@ -34,21 +124,29 @@ void MultiRsuWorkload::itinerary(std::uint64_t vehicle_index,
               "vehicle index out of range");
   VLM_REQUIRE(visited.universe_size() == config_.rsu_count,
               "visited mask must be sized to the RSU count");
-  common::Xoshiro256ss rng(common::mix64(config_.seed ^ vehicle_index));
-  const std::uint64_t span_count =
-      config_.min_visits +
-      rng.uniform(config_.max_visits - config_.min_visits + 1);
   out.clear();
-  visited.begin_pass();
-  while (out.size() < span_count) {
-    const double u = rng.uniform_double();
-    const auto it = std::lower_bound(popularity_cdf_.begin(),
-                                     popularity_cdf_.end(), u);
-    const auto r = static_cast<std::uint32_t>(
-        std::distance(popularity_cdf_.begin(), it));
-    if (visited.insert(r)) out.push_back(r);
+  sample_into(vehicle_index, visited, out);
+}
+
+void MultiRsuWorkload::itineraries(std::uint64_t begin, std::uint64_t end,
+                                   common::VisitedMask& visited,
+                                   std::vector<std::uint32_t>& positions,
+                                   std::vector<std::uint64_t>& offsets) const {
+  VLM_REQUIRE(begin <= end && end <= config_.vehicle_count,
+              "vehicle range out of bounds");
+  VLM_REQUIRE(visited.universe_size() == config_.rsu_count,
+              "visited mask must be sized to the RSU count");
+  positions.clear();
+  // max_visits per vehicle bounds the total, so one up-front reserve
+  // removes every growth-reallocation copy from the hot slice loop.
+  positions.reserve(static_cast<std::size_t>(end - begin) * config_.max_visits);
+  offsets.clear();
+  offsets.reserve(static_cast<std::size_t>(end - begin) + 1);
+  offsets.push_back(0);
+  for (std::uint64_t v = begin; v < end; ++v) {
+    sample_into(v, visited, positions);
+    offsets.push_back(positions.size());
   }
-  std::sort(out.begin(), out.end());
 }
 
 void MultiRsuWorkload::for_each_vehicle(

@@ -34,15 +34,26 @@ class MultiRsuWorkload {
   const MultiRsuConfig& config() const { return config_; }
 
   // Vehicle `vehicle_index`'s visit list: distinct RSU indices, sorted
-  // ascending. A pure function of (config, vehicle_index) — the RNG is
-  // seeded per vehicle (mix64(seed ^ v)) instead of drawn from one
-  // sequential stream — so any worker can generate any vehicle
-  // independently and a sharded ingest over ANY worker count sees
-  // vehicle-for-vehicle identical itineraries. `visited` is per-caller
+  // ascending. A pure function of (config, vehicle_index) — the draws
+  // come from a counter-based splitmix64 stream seeded per vehicle at
+  // mix64(seed ^ v) instead of one sequential generator — so any worker
+  // can generate any vehicle independently and a sharded ingest over ANY
+  // worker count sees vehicle-for-vehicle identical itineraries. `visited` is per-caller
   // dedup scratch sized rsu_count (keep one per worker thread and reuse
   // it across vehicles); `out` is cleared and refilled.
   void itinerary(std::uint64_t vehicle_index, common::VisitedMask& visited,
                  std::vector<std::uint32_t>& out) const;
+
+  // Bulk form: the itineraries of every vehicle in [begin, end), CSR
+  // layout — vehicle (begin + i)'s visits are positions[offsets[i]] ..
+  // positions[offsets[i + 1]]. Exactly the per-vehicle itineraries
+  // concatenated (same draws, same order); one call materializes a whole
+  // ingest-worker slice without a function call per vehicle, which is
+  // what the batch pipeline's materialize stage runs on.
+  void itineraries(std::uint64_t begin, std::uint64_t end,
+                   common::VisitedMask& visited,
+                   std::vector<std::uint32_t>& positions,
+                   std::vector<std::uint64_t>& offsets) const;
 
   // Streams each vehicle's visit list (distinct RSU indices, sorted), in
   // vehicle order, via itinerary(). Deterministic for a given config.
@@ -57,8 +68,25 @@ class MultiRsuWorkload {
   std::uint64_t pair_volume(std::uint32_t a, std::uint32_t b) const;
 
  private:
+  // Appends vehicle_index's sorted visit list to `out` (no clear) — the
+  // shared sampling core of itinerary() and itineraries().
+  void sample_into(std::uint64_t vehicle_index, common::VisitedMask& visited,
+                   std::vector<std::uint32_t>& out) const;
+
   MultiRsuConfig config_;
   std::vector<double> popularity_cdf_;
+  // The CDF scaled to 2^53 for the draw loop: cdf_thresholds_[r] is the
+  // smallest 53-bit draw d with popularity_cdf_[r] < d * 2^-53, so the
+  // selected rank for a draw d — lower_bound(popularity_cdf_, d * 2^-53)
+  // — is the first r with cdf_thresholds_[r] > d, found with integer
+  // compares only (no double converts in the hot path).
+  std::vector<std::uint64_t> cdf_thresholds_;
+  // Guide table for that lookup: zipf_guide_[j] is a lower bound on the
+  // selected rank of every draw in bucket j (buckets split the 53-bit
+  // draw space evenly), so the scan starts at
+  // zipf_guide_[d * buckets >> 53] and almost always finishes in one
+  // step. Pure acceleration — the selected rank is unchanged.
+  std::vector<std::uint32_t> zipf_guide_;
   std::vector<std::uint64_t> volumes_;
   std::vector<std::uint64_t> pair_counts_;  // upper-triangular matrix
 };

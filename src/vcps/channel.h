@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "common/rng.h"
 #include "core/types.h"
@@ -51,6 +52,31 @@ class DsrcChannel {
   int deliveries_for_reply_for(std::uint64_t period,
                                std::uint64_t vehicle_number, core::RsuId rsu,
                                ChannelTally& tally) const;
+
+  // Columnar form of one whole exchange slice against ONE RSU:
+  // deliveries[i] becomes the delivery count (0, 1, or 2) of the
+  // exchange (period, vehicle_numbers[i], rsu), drawn from exactly the
+  // per-exchange hash domains above and tallied with the same gating
+  // (query loss first; a lost query draws no reply outcome), so the
+  // result is bit-identical to calling query_delivered_for +
+  // deliveries_for_reply_for per exchange in any order. When
+  // `replies_answered` is false — the vehicle side would reject this
+  // RSU's query — only the query-loss outcomes are drawn and tallied and
+  // every delivery count is 0, mirroring the serial path's early return.
+  // `deliveries` must have vehicle_numbers.size() entries. Returns the
+  // sum of the delivery counts.
+  std::uint64_t draws_for_batch(std::uint64_t period,
+                                std::span<const std::uint64_t> vehicle_numbers,
+                                core::RsuId rsu, bool replies_answered,
+                                std::span<std::uint8_t> deliveries,
+                                ChannelTally& tally) const;
+
+  // True when every failure probability is zero: no exchange consumes
+  // randomness, so callers may skip the draw stage entirely.
+  bool lossless() const {
+    return config_.query_loss == 0.0 && config_.reply_loss == 0.0 &&
+           config_.reply_duplicate == 0.0;
+  }
 
   // Adds a worker's tally to the channel counters.
   void absorb(const ChannelTally& tally);

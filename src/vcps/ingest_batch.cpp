@@ -1,0 +1,122 @@
+#include "vcps/ingest_batch.h"
+
+#include "common/require.h"
+#include "core/pair_simulation.h"
+
+namespace vlm::vcps {
+
+void ExchangeColumns::reset(std::size_t rsu_count) {
+  buckets.resize(rsu_count);
+  for (RsuExchangeBucket& bucket : buckets) {
+    bucket.masked_keys.clear();
+    bucket.vehicle_numbers.clear();
+    bucket.bit_indices.clear();
+    bucket.deliveries.clear();
+  }
+  flat_positions.clear();
+  offsets.clear();
+  cursors.clear();
+  scatter.clear();
+}
+
+void materialize_exchanges(std::uint64_t seed, std::uint64_t base,
+                           std::size_t begin, std::size_t end,
+                           const BulkItineraryProvider& itineraries,
+                           std::size_t rsu_count, bool with_vehicle_numbers,
+                           ExchangeColumns& columns) {
+  columns.reset(rsu_count);
+  itineraries(begin, end, columns.flat_positions, columns.offsets);
+  const std::size_t vehicles = end - begin;
+  VLM_REQUIRE(columns.offsets.size() == vehicles + 1 &&
+                  (vehicles == 0 || columns.offsets.front() == 0) &&
+                  (vehicles == 0 ||
+                   columns.offsets.back() == columns.flat_positions.size()),
+              "bulk itinerary provider produced a malformed CSR");
+
+  // Counting pass -> exact bucket sizes -> cursor writes: every exchange
+  // tuple lands with one store instead of a growth-checked push_back.
+  columns.cursors.assign(rsu_count, 0);
+  for (const std::uint32_t position : columns.flat_positions) {
+    VLM_REQUIRE(position < rsu_count, "RSU position out of range");
+    ++columns.cursors[position];
+  }
+  for (std::size_t r = 0; r < rsu_count; ++r) {
+    RsuExchangeBucket& bucket = columns.buckets[r];
+    bucket.masked_keys.resize(columns.cursors[r]);
+    if (with_vehicle_numbers) bucket.vehicle_numbers.resize(columns.cursors[r]);
+    columns.cursors[r] = 0;
+  }
+  for (std::size_t i = 0; i < vehicles; ++i) {
+    // Same numbering as the serial drive_vehicle counter, so the vehicle
+    // identities — and therefore the bits — are the same population
+    // regardless of how the ingest is driven.
+    const std::uint64_t vehicle_number = base + begin + i + 1;
+    const core::VehicleIdentity identity =
+        core::synthetic_vehicle(seed, vehicle_number);
+    const std::uint64_t masked_key = identity.masked_key();
+    for (std::uint64_t o = columns.offsets[i]; o < columns.offsets[i + 1];
+         ++o) {
+      const std::uint32_t position = columns.flat_positions[o];
+      RsuExchangeBucket& bucket = columns.buckets[position];
+      const std::uint64_t at = columns.cursors[position]++;
+      bucket.masked_keys[at] = masked_key;
+      if (with_vehicle_numbers) bucket.vehicle_numbers[at] = vehicle_number;
+    }
+  }
+}
+
+void hash_bit_indices(const core::Encoder& encoder,
+                      std::span<const RsuIngestContext> rsus,
+                      ExchangeColumns& columns) {
+  for (std::size_t r = 0; r < rsus.size(); ++r) {
+    RsuExchangeBucket& bucket = columns.buckets[r];
+    if (!rsus[r].replies_answered || bucket.masked_keys.empty()) continue;
+    bucket.bit_indices.resize(bucket.masked_keys.size());
+    encoder.bit_indices(std::span<const std::uint64_t>(bucket.masked_keys),
+                        rsus[r].id, rsus[r].target,
+                        std::span<std::size_t>(bucket.bit_indices));
+  }
+}
+
+void draw_channel_outcomes(const DsrcChannel& channel, std::uint64_t period,
+                           std::span<const RsuIngestContext> rsus,
+                           ExchangeColumns& columns, ChannelTally& tally) {
+  if (channel.lossless()) return;  // empty deliveries = all delivered once
+  for (std::size_t r = 0; r < rsus.size(); ++r) {
+    RsuExchangeBucket& bucket = columns.buckets[r];
+    if (bucket.vehicle_numbers.empty()) continue;
+    bucket.deliveries.resize(bucket.vehicle_numbers.size());
+    channel.draws_for_batch(
+        period, std::span<const std::uint64_t>(bucket.vehicle_numbers),
+        rsus[r].id, rsus[r].replies_answered,
+        std::span<std::uint8_t>(bucket.deliveries), tally);
+  }
+}
+
+std::uint64_t scatter_into_shards(std::span<const RsuIngestContext> rsus,
+                                  ExchangeColumns& columns,
+                                  std::span<core::RsuState> shard) {
+  std::uint64_t recorded = 0;
+  for (std::size_t r = 0; r < rsus.size(); ++r) {
+    RsuExchangeBucket& bucket = columns.buckets[r];
+    if (!rsus[r].replies_answered || bucket.bit_indices.empty()) continue;
+    if (bucket.deliveries.empty()) {
+      // Loss-free fast path: every exchange delivered exactly once.
+      shard[r].record_bulk(bucket.bit_indices);
+      recorded += bucket.bit_indices.size();
+      continue;
+    }
+    columns.scatter.clear();
+    for (std::size_t i = 0; i < bucket.bit_indices.size(); ++i) {
+      const std::uint8_t deliveries = bucket.deliveries[i];
+      for (std::uint8_t d = 0; d < deliveries; ++d) {
+        columns.scatter.push_back(bucket.bit_indices[i]);
+      }
+    }
+    shard[r].record_bulk(columns.scatter);
+    recorded += columns.scatter.size();
+  }
+  return recorded;
+}
+
+}  // namespace vlm::vcps

@@ -1,0 +1,127 @@
+// Columnar (SoA) batch ingest engine behind IngestMode::kBatch.
+//
+// The per-vehicle object loop spends its time on dispatch, not bit work:
+// one Vehicle construction, one certificate check, one scalar hash pair,
+// and one channel draw per exchange. This module restructures a worker's
+// vehicle slice into four flat stages so each cost is paid per batch
+// instead of per exchange:
+//
+//   1. materialize  one bulk CSR itinerary call per slice -> per-RSU SoA
+//                   buckets of (masked key, vehicle number) exchange
+//                   tuples, sized exactly from a counting pass; each
+//                   vehicle identity is derived once and reused for all
+//                   of its visits
+//   2. hash         per bucket, every bit index in one encode_batch
+//                   kernel call (vectorized two-round splitmix64)
+//   3. channel      per bucket, every query/reply/duplicate outcome in
+//                   one DsrcChannel::draws_for_batch call
+//   4. scatter      surviving deliveries -> RsuState::record_bulk (the
+//                   set_scatter kernel) into the worker's shard
+//
+// Hash-domain invariant: stages 2 and 3 evaluate exactly the hashes the
+// serial path evaluates — the encoder's (masked_key, RSU, salt) domains
+// and the channel's (seed, period, vehicle number, RSU) domains — so the
+// resulting bits, counters, and channel tallies are bit-identical to the
+// per-vehicle loop for every worker count and every channel config. The
+// ParallelIngest/BatchIngest suites are the acceptance gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/uninit.h"
+#include "core/encoder.h"
+#include "core/rsu_state.h"
+#include "core/types.h"
+#include "vcps/channel.h"
+#include "vcps/simulation.h"
+
+namespace vlm::vcps {
+
+// One RSU position's columnar exchange tuples plus per-stage scratch,
+// all in slice order (ascending vehicle number — the order the serial
+// loop visits them, though every stage is order-independent).
+// Columns use UninitVector: each is sized exactly (counting pass or
+// element-for-element from a sibling column) and then every slot is
+// written before any read, so the resize() zero-fill of a plain vector
+// would re-touch tens of MB per worker per period for nothing.
+struct RsuExchangeBucket {
+  common::UninitVector<std::uint64_t> masked_keys;  // stage 1
+  // Stage 1, only when the channel is lossy — the loss-free path never
+  // draws per-exchange outcomes, so it skips this column entirely.
+  common::UninitVector<std::uint64_t> vehicle_numbers;
+  common::UninitVector<std::size_t> bit_indices;    // stage 2
+  // Stage 3: per-exchange delivery counts (0, 1, or 2). Left EMPTY by a
+  // loss-free channel as the "every exchange delivered exactly once"
+  // fast path — the scatter stage then feeds bit_indices straight to
+  // record_bulk without a per-exchange pass.
+  common::UninitVector<std::uint8_t> deliveries;
+};
+
+// One worker's buckets (index = RSU position), reused across calls so
+// steady-state ingest does not reallocate.
+struct ExchangeColumns {
+  std::vector<RsuExchangeBucket> buckets;
+  // Stage 1 scratch: the slice's itineraries in CSR layout (see
+  // BulkItineraryProvider) and one write cursor per RSU.
+  std::vector<std::uint32_t> flat_positions;
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint64_t> cursors;
+  std::vector<std::size_t> scatter;  // stage 4 scratch (lossy channel)
+
+  // Sizes `buckets` to rsu_count and clears every column.
+  void reset(std::size_t rsu_count);
+};
+
+// Per-RSU constants hoisted out of the per-exchange loops: the validated
+// encode target and whether a vehicle would answer this RSU at all (the
+// certificate and array-size checks of Vehicle::handle_query are
+// vehicle-independent, so they run once per call instead of per reply).
+struct RsuIngestContext {
+  core::RsuId id;
+  core::EncodeTarget target;
+  bool replies_answered;
+};
+
+// Stage 1 — materialize: fetches the slice's itineraries with ONE
+// `itineraries` call (CSR layout), counts visits per RSU, sizes every
+// bucket exactly, then derives the identity of each vehicle v in
+// [begin, end) once (numbered base + v + 1, matching the serial
+// drive_vehicle counter) and writes one (masked key, vehicle number)
+// tuple per visit through per-RSU cursors — no per-visit growth checks.
+// `with_vehicle_numbers` = false (loss-free channel: stage 3 never reads
+// them) skips the vehicle-number column entirely. Throws if an itinerary
+// emits a position >= rsu_count.
+void materialize_exchanges(std::uint64_t seed, std::uint64_t base,
+                           std::size_t begin, std::size_t end,
+                           const BulkItineraryProvider& itineraries,
+                           std::size_t rsu_count, bool with_vehicle_numbers,
+                           ExchangeColumns& columns);
+
+// Stage 2 — hash: fills every answered bucket's bit_indices through
+// Encoder::bit_indices (the dispatched encode_batch kernel). Buckets of
+// RSUs that vehicles reject are skipped — the serial path never encodes
+// for them either.
+void hash_bit_indices(const core::Encoder& encoder,
+                      std::span<const RsuIngestContext> rsus,
+                      ExchangeColumns& columns);
+
+// Stage 3 — channel: fills every bucket's deliveries via
+// DsrcChannel::draws_for_batch, accumulating the worker's tally. A
+// loss-free channel leaves deliveries empty (see RsuExchangeBucket).
+void draw_channel_outcomes(const DsrcChannel& channel, std::uint64_t period,
+                           std::span<const RsuIngestContext> rsus,
+                           ExchangeColumns& columns, ChannelTally& tally);
+
+// Stage 4 — scatter: records every surviving delivery (a count-2
+// delivery lands its bit index twice, so the shard counter matches the
+// serial loop's two record() calls) into shard[position] via
+// record_bulk. Returns the number of recorded deliveries — the slice's
+// IngestStats::exchanges contribution.
+std::uint64_t scatter_into_shards(std::span<const RsuIngestContext> rsus,
+                                  ExchangeColumns& columns,
+                                  std::span<core::RsuState> shard);
+
+}  // namespace vlm::vcps

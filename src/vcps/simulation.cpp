@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "common/env_override.h"
 #include "common/hashing.h"
 #include "common/kernels/kernels.h"
+#include "common/math_util.h"
 #include "common/parallel.h"
 #include "common/require.h"
 #include "core/pair_simulation.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "vcps/ingest_batch.h"
 #include "vcps/vehicle.h"
 
 namespace vlm::vcps {
@@ -21,7 +24,8 @@ constexpr std::uint64_t kCertLifetimePeriods = 1'000'000;
 // handles register together on the first period, so the exported key set
 // is identical for every worker count: the per-worker encode time lands
 // in ONE histogram whose count is the number of workers, never in
-// per-worker keys.
+// per-worker keys. The four stage histograms record only on the batch
+// path (one sample per worker per stage).
 struct IngestMetrics {
   obs::Counter& vehicles;
   obs::Counter& exchanges;
@@ -29,11 +33,16 @@ struct IngestMetrics {
   obs::Counter& replies_lost;
   obs::Counter& replies_duplicated;
   obs::Info& kernel_isa;
+  obs::Info& ingest_path;
   obs::Histogram& period_begin;   // begin_period(): sizing + RSU resets
   obs::Histogram& period_ingest;  // one whole drive_vehicles() call
   obs::Histogram& period_close;   // end_period(): reports into the server
   obs::Histogram& encode_worker;  // per-worker protocol/encode slice time
   obs::Histogram& shard_merge;    // OR-merging worker shards into RSUs
+  obs::Histogram& stage_materialize;  // batch stage 1 per worker
+  obs::Histogram& stage_hash;         // batch stage 2 per worker
+  obs::Histogram& stage_channel;      // batch stage 3 per worker
+  obs::Histogram& stage_scatter;      // batch stage 4 per worker
 };
 
 IngestMetrics& ingest_metrics() {
@@ -45,13 +54,54 @@ IngestMetrics& ingest_metrics() {
                              r.counter("channel/replies_lost"),
                              r.counter("channel/replies_duplicated"),
                              r.info("kernel/isa"),
+                             r.info("ingest/path"),
                              obs::phase("period/begin"),
                              obs::phase("period/ingest"),
                              obs::phase("period/close"),
                              obs::phase("ingest/encode_worker"),
-                             obs::phase("ingest/shard_merge")};
+                             obs::phase("ingest/shard_merge"),
+                             obs::phase("ingest/materialize"),
+                             obs::phase("ingest/hash"),
+                             obs::phase("ingest/channel"),
+                             obs::phase("ingest/scatter")};
   }();
   return *metrics;
+}
+
+// VLM_INGEST=scalar|batch|auto overrides the caller's engine choice,
+// exactly like VLM_DECODE overrides the decode mode: parsed once,
+// warn-and-keep on an unrecognized value.
+IngestMode apply_env_override(IngestMode mode) {
+  static constexpr common::EnvEnumChoice kChoices[] = {
+      {"scalar", static_cast<int>(IngestMode::kScalar)},
+      {"batch", static_cast<int>(IngestMode::kBatch)},
+      {"auto", static_cast<int>(IngestMode::kAuto)}};
+  static const int parsed = common::parse_env_enum("VLM_INGEST", kChoices, -1);
+  return parsed < 0 ? mode : static_cast<IngestMode>(parsed);
+}
+
+// Adapts the per-vehicle itinerary form to the bulk CSR form both ingest
+// engines consume. Pays the per-vehicle function call the bulk form
+// avoids — callers that can produce CSR natively should pass it directly.
+BulkItineraryProvider adapt_itinerary(const ItineraryProvider& itinerary,
+                                      std::size_t rsu_count) {
+  return [&itinerary, rsu_count](std::uint64_t begin, std::uint64_t end,
+                                 std::vector<std::uint32_t>& positions,
+                                 std::vector<std::uint64_t>& offsets) {
+    std::vector<std::size_t> scratch;
+    positions.clear();
+    offsets.clear();
+    offsets.reserve(static_cast<std::size_t>(end - begin) + 1);
+    offsets.push_back(0);
+    for (std::uint64_t v = begin; v < end; ++v) {
+      itinerary(v, scratch);
+      for (const std::size_t position : scratch) {
+        VLM_REQUIRE(position < rsu_count, "RSU position out of range");
+        positions.push_back(static_cast<std::uint32_t>(position));
+      }
+      offsets.push_back(positions.size());
+    }
+  };
 }
 }  // namespace
 
@@ -114,7 +164,14 @@ std::size_t VcpsSimulation::drive_vehicle_as(
 
 IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
                                            const ItineraryProvider& itinerary,
-                                           unsigned workers) {
+                                           unsigned workers, IngestMode mode) {
+  return drive_vehicles(count, adapt_itinerary(itinerary, rsus_.size()),
+                        workers, mode);
+}
+
+IngestStats VcpsSimulation::drive_vehicles(
+    std::uint64_t count, const BulkItineraryProvider& itineraries,
+    unsigned workers, IngestMode mode) {
   VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
   IngestMetrics& metrics = ingest_metrics();
   obs::Span ingest_span(metrics.period_ingest);
@@ -123,6 +180,9 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   const unsigned used = workers == 0 ? common::default_worker_count() : workers;
   const std::uint64_t base = vehicles_driven_;
   const std::size_t rsu_count = rsus_.size();
+  IngestMode resolved = apply_env_override(mode);
+  if (resolved == IngestMode::kAuto) resolved = IngestMode::kBatch;
+  const bool batch = resolved == IngestMode::kBatch;
 
   // Worker-local state: one RsuState shard per (worker, RSU) — bits plus
   // counter — a failure tally, a malformed-reply count per RSU, and an
@@ -144,50 +204,119 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
     shards.push_back(std::move(shard));
   }
 
-  common::parallel_slices(
-      static_cast<std::size_t>(count), used,
-      [&](unsigned worker, std::size_t begin, std::size_t end) {
-        const obs::Span encode_span(metrics.encode_worker);
-        std::vector<core::RsuState>& shard = shards[worker];
-        ChannelTally& tally = tallies[worker];
-        std::vector<std::size_t> positions;
-        for (std::size_t v = begin; v < end; ++v) {
-          // Same numbering as the serial drive_vehicle counter, so the
-          // vehicle identities — and therefore the bits — are the same
-          // population regardless of how the ingest is driven.
-          const std::uint64_t vehicle_number = base + v + 1;
-          const core::VehicleIdentity identity =
-              core::synthetic_vehicle(seed_, vehicle_number);
-          Vehicle vehicle(identity, encoder(), ca_,
-                          common::mix64(identity.masked_key() ^ period_));
-          itinerary(v, positions);
-          for (const std::size_t position : positions) {
-            VLM_REQUIRE(position < shard.size(), "RSU position out of range");
-            const Rsu& rsu = rsus_[position];
-            if (!channel_.query_delivered_for(period_, vehicle_number,
-                                              rsu.id(), tally)) {
-              continue;
-            }
-            const auto reply = vehicle.handle_query(rsu.make_query(period_));
-            if (!reply.has_value()) continue;
-            const int deliveries = channel_.deliveries_for_reply_for(
-                period_, vehicle_number, rsu.id(), tally);
-            for (int d = 0; d < deliveries; ++d) {
-              if (reply->bit_index >= shard[position].array_size()) {
-                ++invalid[worker][position];
-              } else {
-                shard[position].record(reply->bit_index);
-                ++exchanges[worker];
+  IngestStats stats;
+  stats.path = batch ? "batch" : "scalar";
+
+  if (!batch) {
+    // Reference engine: the per-vehicle object loop, one exchange at a
+    // time. The batch pipeline below must land bit-identical shards.
+    common::parallel_slices(
+        static_cast<std::size_t>(count), used,
+        [&](unsigned worker, std::size_t begin, std::size_t end) {
+          const obs::Span encode_span(metrics.encode_worker);
+          std::vector<core::RsuState>& shard = shards[worker];
+          ChannelTally& tally = tallies[worker];
+          std::vector<std::uint32_t> positions;
+          std::vector<std::uint64_t> offsets;
+          itineraries(begin, end, positions, offsets);
+          VLM_REQUIRE(offsets.size() == end - begin + 1,
+                      "bulk itinerary provider produced a malformed CSR");
+          for (std::size_t v = begin; v < end; ++v) {
+            // Same numbering as the serial drive_vehicle counter, so the
+            // vehicle identities — and therefore the bits — are the same
+            // population regardless of how the ingest is driven.
+            const std::uint64_t vehicle_number = base + v + 1;
+            const core::VehicleIdentity identity =
+                core::synthetic_vehicle(seed_, vehicle_number);
+            Vehicle vehicle(identity, encoder(), ca_,
+                            common::mix64(identity.masked_key() ^ period_));
+            for (std::uint64_t o = offsets[v - begin];
+                 o < offsets[v - begin + 1]; ++o) {
+              const std::uint32_t position = positions[o];
+              VLM_REQUIRE(position < shard.size(), "RSU position out of range");
+              const Rsu& rsu = rsus_[position];
+              if (!channel_.query_delivered_for(period_, vehicle_number,
+                                                rsu.id(), tally)) {
+                continue;
+              }
+              const auto reply = vehicle.handle_query(rsu.make_query(period_));
+              if (!reply.has_value()) continue;
+              const int deliveries = channel_.deliveries_for_reply_for(
+                  period_, vehicle_number, rsu.id(), tally);
+              for (int d = 0; d < deliveries; ++d) {
+                if (reply->bit_index >= shard[position].array_size()) {
+                  ++invalid[worker][position];
+                } else {
+                  shard[position].record(reply->bit_index);
+                  ++exchanges[worker];
+                }
               }
             }
           }
-        }
-      });
+        });
+  } else {
+    // Columnar engine: hoist the per-RSU constants (validated encode
+    // target; whether a vehicle would answer the query at all — the
+    // certificate/size checks are vehicle-independent), then run the
+    // four SoA stages per worker slice. See ingest_batch.h for the
+    // hash-domain invariant that keeps this bit-identical to the loop
+    // above.
+    std::vector<RsuIngestContext> contexts;
+    contexts.reserve(rsu_count);
+    for (const Rsu& rsu : rsus_) {
+      const Query query = rsu.make_query(period_);
+      const bool answered = ca_.verify(query.certificate, query.period) &&
+                            query.certificate.subject == query.rsu &&
+                            common::is_power_of_two(query.array_size);
+      contexts.push_back(RsuIngestContext{
+          rsu.id(), core::EncodeTarget(rsu.state().array_size()), answered});
+    }
+    std::vector<ExchangeColumns> columns(shard_count);
+    struct StageSeconds {
+      double materialize = 0.0, hash = 0.0, channel = 0.0, scatter = 0.0;
+    };
+    std::vector<StageSeconds> stage(shard_count);
+    common::parallel_slices(
+        static_cast<std::size_t>(count), used,
+        [&](unsigned worker, std::size_t begin, std::size_t end) {
+          const obs::Span encode_span(metrics.encode_worker);
+          ExchangeColumns& cols = columns[worker];
+          StageSeconds& secs = stage[worker];
+          {
+            obs::Span span(metrics.stage_materialize);
+            materialize_exchanges(seed_, base, begin, end, itineraries,
+                                  rsu_count, !channel_.lossless(), cols);
+            secs.materialize = span.finish();
+          }
+          {
+            obs::Span span(metrics.stage_hash);
+            hash_bit_indices(encoder(), contexts, cols);
+            secs.hash = span.finish();
+          }
+          {
+            obs::Span span(metrics.stage_channel);
+            draw_channel_outcomes(channel_, period_, contexts, cols,
+                                  tallies[worker]);
+            secs.channel = span.finish();
+          }
+          {
+            obs::Span span(metrics.stage_scatter);
+            exchanges[worker] =
+                scatter_into_shards(contexts, cols, shards[worker]);
+            secs.scatter = span.finish();
+          }
+        });
+    for (const StageSeconds& secs : stage) {
+      stats.materialize_seconds += secs.materialize;
+      stats.hash_seconds += secs.hash;
+      stats.channel_seconds += secs.channel;
+      stats.scatter_seconds += secs.scatter;
+    }
+  }
 
   // Period close: OR-merge every worker's shards into the real RSUs and
   // sum the tallies. All merges commute, so the result is independent of
   // worker count and merge order.
-  IngestStats stats;
   {
     const obs::Span merge_span(metrics.shard_merge);
     for (std::size_t r = 0; r < rsu_count; ++r) {
@@ -220,6 +349,7 @@ IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
   metrics.replies_lost.add(lost.replies_lost);
   metrics.replies_duplicated.add(lost.replies_duplicated);
   metrics.kernel_isa.set(stats.kernel_isa);
+  metrics.ingest_path.set(stats.path);
   stats.seconds = ingest_span.finish();
   return stats;
 }

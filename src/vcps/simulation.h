@@ -44,15 +44,53 @@ struct RsuSite {
 using ItineraryProvider =
     std::function<void(std::uint64_t v, std::vector<std::size_t>& positions)>;
 
+// Bulk itinerary provider: fills the itineraries of every vehicle in
+// [begin, end) in CSR layout — vehicle (begin + i)'s RSU positions are
+// positions[offsets[i]] .. positions[offsets[i + 1]]. Must produce
+// exactly the per-vehicle lists an ItineraryProvider would, vehicle by
+// vehicle, and be a pure function of the range. One call per worker
+// slice instead of one per vehicle: this is the form the ingest engines
+// consume, and the per-vehicle form is adapted into it.
+using BulkItineraryProvider = std::function<void(
+    std::uint64_t begin, std::uint64_t end,
+    std::vector<std::uint32_t>& positions,
+    std::vector<std::uint64_t>& offsets)>;
+
+// How drive_vehicles turns a vehicle slice into shard updates. Both
+// engines produce bit-identical reports AND channel tallies for every
+// worker count; the choice is purely a performance decision, overridable
+// at runtime with VLM_INGEST=scalar|batch|auto (mirrors VLM_DECODE).
+enum class IngestMode {
+  // Per-vehicle object loop: one Vehicle, one query, one reply at a
+  // time. The reference engine the batch path is asserted against.
+  kScalar,
+  // Staged columnar pipeline (ingest_batch.h): materialize SoA exchange
+  // tuples, batch-hash bit indices through the encode_batch kernel,
+  // batch the channel draws, scatter through set_bulk.
+  kBatch,
+  // Currently resolves to kBatch.
+  kAuto,
+};
+
 // Throughput counters for one drive_vehicles() call.
 struct IngestStats {
   std::uint64_t vehicles = 0;
   std::uint64_t exchanges = 0;  // successful query/reply deliveries
   unsigned workers = 1;
   double seconds = 0.0;
-  // ISA the kernel dispatch selected for the shard merge/recount sweeps
+  // ISA the kernel dispatch selected for the encode/merge/recount sweeps
   // ("scalar", "avx2", "avx512") — a static string, never freed.
   const char* kernel_isa = "scalar";
+  // Engine that ran after VLM_INGEST/auto resolution ("scalar" or
+  // "batch") — a static string, never freed.
+  const char* path = "scalar";
+  // Batch path only: per-stage seconds summed across workers (CPU time,
+  // not wall time; the stages of different workers overlap). Zero on the
+  // scalar path.
+  double materialize_seconds = 0.0;
+  double hash_seconds = 0.0;
+  double channel_seconds = 0.0;
+  double scatter_seconds = 0.0;
   // Parallel regions this ingest dispatched to the persistent WorkerPool
   // and the pool's lifetime total afterwards — the pooled threads are
   // reused across periods, never respawned per call.
@@ -101,10 +139,21 @@ class VcpsSimulation {
   // stream drive_vehicle consumes — which means a lossy drive_vehicles
   // run matches other drive_vehicles runs exactly, and matches a
   // drive_vehicle loop exactly when the channel is loss-free (no draws
-  // happen at all).
+  // happen at all). `mode` picks the per-slice engine (see IngestMode);
+  // the VLM_INGEST environment variable overrides it.
   IngestStats drive_vehicles(std::uint64_t count,
                              const ItineraryProvider& itinerary,
-                             unsigned workers = 0);
+                             unsigned workers = 0,
+                             IngestMode mode = IngestMode::kAuto);
+
+  // Same, fed by the bulk CSR form directly — skips the per-vehicle
+  // function call and copy of the adapted path, which measurably raises
+  // materialize-stage throughput on workloads (like MultiRsuWorkload)
+  // that can emit whole slices natively.
+  IngestStats drive_vehicles(std::uint64_t count,
+                             const BulkItineraryProvider& itineraries,
+                             unsigned workers = 0,
+                             IngestMode mode = IngestMode::kAuto);
 
   // Ends the period: every RSU reports to the central server.
   void end_period();

@@ -166,6 +166,34 @@ TEST_P(KernelFuzz, SetScatterMatchesScalarWordsAndCount) {
   }
 }
 
+TEST_P(KernelFuzz, EncodeBatchMatchesScalar) {
+  common::Xoshiro256ss rng(0xF128);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Lengths deliberately include 0, 1, and non-multiples of the vector
+    // lane width so every masked/scalar tail path fires.
+    const std::size_t n = trial < 3 ? static_cast<std::size_t>(trial)
+                                    : 1 + rng.uniform(200);
+    // Power-of-two slot counts take the vectorized modulo; non-powers
+    // must defer to the shared scalar tail and still match bit-for-bit.
+    static constexpr std::uint64_t kSlotCounts[] = {1, 2, 3, 4, 5, 7, 8, 16};
+    const std::uint64_t slot_count = kSlotCounts[rng.uniform(8)];
+    const std::uint64_t slot_input = rng.next();
+    const std::uint64_t fold_mask = (std::uint64_t{1} << (6 + rng.uniform(15))) - 1;
+    std::vector<std::uint64_t> salts(slot_count);
+    for (auto& salt : salts) salt = rng.next();
+    std::vector<std::uint64_t> keys(n);
+    for (auto& key : keys) key = rng.next();
+    std::vector<std::size_t> out_variant(n, 0xDEAD);
+    std::vector<std::size_t> out_scalar(n, 0xBEEF);
+    variant().encode_batch(keys.data(), n, slot_input, salts.data(),
+                           slot_count, fold_mask, out_variant.data());
+    scalar().encode_batch(keys.data(), n, slot_input, salts.data(),
+                          slot_count, fold_mask, out_scalar.data());
+    EXPECT_EQ(out_variant, out_scalar)
+        << "n=" << n << " slot_count=" << slot_count << " trial=" << trial;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIsas, KernelFuzz,
                          ::testing::Values(Isa::kAvx2, Isa::kAvx512),
                          [](const ::testing::TestParamInfo<Isa>& param) {

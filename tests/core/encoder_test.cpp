@@ -177,7 +177,29 @@ TEST(Encoder, BatchBitIndicesMatchPerCallLoop) {
 TEST(Encoder, BatchBitIndicesEmptyIsNoOp) {
   Encoder enc(EncoderConfig{});
   const EncodeTarget target(256);
-  enc.bit_indices({}, RsuId{1}, target, {});
+  enc.bit_indices(std::span<const VehicleIdentity>{}, RsuId{1}, target, {});
+  enc.bit_indices(std::span<const std::uint64_t>{}, RsuId{1}, target, {});
+}
+
+TEST(Encoder, MaskedKeyBatchMatchesBitIndex) {
+  for (const SlotSelection mode :
+       {SlotSelection::kPerVehicleUniform, SlotSelection::kLiteralPerRsu}) {
+    Encoder enc(EncoderConfig{4, 7, mode});
+    const EncodeTarget target(1u << 14);
+    const RsuId r{7};
+    std::vector<std::uint64_t> keys;
+    std::vector<VehicleIdentity> vehicles;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      vehicles.push_back(vehicle(i));
+      keys.push_back(vehicles.back().masked_key());
+    }
+    std::vector<std::size_t> batch(keys.size());
+    enc.bit_indices(std::span<const std::uint64_t>(keys), r, target, batch);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(batch[i], enc.bit_index(vehicles[i], r, target))
+          << "mode " << static_cast<int>(mode) << " vehicle " << i;
+    }
+  }
 }
 
 }  // namespace

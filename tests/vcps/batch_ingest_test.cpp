@@ -1,0 +1,290 @@
+// Bit-identity of the columnar batch ingest engine (IngestMode::kBatch)
+// against the per-vehicle scalar loop — the acceptance gate of the staged
+// SoA pipeline. Every suite here fixes the engine explicitly through the
+// `mode` parameter, so the assertions hold regardless of what VLM_INGEST
+// or the kAuto default resolve to, and regardless of which engine the
+// ParallelIngest suites happened to exercise.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/visited_mask.h"
+#include "core/pair_simulation.h"
+#include "core/scheme.h"
+#include "traffic/multi_rsu_workload.h"
+#include "vcps/ingest_batch.h"
+#include "vcps/simulation.h"
+
+namespace vlm::vcps {
+namespace {
+
+constexpr std::size_t kRsus = 9;
+constexpr std::uint64_t kVehicles = 6'000;
+
+traffic::MultiRsuConfig workload_config() {
+  traffic::MultiRsuConfig config;
+  config.rsu_count = kRsus;
+  config.vehicle_count = kVehicles;
+  config.min_visits = 2;
+  config.max_visits = 5;
+  config.seed = 17;
+  return config;
+}
+
+SimulationConfig sim_config(const ChannelConfig& channel) {
+  SimulationConfig config;
+  config.seed = 101;
+  config.channel = channel;
+  config.server.scheme = core::make_vlm_scheme({.s = 2, .load_factor = 8.0});
+  return config;
+}
+
+ChannelConfig lossy_channel() {
+  ChannelConfig channel;
+  channel.query_loss = 0.15;
+  channel.reply_loss = 0.1;
+  channel.reply_duplicate = 0.08;
+  return channel;
+}
+
+std::vector<RsuSite> sites_for(traffic::MultiRsuWorkload& workload) {
+  workload.for_each_vehicle(
+      [](std::uint64_t, std::span<const std::uint32_t>) {});
+  std::vector<RsuSite> sites;
+  for (std::size_t r = 0; r < kRsus; ++r) {
+    sites.push_back(RsuSite{core::RsuId{r + 1},
+                            static_cast<double>(workload.node_volumes()[r])});
+  }
+  return sites;
+}
+
+ItineraryProvider provider_for(const traffic::MultiRsuWorkload& workload) {
+  return [&workload](std::uint64_t v, std::vector<std::size_t>& positions) {
+    thread_local common::VisitedMask visited(0);
+    thread_local std::vector<std::uint32_t> rsus;
+    if (visited.universe_size() != kRsus) {
+      visited = common::VisitedMask(kRsus);
+    }
+    workload.itinerary(v, visited, rsus);
+    positions.assign(rsus.begin(), rsus.end());
+  };
+}
+
+BulkItineraryProvider bulk_provider_for(
+    const traffic::MultiRsuWorkload& workload) {
+  return [&workload](std::uint64_t begin, std::uint64_t end,
+                     std::vector<std::uint32_t>& positions,
+                     std::vector<std::uint64_t>& offsets) {
+    thread_local common::VisitedMask visited(0);
+    if (visited.universe_size() != kRsus) {
+      visited = common::VisitedMask(kRsus);
+    }
+    workload.itineraries(begin, end, visited, positions, offsets);
+  };
+}
+
+std::unique_ptr<VcpsSimulation> run_with_mode(
+    const ChannelConfig& channel, const traffic::MultiRsuWorkload& workload,
+    std::span<const RsuSite> sites, unsigned workers, IngestMode mode,
+    IngestStats* stats_out = nullptr) {
+  auto sim = std::make_unique<VcpsSimulation>(sim_config(channel), sites);
+  sim->begin_period();
+  const IngestStats stats =
+      sim->drive_vehicles(kVehicles, provider_for(workload), workers, mode);
+  EXPECT_EQ(stats.vehicles, kVehicles);
+  if (stats_out != nullptr) *stats_out = stats;
+  sim->end_period();
+  return sim;
+}
+
+void expect_reports_identical(const VcpsSimulation& a,
+                              const VcpsSimulation& b) {
+  ASSERT_EQ(a.rsu_count(), b.rsu_count());
+  for (std::size_t r = 0; r < a.rsu_count(); ++r) {
+    const RsuReport ra = a.rsu(r).make_report(a.current_period());
+    const RsuReport rb = b.rsu(r).make_report(b.current_period());
+    EXPECT_EQ(ra.counter, rb.counter) << "RSU " << r;
+    EXPECT_EQ(ra.array_size, rb.array_size) << "RSU " << r;
+    EXPECT_EQ(ra.bits, rb.bits) << "RSU " << r;
+  }
+}
+
+TEST(BatchIngest, BitIdenticalToScalarEngineAcrossWorkerCountsLossyChannel) {
+  // The whole point of the refactor: for every worker count, the staged
+  // columnar pipeline must land exactly the bits, counters, exchange
+  // counts, AND channel tallies of the per-vehicle loop under a lossy +
+  // duplicating channel.
+  traffic::MultiRsuWorkload workload(workload_config());
+  const std::vector<RsuSite> sites = sites_for(workload);
+  const ChannelConfig channel = lossy_channel();
+
+  for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+    IngestStats scalar_stats, batch_stats;
+    const auto scalar = run_with_mode(channel, workload, sites, workers,
+                                      IngestMode::kScalar, &scalar_stats);
+    const auto batch = run_with_mode(channel, workload, sites, workers,
+                                     IngestMode::kBatch, &batch_stats);
+    EXPECT_STREQ(scalar_stats.path, "scalar");
+    EXPECT_STREQ(batch_stats.path, "batch");
+    EXPECT_EQ(batch_stats.exchanges, scalar_stats.exchanges)
+        << "workers " << workers;
+    expect_reports_identical(*scalar, *batch);
+    EXPECT_EQ(batch->channel().queries_lost(), scalar->channel().queries_lost())
+        << "workers " << workers;
+    EXPECT_EQ(batch->channel().replies_lost(), scalar->channel().replies_lost())
+        << "workers " << workers;
+    EXPECT_EQ(batch->channel().replies_duplicated(),
+              scalar->channel().replies_duplicated())
+        << "workers " << workers;
+  }
+}
+
+TEST(BatchIngest, MatchesSerialDriveVehicleLoopWhenLossFree) {
+  // Loss-free channel: no randomness on any path, so the batch engine
+  // must also match the one-vehicle-at-a-time serial API exactly.
+  traffic::MultiRsuWorkload workload(workload_config());
+  const std::vector<RsuSite> sites = sites_for(workload);
+
+  auto serial = std::make_unique<VcpsSimulation>(sim_config({}), sites);
+  serial->begin_period();
+  common::VisitedMask visited(kRsus);
+  std::vector<std::uint32_t> rsus;
+  std::vector<std::size_t> positions;
+  for (std::uint64_t v = 0; v < kVehicles; ++v) {
+    workload.itinerary(v, visited, rsus);
+    positions.assign(rsus.begin(), rsus.end());
+    serial->drive_vehicle(positions);
+  }
+  serial->end_period();
+
+  for (const unsigned workers : {1u, 4u}) {
+    const auto batch = run_with_mode({}, workload, sites, workers,
+                                     IngestMode::kBatch);
+    expect_reports_identical(*serial, *batch);
+  }
+}
+
+TEST(BatchIngest, StageSecondsPopulatedOnBatchPathOnly) {
+  traffic::MultiRsuWorkload workload(workload_config());
+  const std::vector<RsuSite> sites = sites_for(workload);
+
+  IngestStats batch_stats;
+  run_with_mode(lossy_channel(), workload, sites, 2, IngestMode::kBatch,
+                &batch_stats);
+  // Wall clocks tick: with 6000 vehicles every stage measures > 0.
+  EXPECT_GT(batch_stats.materialize_seconds, 0.0);
+  EXPECT_GT(batch_stats.hash_seconds, 0.0);
+  EXPECT_GT(batch_stats.channel_seconds, 0.0);
+  EXPECT_GT(batch_stats.scatter_seconds, 0.0);
+
+  IngestStats scalar_stats;
+  run_with_mode(lossy_channel(), workload, sites, 2, IngestMode::kScalar,
+                &scalar_stats);
+  EXPECT_EQ(scalar_stats.materialize_seconds, 0.0);
+  EXPECT_EQ(scalar_stats.hash_seconds, 0.0);
+  EXPECT_EQ(scalar_stats.channel_seconds, 0.0);
+  EXPECT_EQ(scalar_stats.scatter_seconds, 0.0);
+}
+
+TEST(BatchIngest, MaterializationReproducesSeedConfigItineraries) {
+  // Golden snapshot of stage 1: materializing the seed-config workload
+  // must bucket exactly the tuples a direct itinerary walk produces —
+  // same vehicle numbers, same masked keys, same per-RSU order.
+  traffic::MultiRsuWorkload workload(workload_config());
+  const BulkItineraryProvider provider = bulk_provider_for(workload);
+  constexpr std::uint64_t kSeed = 101;
+  constexpr std::uint64_t kBase = 3;  // mid-period offsets must carry over
+  constexpr std::size_t kSlice = 500;
+
+  ExchangeColumns columns;
+  materialize_exchanges(kSeed, kBase, 0, kSlice, provider, kRsus,
+                        /*with_vehicle_numbers=*/true, columns);
+
+  std::vector<std::vector<std::uint64_t>> want_keys(kRsus);
+  std::vector<std::vector<std::uint64_t>> want_numbers(kRsus);
+  common::VisitedMask visited(kRsus);
+  std::vector<std::uint32_t> rsus;
+  std::uint64_t tuples = 0;
+  for (std::size_t v = 0; v < kSlice; ++v) {
+    const std::uint64_t vehicle_number = kBase + v + 1;
+    const core::VehicleIdentity identity =
+        core::synthetic_vehicle(kSeed, vehicle_number);
+    workload.itinerary(v, visited, rsus);
+    for (const std::uint32_t position : rsus) {
+      want_keys[position].push_back(identity.masked_key());
+      want_numbers[position].push_back(vehicle_number);
+      ++tuples;
+    }
+  }
+  ASSERT_GT(tuples, kSlice);  // min_visits = 2 guarantees multi-visit
+
+  ASSERT_EQ(columns.buckets.size(), kRsus);
+  for (std::size_t r = 0; r < kRsus; ++r) {
+    const RsuExchangeBucket& bucket = columns.buckets[r];
+    EXPECT_EQ(std::vector<std::uint64_t>(bucket.masked_keys.begin(),
+                                         bucket.masked_keys.end()),
+              want_keys[r])
+        << "RSU " << r;
+    EXPECT_EQ(std::vector<std::uint64_t>(bucket.vehicle_numbers.begin(),
+                                         bucket.vehicle_numbers.end()),
+              want_numbers[r])
+        << "RSU " << r;
+    EXPECT_TRUE(bucket.bit_indices.empty());
+    EXPECT_TRUE(bucket.deliveries.empty());
+  }
+}
+
+TEST(BatchIngest, ColumnsResetClearsStaleTuples) {
+  // Reuse across periods: a second materialization of a shorter slice
+  // must not leak tuples from the first.
+  traffic::MultiRsuWorkload workload(workload_config());
+  const BulkItineraryProvider provider = bulk_provider_for(workload);
+  ExchangeColumns columns;
+  materialize_exchanges(101, 0, 0, 400, provider, kRsus,
+                        /*with_vehicle_numbers=*/true, columns);
+  std::size_t first = 0;
+  for (const RsuExchangeBucket& bucket : columns.buckets) {
+    first += bucket.masked_keys.size();
+  }
+  materialize_exchanges(101, 0, 0, 40, provider, kRsus,
+                        /*with_vehicle_numbers=*/true, columns);
+  std::size_t second = 0;
+  for (const RsuExchangeBucket& bucket : columns.buckets) {
+    second += bucket.masked_keys.size();
+    EXPECT_EQ(bucket.masked_keys.size(), bucket.vehicle_numbers.size());
+  }
+  EXPECT_LT(second, first);
+}
+
+TEST(BatchIngest, BulkProviderMatchesPerVehicleProvider) {
+  // The native CSR bulk form and the adapted per-vehicle form must be
+  // indistinguishable end to end — same reports, same exchange counts,
+  // same channel tallies — on both engines.
+  traffic::MultiRsuWorkload workload(workload_config());
+  const std::vector<RsuSite> sites = sites_for(workload);
+  const ChannelConfig channel = lossy_channel();
+
+  for (const IngestMode mode : {IngestMode::kScalar, IngestMode::kBatch}) {
+    IngestStats per_vehicle_stats;
+    const auto per_vehicle = run_with_mode(channel, workload, sites, 2, mode,
+                                           &per_vehicle_stats);
+    auto bulk = std::make_unique<VcpsSimulation>(sim_config(channel), sites);
+    bulk->begin_period();
+    const IngestStats bulk_stats =
+        bulk->drive_vehicles(kVehicles, bulk_provider_for(workload), 2, mode);
+    bulk->end_period();
+    EXPECT_EQ(bulk_stats.exchanges, per_vehicle_stats.exchanges);
+    expect_reports_identical(*per_vehicle, *bulk);
+    EXPECT_EQ(bulk->channel().queries_lost(),
+              per_vehicle->channel().queries_lost());
+    EXPECT_EQ(bulk->channel().replies_lost(),
+              per_vehicle->channel().replies_lost());
+    EXPECT_EQ(bulk->channel().replies_duplicated(),
+              per_vehicle->channel().replies_duplicated());
+  }
+}
+
+}  // namespace
+}  // namespace vlm::vcps

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/parallel.h"
 #include "common/visited_mask.h"
 #include "obs/clock.h"
 #include "obs/export.h"
@@ -162,8 +163,8 @@ int main(int argc, char** argv) {
     config.server.scheme =
         core::make_scheme(parser.get_string("scheme"), scheme_options);
 
-    const unsigned workers =
-        static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
+    const unsigned workers = common::resolve_worker_count(
+        static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers"))));
     const auto periods = static_cast<std::uint64_t>(
         std::max<std::int64_t>(1, parser.get_int("periods")));
     const obs::ExportConfig metrics_config = obs::resolve_export_config(
