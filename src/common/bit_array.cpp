@@ -31,6 +31,15 @@ bool BitArray::test(std::size_t index) const {
 void BitArray::reset() {
   for (auto& w : words_) w = 0;
   ones_ = 0;
+  ones_stale_ = false;
+}
+
+std::size_t BitArray::count_ones() const {
+  if (ones_stale_) {
+    ones_ = kernels::active().popcount(words_.data(), words_.size());
+    ones_stale_ = false;
+  }
+  return ones_;
 }
 
 double BitArray::zero_fraction() const {
@@ -80,8 +89,9 @@ BitArray BitArray::unfolded(std::size_t target_size) const {
     }
   }
   // Unfolding repeats the pattern exactly target/size times, so the
-  // ones count scales with the ratio — no recount sweep needed.
-  out.ones_ = ones_ * (target_size / bit_count_);
+  // ones count scales with the ratio — no recount sweep needed (beyond
+  // flushing a pending set_bulk recount on the source).
+  out.ones_ = count_ones() * (target_size / bit_count_);
   return out;
 }
 
@@ -90,13 +100,37 @@ BitArray& BitArray::merge_or(const BitArray& other) {
               "bitwise OR requires equal-sized arrays (unfold first)");
   ones_ = kernels::active().merge_or(words_.data(), other.words_.data(),
                                      words_.size());
+  ones_stale_ = false;
   return *this;
 }
 
 void BitArray::set_bulk(std::span<const std::size_t> indices) {
   if (indices.empty()) return;
+  if (indices.size() < words_.size()) {
+    // Small batch relative to the array — the common case under the
+    // sub-slice pipeline schedule, which hands each bucket many small
+    // chunks per period. Just write the bits and defer the recount to
+    // the next count_ones() read (or to the merge sweep, which recounts
+    // anyway), so the cost is O(n) per call, never O(m/64).
+    const std::size_t n = indices.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      // The word touched 32 iterations ahead is a data-dependent random
+      // address — prefetching it keeps several misses in flight instead
+      // of serializing on each RMW. (Prefetch never faults, so the
+      // not-yet-validated index is safe to feed it.)
+      if (i + 32 < n) {
+        __builtin_prefetch(&words_[indices[i + 32] / kWordBits], 1, 1);
+      }
+      const std::size_t index = indices[i];
+      VLM_REQUIRE(index < bit_count_, "bit index out of range");
+      words_[index / kWordBits] |= std::uint64_t{1} << (index % kWordBits);
+    }
+    ones_stale_ = true;
+    return;
+  }
   ones_ = kernels::active().set_scatter(words_.data(), bit_count_,
                                         indices.data(), indices.size());
+  ones_stale_ = false;
 }
 
 ShardedBitArray::ShardedBitArray(std::size_t bit_count, unsigned shard_count) {

@@ -31,19 +31,21 @@ class BitArray {
   bool test(std::size_t index) const;
 
   // Bulk ingest: sets every index in `indices` (duplicates are fine — OR
-  // is idempotent) with plain word writes, then recomputes `ones_` with
-  // one popcount sweep instead of per-bit branch bookkeeping. Amortizes
-  // the O(m/64) recount over the batch, so callers should hand it chunks
-  // of at least a few thousand indices.
+  // is idempotent). Batches of at least one index per array word use
+  // plain word writes plus one vectorized popcount recount; smaller
+  // batches — the common case under the sub-slice pipeline schedule —
+  // maintain the ones count incrementally so the cost is O(n), never
+  // O(m/64) per call.
   void set_bulk(std::span<const std::size_t> indices);
 
   // Clears every bit (start of a new measurement period).
   void reset();
 
-  // O(1): the ones count is maintained incrementally by every mutation,
-  // so per-array zero counts are free during decode — the pair kernel
-  // only has to popcount the OR.
-  std::size_t count_ones() const { return ones_; }
+  // O(1) when the count is clean. `set` and `merge_or` keep it exact
+  // incrementally; `set_bulk` defers, and the first read afterwards pays
+  // one vectorized popcount sweep. Decode paths only ever see clean
+  // arrays (merging recounts), so per-array zero counts stay free there.
+  std::size_t count_ones() const;
   std::size_t count_zeros() const { return size() - count_ones(); }
 
   // V_x in the paper: the fraction of '0' bits. Requires a non-empty array.
@@ -87,7 +89,13 @@ class BitArray {
   }
 
   std::size_t bit_count_ = 0;
-  std::size_t ones_ = 0;
+  // `ones_` is exact while `ones_stale_` is false; `set_bulk` only
+  // writes words and raises the flag, and `count_ones` recounts behind
+  // the const read API (hence mutable). Flushing is not safe from
+  // concurrent readers — ingest keeps stale arrays worker-private and
+  // every cross-thread hand-off (merge, serialization) recounts.
+  mutable std::size_t ones_ = 0;
+  mutable bool ones_stale_ = false;
   std::vector<std::uint64_t> words_;
 };
 

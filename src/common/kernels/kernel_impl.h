@@ -47,6 +47,26 @@ inline void encode_batch_tail(const std::uint64_t* masked_keys,
   }
 }
 
+// Scalar reference for the batched Zipf rank selection over [begin, end)
+// — the exact semantics every vector variant must reproduce. Each state
+// is a post-increment splitmix64 stream position; the draw is its mix64
+// output truncated to 53 bits, the rank is lower_bound over the
+// 2^53-scaled CDF thresholds, started from the guide table's bucket
+// entry (see MultiRsuWorkload for the construction; the kernel only
+// relies on the documented contract in kernels.h).
+inline void zipf_rank_tail(const std::uint64_t* states, std::size_t begin,
+                           std::size_t end, const std::uint64_t* thresholds,
+                           const std::uint32_t* guide, std::uint64_t buckets,
+                           std::uint32_t* out) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint64_t draw = mix64_inline(states[i]) >> 11;
+    std::uint32_t r = guide[static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(draw) * buckets) >> 53)];
+    while (thresholds[r] <= draw) ++r;
+    out[i] = r;
+  }
+}
+
 // Validate-then-scatter: no word is touched unless every index is in
 // range, so a rejected batch leaves the array (and its cached ones
 // count) consistent.

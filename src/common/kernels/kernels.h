@@ -96,6 +96,29 @@ struct KernelTable {
                        std::uint64_t slot_input, const std::uint64_t* salts,
                        std::uint64_t slot_count, std::uint64_t fold_mask,
                        std::size_t* out);
+
+  // Batched Zipf rank selection — the per-draw core of
+  // MultiRsuWorkload's itinerary sampling over a whole vehicle block.
+  // For each splitmix64 stream position states[i]:
+  //     draw   = mix64(states[i]) >> 11                  (53-bit uniform)
+  //     out[i] = lower_bound(thresholds, draw)           (first r with
+  //              thresholds[r] > draw), computed as a forward scan from
+  //              the guide table's bucket entry:
+  //                  r = guide[(draw * buckets) >> 53]
+  //                  while (thresholds[r] <= draw) ++r
+  // Caller contract (what the workload's construction guarantees):
+  // thresholds is non-decreasing with a final entry > 2^53 - 1, so the
+  // scan always terminates in range; guide has buckets + 1 entries and
+  // guide[j] lower-bounds the selected rank of every draw in bucket j;
+  // thresholds stay below 2^63 (2^53-scaled values always do), which
+  // keeps the SIMD variants' signed 64-bit compares exact. The vector
+  // paths defer to the scalar reference when buckets >= 2^32 (their
+  // bucket math uses 32x32-bit partial products); every variant is
+  // bit-exact for every input — asserted by the differential fuzz suite.
+  void (*zipf_rank_batch)(const std::uint64_t* states, std::size_t n,
+                          const std::uint64_t* thresholds,
+                          const std::uint32_t* guide, std::uint64_t buckets,
+                          std::uint32_t* out);
 };
 
 // Human-readable ISA name ("scalar", "avx2", "avx512").

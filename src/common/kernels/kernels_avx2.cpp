@@ -241,13 +241,65 @@ void encode_batch_avx2(const std::uint64_t* masked_keys, std::size_t n,
                             fold_mask, out);
 }
 
+void zipf_rank_batch_avx2(const std::uint64_t* states, std::size_t n,
+                          const std::uint64_t* thresholds,
+                          const std::uint32_t* guide, std::uint64_t buckets,
+                          std::uint32_t* out) {
+  if (buckets >= (std::uint64_t{1} << 32)) {
+    // Bucket selection below builds (draw * buckets) >> 53 from 32x32
+    // partial products; a guide table this large never occurs.
+    detail::zipf_rank_tail(states, 0, n, thresholds, guide, buckets, out);
+    return;
+  }
+  const __m256i vbuckets = _mm256_set1_epi64x(static_cast<long long>(buckets));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i draw = _mm256_srli_epi64(mix64x4(load256(states + i)), 11);
+    // bucket = (draw * buckets) >> 53 from 32x32 partial products: with
+    // draw = hi·2^32 + lo (hi < 2^21), floor(draw·buckets / 2^53) =
+    // floor((hi·buckets + floor(lo·buckets / 2^32)) / 2^21) — exact by
+    // nested floor division, both products fit 64 bits.
+    const __m256i hi_prod = _mm256_mul_epu32(_mm256_srli_epi64(draw, 32),
+                                             vbuckets);
+    const __m256i lo_prod = _mm256_srli_epi64(_mm256_mul_epu32(draw, vbuckets),
+                                              32);
+    const __m256i bucket =
+        _mm256_srli_epi64(_mm256_add_epi64(hi_prod, lo_prod), 21);
+    __m256i rank = _mm256_cvtepu32_epi64(_mm256_i64gather_epi32(
+        reinterpret_cast<const int*>(guide), bucket, 4));
+    __m256i thr = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(thresholds), rank, 8);
+    // Guide-table walk in lockstep. Thresholds are < 2^63 (contract) and
+    // draws < 2^53, so the signed cmpgt is an exact unsigned compare. A
+    // lane that reaches thr > draw keeps failing the step test forever
+    // (thr and draw stop changing), so no separate active mask is
+    // needed.
+    for (;;) {
+      const __m256i done = _mm256_cmpgt_epi64(thr, draw);
+      if (_mm256_movemask_epi8(done) == -1) break;
+      const __m256i stepm = _mm256_xor_si256(done, _mm256_set1_epi64x(-1));
+      rank = _mm256_add_epi64(rank, _mm256_and_si256(stepm, vone));
+      thr = _mm256_mask_i64gather_epi64(
+          thr, reinterpret_cast<const long long*>(thresholds), rank, stepm, 8);
+    }
+    // Ranks are < 2^32: keep the low dword of each lane and store four.
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        rank, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  detail::zipf_rank_tail(states, i, n, thresholds, guide, buckets, out);
+}
+
 }  // namespace
 
 const KernelTable* detail::avx2_table() {
   static const KernelTable table{Isa::kAvx2, "avx2", popcount_avx2,
                                  or_popcount_cyclic_avx2,
                                  or_popcount_cyclic_batch_avx2, merge_or_avx2,
-                                 set_scatter_avx2, encode_batch_avx2};
+                                 set_scatter_avx2, encode_batch_avx2,
+                                 zipf_rank_batch_avx2};
   return &table;
 }
 

@@ -272,6 +272,71 @@ void encode_batch_avx512(const std::uint64_t* masked_keys, std::size_t n,
   }
 }
 
+void zipf_rank_batch_avx512(const std::uint64_t* states, std::size_t n,
+                            const std::uint64_t* thresholds,
+                            const std::uint32_t* guide, std::uint64_t buckets,
+                            std::uint32_t* out) {
+  if (buckets >= (std::uint64_t{1} << 32)) {
+    // Bucket selection below builds (draw * buckets) >> 53 from 32x32
+    // partial products; a guide table this large never occurs (it would
+    // be a 2^29-RSU deployment), so correctness over speed.
+    detail::zipf_rank_tail(states, 0, n, thresholds, guide, buckets, out);
+    return;
+  }
+  const __m512i vbuckets = _mm512_set1_epi64(static_cast<long long>(buckets));
+  const __m512i vone = _mm512_set1_epi64(1);
+  // Two independent 8-lane blocks per iteration: the guide/threshold
+  // gathers are the latency chain here, and interleaving two chains
+  // keeps both gather ports busy instead of serializing on one block's
+  // walk. Each block is the single-vector body below, verbatim.
+  const auto rank_block = [&](__mmask8 lanes, const std::uint64_t* src,
+                              std::uint32_t* dst) {
+    const __m512i draw = _mm512_srli_epi64(
+        mix64x8(_mm512_maskz_loadu_epi64(lanes, src)), 11);
+    // bucket = (draw * buckets) >> 53 without a 128-bit product: with
+    // draw = hi·2^32 + lo (hi < 2^21, buckets < 2^32, so hi·buckets and
+    // lo·buckets both fit 64 bits),
+    //   floor(draw·buckets / 2^53) = floor((hi·buckets + floor(lo·buckets
+    //   / 2^32)) / 2^21)
+    // by nested floor division — exact, not an approximation.
+    const __m512i hi_prod = _mm512_mul_epu32(_mm512_srli_epi64(draw, 32),
+                                             vbuckets);
+    const __m512i lo_prod = _mm512_srli_epi64(_mm512_mul_epu32(draw, vbuckets),
+                                              32);
+    const __m512i bucket =
+        _mm512_srli_epi64(_mm512_add_epi64(hi_prod, lo_prod), 21);
+    // Masked-off tail lanes hold state 0 — their draw is still < 2^53,
+    // so the guide index stays in range and the unmasked gather is safe.
+    __m512i rank = _mm512_cvtepu32_epi64(_mm512_i64gather_epi32(
+        bucket, reinterpret_cast<const int*>(guide), 4));
+    // Guide-table walk, all lanes in lockstep: re-gather and bump only
+    // the lanes whose threshold is still <= draw. The construction keeps
+    // guide entries ~one step from the answer, so this loop almost
+    // always runs a single compare round.
+    __m512i thr = _mm512_mask_i64gather_epi64(
+        _mm512_setzero_si512(), lanes, rank,
+        reinterpret_cast<const long long*>(thresholds), 8);
+    __mmask8 step = _mm512_mask_cmple_epu64_mask(lanes, thr, draw);
+    while (step != 0) {
+      rank = _mm512_mask_add_epi64(rank, step, rank, vone);
+      thr = _mm512_mask_i64gather_epi64(
+          thr, step, rank, reinterpret_cast<const long long*>(thresholds), 8);
+      step = _mm512_mask_cmple_epu64_mask(step, thr, draw);
+    }
+    _mm512_mask_cvtepi64_storeu_epi32(dst, lanes, rank);
+  };
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    rank_block(static_cast<__mmask8>(0xFF), states + i, out + i);
+    rank_block(static_cast<__mmask8>(0xFF), states + i + 8, out + i + 8);
+  }
+  for (; i < n; i += 8) {
+    const __mmask8 lanes = i + 8 <= n ? static_cast<__mmask8>(0xFF)
+                                      : tail_mask(n - i);
+    rank_block(lanes, states + i, out + i);
+  }
+}
+
 }  // namespace
 
 const KernelTable* detail::avx512_table() {
@@ -279,7 +344,7 @@ const KernelTable* detail::avx512_table() {
                                  or_popcount_cyclic_avx512,
                                  or_popcount_cyclic_batch_avx512,
                                  merge_or_avx512, set_scatter_avx512,
-                                 encode_batch_avx512};
+                                 encode_batch_avx512, zipf_rank_batch_avx512};
   return &table;
 }
 

@@ -79,6 +79,13 @@ void encode_batch_scalar(const std::uint64_t* masked_keys, std::size_t n,
                             fold_mask, out);
 }
 
+void zipf_rank_batch_scalar(const std::uint64_t* states, std::size_t n,
+                            const std::uint64_t* thresholds,
+                            const std::uint32_t* guide, std::uint64_t buckets,
+                            std::uint32_t* out) {
+  detail::zipf_rank_tail(states, 0, n, thresholds, guide, buckets, out);
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() {
@@ -86,7 +93,7 @@ const KernelTable& scalar_table() {
                                  or_popcount_cyclic_scalar,
                                  or_popcount_cyclic_batch_scalar,
                                  merge_or_scalar, set_scatter_scalar,
-                                 encode_batch_scalar};
+                                 encode_batch_scalar, zipf_rank_batch_scalar};
   return table;
 }
 

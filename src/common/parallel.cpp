@@ -24,8 +24,12 @@ thread_local bool t_inside_pool_task = false;
 // Pool observability. Everything hangs off fixed names so the key set is
 // identical whether a run used 1 worker (pool untouched) or many — the
 // handles register on the first parallel region of the process, not per
-// worker. Utilization is derivable as task.total / (region.total ×
-// (pool/threads + 1)).
+// worker. `threads` is the high-water count of threads that executed
+// region work (caller included), not the instantaneous busy count, so a
+// snapshot taken after the pool goes quiescent still reports how wide
+// the run actually was — on a single-core host (zero helpers) it reads
+// 1, never 0. Utilization is derivable as task.total / (region.total ×
+// pool/threads).
 struct PoolMetrics {
   obs::Counter& dispatches;
   obs::Counter& tasks;
@@ -183,7 +187,12 @@ void WorkerPool::run(unsigned used,
   const obs::Span region_span(metrics.region);
   metrics.dispatches.inc();
   metrics.tasks.add(used);
-  metrics.threads.set(static_cast<double>(thread_count()));
+  // High-water width: a region of `used` tasks keeps at most that many
+  // threads busy, and the caller always participates alongside the
+  // helpers.
+  const double busy = static_cast<double>(
+      std::min<unsigned>(used, thread_count() + 1));
+  metrics.threads.set(std::max(metrics.threads.value(), busy));
   state_->dispatches.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(state_->mutex);
   state_->task = &task;
@@ -221,10 +230,14 @@ void parallel_slices(
   // Touch the pool metric handles even on the inline path below, so a
   // 1-worker run exports the same metric key set as an N-worker run
   // (values differ; the schema must not).
-  pool_metrics();
+  PoolMetrics& metrics = pool_metrics();
   const unsigned used = static_cast<unsigned>(
       std::min<std::size_t>(workers, count));
   if (used == 1) {
+    // The inline path still ran region work on one thread — count it
+    // toward the high-water width so a serial-only process reports 1,
+    // not 0.
+    metrics.threads.set(std::max(metrics.threads.value(), 1.0));
     body(0, 0, count);
     return;
   }

@@ -1,18 +1,51 @@
 #include "core/pair_simulation.h"
 
 #include "common/hashing.h"
+#include "common/kernels/kernels.h"
 #include "common/require.h"
+#include "common/uninit.h"
 #include "core/scheme.h"
 
 namespace vlm::core {
 
+namespace {
+// The two stream gammas of synthetic_vehicle — distinct by design, see
+// the header's differential-structure warning.
+constexpr std::uint64_t kIdGamma = 0x9E3779B97F4A7C15ull;
+constexpr std::uint64_t kKeyGamma = 0xC2B2AE3D27D4EB4Full;
+constexpr std::uint64_t kKeySeedTweak = 0xD1B54A32D192ED03ull;
+}  // namespace
+
 VehicleIdentity synthetic_vehicle(std::uint64_t seed, std::uint64_t index) {
   VehicleIdentity v;
-  v.id = VehicleId{
-      common::mix64(common::mix64(seed) + (index + 1) * 0x9E3779B97F4A7C15ull)};
-  v.private_key = common::mix64(common::mix64(seed ^ 0xD1B54A32D192ED03ull) +
-                                (index + 1) * 0xC2B2AE3D27D4EB4Full);
+  v.id = VehicleId{common::mix64(common::mix64(seed) + (index + 1) * kIdGamma)};
+  v.private_key = common::mix64(common::mix64(seed ^ kKeySeedTweak) +
+                                (index + 1) * kKeyGamma);
   return v;
+}
+
+void synthetic_masked_keys(std::uint64_t seed, std::uint64_t first_index,
+                           std::size_t n, std::uint64_t* out) {
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "encode_batch writes size_t lanes reused as uint64_t");
+  const common::kernels::KernelTable& kt = common::kernels::active();
+  static constexpr std::uint64_t kZeroSalt[1] = {0};
+  thread_local common::UninitVector<std::uint64_t> inputs;
+  thread_local common::UninitVector<std::uint64_t> ids;
+  inputs.resize(n);
+  ids.resize(n);
+  // Pre-mix inputs advance by the gamma per index (exact mod 2^64), and
+  // a zero salt with a full fold mask reduces encode_batch to a plain
+  // lane-parallel mix64 — so each stream is one kernel call.
+  std::uint64_t s = common::mix64(seed) + (first_index + 1) * kIdGamma;
+  for (std::size_t i = 0; i < n; ++i, s += kIdGamma) inputs[i] = s;
+  kt.encode_batch(inputs.data(), n, 0, kZeroSalt, 1, ~std::uint64_t{0},
+                  reinterpret_cast<std::size_t*>(ids.data()));
+  s = common::mix64(seed ^ kKeySeedTweak) + (first_index + 1) * kKeyGamma;
+  for (std::size_t i = 0; i < n; ++i, s += kKeyGamma) inputs[i] = s;
+  kt.encode_batch(inputs.data(), n, 0, kZeroSalt, 1, ~std::uint64_t{0},
+                  reinterpret_cast<std::size_t*>(out));
+  for (std::size_t i = 0; i < n; ++i) out[i] ^= ids[i];
 }
 
 PairStates simulate_pair(const Encoder& encoder, const PairWorkload& workload,

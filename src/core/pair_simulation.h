@@ -24,6 +24,16 @@ namespace vlm::core {
 // harness that fabricates vehicles should use this.
 VehicleIdentity synthetic_vehicle(std::uint64_t seed, std::uint64_t index);
 
+// Bulk form: out[i] = synthetic_vehicle(seed, first_index + i).masked_key()
+// for i in [0, n). Both splitmix64 streams run through the dispatched
+// encode_batch kernel (8 finalizer lanes per iteration on AVX-512)
+// instead of one scalar mix64 pair per vehicle, which is what lets the
+// batch-ingest materialize stage derive a whole sub-slice of identities
+// in two kernel calls. Bit-identical to the per-vehicle helper — a test
+// pins the equivalence.
+void synthetic_masked_keys(std::uint64_t seed, std::uint64_t first_index,
+                           std::size_t n, std::uint64_t* out);
+
 struct PairWorkload {
   std::uint64_t n_x = 0;  // vehicles passing RSU x (including common)
   std::uint64_t n_y = 0;  // vehicles passing RSU y (including common)

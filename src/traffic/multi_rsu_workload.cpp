@@ -1,12 +1,43 @@
 #include "traffic/multi_rsu_workload.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/hashing.h"
+#include "common/kernels/kernels.h"
 #include "common/require.h"
+#include "common/uninit.h"
 
 namespace vlm::traffic {
+
+namespace {
+// splitmix64's stream increment — the gamma splitmix64_next adds before
+// mixing. The bulk path reconstructs stream positions as base + k*gamma
+// instead of stepping a mutable state, which is what lets whole blocks
+// of draws go through the batch kernels.
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+
+// Pre-generated visit draws per vehicle: span_count accepted entries
+// need at least span_count draws, plus headroom for Zipf rejections
+// (duplicate ranks). Half the span again plus two covers the vast
+// majority of vehicles even under heavy skew; the rare overflow
+// continues on the exact scalar path, consuming the same stream.
+constexpr std::size_t draw_slots_for(std::uint64_t span_count) {
+  return static_cast<std::size_t>(span_count + 2 + span_count / 2);
+}
+
+// Per-thread scratch for the bulk generator, reused across slices so
+// steady-state ingest does not reallocate. UninitVector: every slot is
+// written by a kernel or the fill loop before it is read.
+struct BulkScratch {
+  common::UninitVector<std::uint64_t> inputs;  // encode_batch key blocks
+  common::UninitVector<std::uint64_t> bases;   // mix64(seed ^ v)
+  common::UninitVector<std::uint64_t> draws;   // span-count draws
+  common::UninitVector<std::uint64_t> states;  // flat visit-draw stream
+  common::UninitVector<std::uint32_t> ranks;   // zipf_rank_batch output
+};
+}  // namespace
 
 MultiRsuWorkload::MultiRsuWorkload(const MultiRsuConfig& config)
     : config_(config) {
@@ -131,21 +162,209 @@ void MultiRsuWorkload::itinerary(std::uint64_t vehicle_index,
 void MultiRsuWorkload::itineraries(std::uint64_t begin, std::uint64_t end,
                                    common::VisitedMask& visited,
                                    std::vector<std::uint32_t>& positions,
-                                   std::vector<std::uint64_t>& offsets) const {
+                                   std::vector<std::uint64_t>& offsets,
+                                   std::vector<std::uint64_t>& counts) const {
   VLM_REQUIRE(begin <= end && end <= config_.vehicle_count,
               "vehicle range out of bounds");
   VLM_REQUIRE(visited.universe_size() == config_.rsu_count,
               "visited mask must be sized to the RSU count");
-  positions.clear();
-  // max_visits per vehicle bounds the total, so one up-front reserve
-  // removes every growth-reallocation copy from the hot slice loop.
-  positions.reserve(static_cast<std::size_t>(end - begin) * config_.max_visits);
+  const std::size_t n = static_cast<std::size_t>(end - begin);
+  // `positions` is sized exactly (one resize, after the spans are known
+  // below) rather than cleared here: clear + resize would value-init the
+  // whole block every call, while resize alone only touches the growth
+  // delta — and the emission loop overwrites every slot in range anyway.
   offsets.clear();
-  offsets.reserve(static_cast<std::size_t>(end - begin) + 1);
+  offsets.reserve(n + 1);
   offsets.push_back(0);
-  for (std::uint64_t v = begin; v < end; ++v) {
-    sample_into(v, visited, positions);
-    offsets.push_back(positions.size());
+  counts.assign(config_.rsu_count, 0);
+  if (n == 0) {
+    positions.clear();
+    return;
+  }
+
+  static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                "encode_batch writes size_t lanes reused as uint64_t");
+  const common::kernels::KernelTable& kt = common::kernels::active();
+  static constexpr std::uint64_t kZeroSalt[1] = {0};
+  thread_local BulkScratch scratch;
+
+  // Stream bases: mix64(seed ^ v) for the whole block, through the
+  // batch-encode kernel (salt 0, full fold mask reduce it to a plain
+  // lane-parallel mix64).
+  scratch.inputs.resize(n);
+  scratch.bases.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.inputs[i] = config_.seed ^ (begin + i);
+  }
+  kt.encode_batch(scratch.inputs.data(), n, 0, kZeroSalt, 1, ~std::uint64_t{0},
+                  reinterpret_cast<std::size_t*>(scratch.bases.data()));
+
+  // Span-count draws: the first splitmix64_next of every stream,
+  // mix64(base + gamma), again one kernel call for the block.
+  scratch.draws.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.inputs[i] = scratch.bases[i] + kGamma;
+  }
+  kt.encode_batch(scratch.inputs.data(), n, 0, kZeroSalt, 1, ~std::uint64_t{0},
+                  reinterpret_cast<std::size_t*>(scratch.draws.data()));
+
+  // Visit-draw stream positions, flat across the block: vehicle i's
+  // draws start at base + 2*gamma (the span draw consumed one step) and
+  // advance by gamma. Generate draw_slots_for(span) per vehicle so the
+  // rank kernel below covers the expected rejection runs too.
+  const std::uint64_t visit_range =
+      config_.max_visits - config_.min_visits + 1;
+  std::size_t total_slots = 0;
+  std::size_t total_span = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t span_count =
+        config_.min_visits +
+        static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(scratch.draws[i]) * visit_range) >>
+            64);
+    scratch.draws[i] = span_count;  // draw consumed; slot reused
+    total_span += span_count;
+    total_slots += draw_slots_for(span_count);
+  }
+  // Spans are known for the whole block now, so size the output once —
+  // the per-vehicle loop below just advances a raw cursor instead of
+  // paying a resize call per vehicle.
+  positions.resize(total_span);
+  scratch.states.resize(total_slots);
+  {
+    std::uint64_t* state = scratch.states.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t s = scratch.bases[i] + 2 * kGamma;
+      const std::size_t slots = draw_slots_for(scratch.draws[i]);
+      for (std::size_t k = 0; k < slots; ++k) {
+        state[k] = s;
+        s += kGamma;
+      }
+      state += slots;
+    }
+  }
+
+  // Rank selection for every pre-generated draw in one kernel call —
+  // the vectorized form of sample_into's guide-table walk.
+  scratch.ranks.resize(total_slots);
+  const std::uint64_t* thresholds = cdf_thresholds_.data();
+  const std::uint64_t buckets = zipf_guide_.size() - 1;
+  kt.zipf_rank_batch(scratch.states.data(), total_slots, thresholds,
+                     zipf_guide_.data(), buckets, scratch.ranks.data());
+
+  // Accept/reject, dedup, and sort — scalar, but over pre-computed
+  // ranks. The sequence below consumes draws in exactly sample_into's
+  // order (the pre-generated ranks ARE its draws, in order), so accepted
+  // itineraries are bit-identical; the per-RSU histogram is accumulated
+  // on the same pass instead of by a later counting sweep.
+  // Dedup strategy: accepting a rank is "not seen before this vehicle",
+  // which any membership structure answers identically. For city-scale
+  // K (≤ 64) the accepted set fits one word of seen-bits, which makes
+  // the consume loop branchless (no stores at all — just mask updates)
+  // and the sorted emission a countr_zero walk over the final mask; the
+  // dedup scan and the insertion sort both disappear without changing
+  // which draws are consumed or accepted. Larger deployments keep
+  // sample_into's scan/epoch-mask pair.
+  const bool word_dedup = config_.rsu_count <= 64;
+  std::size_t slot_cursor = 0;
+  std::size_t write_pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto span_count = static_cast<std::uint64_t>(scratch.draws[i]);
+    const std::size_t slots = draw_slots_for(span_count);
+    const std::uint32_t* pre = scratch.ranks.data() + slot_cursor;
+    slot_cursor += slots;
+    const std::size_t first = write_pos;
+    write_pos += span_count;
+    if (word_dedup) {
+      std::uint64_t seen_bits = 0;
+      std::uint64_t accepted = 0;
+      std::size_t used = 0;
+      while (accepted < span_count && used < slots) {
+        const std::uint64_t bit = std::uint64_t{1} << pre[used++];
+        accepted += static_cast<std::uint64_t>((seen_bits & bit) == 0);
+        seen_bits |= bit;
+      }
+      if (accepted < span_count) {
+        // Rejection run outlasted the pre-generated draws: continue on
+        // the scalar path from the exact stream position after the last
+        // consumed draw (base + (1 + used)*gamma — the span draw plus
+        // `used` visit draws), so the realization is unchanged.
+        std::uint64_t stream = scratch.bases[i] + (1 + used) * kGamma;
+        while (accepted < span_count) {
+          const std::uint64_t draw = common::splitmix64_next(stream) >> 11;
+          std::uint32_t r = zipf_guide_[static_cast<std::uint64_t>(
+              (static_cast<unsigned __int128>(draw) * buckets) >> 53)];
+          while (thresholds[r] <= draw) ++r;
+          const std::uint64_t bit = std::uint64_t{1} << r;
+          accepted += static_cast<std::uint64_t>((seen_bits & bit) == 0);
+          seen_bits |= bit;
+        }
+      }
+      // Every distinct rank consumed was accepted, so the final mask IS
+      // the itinerary; bits enumerate in ascending rank order for free.
+      std::uint32_t* out_it = positions.data() + first;
+      while (seen_bits) {
+        const auto r =
+            static_cast<std::uint32_t>(std::countr_zero(seen_bits));
+        seen_bits &= seen_bits - 1;
+        ++counts[r];
+        *out_it++ = r;
+      }
+      offsets.push_back(write_pos);
+      continue;
+    }
+    std::uint32_t* cursor = positions.data() + first;
+    std::uint32_t* const cursor_end = cursor + span_count;
+    const bool scan_dedup = span_count <= 16;
+    if (!scan_dedup) visited.begin_pass();
+    std::size_t used = 0;
+    while (cursor != cursor_end && used < slots) {
+      const std::uint32_t r = pre[used++];
+      if (scan_dedup) {
+        bool seen = false;
+        for (const std::uint32_t* it = positions.data() + first; it != cursor;
+             ++it) {
+          seen |= (*it == r);
+        }
+        if (!seen) *cursor++ = r;
+      } else if (visited.insert(r)) {
+        *cursor++ = r;
+      }
+    }
+    if (cursor != cursor_end) {
+      // Same continuation as above, for the wide-deployment paths.
+      std::uint64_t stream = scratch.bases[i] + (1 + used) * kGamma;
+      while (cursor != cursor_end) {
+        const std::uint64_t draw = common::splitmix64_next(stream) >> 11;
+        std::uint32_t r = zipf_guide_[static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(draw) * buckets) >> 53)];
+        while (thresholds[r] <= draw) ++r;
+        if (scan_dedup) {
+          bool seen = false;
+          for (const std::uint32_t* it = positions.data() + first;
+               it != cursor; ++it) {
+            seen |= (*it == r);
+          }
+          if (!seen) *cursor++ = r;
+        } else if (visited.insert(r)) {
+          *cursor++ = r;
+        }
+      }
+    }
+    for (const std::uint32_t* it = positions.data() + first; it != cursor_end;
+         ++it) {
+      ++counts[*it];
+    }
+    // Same insertion sort as sample_into — itineraries stay ascending.
+    for (std::size_t j = first + 1; j < write_pos; ++j) {
+      const std::uint32_t value = positions[j];
+      std::size_t p = j;
+      for (; p > first && positions[p - 1] > value; --p) {
+        positions[p] = positions[p - 1];
+      }
+      positions[p] = value;
+    }
+    offsets.push_back(write_pos);
   }
 }
 

@@ -50,10 +50,26 @@ class MultiRsuWorkload {
   // concatenated (same draws, same order); one call materializes a whole
   // ingest-worker slice without a function call per vehicle, which is
   // what the batch pipeline's materialize stage runs on.
+  //
+  // Unlike itinerary(), the draws are generated in bulk: the stream
+  // bases, visit-count draws, and Zipf rank selections of the whole
+  // block run through the dispatched encode_batch / zipf_rank_batch
+  // kernels (8 lanes of the splitmix64 finalizer and the guide-table
+  // walk per iteration on AVX-512), with a scalar continuation for the
+  // rare vehicle whose rejection run outlasts the pre-generated draws.
+  // The accept/reject sequence is draw-for-draw the one sample_into
+  // consumes, so the output is bit-identical to the per-vehicle path —
+  // the frozen-seed goldens pin it.
+  //
+  // `counts` is the per-RSU visit histogram of the block (size
+  // rsu_count, counts[r] = tuples destined for RSU r), accumulated while
+  // the positions are accepted — the batch ingest sizes its SoA buckets
+  // from it without a second pass over the CSR.
   void itineraries(std::uint64_t begin, std::uint64_t end,
                    common::VisitedMask& visited,
                    std::vector<std::uint32_t>& positions,
-                   std::vector<std::uint64_t>& offsets) const;
+                   std::vector<std::uint64_t>& offsets,
+                   std::vector<std::uint64_t>& counts) const;
 
   // Streams each vehicle's visit list (distinct RSU indices, sorted), in
   // vehicle order, via itinerary(). Deterministic for a given config.

@@ -15,7 +15,11 @@ void ExchangeColumns::reset(std::size_t rsu_count) {
   }
   flat_positions.clear();
   offsets.clear();
-  cursors.clear();
+  counts.clear();
+  masked_keys.clear();
+  key_cursors.clear();
+  key_ends.clear();
+  number_cursors.clear();
   scatter.clear();
 }
 
@@ -25,42 +29,66 @@ void materialize_exchanges(std::uint64_t seed, std::uint64_t base,
                            std::size_t rsu_count, bool with_vehicle_numbers,
                            ExchangeColumns& columns) {
   columns.reset(rsu_count);
-  itineraries(begin, end, columns.flat_positions, columns.offsets);
+  itineraries(begin, end, columns.flat_positions, columns.offsets,
+              columns.counts);
   const std::size_t vehicles = end - begin;
   VLM_REQUIRE(columns.offsets.size() == vehicles + 1 &&
                   (vehicles == 0 || columns.offsets.front() == 0) &&
                   (vehicles == 0 ||
                    columns.offsets.back() == columns.flat_positions.size()),
               "bulk itinerary provider produced a malformed CSR");
+  VLM_REQUIRE(columns.counts.size() == rsu_count,
+              "bulk itinerary provider produced a malformed histogram");
 
-  // Counting pass -> exact bucket sizes -> cursor writes: every exchange
-  // tuple lands with one store instead of a growth-checked push_back.
-  columns.cursors.assign(rsu_count, 0);
-  for (const std::uint32_t position : columns.flat_positions) {
-    VLM_REQUIRE(position < rsu_count, "RSU position out of range");
-    ++columns.cursors[position];
+  // The provider's fused histogram sizes every bucket exactly — no
+  // counting sweep over the CSR. The histogram is cross-checked below:
+  // the total must cover the CSR and every cursor must stay inside its
+  // bucket, so a lying provider throws instead of corrupting memory.
+  std::size_t total = 0;
+  for (const std::uint64_t count : columns.counts) {
+    total += static_cast<std::size_t>(count);
   }
+  VLM_REQUIRE(total == columns.flat_positions.size(),
+              "bulk itinerary histogram does not cover the CSR");
+  // Write cursors as raw bump pointers (plus exclusive ends for the
+  // histogram cross-check): the hot scatter below then costs one load,
+  // one bounds compare, and one store per visit instead of re-chasing
+  // bucket vectors through two indirections every iteration.
+  columns.key_cursors.resize(rsu_count);
+  columns.key_ends.resize(rsu_count);
+  columns.number_cursors.resize(rsu_count);
   for (std::size_t r = 0; r < rsu_count; ++r) {
     RsuExchangeBucket& bucket = columns.buckets[r];
-    bucket.masked_keys.resize(columns.cursors[r]);
-    if (with_vehicle_numbers) bucket.vehicle_numbers.resize(columns.cursors[r]);
-    columns.cursors[r] = 0;
+    bucket.masked_keys.resize(columns.counts[r]);
+    if (with_vehicle_numbers) bucket.vehicle_numbers.resize(columns.counts[r]);
+    columns.key_cursors[r] = bucket.masked_keys.data();
+    columns.key_ends[r] = bucket.masked_keys.data() + bucket.masked_keys.size();
+    columns.number_cursors[r] =
+        with_vehicle_numbers ? bucket.vehicle_numbers.data() : nullptr;
   }
+
+  // One batched derivation for the slice's masked keys (numbered
+  // base + begin + i + 1, matching the serial drive_vehicle counter so
+  // the identities — and therefore the bits — are the same population
+  // regardless of how the ingest is driven), then a single pass over the
+  // CSR scatters each tuple through its RSU cursor.
+  columns.masked_keys.resize(vehicles);
+  core::synthetic_masked_keys(seed, base + begin + 1, vehicles,
+                              columns.masked_keys.data());
+  std::uint64_t** const key_cursors = columns.key_cursors.data();
+  std::uint64_t* const* const key_ends = columns.key_ends.data();
+  std::uint64_t** const number_cursors = columns.number_cursors.data();
   for (std::size_t i = 0; i < vehicles; ++i) {
-    // Same numbering as the serial drive_vehicle counter, so the vehicle
-    // identities — and therefore the bits — are the same population
-    // regardless of how the ingest is driven.
     const std::uint64_t vehicle_number = base + begin + i + 1;
-    const core::VehicleIdentity identity =
-        core::synthetic_vehicle(seed, vehicle_number);
-    const std::uint64_t masked_key = identity.masked_key();
+    const std::uint64_t masked_key = columns.masked_keys[i];
     for (std::uint64_t o = columns.offsets[i]; o < columns.offsets[i + 1];
          ++o) {
       const std::uint32_t position = columns.flat_positions[o];
-      RsuExchangeBucket& bucket = columns.buckets[position];
-      const std::uint64_t at = columns.cursors[position]++;
-      bucket.masked_keys[at] = masked_key;
-      if (with_vehicle_numbers) bucket.vehicle_numbers[at] = vehicle_number;
+      VLM_REQUIRE(position < rsu_count, "RSU position out of range");
+      VLM_REQUIRE(key_cursors[position] != key_ends[position],
+                  "bulk itinerary histogram disagrees with the CSR");
+      *key_cursors[position]++ = masked_key;
+      if (with_vehicle_numbers) *number_cursors[position]++ = vehicle_number;
     }
   }
 }

@@ -8,9 +8,11 @@
 //
 //   1. materialize  one bulk CSR itinerary call per slice -> per-RSU SoA
 //                   buckets of (masked key, vehicle number) exchange
-//                   tuples, sized exactly from a counting pass; each
-//                   vehicle identity is derived once and reused for all
-//                   of its visits
+//                   tuples, sized exactly from the provider's fused
+//                   per-RSU histogram (no second scan of the CSR); the
+//                   slice's masked keys come from one batched
+//                   synthetic_masked_keys derivation and each is reused
+//                   for all of that vehicle's visits
 //   2. hash         per bucket, every bit index in one encode_batch
 //                   kernel call (vectorized two-round splitmix64)
 //   3. channel      per bucket, every query/reply/duplicate outcome in
@@ -68,7 +70,15 @@ struct ExchangeColumns {
   // BulkItineraryProvider) and one write cursor per RSU.
   std::vector<std::uint32_t> flat_positions;
   std::vector<std::uint64_t> offsets;
-  std::vector<std::uint64_t> cursors;
+  // Stage 1 scratch: the provider's per-RSU visit histogram (bucket
+  // sizes) and the slice's batched masked keys, one per vehicle.
+  std::vector<std::uint64_t> counts;
+  common::UninitVector<std::uint64_t> masked_keys;
+  // Stage 1 scratch: per-RSU bump-pointer write cursors into the bucket
+  // columns (and their exclusive ends, for the histogram cross-check).
+  std::vector<std::uint64_t*> key_cursors;
+  std::vector<std::uint64_t*> key_ends;
+  std::vector<std::uint64_t*> number_cursors;
   std::vector<std::size_t> scatter;  // stage 4 scratch (lossy channel)
 
   // Sizes `buckets` to rsu_count and clears every column.
@@ -85,15 +95,19 @@ struct RsuIngestContext {
   bool replies_answered;
 };
 
-// Stage 1 — materialize: fetches the slice's itineraries with ONE
-// `itineraries` call (CSR layout), counts visits per RSU, sizes every
-// bucket exactly, then derives the identity of each vehicle v in
-// [begin, end) once (numbered base + v + 1, matching the serial
-// drive_vehicle counter) and writes one (masked key, vehicle number)
-// tuple per visit through per-RSU cursors — no per-visit growth checks.
-// `with_vehicle_numbers` = false (loss-free channel: stage 3 never reads
-// them) skips the vehicle-number column entirely. Throws if an itinerary
-// emits a position >= rsu_count.
+// Stage 1 — materialize: fetches the slice's itineraries AND their
+// per-RSU histogram with ONE `itineraries` call (CSR layout), sizes
+// every bucket exactly from the histogram, derives the masked keys of
+// all vehicles in [begin, end) with one batched synthetic_masked_keys
+// call (numbered base + v + 1, matching the serial drive_vehicle
+// counter), and writes one (masked key, vehicle number) tuple per visit
+// through per-RSU cursors in a single pass over the CSR — no counting
+// sweep, no per-visit growth checks. `with_vehicle_numbers` = false
+// (loss-free channel: stage 3 never reads them) skips the
+// vehicle-number column entirely. Throws if an itinerary emits a
+// position >= rsu_count or the histogram disagrees with the CSR (the
+// cursor-bound check catches any lying provider before a bucket
+// overflows).
 void materialize_exchanges(std::uint64_t seed, std::uint64_t base,
                            std::size_t begin, std::size_t end,
                            const BulkItineraryProvider& itineraries,

@@ -1,6 +1,7 @@
 #include "vcps/simulation.h"
 
 #include <algorithm>
+#include <array>
 
 #include "common/env_override.h"
 #include "common/hashing.h"
@@ -43,6 +44,10 @@ struct IngestMetrics {
   obs::Histogram& stage_hash;         // batch stage 2 per worker
   obs::Histogram& stage_channel;      // batch stage 3 per worker
   obs::Histogram& stage_scatter;      // batch stage 4 per worker
+  // Per-worker wall time of the overlap schedule's sub-slice loop
+  // (records only under PipelineMode::kOverlap — the off schedule has
+  // no such loop).
+  obs::Histogram& pipeline_overlap;
 };
 
 IngestMetrics& ingest_metrics() {
@@ -63,22 +68,49 @@ IngestMetrics& ingest_metrics() {
                              obs::phase("ingest/materialize"),
                              obs::phase("ingest/hash"),
                              obs::phase("ingest/channel"),
-                             obs::phase("ingest/scatter")};
+                             obs::phase("ingest/scatter"),
+                             obs::phase("ingest/pipeline_overlap")};
   }();
   return *metrics;
 }
 
-// VLM_INGEST=scalar|batch|auto overrides the caller's engine choice,
-// exactly like VLM_DECODE overrides the decode mode: parsed once,
-// warn-and-keep on an unrecognized value.
+// VLM_INGEST=scalar|batch|auto steers how IngestMode::kAuto resolves
+// (parsed once, warn-and-keep on an unrecognized value, like
+// VLM_DECODE). Unlike VLM_DECODE it does NOT override an explicitly
+// requested engine: the bit-identity suites pin kScalar and kBatch
+// side by side and assert per-engine stats, so a process-wide forced
+// engine would make them compare an engine against itself. CI jobs that
+// pin VLM_INGEST therefore steer every default-mode caller (tools,
+// servers) while the explicit A/B gates keep testing both engines.
 IngestMode apply_env_override(IngestMode mode) {
   static constexpr common::EnvEnumChoice kChoices[] = {
       {"scalar", static_cast<int>(IngestMode::kScalar)},
       {"batch", static_cast<int>(IngestMode::kBatch)},
       {"auto", static_cast<int>(IngestMode::kAuto)}};
   static const int parsed = common::parse_env_enum("VLM_INGEST", kChoices, -1);
-  return parsed < 0 ? mode : static_cast<IngestMode>(parsed);
+  if (mode != IngestMode::kAuto || parsed < 0) return mode;
+  return static_cast<IngestMode>(parsed);
 }
+
+// VLM_INGEST_PIPELINE=off|overlap|auto steers how PipelineMode::kAuto
+// resolves, with the same explicit-request-wins rule as VLM_INGEST (the
+// pipeline suites pin kOff and kOverlap side by side).
+PipelineMode apply_pipeline_override(PipelineMode pipeline) {
+  static constexpr common::EnvEnumChoice kChoices[] = {
+      {"off", static_cast<int>(PipelineMode::kOff)},
+      {"overlap", static_cast<int>(PipelineMode::kOverlap)},
+      {"auto", static_cast<int>(PipelineMode::kAuto)}};
+  static const int parsed =
+      common::parse_env_enum("VLM_INGEST_PIPELINE", kChoices, -1);
+  if (pipeline != PipelineMode::kAuto || parsed < 0) return pipeline;
+  return static_cast<PipelineMode>(parsed);
+}
+
+// Vehicles per pipelined sub-slice. Sized so one sub-slice's exchange
+// tuples (~3 visits x 16-24 bytes per vehicle) plus the itinerary CSR
+// stay comfortably inside a per-core L2, which is the whole point of the
+// overlap schedule.
+constexpr std::size_t kPipelineSubSlice = 16384;
 
 // Adapts the per-vehicle itinerary form to the bulk CSR form both ingest
 // engines consume. Pays the per-vehicle function call the bulk form
@@ -87,17 +119,20 @@ BulkItineraryProvider adapt_itinerary(const ItineraryProvider& itinerary,
                                       std::size_t rsu_count) {
   return [&itinerary, rsu_count](std::uint64_t begin, std::uint64_t end,
                                  std::vector<std::uint32_t>& positions,
-                                 std::vector<std::uint64_t>& offsets) {
+                                 std::vector<std::uint64_t>& offsets,
+                                 std::vector<std::uint64_t>& counts) {
     std::vector<std::size_t> scratch;
     positions.clear();
     offsets.clear();
     offsets.reserve(static_cast<std::size_t>(end - begin) + 1);
     offsets.push_back(0);
+    counts.assign(rsu_count, 0);
     for (std::uint64_t v = begin; v < end; ++v) {
       itinerary(v, scratch);
       for (const std::size_t position : scratch) {
         VLM_REQUIRE(position < rsu_count, "RSU position out of range");
         positions.push_back(static_cast<std::uint32_t>(position));
+        ++counts[position];
       }
       offsets.push_back(positions.size());
     }
@@ -164,14 +199,15 @@ std::size_t VcpsSimulation::drive_vehicle_as(
 
 IngestStats VcpsSimulation::drive_vehicles(std::uint64_t count,
                                            const ItineraryProvider& itinerary,
-                                           unsigned workers, IngestMode mode) {
+                                           unsigned workers, IngestMode mode,
+                                           PipelineMode pipeline) {
   return drive_vehicles(count, adapt_itinerary(itinerary, rsus_.size()),
-                        workers, mode);
+                        workers, mode, pipeline);
 }
 
 IngestStats VcpsSimulation::drive_vehicles(
     std::uint64_t count, const BulkItineraryProvider& itineraries,
-    unsigned workers, IngestMode mode) {
+    unsigned workers, IngestMode mode, PipelineMode pipeline) {
   VLM_REQUIRE(period_open_, "begin_period() before driving vehicles");
   IngestMetrics& metrics = ingest_metrics();
   obs::Span ingest_span(metrics.period_ingest);
@@ -183,6 +219,9 @@ IngestStats VcpsSimulation::drive_vehicles(
   IngestMode resolved = apply_env_override(mode);
   if (resolved == IngestMode::kAuto) resolved = IngestMode::kBatch;
   const bool batch = resolved == IngestMode::kBatch;
+  PipelineMode schedule = apply_pipeline_override(pipeline);
+  if (schedule == PipelineMode::kAuto) schedule = PipelineMode::kOverlap;
+  const bool overlap = batch && schedule == PipelineMode::kOverlap;
 
   // Worker-local state: one RsuState shard per (worker, RSU) — bits plus
   // counter — a failure tally, a malformed-reply count per RSU, and an
@@ -206,6 +245,7 @@ IngestStats VcpsSimulation::drive_vehicles(
 
   IngestStats stats;
   stats.path = batch ? "batch" : "scalar";
+  stats.pipeline = overlap ? "overlap" : "off";
 
   if (!batch) {
     // Reference engine: the per-vehicle object loop, one exchange at a
@@ -218,7 +258,8 @@ IngestStats VcpsSimulation::drive_vehicles(
           ChannelTally& tally = tallies[worker];
           std::vector<std::uint32_t> positions;
           std::vector<std::uint64_t> offsets;
-          itineraries(begin, end, positions, offsets);
+          std::vector<std::uint64_t> counts;  // unused by this engine
+          itineraries(begin, end, positions, offsets, counts);
           VLM_REQUIRE(offsets.size() == end - begin + 1,
                       "bulk itinerary provider produced a malformed CSR");
           for (std::size_t v = begin; v < end; ++v) {
@@ -271,46 +312,86 @@ IngestStats VcpsSimulation::drive_vehicles(
       contexts.push_back(RsuIngestContext{
           rsu.id(), core::EncodeTarget(rsu.state().array_size()), answered});
     }
-    std::vector<ExchangeColumns> columns(shard_count);
+    // Two ExchangeColumns per worker: the overlap schedule materializes
+    // sub-slice k + 1 into one while draining the other; the off
+    // schedule only ever touches [0].
+    std::vector<std::array<ExchangeColumns, 2>> columns(shard_count);
     struct StageSeconds {
       double materialize = 0.0, hash = 0.0, channel = 0.0, scatter = 0.0;
+      double pipeline = 0.0;
     };
     std::vector<StageSeconds> stage(shard_count);
     common::parallel_slices(
         static_cast<std::size_t>(count), used,
         [&](unsigned worker, std::size_t begin, std::size_t end) {
           const obs::Span encode_span(metrics.encode_worker);
-          ExchangeColumns& cols = columns[worker];
           StageSeconds& secs = stage[worker];
-          {
-            obs::Span span(metrics.stage_materialize);
-            materialize_exchanges(seed_, base, begin, end, itineraries,
-                                  rsu_count, !channel_.lossless(), cols);
-            secs.materialize = span.finish();
-          }
-          {
-            obs::Span span(metrics.stage_hash);
+          // Stage bodies accumulate seconds across however many
+          // sub-slices the schedule runs; each stage histogram then gets
+          // ONE observation per worker (below) whichever schedule ran,
+          // so the exported key set and sample counts match across
+          // modes.
+          const auto materialize = [&](std::size_t b, std::size_t e,
+                                       ExchangeColumns& cols) {
+            const obs::Stopwatch watch;
+            materialize_exchanges(seed_, base, b, e, itineraries, rsu_count,
+                                  !channel_.lossless(), cols);
+            secs.materialize += watch.seconds();
+          };
+          const auto drain = [&](ExchangeColumns& cols) {
+            obs::Stopwatch watch;
             hash_bit_indices(encoder(), contexts, cols);
-            secs.hash = span.finish();
-          }
-          {
-            obs::Span span(metrics.stage_channel);
+            secs.hash += watch.seconds();
+            watch.restart();
             draw_channel_outcomes(channel_, period_, contexts, cols,
                                   tallies[worker]);
-            secs.channel = span.finish();
-          }
-          {
-            obs::Span span(metrics.stage_scatter);
-            exchanges[worker] =
+            secs.channel += watch.seconds();
+            watch.restart();
+            exchanges[worker] +=
                 scatter_into_shards(contexts, cols, shards[worker]);
-            secs.scatter = span.finish();
+            secs.scatter += watch.seconds();
+          };
+          if (!overlap) {
+            materialize(begin, end, columns[worker][0]);
+            drain(columns[worker][0]);
+          } else {
+            // Software pipeline: prologue-materialize sub-slice 0, then
+            // alternate buffers so each drain consumes tuples written
+            // immediately before it (still cache-resident) while the
+            // other buffer is refilled for the next iteration. Stage
+            // order per sub-slice is unchanged and sub-slices drain in
+            // ascending vehicle order, so every bucket's record_bulk
+            // stream is the off schedule's stream cut into chunks —
+            // bit-identical shards.
+            obs::Span loop_span(metrics.pipeline_overlap);
+            materialize(begin, std::min(begin + kPipelineSubSlice, end),
+                        columns[worker][0]);
+            unsigned current = 0;
+            for (std::size_t b = begin; b < end; b += kPipelineSubSlice) {
+              const std::size_t next_b = b + kPipelineSubSlice;
+              if (next_b < end) {
+                materialize(next_b, std::min(next_b + kPipelineSubSlice, end),
+                            columns[worker][current ^ 1]);
+              }
+              drain(columns[worker][current]);
+              current ^= 1;
+            }
+            secs.pipeline = loop_span.finish();
           }
+          const auto nanos = [](double seconds) {
+            return static_cast<std::uint64_t>(seconds * 1e9);
+          };
+          metrics.stage_materialize.observe(nanos(secs.materialize));
+          metrics.stage_hash.observe(nanos(secs.hash));
+          metrics.stage_channel.observe(nanos(secs.channel));
+          metrics.stage_scatter.observe(nanos(secs.scatter));
         });
     for (const StageSeconds& secs : stage) {
       stats.materialize_seconds += secs.materialize;
       stats.hash_seconds += secs.hash;
       stats.channel_seconds += secs.channel;
       stats.scatter_seconds += secs.scatter;
+      stats.pipeline_seconds += secs.pipeline;
     }
   }
 

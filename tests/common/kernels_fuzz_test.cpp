@@ -7,6 +7,7 @@
 // serves the whole CI matrix.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -191,6 +192,52 @@ TEST_P(KernelFuzz, EncodeBatchMatchesScalar) {
                           slot_count, fold_mask, out_scalar.data());
     EXPECT_EQ(out_variant, out_scalar)
         << "n=" << n << " slot_count=" << slot_count << " trial=" << trial;
+  }
+}
+
+TEST_P(KernelFuzz, ZipfRankBatchMatchesScalar) {
+  common::Xoshiro256ss rng(0xF129);
+  // Block sizes straddling every lane boundary of both vector widths,
+  // plus empty and single-element blocks, before the randomized tail.
+  static constexpr std::size_t kBoundaryBlocks[] = {0, 1, 3,  4,  5,  7,
+                                                    8, 9, 15, 16, 17, 33};
+  for (int trial = 0; trial < 250; ++trial) {
+    // Random CDF shaped exactly like MultiRsuWorkload's: non-decreasing
+    // 2^53-scaled thresholds whose final entry (cdf = 1.0 exactly) is
+    // 2^53 + 1 — strictly above every 53-bit draw, the termination
+    // guarantee of the walk contract.
+    const std::size_t ranks = 2 + rng.uniform(60);
+    std::vector<std::uint64_t> thresholds(ranks);
+    for (std::size_t r = 0; r + 1 < ranks; ++r) {
+      thresholds[r] = 1 + (rng.next() >> 11);
+    }
+    std::sort(thresholds.begin(), thresholds.end() - 1);
+    thresholds[ranks - 1] = (std::uint64_t{1} << 53) + 1;
+    // Guide table built by the workload's own recurrence, with a
+    // randomized buckets-per-rank density so guide entries sit anywhere
+    // from exact answers to several steps below them.
+    const std::uint64_t buckets = ranks * (1 + rng.uniform(12));
+    std::vector<std::uint32_t> guide(buckets + 1);
+    std::uint32_t rank = 0;
+    for (std::uint64_t j = 0; j <= buckets; ++j) {
+      const auto smallest = static_cast<std::uint64_t>(
+          ((static_cast<unsigned __int128>(j) << 53) + buckets - 1) / buckets);
+      while (rank < ranks && thresholds[rank] <= smallest) ++rank;
+      guide[j] = rank;
+    }
+    const std::size_t n = trial < 12 ? kBoundaryBlocks[trial]
+                                     : 1 + rng.uniform(600);
+    std::vector<std::uint64_t> states(n);
+    for (auto& s : states) s = rng.next();
+    std::vector<std::uint32_t> out_variant(n, 0xDEADu);
+    std::vector<std::uint32_t> out_scalar(n, 0xBEEFu);
+    variant().zipf_rank_batch(states.data(), n, thresholds.data(),
+                              guide.data(), buckets, out_variant.data());
+    scalar().zipf_rank_batch(states.data(), n, thresholds.data(), guide.data(),
+                             buckets, out_scalar.data());
+    EXPECT_EQ(out_variant, out_scalar)
+        << "n=" << n << " ranks=" << ranks << " buckets=" << buckets
+        << " trial=" << trial;
   }
 }
 

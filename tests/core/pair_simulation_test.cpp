@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "core/accuracy_model.h"
 
@@ -18,6 +19,24 @@ TEST(PairSimulation, CountersMatchWorkload) {
   EXPECT_EQ(states.y.counter(), 2500u);
   EXPECT_EQ(states.x.array_size(), std::size_t{1} << 12);
   EXPECT_EQ(states.y.array_size(), std::size_t{1} << 13);
+}
+
+TEST(PairSimulation, BatchedMaskedKeysMatchPerVehicleHelper) {
+  // The batch-ingest materialize stage derives masked keys through the
+  // kernel-batched helper; it must reproduce synthetic_vehicle exactly —
+  // including at odd block lengths and non-zero starting indices.
+  for (const std::uint64_t first : {std::uint64_t{0}, std::uint64_t{1},
+                                    std::uint64_t{12'345}}) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{7}, std::size_t{1000}}) {
+      std::vector<std::uint64_t> got(n, 0xDEAD);
+      synthetic_masked_keys(99, first, n, got.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], synthetic_vehicle(99, first + i).masked_key())
+            << "first=" << first << " i=" << i;
+      }
+    }
+  }
 }
 
 TEST(PairSimulation, DeterministicPerSeed) {

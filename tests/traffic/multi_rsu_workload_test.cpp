@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -104,6 +105,49 @@ TEST(MultiRsuWorkload, ItineraryGuards) {
   common::VisitedMask right(10), wrong(9);
   EXPECT_THROW(workload.itinerary(20'000, right, out), std::invalid_argument);
   EXPECT_THROW(workload.itinerary(0, wrong, out), std::invalid_argument);
+}
+
+TEST(MultiRsuWorkload, BulkItinerariesMatchPerVehicleAndFuseCounts) {
+  // The kernel-batched bulk form must concatenate exactly the per-vehicle
+  // itineraries (same draws, same order) for any sub-range, and its fused
+  // histogram must count exactly the emitted positions. Two configs: the
+  // seed shape (scan dedup, short walks) and a wide high-skew one whose
+  // spans exceed 16 visits (VisitedMask dedup) with rejection runs long
+  // enough to reach the scalar continuation.
+  MultiRsuConfig wide = small_config();
+  wide.rsu_count = 40;
+  wide.min_visits = 2;
+  wide.max_visits = 24;
+  wide.zipf_exponent = 1.4;
+  wide.seed = 11;
+  for (const MultiRsuConfig& config : {small_config(), wide}) {
+    MultiRsuWorkload workload(config);
+    common::VisitedMask visited(config.rsu_count);
+    std::vector<std::uint32_t> positions;
+    std::vector<std::uint64_t> offsets;
+    std::vector<std::uint64_t> counts;
+    const struct { std::uint64_t begin, end; } ranges[] = {
+        {0, 0}, {0, 1}, {0, 257}, {123, 1987}, {19'000, 20'000}};
+    for (const auto& range : ranges) {
+      workload.itineraries(range.begin, range.end, visited, positions, offsets,
+                           counts);
+      ASSERT_EQ(offsets.size(), range.end - range.begin + 1);
+      ASSERT_EQ(counts.size(), config.rsu_count);
+      std::vector<std::uint64_t> want_counts(config.rsu_count, 0);
+      std::vector<std::uint32_t> want;
+      for (std::uint64_t v = range.begin; v < range.end; ++v) {
+        const std::size_t i = static_cast<std::size_t>(v - range.begin);
+        workload.itinerary(v, visited, want);
+        const std::span<const std::uint32_t> got(
+            positions.data() + offsets[i], offsets[i + 1] - offsets[i]);
+        ASSERT_EQ(std::vector<std::uint32_t>(got.begin(), got.end()), want)
+            << "vehicle " << v;
+        for (const std::uint32_t r : want) ++want_counts[r];
+      }
+      EXPECT_EQ(counts, want_counts)
+          << "range [" << range.begin << ", " << range.end << ")";
+    }
+  }
 }
 
 TEST(MultiRsuWorkload, SeedConfigItinerariesAreFrozen) {

@@ -76,23 +76,25 @@ BulkItineraryProvider bulk_provider_for(
     const traffic::MultiRsuWorkload& workload) {
   return [&workload](std::uint64_t begin, std::uint64_t end,
                      std::vector<std::uint32_t>& positions,
-                     std::vector<std::uint64_t>& offsets) {
+                     std::vector<std::uint64_t>& offsets,
+                     std::vector<std::uint64_t>& counts) {
     thread_local common::VisitedMask visited(0);
     if (visited.universe_size() != kRsus) {
       visited = common::VisitedMask(kRsus);
     }
-    workload.itineraries(begin, end, visited, positions, offsets);
+    workload.itineraries(begin, end, visited, positions, offsets, counts);
   };
 }
 
 std::unique_ptr<VcpsSimulation> run_with_mode(
     const ChannelConfig& channel, const traffic::MultiRsuWorkload& workload,
     std::span<const RsuSite> sites, unsigned workers, IngestMode mode,
-    IngestStats* stats_out = nullptr) {
+    IngestStats* stats_out = nullptr,
+    PipelineMode pipeline = PipelineMode::kAuto) {
   auto sim = std::make_unique<VcpsSimulation>(sim_config(channel), sites);
   sim->begin_period();
-  const IngestStats stats =
-      sim->drive_vehicles(kVehicles, provider_for(workload), workers, mode);
+  const IngestStats stats = sim->drive_vehicles(
+      kVehicles, provider_for(workload), workers, mode, pipeline);
   EXPECT_EQ(stats.vehicles, kVehicles);
   if (stats_out != nullptr) *stats_out = stats;
   sim->end_period();
@@ -166,6 +168,59 @@ TEST(BatchIngest, MatchesSerialDriveVehicleLoopWhenLossFree) {
   }
 }
 
+TEST(BatchIngest, PipelineSchedulesBitIdenticalAcrossWorkersLossyChannel) {
+  // The overlap schedule only double-buffers when a worker slice spans
+  // more than one sub-slice (8192 vehicles), so this suite drives 20000
+  // vehicles: 1 worker runs 3 sub-slices, 2 workers run 2 each, 4 and 7
+  // degenerate to single-sub-slice slices — every epilogue/prologue
+  // shape. For each, both schedules must land the scalar engine's exact
+  // bits, counters, exchange counts, and channel tallies.
+  traffic::MultiRsuConfig config = workload_config();
+  config.vehicle_count = 20'000;
+  traffic::MultiRsuWorkload workload(config);
+  const std::vector<RsuSite> sites = sites_for(workload);
+  const ChannelConfig channel = lossy_channel();
+
+  const auto run = [&](unsigned workers, IngestMode mode,
+                       PipelineMode pipeline, IngestStats* stats_out) {
+    auto sim = std::make_unique<VcpsSimulation>(sim_config(channel), sites);
+    sim->begin_period();
+    const IngestStats stats = sim->drive_vehicles(
+        config.vehicle_count, provider_for(workload), workers, mode, pipeline);
+    if (stats_out != nullptr) *stats_out = stats;
+    sim->end_period();
+    return sim;
+  };
+
+  for (const unsigned workers : {1u, 2u, 4u, 7u}) {
+    IngestStats scalar_stats;
+    const auto scalar = run(workers, IngestMode::kScalar, PipelineMode::kAuto,
+                            &scalar_stats);
+    EXPECT_STREQ(scalar_stats.pipeline, "off");  // scalar engine never overlaps
+    for (const PipelineMode pipeline :
+         {PipelineMode::kOff, PipelineMode::kOverlap}) {
+      IngestStats batch_stats;
+      const auto batch = run(workers, IngestMode::kBatch, pipeline,
+                             &batch_stats);
+      EXPECT_STREQ(batch_stats.pipeline,
+                   pipeline == PipelineMode::kOverlap ? "overlap" : "off")
+          << "workers " << workers;
+      EXPECT_EQ(batch_stats.exchanges, scalar_stats.exchanges)
+          << "workers " << workers;
+      expect_reports_identical(*scalar, *batch);
+      EXPECT_EQ(batch->channel().queries_lost(),
+                scalar->channel().queries_lost())
+          << "workers " << workers;
+      EXPECT_EQ(batch->channel().replies_lost(),
+                scalar->channel().replies_lost())
+          << "workers " << workers;
+      EXPECT_EQ(batch->channel().replies_duplicated(),
+                scalar->channel().replies_duplicated())
+          << "workers " << workers;
+    }
+  }
+}
+
 TEST(BatchIngest, StageSecondsPopulatedOnBatchPathOnly) {
   traffic::MultiRsuWorkload workload(workload_config());
   const std::vector<RsuSite> sites = sites_for(workload);
@@ -173,11 +228,20 @@ TEST(BatchIngest, StageSecondsPopulatedOnBatchPathOnly) {
   IngestStats batch_stats;
   run_with_mode(lossy_channel(), workload, sites, 2, IngestMode::kBatch,
                 &batch_stats);
-  // Wall clocks tick: with 6000 vehicles every stage measures > 0.
+  // Wall clocks tick: with 6000 vehicles every stage measures > 0, and
+  // the default schedule (kAuto -> overlap) runs the sub-slice loop.
   EXPECT_GT(batch_stats.materialize_seconds, 0.0);
   EXPECT_GT(batch_stats.hash_seconds, 0.0);
   EXPECT_GT(batch_stats.channel_seconds, 0.0);
   EXPECT_GT(batch_stats.scatter_seconds, 0.0);
+  EXPECT_STREQ(batch_stats.pipeline, "overlap");
+  EXPECT_GT(batch_stats.pipeline_seconds, 0.0);
+
+  IngestStats off_stats;
+  run_with_mode(lossy_channel(), workload, sites, 2, IngestMode::kBatch,
+                &off_stats, PipelineMode::kOff);
+  EXPECT_STREQ(off_stats.pipeline, "off");
+  EXPECT_EQ(off_stats.pipeline_seconds, 0.0);
 
   IngestStats scalar_stats;
   run_with_mode(lossy_channel(), workload, sites, 2, IngestMode::kScalar,
@@ -186,6 +250,7 @@ TEST(BatchIngest, StageSecondsPopulatedOnBatchPathOnly) {
   EXPECT_EQ(scalar_stats.hash_seconds, 0.0);
   EXPECT_EQ(scalar_stats.channel_seconds, 0.0);
   EXPECT_EQ(scalar_stats.scatter_seconds, 0.0);
+  EXPECT_EQ(scalar_stats.pipeline_seconds, 0.0);
 }
 
 TEST(BatchIngest, MaterializationReproducesSeedConfigItineraries) {
