@@ -18,8 +18,17 @@
 //     and across worker counts ("parallel_bit_identical_to_serial");
 //   - with --sweep, a "sweep" array covering K ∈ {8, 24, 64} × several
 //     tile sizes, each entry carrying its own identity flag, summarized
-//     in "sweep_all_identical".
-// Exit status is 0 only if every identity assertion held.
+//     in "sweep_all_identical";
+//   - a "pruned" section on a ring-topology SPARSE fleet (adjacent RSUs
+//     share one road of common vehicles, everyone else shares none —
+//     the city-scale shape where most of the K(K-1)/2 pairs carry no
+//     traffic): the sampled-union pruned decode vs the exact blocked
+//     sweep, with two accuracy gates — "pruned_no_dropped_pairs" (no
+//     skipped pair's exact estimate exceeds the volume floor) and
+//     "pruned_survivors_bit_identical" (every surviving cell equals the
+//     blocked cell bit for bit).
+// Exit status is 0 only if every identity/accuracy assertion held (and,
+// with --min-speedup, the pruned wall-time speedup met the bar).
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -130,6 +139,20 @@ int main(int argc, char** argv) {
   parser.add_flag("sweep", false,
                   "also sweep K in {8,24,64} x tile sizes and assert "
                   "blocked == pairwise for every combination");
+  parser.add_int("prune-rsus", 0,
+                 "pruned-section deployment size (0 = same as --rsus)");
+  parser.add_int("prune-stride", 16,
+                 "pruned-section sample stride (every Nth 8-word block)");
+  parser.add_double("prune-z", 4.0,
+                    "pruned-section confidence multiplier on the sampled "
+                    "union");
+  parser.add_double("min-volume", -1.0,
+                    "pruned-section volume floor (-1 = auto: "
+                    "15*sqrt(m*stride), above the sampling noise of a "
+                    "zero-overlap pair)");
+  parser.add_double("min-speedup", 0.0,
+                    "fail unless blocked/pruned wall ratio >= this "
+                    "(0 = report only)");
   if (!parser.parse(argc, argv)) return 0;
 
   const auto k = static_cast<std::size_t>(parser.get_int("rsus"));
@@ -243,6 +266,124 @@ int main(int argc, char** argv) {
     sweep_json += sweep_identical ? "true" : "false";
   }
 
+  // Pruned section: ring-topology sparse fleet. Each ring edge e is one
+  // road of m/8 common vehicles recorded identically at RSUs e and
+  // (e+1) mod pk; every RSU also carries m/8 of its own local traffic.
+  // Adjacent pairs therefore share a large exact overlap while every
+  // non-adjacent pair shares nothing — the workload shape where the
+  // sampled-union prune should skip ~all of the K(K-1)/2 pairs and the
+  // exact sweep should run only on the ring edges.
+  const auto prune_rsus = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, parser.get_int("prune-rsus")));
+  const std::size_t pk = prune_rsus == 0 ? k : prune_rsus;
+  const auto prune_stride = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, parser.get_int("prune-stride")));
+  const double prune_z = parser.get_double("prune-z");
+  double min_volume = parser.get_double("min-volume");
+  if (min_volume < 0.0) {
+    // The z_prune-inflated upper bound of a ZERO-overlap pair lands a
+    // few sqrt(m * stride) above zero (binomial noise of ~m/stride
+    // sampled bits, scaled through Eq. 5's ~m/s slope); 15x clears that
+    // tail so the prune actually skips the empty pairs, while staying
+    // an order of magnitude below the ring edges' m/8 common vehicles.
+    min_volume =
+        15.0 * std::sqrt(static_cast<double>(m) *
+                         static_cast<double>(prune_stride));
+  }
+
+  std::vector<core::RsuState> ring;
+  ring.reserve(pk);
+  for (std::size_t r = 0; r < pk; ++r) ring.emplace_back(m);
+  std::uint64_t rh = 0x51AB5Eull;
+  for (std::size_t r = 0; r < pk; ++r) {
+    // Local traffic: vehicles seen only at this RSU.
+    for (std::size_t i = 0; i < m / 8; ++i) {
+      ring[r].record(static_cast<std::size_t>(common::mix64(++rh) % m));
+    }
+  }
+  for (std::size_t e = 0; e < pk; ++e) {
+    // One road per ring edge: the same vehicle hits both endpoints, so
+    // the identical bit index lands in both arrays (equal sizes — the
+    // hashed index is the same at both RSUs).
+    const std::size_t other = (e + 1) % pk;
+    for (std::size_t i = 0; i < m / 8; ++i) {
+      const auto index = static_cast<std::size_t>(common::mix64(++rh) % m);
+      ring[e].record(index);
+      ring[other].record(index);
+    }
+  }
+
+  core::DecodeOptions pruned_options;
+  pruned_options.workers = workers;
+  pruned_options.mode = core::DecodeMode::kPruned;
+  pruned_options.tile_words = tile_words;
+  pruned_options.prune.sample_stride = prune_stride;
+  pruned_options.prune.z_prune = prune_z;
+  pruned_options.prune.min_volume = min_volume;
+
+  double ring_blocked_best = 1e300, pruned_best = 1e300;
+  core::OdMatrix ring_blocked(pk), pruned(pk);
+  core::DecodeStats ring_blocked_stats, pruned_stats;
+  for (int rep = 0; rep < repeat; ++rep) {
+    const obs::Stopwatch t4;
+    ring_blocked = decode(ring, core::DecodeMode::kBlocked, workers,
+                          tile_words, &ring_blocked_stats);
+    ring_blocked_best = std::min(ring_blocked_best, t4.seconds());
+
+    const obs::Stopwatch t5;
+    pruned =
+        core::estimate_od_matrix(ring, 2, 1.96, pruned_options, &pruned_stats);
+    pruned_best = std::min(pruned_best, t5.seconds());
+  }
+
+  // Accuracy gates. The prune rule promises it only ever skips pairs
+  // whose exact estimate is at or below the volume floor, and that the
+  // survivors go through the identical blocked sweep — so a dropped
+  // real pair or a drifted survivor cell is a bug, not a tolerance.
+  bool pruned_no_dropped = true;
+  bool pruned_survivors_identical = true;
+  for (std::size_t a = 0; a < pk; ++a) {
+    for (std::size_t b = a + 1; b < pk; ++b) {
+      const core::EstimateInterval& exact = ring_blocked.at(a, b);
+      if (!pruned.measured(a, b)) {
+        pruned_no_dropped = pruned_no_dropped && exact.n_c_hat <= min_volume;
+        continue;
+      }
+      const core::EstimateInterval& got = pruned.at(a, b);
+      pruned_survivors_identical =
+          pruned_survivors_identical && got.n_c_hat == exact.n_c_hat &&
+          got.stddev == exact.stddev && got.lower == exact.lower &&
+          got.upper == exact.upper && got.floor_stddev == exact.floor_stddev &&
+          got.degraded == exact.degraded;
+    }
+  }
+  const double pruned_speedup =
+      pruned_best > 0.0 ? ring_blocked_best / pruned_best : 0.0;
+  const double min_speedup = parser.get_double("min-speedup");
+  const bool speedup_ok = min_speedup <= 0.0 || pruned_speedup >= min_speedup;
+
+  char pruned_json[768];
+  std::snprintf(
+      pruned_json, sizeof pruned_json,
+      ",\n \"pruned\": {\"rsus\": %zu, \"pairs\": %zu, "
+      "\"sample_stride\": %zu, \"prune_z\": %.1f, \"min_volume\": %.1f,\n"
+      "  \"path\": \"%s\", \"storage\": \"%s\",\n"
+      "  \"blocked_seconds\": %.6f, \"pruned_seconds\": %.6f,\n"
+      "  \"prune_seconds\": %.6f, \"sweep_seconds\": %.6f, "
+      "\"estimate_seconds\": %.6f,\n"
+      "  \"pairs_skipped\": %zu, \"pairs_survived\": %zu,\n"
+      "  \"speedup_pruned_over_blocked\": %.2f},\n"
+      " \"pruned_no_dropped_pairs\": %s,\n"
+      " \"pruned_survivors_bit_identical\": %s",
+      pk, pk * (pk - 1) / 2, pruned_stats.sample_stride, prune_z, min_volume,
+      pruned_stats.path, pruned_stats.storage, ring_blocked_best, pruned_best,
+      pruned_stats.prune_seconds, pruned_stats.sweep_seconds,
+      pruned_stats.estimate_seconds, pruned_stats.pairs_pruned,
+      pruned_stats.pairs_survived, pruned_speedup,
+      pruned_no_dropped ? "true" : "false",
+      pruned_survivors_identical ? "true" : "false");
+  sweep_json += pruned_json;
+
   std::printf(
       "{\"rsus\": %zu, \"m\": %zu, \"pairs\": %zu, \"workers\": %u,\n"
       " \"kernel_isa\": \"%s\",\n"
@@ -279,5 +420,8 @@ int main(int argc, char** argv) {
       blocked_identical ? "true" : "false",
       parallel_identical ? "true" : "false", sweep_json.c_str(),
       obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
-  return blocked_identical && parallel_identical && sweep_identical ? 0 : 1;
+  return blocked_identical && parallel_identical && sweep_identical &&
+                 pruned_no_dropped && pruned_survivors_identical && speedup_ok
+             ? 0
+             : 1;
 }

@@ -106,7 +106,7 @@ int main(int argc, char** argv) {
   // slice, no per-vehicle std::function hop or positions copy.
   const vcps::BulkItineraryProvider bulk_provider =
       [&workload, k](std::uint64_t begin, std::uint64_t end,
-                     std::vector<std::uint32_t>& positions,
+                     common::UninitVector<std::uint32_t>& positions,
                      std::vector<std::uint64_t>& offsets,
                      std::vector<std::uint64_t>& counts) {
         thread_local common::VisitedMask visited(0);

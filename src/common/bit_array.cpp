@@ -247,6 +247,19 @@ std::vector<JointZeroCounts> joint_zero_counts_batch(
     BatchDecodeStats* stats) {
   const std::size_t k = arrays.size();
   VLM_REQUIRE(k >= 2, "batch decode needs at least two arrays");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(k * (k - 1) / 2);
+  for (std::uint32_t a = 0; a < k; ++a) {
+    for (std::uint32_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
+  }
+  return joint_zero_counts_batch(arrays, pairs, options, stats);
+}
+
+std::vector<JointZeroCounts> joint_zero_counts_batch(
+    std::span<const BitArray* const> arrays,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
+    const BatchDecodeOptions& options, BatchDecodeStats* stats) {
+  const std::size_t k = arrays.size();
   for (const BitArray* array : arrays) {
     VLM_REQUIRE(array != nullptr && !array->empty(),
                 "joint zero counts need two non-empty arrays");
@@ -258,49 +271,53 @@ std::vector<JointZeroCounts> joint_zero_counts_batch(
   // does (small = first operand on size ties, so the anchor — the larger
   // array — is the second), validate unfold-compatibility up front, fill
   // the O(1) per-array fields, and group the word-aligned pairs by anchor
-  // so one tile of the anchor can be swept against all its partners.
+  // so one tile of the anchor can be swept against all its partners. A
+  // pair list sorted by (first, second) — the survivor lists the pruned
+  // mode produces, and the all-pairs enumeration — keeps each anchor
+  // group a contiguous run of accumulator slots.
   struct GroupEntry {
     const std::uint64_t* partner_words;
     std::size_t partner_n;
-    std::size_t pair;  // upper-triangle slot in `out`
+    std::size_t pair;  // this pair's slot in `out`
   };
-  std::vector<JointZeroCounts> out(k * (k - 1) / 2);
+  std::vector<JointZeroCounts> out(pairs.size());
   std::vector<std::vector<GroupEntry>> groups(k);
   std::vector<std::size_t> pairs_touching(k, 0);
   std::size_t fallback_pairs = 0;
   std::size_t max_anchor_words = 0;
-  std::size_t p = 0;
-  for (std::size_t a = 0; a < k; ++a) {
-    for (std::size_t b = a + 1; b < k; ++b, ++p) {
-      const BitArray& first = *arrays[a];
-      const BitArray& second = *arrays[b];
-      const bool first_is_small = first.size() <= second.size();
-      const BitArray& small = first_is_small ? first : second;
-      const BitArray& large = first_is_small ? second : first;
-      VLM_REQUIRE(large.size() % small.size() == 0,
-                  "array sizes are not unfold-compatible: the smaller size "
-                  "must divide the larger — size both arrays as powers of two "
-                  "(Section IV-A) and this holds automatically");
-      if (small.size() % BitArray::kWordBits != 0) {
-        // Sub-word arrays (sizing floor): a handful of bytes — reuse the
-        // per-pair materializing fallback, bit for bit.
-        out[p] = joint_zero_counts(first, second);
-        ++fallback_pairs;
-        continue;
-      }
-      JointZeroCounts& counts = out[p];
-      counts.size_small = small.size();
-      counts.size_large = large.size();
-      counts.zeros_small = small.count_zeros();
-      counts.zeros_large = large.count_zeros();
-      counts.words_scanned = small.words().size() + large.words().size();
-      const std::size_t anchor = first_is_small ? b : a;
-      groups[anchor].push_back(
-          GroupEntry{small.words().data(), small.words().size(), p});
-      ++pairs_touching[a];
-      ++pairs_touching[b];
-      max_anchor_words = std::max(max_anchor_words, large.words().size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const std::size_t a = pairs[p].first;
+    const std::size_t b = pairs[p].second;
+    VLM_REQUIRE(a < k && b < k && a != b,
+                "batch decode pair indices must be distinct and in range");
+    const BitArray& first = *arrays[a];
+    const BitArray& second = *arrays[b];
+    const bool first_is_small = first.size() <= second.size();
+    const BitArray& small = first_is_small ? first : second;
+    const BitArray& large = first_is_small ? second : first;
+    VLM_REQUIRE(large.size() % small.size() == 0,
+                "array sizes are not unfold-compatible: the smaller size "
+                "must divide the larger — size both arrays as powers of two "
+                "(Section IV-A) and this holds automatically");
+    if (small.size() % BitArray::kWordBits != 0) {
+      // Sub-word arrays (sizing floor): a handful of bytes — reuse the
+      // per-pair materializing fallback, bit for bit.
+      out[p] = joint_zero_counts(first, second);
+      ++fallback_pairs;
+      continue;
     }
+    JointZeroCounts& counts = out[p];
+    counts.size_small = small.size();
+    counts.size_large = large.size();
+    counts.zeros_small = small.count_zeros();
+    counts.zeros_large = large.count_zeros();
+    counts.words_scanned = small.words().size() + large.words().size();
+    const std::size_t anchor = first_is_small ? b : a;
+    groups[anchor].push_back(
+        GroupEntry{small.words().data(), small.words().size(), p});
+    ++pairs_touching[a];
+    ++pairs_touching[b];
+    max_anchor_words = std::max(max_anchor_words, large.words().size());
   }
 
   std::size_t tile_words = 0;

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace vlm::common {
@@ -194,6 +195,20 @@ struct BatchDecodeStats {
 // exactly as joint_zero_counts does, before any counting starts.
 std::vector<JointZeroCounts> joint_zero_counts_batch(
     std::span<const BitArray* const> arrays,
+    const BatchDecodeOptions& options = {},
+    BatchDecodeStats* stats = nullptr);
+
+// Pair-list form: JointZeroCounts for exactly the given (first, second)
+// index pairs into `arrays`, in the order given — the sweep the pruned
+// decode mode runs over its survivor list. Each entry is computed
+// exactly as joint_zero_counts(*arrays[first], *arrays[second]); anchor
+// groups keep contiguous accumulator-slot runs and integer partials sum
+// in a fixed order, so any subset's counts are bit-identical to the
+// corresponding entries of the all-pairs call (which delegates here).
+// Pairs may be empty; indices must be in range and distinct.
+std::vector<JointZeroCounts> joint_zero_counts_batch(
+    std::span<const BitArray* const> arrays,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> pairs,
     const BatchDecodeOptions& options = {},
     BatchDecodeStats* stats = nullptr);
 

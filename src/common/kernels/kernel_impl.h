@@ -141,4 +141,72 @@ inline void or_popcount_cyclic_batch_impl(
   }
 }
 
+// Shared structure of the strided-sample union estimator: visit every
+// stride-th 8-word block of the larger array and apply the fastest
+// applicable sub-kernel, mirroring the batch impl's case split.
+// `or_block(a, b, n)` must be the ISA's no-wrap fused OR+popcount. With
+// power-of-two array sizes every sampled block starts on an 8-word
+// boundary of the partner period, so the wrap reference below only
+// catches non-power-of-two sizes from tests.
+template <typename OrBlockFn>
+inline std::size_t or_popcount_sampled_impl(
+    const std::uint64_t* large, std::size_t n_large,
+    const std::uint64_t* small, std::size_t n_small, std::size_t stride,
+    const OrBlockFn& or_block) {
+  VLM_REQUIRE(stride >= 1, "sample stride must be >= 1");
+  std::size_t ones = 0;
+  const std::size_t blocks = (n_large + 7) / 8;
+  for (std::size_t j = 0; j < blocks; j += stride) {
+    const std::size_t begin = j * 8;
+    const std::size_t len = n_large - begin < 8 ? n_large - begin : 8;
+    const std::size_t offset = begin % n_small;
+    if (offset + len <= n_small) {
+      ones += or_block(large + begin, small + offset, len);
+    } else {
+      ones += or_popcount_cyclic_tail(large, begin, begin + len, small,
+                                      n_small, offset);
+    }
+  }
+  return ones;
+}
+
+// Shared structure of the run-expanded Zipf rank kernel: expand runs of
+// consecutive splitmix64 stream positions into a cache-resident chunk
+// and flush it through the ISA's batch rank core whenever it fills. The
+// chunk keeps the expanded states L1-resident, so the fused form does
+// the same rank work as zipf_rank_batch without the caller's
+// total-slots state array ever round-tripping through DRAM.
+template <typename RankBatchFn>
+inline void zipf_rank_runs_impl(const std::uint64_t* starts,
+                                const std::uint32_t* run_slots,
+                                std::size_t n_runs, std::uint64_t gamma,
+                                const std::uint64_t* thresholds,
+                                const std::uint32_t* guide,
+                                std::uint64_t buckets, std::uint32_t* out,
+                                const RankBatchFn& rank_batch) {
+  constexpr std::size_t kChunk = 1024;
+  std::uint64_t chunk[kChunk];
+  std::size_t filled = 0;
+  for (std::size_t i = 0; i < n_runs; ++i) {
+    std::uint64_t state = starts[i];
+    std::size_t slots = run_slots[i];
+    while (slots > 0) {
+      if (filled == kChunk) {
+        rank_batch(chunk, kChunk, thresholds, guide, buckets, out);
+        out += kChunk;
+        filled = 0;
+      }
+      const std::size_t room = kChunk - filled;
+      const std::size_t take = slots < room ? slots : room;
+      for (std::size_t k = 0; k < take; ++k) {
+        chunk[filled + k] = state;
+        state += gamma;
+      }
+      filled += take;
+      slots -= take;
+    }
+  }
+  if (filled > 0) rank_batch(chunk, filled, thresholds, guide, buckets, out);
+}
+
 }  // namespace vlm::common::kernels::detail

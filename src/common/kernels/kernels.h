@@ -119,7 +119,56 @@ struct KernelTable {
                           const std::uint64_t* thresholds,
                           const std::uint32_t* guide, std::uint64_t buckets,
                           std::uint32_t* out);
+
+  // Strided-sample fused OR + popcount — the cheap union estimator the
+  // pruned decode runs in front of the exact sweep. Partitions the
+  // larger array into 8-word blocks and computes the fused OR+popcount
+  // (with the same cyclic indexing of the smaller operand as
+  // or_popcount_cyclic) over every stride-th block: block indices
+  // 0, stride, 2*stride, .... Returns the ones count over the sampled
+  // words only; sampled_word_count(n_large, stride) gives how many words
+  // that is. Requires stride >= 1; stride == 1 visits every block and
+  // equals or_popcount_cyclic exactly — asserted, along with
+  // scalar/SIMD bit-identity at every stride, by the differential fuzz
+  // suite.
+  std::size_t (*or_popcount_sampled)(const std::uint64_t* large,
+                                     std::size_t n_large,
+                                     const std::uint64_t* small,
+                                     std::size_t n_small, std::size_t stride);
+
+  // Run-expanded form of zipf_rank_batch — fuses the continuation-state
+  // fill into the rank kernel so callers never materialize the full
+  // state array. Run i contributes run_slots[i] consecutive splitmix64
+  // stream positions starts[i] + k * gamma for k in [0, run_slots[i]);
+  // ranks are written densely to out in run order, exactly as if the
+  // caller had expanded all states and made one zipf_rank_batch call.
+  // Implementations expand runs into a cache-resident chunk and feed the
+  // same per-ISA rank core, so every variant is bit-identical to the
+  // expanded call — asserted by the differential fuzz suite.
+  void (*zipf_rank_runs)(const std::uint64_t* starts,
+                         const std::uint32_t* run_slots, std::size_t n_runs,
+                         std::uint64_t gamma, const std::uint64_t* thresholds,
+                         const std::uint32_t* guide, std::uint64_t buckets,
+                         std::uint32_t* out);
 };
+
+// Number of words or_popcount_sampled reads from an n_words array at the
+// given stride: 8 per sampled block, with the final block clipped to the
+// array end. This is the denominator for any zero/one fraction taken
+// over the sampled popcount.
+inline std::size_t sampled_word_count(std::size_t n_words,
+                                      std::size_t stride) {
+  if (n_words == 0) return 0;
+  const std::size_t blocks = (n_words + 7) / 8;
+  const std::size_t sampled = (blocks + stride - 1) / stride;
+  std::size_t words = sampled * 8;
+  // The clipped final block is only in the sample when its index lands
+  // on the stride grid.
+  if ((sampled - 1) * stride == blocks - 1 && n_words % 8 != 0) {
+    words -= 8 - n_words % 8;
+  }
+  return words;
+}
 
 // Human-readable ISA name ("scalar", "avx2", "avx512").
 const char* isa_name(Isa isa);

@@ -337,6 +337,24 @@ void zipf_rank_batch_avx512(const std::uint64_t* states, std::size_t n,
   }
 }
 
+std::size_t or_popcount_sampled_avx512(const std::uint64_t* large,
+                                       std::size_t n_large,
+                                       const std::uint64_t* small,
+                                       std::size_t n_small,
+                                       std::size_t stride) {
+  return detail::or_popcount_sampled_impl(large, n_large, small, n_small,
+                                          stride, or_pop_block);
+}
+
+void zipf_rank_runs_avx512(const std::uint64_t* starts,
+                           const std::uint32_t* run_slots, std::size_t n_runs,
+                           std::uint64_t gamma, const std::uint64_t* thresholds,
+                           const std::uint32_t* guide, std::uint64_t buckets,
+                           std::uint32_t* out) {
+  detail::zipf_rank_runs_impl(starts, run_slots, n_runs, gamma, thresholds,
+                              guide, buckets, out, zipf_rank_batch_avx512);
+}
+
 }  // namespace
 
 const KernelTable* detail::avx512_table() {
@@ -344,7 +362,9 @@ const KernelTable* detail::avx512_table() {
                                  or_popcount_cyclic_avx512,
                                  or_popcount_cyclic_batch_avx512,
                                  merge_or_avx512, set_scatter_avx512,
-                                 encode_batch_avx512, zipf_rank_batch_avx512};
+                                 encode_batch_avx512, zipf_rank_batch_avx512,
+                                 or_popcount_sampled_avx512,
+                                 zipf_rank_runs_avx512};
   return &table;
 }
 

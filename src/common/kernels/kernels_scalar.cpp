@@ -86,6 +86,31 @@ void zipf_rank_batch_scalar(const std::uint64_t* states, std::size_t n,
   detail::zipf_rank_tail(states, 0, n, thresholds, guide, buckets, out);
 }
 
+std::size_t or_popcount_sampled_scalar(const std::uint64_t* large,
+                                       std::size_t n_large,
+                                       const std::uint64_t* small,
+                                       std::size_t n_small,
+                                       std::size_t stride) {
+  return detail::or_popcount_sampled_impl(
+      large, n_large, small, n_small, stride,
+      [](const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+        std::size_t ones = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          ones += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+        }
+        return ones;
+      });
+}
+
+void zipf_rank_runs_scalar(const std::uint64_t* starts,
+                           const std::uint32_t* run_slots, std::size_t n_runs,
+                           std::uint64_t gamma, const std::uint64_t* thresholds,
+                           const std::uint32_t* guide, std::uint64_t buckets,
+                           std::uint32_t* out) {
+  detail::zipf_rank_runs_impl(starts, run_slots, n_runs, gamma, thresholds,
+                              guide, buckets, out, zipf_rank_batch_scalar);
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() {
@@ -93,7 +118,9 @@ const KernelTable& scalar_table() {
                                  or_popcount_cyclic_scalar,
                                  or_popcount_cyclic_batch_scalar,
                                  merge_or_scalar, set_scatter_scalar,
-                                 encode_batch_scalar, zipf_rank_batch_scalar};
+                                 encode_batch_scalar, zipf_rank_batch_scalar,
+                                 or_popcount_sampled_scalar,
+                                 zipf_rank_runs_scalar};
   return table;
 }
 

@@ -1,5 +1,7 @@
 #include "core/od_matrix.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/bit_array.h"
@@ -7,6 +9,7 @@
 #include "common/kernels/kernels.h"
 #include "common/parallel.h"
 #include "common/require.h"
+#include "core/estimator.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 
@@ -24,12 +27,15 @@ struct DecodeMetrics {
   obs::Counter& runs;
   obs::Counter& pairs;
   obs::Counter& words_scanned;
+  obs::Counter& pairs_pruned;    // pruned path: pairs the sample skipped
+  obs::Counter& pairs_survived;  // pruned path: pairs the exact sweep ran
   obs::Gauge& workers;
   obs::Gauge& tile_words;
   obs::Gauge& dram_passes_saved;
   obs::Info& kernel_isa;
   obs::Info& path;
   obs::Histogram& total;       // whole estimate_od_matrix call
+  obs::Histogram& prune;       // pruned path: the sampled-union skip stage
   obs::Histogram& tile_sweep;  // blocked path: the batched zero-count sweep
   obs::Histogram& estimate;    // Eq. 5 / interval math over the pair list
 };
@@ -40,12 +46,15 @@ DecodeMetrics& decode_metrics() {
     return new DecodeMetrics{r.counter("decode/runs"),
                              r.counter("decode/pairs"),
                              r.counter("decode/words_scanned"),
+                             r.counter("decode/pairs_pruned"),
+                             r.counter("decode/pairs_survived"),
                              r.gauge("decode/workers"),
                              r.gauge("decode/tile_words"),
                              r.gauge("decode/dram_passes_saved"),
                              r.info("kernel/isa"),
                              r.info("decode/path"),
                              obs::phase("decode/total"),
+                             obs::phase("decode/prune"),
                              obs::phase("decode/tile_sweep"),
                              obs::phase("decode/estimate")};
   }();
@@ -58,23 +67,90 @@ const char* mode_name(DecodeMode mode) {
       return "pairwise";
     case DecodeMode::kBlocked:
       return "blocked";
+    case DecodeMode::kPruned:
+      return "pruned";
     case DecodeMode::kAuto:
       return "auto";
   }
   return "unknown";
 }
 
-// VLM_DECODE=pairwise|blocked|auto overrides the caller's mode, exactly
-// like VLM_KERNELS overrides ISA selection: parsed once, warn-and-keep
-// on an unrecognized value so a stale export degrades loudly instead of
-// crashing a fleet.
+// VLM_DECODE=pairwise|blocked|pruned|auto overrides the caller's mode,
+// exactly like VLM_KERNELS overrides ISA selection: parsed once,
+// warn-and-keep on an unrecognized value so a stale export degrades
+// loudly instead of crashing a fleet.
 DecodeMode apply_env_override(DecodeMode mode) {
   static constexpr common::EnvEnumChoice kChoices[] = {
       {"pairwise", static_cast<int>(DecodeMode::kPairwise)},
       {"blocked", static_cast<int>(DecodeMode::kBlocked)},
+      {"pruned", static_cast<int>(DecodeMode::kPruned)},
       {"auto", static_cast<int>(DecodeMode::kAuto)}};
   static const int parsed = common::parse_env_enum("VLM_DECODE", kChoices, -1);
   return parsed < 0 ? mode : static_cast<DecodeMode>(parsed);
+}
+
+// Sampled-union skip rule for one pair. Returns true when the pair can
+// be skipped: even an upper confidence bound on the OR zero fraction —
+// taken over a strided sample of the larger array — implies an overlap
+// estimate at or below min_volume. Every precondition failure (saturated
+// arrays, sub-word sizes, m_y <= s) returns false, i.e. keeps the pair
+// for the exact sweep, so the rule only ever errs toward measuring.
+bool prune_pair(const RsuState& first, const RsuState& second,
+                const PairEstimator& point_estimator, const PruneOptions& prune,
+                const common::kernels::KernelTable& table,
+                std::size_t* words_sampled) {
+  const bool first_is_small = first.array_size() <= second.array_size();
+  const RsuState& small = first_is_small ? first : second;
+  const RsuState& large = first_is_small ? second : first;
+  const std::size_t m_x = small.array_size();
+  const std::size_t m_y = large.array_size();
+  // Conservative keeps: anything the closed-form bound below cannot
+  // describe goes to the exact sweep (which also owns the error
+  // messages for genuinely incompatible sizes).
+  if (m_x % common::BitArray::kWordBits != 0 || m_y % m_x != 0) return false;
+  if (m_y <= point_estimator.s() || m_y <= 1) return false;
+  const std::size_t zeros_small = small.zero_count();
+  const std::size_t zeros_large = large.zero_count();
+  if (zeros_small == 0 || zeros_large == 0) return false;  // saturated
+
+  const std::span<const std::uint64_t> sw = small.bits().words();
+  const std::span<const std::uint64_t> lw = large.bits().words();
+  const std::size_t ones_sampled = table.or_popcount_sampled(
+      lw.data(), lw.size(), sw.data(), sw.size(), prune.sample_stride);
+  const std::size_t n_sampled_words =
+      common::kernels::sampled_word_count(lw.size(), prune.sample_stride);
+  *words_sampled = n_sampled_words;
+  const double n_bits =
+      static_cast<double>(n_sampled_words) * common::BitArray::kWordBits;
+  const double p_hat =
+      static_cast<double>(n_sampled_words * common::BitArray::kWordBits -
+                          ones_sampled) /
+      n_bits;
+
+  // One-sided upper bound on the true OR zero fraction v_c. The sample
+  // is n_bits of N = m_y bits without replacement, so the binomial
+  // standard error carries the finite-population correction
+  // (1/n − 1/N); the additive z²/n term keeps the bound positive and
+  // honest in the p_hat ≈ 0 regime where the normal approximation's se
+  // collapses (a Wilson-style widening). See DESIGN.md for the math.
+  const double total_bits = static_cast<double>(m_y);
+  const double fpc = 1.0 / n_bits - 1.0 / total_bits;
+  const double se = std::sqrt(std::max(0.0, p_hat * (1.0 - p_hat) * fpc));
+  const double v_c_ub =
+      std::min(1.0, p_hat + prune.z_prune * se +
+                        prune.z_prune * prune.z_prune / n_bits);
+  if (!(v_c_ub > 0.0)) return false;
+
+  // Eq. 5 with the bounded v_c: monotone increasing in v_c (the
+  // denominator is positive), so an upper bound on v_c is an upper
+  // bound on the overlap estimate.
+  const double v_x =
+      static_cast<double>(zeros_small) / static_cast<double>(m_x);
+  const double v_y = static_cast<double>(zeros_large) / total_bits;
+  const double n_c_ub =
+      (std::log(v_c_ub) - std::log(v_x) - std::log(v_y)) /
+      point_estimator.log_ratio_denominator(m_y);
+  return n_c_ub <= prune.min_volume;
 }
 
 }  // namespace
@@ -82,9 +158,66 @@ DecodeMode apply_env_override(DecodeMode mode) {
 OdMatrix::OdMatrix(std::size_t rsu_count)
     : k_(rsu_count), cells_(rsu_count * (rsu_count - 1) / 2) {
   VLM_REQUIRE(rsu_count >= 2, "an OD matrix needs at least two RSUs");
+  measured_pairs_ = cells_.size();
+}
+
+OdMatrix OdMatrix::for_survivors(
+    std::size_t rsu_count,
+    std::span<const std::pair<std::uint32_t, std::uint32_t>> survivors) {
+  OdMatrix matrix(rsu_count);
+  matrix.measured_pairs_ = survivors.size();
+  const std::size_t total_pairs = matrix.cells_.size();
+  if (survivors.size() * 4 >= total_pairs) {
+    // Dense fallback: at this density the CSR index costs more than the
+    // zero-filled cells it would save. Keep the triangle and mark the
+    // measured cells.
+    matrix.measured_.assign(total_pairs, 0);
+    for (const auto& [a, b] : survivors) {
+      matrix.measured_[matrix.triangle_index(a, b)] = 1;
+    }
+    return matrix;
+  }
+  // CSR over the survivor list (already sorted by (row, col) — the
+  // prune stage compacts in pair order). Survivor slot p backs cells_[p],
+  // so the exact sweep's pair order and the cell order coincide.
+  matrix.cells_.assign(survivors.size(), EstimateInterval{});
+  matrix.cells_.shrink_to_fit();
+  matrix.row_offsets_.assign(rsu_count + 1, 0);
+  matrix.cols_.reserve(survivors.size());
+  std::uint32_t row = 0;
+  for (const auto& [a, b] : survivors) {
+    VLM_REQUIRE(a < b && b < rsu_count && a >= row,
+                "survivor list must be sorted upper-triangle pairs");
+    while (row < a) {
+      matrix.row_offsets_[++row] =
+          static_cast<std::uint32_t>(matrix.cols_.size());
+    }
+    matrix.cols_.push_back(b);
+  }
+  while (row < rsu_count) {
+    matrix.row_offsets_[++row] =
+        static_cast<std::uint32_t>(matrix.cols_.size());
+  }
+  return matrix;
+}
+
+std::size_t OdMatrix::sparse_slot(std::size_t lo, std::size_t hi) const {
+  const auto begin = cols_.begin() + row_offsets_[lo];
+  const auto end = cols_.begin() + row_offsets_[lo + 1];
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(hi));
+  if (it == end || *it != hi) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - cols_.begin());
 }
 
 EstimateInterval& OdMatrix::cell(std::size_t a, std::size_t b) {
+  if (sparse()) {
+    const std::size_t lo = a < b ? a : b;
+    const std::size_t hi = a < b ? b : a;
+    const std::size_t slot = sparse_slot(lo, hi);
+    VLM_REQUIRE(slot != static_cast<std::size_t>(-1),
+                "cannot write a pruned-away OD matrix cell");
+    return cells_[slot];
+  }
   return const_cast<EstimateInterval&>(
       static_cast<const OdMatrix*>(this)->at(a, b));
 }
@@ -94,13 +227,34 @@ const EstimateInterval& OdMatrix::at(std::size_t a, std::size_t b) const {
               "OD matrix lookup needs two distinct RSU positions");
   const std::size_t lo = a < b ? a : b;
   const std::size_t hi = a < b ? b : a;
-  // Row-major upper triangle: offset(lo) = lo*k - lo(lo+1)/2 relative
-  // to column lo+1.
-  const std::size_t row_start = lo * k_ - lo * (lo + 1) / 2;
-  return cells_[row_start + (hi - lo - 1)];
+  if (sparse()) {
+    const std::size_t slot = sparse_slot(lo, hi);
+    if (slot == static_cast<std::size_t>(-1)) {
+      // Pruned away: the estimate is zero by construction. A shared
+      // default-constructed interval (n_c_hat = 0, zero-width bounds) is
+      // exactly that reading.
+      static const EstimateInterval kPrunedZero{};
+      return kPrunedZero;
+    }
+    return cells_[slot];
+  }
+  return cells_[triangle_index(lo, hi)];
+}
+
+bool OdMatrix::measured(std::size_t a, std::size_t b) const {
+  VLM_REQUIRE(a < k_ && b < k_ && a != b,
+              "OD matrix lookup needs two distinct RSU positions");
+  const std::size_t lo = a < b ? a : b;
+  const std::size_t hi = a < b ? b : a;
+  if (sparse()) return sparse_slot(lo, hi) != static_cast<std::size_t>(-1);
+  if (!measured_.empty()) return measured_[triangle_index(lo, hi)] != 0;
+  return true;
 }
 
 double OdMatrix::total_estimated_common() const {
+  // Sparse storage holds exactly the survivors, the dense layouts hold
+  // zeros in unmeasured cells — either way the sum over cells_ is the
+  // matrix total.
   double total = 0.0;
   for (const EstimateInterval& e : cells_) total += e.n_c_hat;
   return total;
@@ -112,37 +266,78 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
   DecodeMetrics& metrics = decode_metrics();
   obs::Span total_span(metrics.total);
   const std::uint64_t pool_before = common::WorkerPool::instance().dispatch_count();
-  OdMatrix matrix(states.size());
+  const std::size_t k = states.size();
+  VLM_REQUIRE(k >= 2, "an OD matrix needs at least two RSUs");
   const IntervalEstimator estimator(s, z);
   const unsigned used =
       options.workers == 0 ? common::default_worker_count() : options.workers;
 
-  // Flatten the upper triangle into an index list so the pair loop can be
-  // sliced across workers. Pair p covers cells_[p] exactly, and every
-  // worker writes only its own pairs' cells (plus its own slot of the
-  // per-pair word counters), so the result is deterministic: identical
-  // for any worker count and any scheduling.
-  const std::size_t k = states.size();
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  pairs.reserve(k * (k - 1) / 2);
-  for (std::size_t a = 0; a < k; ++a) {
-    for (std::size_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
-  }
-
   DecodeMode mode = apply_env_override(options.mode);
   if (mode == DecodeMode::kAuto) {
     // One pair has nothing to block over; three or more arrays is where
-    // tile reuse starts paying.
+    // tile reuse starts paying. Pruning stays opt-in — it changes
+    // skipped pairs' cells, so kAuto never routes there.
     mode = k >= 3 ? DecodeMode::kBlocked : DecodeMode::kPairwise;
   }
 
+  // Flatten the upper triangle into an index list so the pair loop can be
+  // sliced across workers. Pair p covers exactly one cell, and every
+  // worker writes only its own pairs' cells (plus its own slot of the
+  // per-pair word counters), so the result is deterministic: identical
+  // for any worker count and any scheduling.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(k * (k - 1) / 2);
+  for (std::uint32_t a = 0; a < k; ++a) {
+    for (std::uint32_t b = a + 1; b < k; ++b) pairs.emplace_back(a, b);
+  }
+
+  // Pruned path, stage 1: per-pair skip decisions over a strided sample
+  // of each pair's OR zero fraction. Decisions are computed
+  // independently per pair into keep[p] and compacted serially, so the
+  // survivor list — and therefore the whole decode — is identical for
+  // every worker count. Compaction preserves (a, b) order, which keeps
+  // the batch sweep's anchor groups contiguous.
+  double prune_seconds = 0.0;
+  std::size_t prune_words = 0;
+  std::size_t pairs_pruned = 0;
+  if (mode == DecodeMode::kPruned) {
+    obs::Span prune_span(metrics.prune);
+    const PairEstimator point_estimator(s);
+    const common::kernels::KernelTable& table = common::kernels::active();
+    std::vector<std::uint8_t> keep(pairs.size(), 0);
+    std::vector<std::size_t> sampled(pairs.size(), 0);
+    common::parallel_for(pairs.size(), used, [&](std::size_t p) {
+      const auto [a, b] = pairs[p];
+      keep[p] = prune_pair(states[a], states[b], point_estimator,
+                           options.prune, table, &sampled[p])
+                    ? 0
+                    : 1;
+    });
+    std::size_t kept = 0;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      prune_words += sampled[p];
+      if (keep[p] != 0) pairs[kept++] = pairs[p];
+    }
+    pairs_pruned = pairs.size() - kept;
+    pairs.resize(kept);
+    prune_seconds = prune_span.finish();
+  }
+
+  OdMatrix matrix = mode == DecodeMode::kPruned
+                        ? OdMatrix::for_survivors(k, pairs)
+                        : OdMatrix(k);
+
   std::vector<std::size_t> words_per_pair(pairs.size(), 0);
   common::BatchDecodeStats batch_stats;
-  if (mode == DecodeMode::kBlocked) {
-    // Measure every pair's zero counts with the cache-blocked batch
+  double sweep_seconds = 0.0;
+  double estimate_seconds = 0.0;
+  if (mode == DecodeMode::kBlocked || mode == DecodeMode::kPruned) {
+    // Measure the pair list's zero counts with the cache-blocked batch
     // sweep, then map them through the identical Eq. 5 / interval math
     // the pairwise path uses. Both stages are deterministic, so so is
-    // the composition.
+    // the composition — and because the batch sweep's integer partials
+    // are exact for any pair subset, a survivor's counts (and therefore
+    // its estimate) are bit-identical to the unpruned blocked decode.
     std::vector<const common::BitArray*> arrays;
     arrays.reserve(k);
     for (const RsuState& state : states) arrays.push_back(&state.bits());
@@ -151,11 +346,12 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     batch_options.workers = used;
     std::vector<common::JointZeroCounts> counts;
     {
-      const obs::Span sweep_span(metrics.tile_sweep);
-      counts =
-          common::joint_zero_counts_batch(arrays, batch_options, &batch_stats);
+      obs::Span sweep_span(metrics.tile_sweep);
+      counts = common::joint_zero_counts_batch(arrays, pairs, batch_options,
+                                               &batch_stats);
+      sweep_seconds = sweep_span.finish();
     }
-    const obs::Span estimate_span(metrics.estimate);
+    obs::Span estimate_span(metrics.estimate);
     common::parallel_for(pairs.size(), used, [&](std::size_t p) {
       const auto [a, b] = pairs[p];
       PairEstimate point;
@@ -164,23 +360,28 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
           static_cast<double>(states[b].counter()), &point);
       words_per_pair[p] = point.words_scanned;
     });
+    estimate_seconds = estimate_span.finish();
   } else {
-    const obs::Span estimate_span(metrics.estimate);
+    obs::Span estimate_span(metrics.estimate);
     common::parallel_for(pairs.size(), used, [&](std::size_t p) {
       const auto [a, b] = pairs[p];
       PairEstimate point;
       matrix.cell(a, b) = estimator.estimate(states[a], states[b], &point);
       words_per_pair[p] = point.words_scanned;
     });
+    estimate_seconds = estimate_span.finish();
   }
 
   // Registry and struct are fed from the same values: DecodeStats is the
   // per-run view of what this call just added to the global counters.
-  const std::size_t words_scanned = std::accumulate(
-      words_per_pair.begin(), words_per_pair.end(), std::size_t{0});
+  const std::size_t words_scanned =
+      prune_words + std::accumulate(words_per_pair.begin(),
+                                    words_per_pair.end(), std::size_t{0});
   metrics.runs.inc();
   metrics.pairs.add(pairs.size());
   metrics.words_scanned.add(words_scanned);
+  metrics.pairs_pruned.add(pairs_pruned);
+  metrics.pairs_survived.add(mode == DecodeMode::kPruned ? pairs.size() : 0);
   metrics.workers.set(static_cast<double>(used));
   metrics.tile_words.set(static_cast<double>(batch_stats.tile_words));
   metrics.dram_passes_saved.set(
@@ -197,6 +398,14 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
     stats->path = mode_name(mode);
     stats->tile_words = batch_stats.tile_words;
     stats->dram_passes_saved = batch_stats.dram_passes_saved;
+    stats->pairs_pruned = pairs_pruned;
+    stats->pairs_survived = mode == DecodeMode::kPruned ? pairs.size() : 0;
+    stats->sample_stride =
+        mode == DecodeMode::kPruned ? options.prune.sample_stride : 0;
+    stats->prune_seconds = prune_seconds;
+    stats->sweep_seconds = sweep_seconds;
+    stats->estimate_seconds = estimate_seconds;
+    stats->storage = matrix.sparse() ? "sparse" : "dense";
     const common::WorkerPool& pool = common::WorkerPool::instance();
     stats->pool_lifetime_dispatches = pool.dispatch_count();
     stats->pool_dispatches = stats->pool_lifetime_dispatches - pool_before;

@@ -58,6 +58,14 @@ inline std::string format_decode_stats(const core::DecodeStats& stats) {
       stats.pairs_decoded, stats.workers, stats.kernel_isa, stats.path,
       stats.wall_seconds * 1e3, stats.pairs_per_second(),
       stats.mib_per_second());
+  if (std::string_view(stats.path) == "pruned") {
+    out += detail::format_line(
+        "decode pruning: %zu pair(s) skipped, %zu survived (stride %zu, "
+        "%s matrix) — prune %.1f ms, sweep %.1f ms, estimate %.1f ms\n",
+        stats.pairs_pruned, stats.pairs_survived, stats.sample_stride,
+        stats.storage, stats.prune_seconds * 1e3, stats.sweep_seconds * 1e3,
+        stats.estimate_seconds * 1e3);
+  }
   if (stats.tile_words > 0) {
     out += detail::format_line(
         "decode blocking: %zu-word tiles, %zu full-array DRAM passes "

@@ -33,9 +33,9 @@ constexpr std::size_t draw_slots_for(std::uint64_t span_count) {
 struct BulkScratch {
   common::UninitVector<std::uint64_t> inputs;  // encode_batch key blocks
   common::UninitVector<std::uint64_t> bases;   // mix64(seed ^ v)
-  common::UninitVector<std::uint64_t> draws;   // span-count draws
-  common::UninitVector<std::uint64_t> states;  // flat visit-draw stream
-  common::UninitVector<std::uint32_t> ranks;   // zipf_rank_batch output
+  common::UninitVector<std::uint64_t> draws;      // span-count draws
+  common::UninitVector<std::uint32_t> run_slots;  // draw slots per vehicle
+  common::UninitVector<std::uint32_t> ranks;      // zipf_rank_runs output
 };
 }  // namespace
 
@@ -161,7 +161,7 @@ void MultiRsuWorkload::itinerary(std::uint64_t vehicle_index,
 
 void MultiRsuWorkload::itineraries(std::uint64_t begin, std::uint64_t end,
                                    common::VisitedMask& visited,
-                                   std::vector<std::uint32_t>& positions,
+                                   common::UninitVector<std::uint32_t>& positions,
                                    std::vector<std::uint64_t>& offsets,
                                    std::vector<std::uint64_t>& counts) const {
   VLM_REQUIRE(begin <= end && end <= config_.vehicle_count,
@@ -208,12 +208,16 @@ void MultiRsuWorkload::itineraries(std::uint64_t begin, std::uint64_t end,
   kt.encode_batch(scratch.inputs.data(), n, 0, kZeroSalt, 1, ~std::uint64_t{0},
                   reinterpret_cast<std::size_t*>(scratch.draws.data()));
 
-  // Visit-draw stream positions, flat across the block: vehicle i's
-  // draws start at base + 2*gamma (the span draw consumed one step) and
-  // advance by gamma. Generate draw_slots_for(span) per vehicle so the
-  // rank kernel below covers the expected rejection runs too.
+  // Visit-draw stream runs: vehicle i's draws start at base + 2*gamma
+  // (the span draw consumed one step) and advance by gamma for
+  // draw_slots_for(span) steps, covering the expected rejection runs
+  // too. The run description (start, slot count) per vehicle is all the
+  // rank kernel needs — it expands each run into a cache-resident chunk
+  // internally, so the flat block-wide state array (and its DRAM round
+  // trip) is gone.
   const std::uint64_t visit_range =
       config_.max_visits - config_.min_visits + 1;
+  scratch.run_slots.resize(n);
   std::size_t total_slots = 0;
   std::size_t total_span = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -223,34 +227,26 @@ void MultiRsuWorkload::itineraries(std::uint64_t begin, std::uint64_t end,
             (static_cast<unsigned __int128>(scratch.draws[i]) * visit_range) >>
             64);
     scratch.draws[i] = span_count;  // draw consumed; slot reused
+    scratch.inputs[i] = scratch.bases[i] + 2 * kGamma;
+    const std::size_t slots = draw_slots_for(span_count);
+    scratch.run_slots[i] = static_cast<std::uint32_t>(slots);
     total_span += span_count;
-    total_slots += draw_slots_for(span_count);
+    total_slots += slots;
   }
   // Spans are known for the whole block now, so size the output once —
   // the per-vehicle loop below just advances a raw cursor instead of
   // paying a resize call per vehicle.
   positions.resize(total_span);
-  scratch.states.resize(total_slots);
-  {
-    std::uint64_t* state = scratch.states.data();
-    for (std::size_t i = 0; i < n; ++i) {
-      std::uint64_t s = scratch.bases[i] + 2 * kGamma;
-      const std::size_t slots = draw_slots_for(scratch.draws[i]);
-      for (std::size_t k = 0; k < slots; ++k) {
-        state[k] = s;
-        s += kGamma;
-      }
-      state += slots;
-    }
-  }
 
   // Rank selection for every pre-generated draw in one kernel call —
-  // the vectorized form of sample_into's guide-table walk.
+  // the vectorized form of sample_into's guide-table walk, fused with
+  // the run expansion above.
   scratch.ranks.resize(total_slots);
   const std::uint64_t* thresholds = cdf_thresholds_.data();
   const std::uint64_t buckets = zipf_guide_.size() - 1;
-  kt.zipf_rank_batch(scratch.states.data(), total_slots, thresholds,
-                     zipf_guide_.data(), buckets, scratch.ranks.data());
+  kt.zipf_rank_runs(scratch.inputs.data(), scratch.run_slots.data(), n, kGamma,
+                    thresholds, zipf_guide_.data(), buckets,
+                    scratch.ranks.data());
 
   // Accept/reject, dedup, and sort — scalar, but over pre-computed
   // ranks. The sequence below consumes draws in exactly sample_into's

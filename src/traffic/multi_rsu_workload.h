@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/uninit.h"
 #include "common/visited_mask.h"
 
 namespace vlm::traffic {
@@ -52,14 +53,21 @@ class MultiRsuWorkload {
   // what the batch pipeline's materialize stage runs on.
   //
   // Unlike itinerary(), the draws are generated in bulk: the stream
-  // bases, visit-count draws, and Zipf rank selections of the whole
-  // block run through the dispatched encode_batch / zipf_rank_batch
-  // kernels (8 lanes of the splitmix64 finalizer and the guide-table
-  // walk per iteration on AVX-512), with a scalar continuation for the
-  // rare vehicle whose rejection run outlasts the pre-generated draws.
-  // The accept/reject sequence is draw-for-draw the one sample_into
-  // consumes, so the output is bit-identical to the per-vehicle path —
-  // the frozen-seed goldens pin it.
+  // bases and visit-count draws of the whole block run through the
+  // dispatched encode_batch kernel, and the Zipf rank selections through
+  // zipf_rank_runs — the run-expanded rank kernel that synthesizes each
+  // vehicle's visit-draw stream positions in a cache-resident chunk
+  // instead of materializing the whole block's state array (8 lanes of
+  // the splitmix64 finalizer and the guide-table walk per iteration on
+  // AVX-512) — with a scalar continuation for the rare vehicle whose
+  // rejection run outlasts the pre-generated draws. The accept/reject
+  // sequence is draw-for-draw the one sample_into consumes, so the
+  // output is bit-identical to the per-vehicle path — the frozen-seed
+  // goldens pin it.
+  //
+  // `positions` is an UninitVector: it is sized once per call (no
+  // value-init memset over the block) and every slot in range is written
+  // by the emission loop before anything reads it.
   //
   // `counts` is the per-RSU visit histogram of the block (size
   // rsu_count, counts[r] = tuples destined for RSU r), accumulated while
@@ -67,7 +75,7 @@ class MultiRsuWorkload {
   // from it without a second pass over the CSR.
   void itineraries(std::uint64_t begin, std::uint64_t end,
                    common::VisitedMask& visited,
-                   std::vector<std::uint32_t>& positions,
+                   common::UninitVector<std::uint32_t>& positions,
                    std::vector<std::uint64_t>& offsets,
                    std::vector<std::uint64_t>& counts) const;
 

@@ -68,7 +68,7 @@ struct ExchangeColumns {
   std::vector<RsuExchangeBucket> buckets;
   // Stage 1 scratch: the slice's itineraries in CSR layout (see
   // BulkItineraryProvider) and one write cursor per RSU.
-  std::vector<std::uint32_t> flat_positions;
+  common::UninitVector<std::uint32_t> flat_positions;
   std::vector<std::uint64_t> offsets;
   // Stage 1 scratch: the provider's per-RSU visit histogram (bucket
   // sizes) and the slice's batched masked keys, one per vehicle.

@@ -118,7 +118,7 @@ constexpr std::size_t kPipelineSubSlice = 16384;
 BulkItineraryProvider adapt_itinerary(const ItineraryProvider& itinerary,
                                       std::size_t rsu_count) {
   return [&itinerary, rsu_count](std::uint64_t begin, std::uint64_t end,
-                                 std::vector<std::uint32_t>& positions,
+                                 common::UninitVector<std::uint32_t>& positions,
                                  std::vector<std::uint64_t>& offsets,
                                  std::vector<std::uint64_t>& counts) {
     std::vector<std::size_t> scratch;
@@ -256,7 +256,7 @@ IngestStats VcpsSimulation::drive_vehicles(
           const obs::Span encode_span(metrics.encode_worker);
           std::vector<core::RsuState>& shard = shards[worker];
           ChannelTally& tally = tallies[worker];
-          std::vector<std::uint32_t> positions;
+          common::UninitVector<std::uint32_t> positions;
           std::vector<std::uint64_t> offsets;
           std::vector<std::uint64_t> counts;  // unused by this engine
           itineraries(begin, end, positions, offsets, counts);

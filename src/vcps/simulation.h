@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/uninit.h"
 #include "core/encoder.h"
 #include "vcps/central_server.h"
 #include "vcps/channel.h"
@@ -58,10 +59,14 @@ using ItineraryProvider =
 // The engine cross-checks the histogram against the positions it
 // actually sees, so a provider bug fails loudly instead of corrupting
 // buckets.
+//
+// `positions` is an UninitVector: providers must size it and write every
+// slot in range (CSR emission does exactly that), so the engine never
+// pays a value-init memset over a whole slice per call.
 using BulkItineraryProvider = std::function<void(
     std::uint64_t begin, std::uint64_t end,
-    std::vector<std::uint32_t>& positions, std::vector<std::uint64_t>& offsets,
-    std::vector<std::uint64_t>& counts)>;
+    common::UninitVector<std::uint32_t>& positions,
+    std::vector<std::uint64_t>& offsets, std::vector<std::uint64_t>& counts)>;
 
 // How drive_vehicles turns a vehicle slice into shard updates. Both
 // engines produce bit-identical reports AND channel tallies for every

@@ -241,6 +241,115 @@ TEST_P(KernelFuzz, ZipfRankBatchMatchesScalar) {
   }
 }
 
+TEST_P(KernelFuzz, OrPopcountSampledMatchesScalarAtEveryStride) {
+  common::Xoshiro256ss rng(0xF12A);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n_large = 1 + rng.uniform(600);
+    // Same period mix as the cyclic fuzz: tiny broadcast periods and
+    // periods larger than the sampled array both occur.
+    const std::size_t n_small = 1 + rng.uniform(trial % 2 == 0 ? 17 : 600);
+    const auto large = random_words(n_large, rng);
+    const auto small = random_words(n_small, rng);
+    // Strides straddling the block count: 1 (every block), mid, and
+    // beyond (only block 0 sampled).
+    const std::size_t blocks = (n_large + 7) / 8;
+    const std::size_t strides[] = {1, 1 + rng.uniform(blocks),
+                                   blocks + 1 + rng.uniform(8)};
+    for (const std::size_t stride : strides) {
+      EXPECT_EQ(variant().or_popcount_sampled(large.data(), n_large,
+                                              small.data(), n_small, stride),
+                scalar().or_popcount_sampled(large.data(), n_large,
+                                             small.data(), n_small, stride))
+          << "n_large=" << n_large << " n_small=" << n_small
+          << " stride=" << stride;
+    }
+    // stride == 1 visits every block: the sample IS the full cyclic
+    // union, and the denominator covers the whole array.
+    EXPECT_EQ(variant().or_popcount_sampled(large.data(), n_large,
+                                            small.data(), n_small, 1),
+              variant().or_popcount_cyclic(large.data(), n_large,
+                                           small.data(), n_small))
+        << "n_large=" << n_large << " n_small=" << n_small;
+    EXPECT_EQ(sampled_word_count(n_large, 1), n_large);
+  }
+}
+
+TEST_P(KernelFuzz, OrPopcountSampledNeverExceedsSampledWordCapacity) {
+  common::Xoshiro256ss rng(0xF12B);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n_large = 1 + rng.uniform(600);
+    const std::size_t n_small = 1 + rng.uniform(600);
+    const std::size_t stride = 1 + rng.uniform(80);
+    // All-ones operands: the sampled popcount must land exactly on
+    // 64 * sampled_word_count — pinning the denominator the prune rule
+    // divides by to the words the kernel actually visits.
+    const std::vector<std::uint64_t> large(n_large, ~std::uint64_t{0});
+    const std::vector<std::uint64_t> small(n_small, ~std::uint64_t{0});
+    EXPECT_EQ(variant().or_popcount_sampled(large.data(), n_large,
+                                            small.data(), n_small, stride),
+              sampled_word_count(n_large, stride) * 64)
+        << "n_large=" << n_large << " stride=" << stride;
+  }
+}
+
+TEST_P(KernelFuzz, ZipfRankRunsMatchesScalarAndExpandedBatch) {
+  common::Xoshiro256ss rng(0xF12C);
+  constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ull;
+  for (int trial = 0; trial < 150; ++trial) {
+    // Reuse the workload-shaped CDF construction from the batch fuzz.
+    const std::size_t ranks = 2 + rng.uniform(60);
+    std::vector<std::uint64_t> thresholds(ranks);
+    for (std::size_t r = 0; r + 1 < ranks; ++r) {
+      thresholds[r] = 1 + (rng.next() >> 11);
+    }
+    std::sort(thresholds.begin(), thresholds.end() - 1);
+    thresholds[ranks - 1] = (std::uint64_t{1} << 53) + 1;
+    const std::uint64_t buckets = ranks * (1 + rng.uniform(12));
+    std::vector<std::uint32_t> guide(buckets + 1);
+    std::uint32_t rank = 0;
+    for (std::uint64_t j = 0; j <= buckets; ++j) {
+      const auto smallest = static_cast<std::uint64_t>(
+          ((static_cast<unsigned __int128>(j) << 53) + buckets - 1) / buckets);
+      while (rank < ranks && thresholds[rank] <= smallest) ++rank;
+      guide[j] = rank;
+    }
+    // Run lists with empty runs, single-slot runs, and runs straddling
+    // the implementations' internal chunk size (1024 states).
+    const std::size_t n_runs = trial == 0 ? 0 : 1 + rng.uniform(40);
+    std::vector<std::uint64_t> starts(n_runs);
+    std::vector<std::uint32_t> run_slots(n_runs);
+    std::vector<std::uint64_t> expanded;
+    for (std::size_t i = 0; i < n_runs; ++i) {
+      starts[i] = rng.next();
+      switch (rng.uniform(5)) {
+        case 0: run_slots[i] = 0; break;
+        case 1: run_slots[i] = 1; break;
+        case 2: run_slots[i] = 1020 + rng.uniform(10); break;  // chunk edge
+        default: run_slots[i] = rng.uniform(120); break;
+      }
+      for (std::uint32_t s = 0; s < run_slots[i]; ++s) {
+        expanded.push_back(starts[i] + s * kGamma);
+      }
+    }
+    std::vector<std::uint32_t> out_variant(expanded.size(), 0xDEADu);
+    std::vector<std::uint32_t> out_scalar(expanded.size(), 0xBEEFu);
+    std::vector<std::uint32_t> out_expanded(expanded.size(), 0xF00Du);
+    variant().zipf_rank_runs(starts.data(), run_slots.data(), n_runs, kGamma,
+                             thresholds.data(), guide.data(), buckets,
+                             out_variant.data());
+    scalar().zipf_rank_runs(starts.data(), run_slots.data(), n_runs, kGamma,
+                            thresholds.data(), guide.data(), buckets,
+                            out_scalar.data());
+    variant().zipf_rank_batch(expanded.data(), expanded.size(),
+                              thresholds.data(), guide.data(), buckets,
+                              out_expanded.data());
+    EXPECT_EQ(out_variant, out_scalar)
+        << "n_runs=" << n_runs << " total=" << expanded.size();
+    EXPECT_EQ(out_variant, out_expanded)
+        << "n_runs=" << n_runs << " total=" << expanded.size();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIsas, KernelFuzz,
                          ::testing::Values(Isa::kAvx2, Isa::kAvx512),
                          [](const ::testing::TestParamInfo<Isa>& param) {

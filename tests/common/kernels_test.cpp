@@ -188,6 +188,62 @@ TEST_P(KernelVariants, SetScatterRejectsBeforeMutating) {
   EXPECT_EQ(words[1], 0u);
 }
 
+TEST(SampledWordCount, ClosedFormEdgeCases) {
+  EXPECT_EQ(sampled_word_count(0, 1), 0u);
+  EXPECT_EQ(sampled_word_count(0, 16), 0u);
+  // stride 1 always covers the whole array, ragged or not.
+  EXPECT_EQ(sampled_word_count(64, 1), 64u);
+  EXPECT_EQ(sampled_word_count(61, 1), 61u);
+  EXPECT_EQ(sampled_word_count(7, 1), 7u);
+  // 64 words = 8 blocks: stride 2 samples blocks 0,2,4,6 -> 32 words.
+  EXPECT_EQ(sampled_word_count(64, 2), 32u);
+  // Stride at/above the block count samples only block 0.
+  EXPECT_EQ(sampled_word_count(64, 8), 8u);
+  EXPECT_EQ(sampled_word_count(64, 9), 8u);
+  EXPECT_EQ(sampled_word_count(64, 1000), 8u);
+  // Ragged final block (61 words = 7 full blocks + 5 words) is clipped
+  // only when it lands on the stride grid: 8 blocks, stride 7 samples
+  // blocks 0 and 7 -> 8 + 5 words.
+  EXPECT_EQ(sampled_word_count(61, 7), 13u);
+  // Stride 3 samples blocks 0, 3, 6 — final block 7 missed, no clip.
+  EXPECT_EQ(sampled_word_count(61, 3), 24u);
+  // Single partial block.
+  EXPECT_EQ(sampled_word_count(5, 4), 5u);
+}
+
+TEST_P(KernelVariants, OrPopcountSampledKnownPatterns) {
+  // 24 words = 3 blocks; small has period 3 so every block sees the
+  // same cyclic pattern. Each OR'd word holds 8 | 4 bits disjoint.
+  const std::vector<std::uint64_t> large(24, 0x0F0Full);  // 8 bits/word
+  const std::vector<std::uint64_t> small{0xF000ull, 0xF000ull, 0xF000ull};
+  EXPECT_EQ(table().or_popcount_sampled(large.data(), 24, small.data(), 3, 1),
+            24u * 12u);
+  // stride 2 samples blocks 0 and 2 -> 16 words.
+  EXPECT_EQ(table().or_popcount_sampled(large.data(), 24, small.data(), 3, 2),
+            16u * 12u);
+  // stride 3+ samples only block 0 -> 8 words.
+  EXPECT_EQ(table().or_popcount_sampled(large.data(), 24, small.data(), 3, 3),
+            8u * 12u);
+  EXPECT_EQ(table().or_popcount_sampled(large.data(), 24, small.data(), 3, 99),
+            8u * 12u);
+}
+
+TEST_P(KernelVariants, ZipfRankRunsEmptyAndZeroSlotRuns) {
+  // A CDF with a single all-covering threshold: every draw ranks 0.
+  const std::vector<std::uint64_t> thresholds{(std::uint64_t{1} << 53) + 1};
+  const std::vector<std::uint32_t> guide{0, 0};
+  // No runs at all: must not touch the output.
+  table().zipf_rank_runs(nullptr, nullptr, 0, 1, thresholds.data(),
+                         guide.data(), 1, nullptr);
+  // Zero-slot runs interleaved with real ones produce a dense output.
+  const std::vector<std::uint64_t> starts{7, 11, 13};
+  const std::vector<std::uint32_t> run_slots{0, 3, 0};
+  std::vector<std::uint32_t> out(3, 0xDEADu);
+  table().zipf_rank_runs(starts.data(), run_slots.data(), 3, 1,
+                         thresholds.data(), guide.data(), 1, out.data());
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 0, 0}));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllIsas, KernelVariants,
                          ::testing::Values(Isa::kScalar, Isa::kAvx2,
                                            Isa::kAvx512),

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "core/encoder.h"
@@ -311,6 +312,283 @@ TEST(OdMatrix, Guards) {
   std::vector<RsuState> one;
   one.emplace_back(64);
   EXPECT_THROW((void)estimate_od_matrix(one, 2), std::invalid_argument);
+}
+
+// --- Pruned decode ---
+
+// The pruned suites compare explicit kPruned runs against an explicit
+// exact reference. A VLM_DECODE pin other than "pruned" rewrites the
+// kPruned mode itself, making every expectation about pruning vacuous
+// or wrong; a "pruned" pin is fine (the reference decode's default
+// PruneOptions keep it exact — min_volume 0 skips nothing).
+bool pruned_mode_unavailable() {
+  const char* pin = std::getenv("VLM_DECODE");
+  return pin != nullptr && std::string_view(pin) != "pruned";
+}
+
+// A sparse deployment with exact known structure: `roads` lists
+// (a, b, shared) — pair (a, b) shares `shared` identical bit indices
+// (the same vehicles hashed at equal-size arrays) — and every RSU
+// carries `own` local records nothing else sees. All other pairs share
+// zero vehicles.
+struct Road {
+  std::size_t a, b, shared;
+};
+std::vector<RsuState> sparse_fleet(std::size_t k, std::size_t m,
+                                   std::span<const Road> roads,
+                                   std::size_t own, std::uint64_t seed) {
+  std::vector<RsuState> states;
+  for (std::size_t r = 0; r < k; ++r) states.emplace_back(m);
+  std::uint64_t h = seed;
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t i = 0; i < own; ++i) {
+      states[r].record(static_cast<std::size_t>(common::mix64(++h) % m));
+    }
+  }
+  for (const Road& road : roads) {
+    for (std::size_t i = 0; i < road.shared; ++i) {
+      const auto index = static_cast<std::size_t>(common::mix64(++h) % m);
+      states[road.a].record(index);
+      states[road.b].record(index);
+    }
+  }
+  return states;
+}
+
+void expect_cells_equal(const EstimateInterval& got,
+                        const EstimateInterval& want, std::size_t a,
+                        std::size_t b) {
+  EXPECT_EQ(got.n_c_hat, want.n_c_hat) << "pair (" << a << "," << b << ")";
+  EXPECT_EQ(got.stddev, want.stddev);
+  EXPECT_EQ(got.lower, want.lower);
+  EXPECT_EQ(got.upper, want.upper);
+  EXPECT_EQ(got.floor_stddev, want.floor_stddev);
+  EXPECT_EQ(got.degraded, want.degraded);
+}
+
+// Conservative defaults (min_volume = 0) must keep every pair: the
+// pruned path then reproduces the blocked decode bit for bit on a dense
+// workload — which is what makes a process-wide VLM_DECODE=pruned pin
+// safe.
+TEST(OdMatrixPruned, DefaultOptionsKeepEveryPairAndMatchExact) {
+  if (pruned_mode_unavailable()) {
+    GTEST_SKIP() << "VLM_DECODE pins a non-pruned path";
+  }
+  Encoder enc(EncoderConfig{});
+  const auto states = deterministic_fleet(5, 8'000, enc, 1 << 13);
+
+  DecodeOptions exact_options;
+  exact_options.mode = DecodeMode::kBlocked;
+  const OdMatrix exact = estimate_od_matrix(states, 2, 1.96, exact_options);
+
+  DecodeOptions options;
+  options.mode = DecodeMode::kPruned;
+  DecodeStats stats;
+  const OdMatrix pruned = estimate_od_matrix(states, 2, 1.96, options, &stats);
+
+  EXPECT_STREQ(stats.path, "pruned");
+  EXPECT_EQ(stats.pairs_pruned, 0u);
+  EXPECT_EQ(stats.pairs_survived, 10u);
+  EXPECT_EQ(stats.pairs_decoded, 10u);
+  EXPECT_STREQ(stats.storage, "dense");
+  EXPECT_FALSE(pruned.sparse());
+  EXPECT_EQ(pruned.measured_pairs(), 10u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      EXPECT_TRUE(pruned.measured(a, b));
+      expect_cells_equal(pruned.at(a, b), exact.at(a, b), a, b);
+    }
+  }
+}
+
+// Exhaustive K <= 8 oracle over the survivor storage: for every K and a
+// fixed road set, every measured cell must equal the exact decode's
+// cell bit for bit (CSR lookup arithmetic included), every skipped pair
+// must read as the shared all-zero interval in BOTH query orders, and
+// the aggregate must sum exactly the survivors.
+TEST(OdMatrixPruned, SparseStorageMatchesDenseOracleForEveryKUpToEight) {
+  if (pruned_mode_unavailable()) {
+    GTEST_SKIP() << "VLM_DECODE pins a non-pruned path";
+  }
+  constexpr std::size_t kM = 1 << 13;
+  for (std::size_t k = 3; k <= 8; ++k) {
+    // Roads touch a deliberately irregular pair set: first-to-last,
+    // an interior edge, and (for larger K) a hub at RSU 2.
+    std::vector<Road> roads{{0, k - 1, kM / 8}, {1, 2, kM / 8}};
+    if (k >= 6) roads.push_back({2, 5, kM / 8});
+    const auto states = sparse_fleet(k, kM, roads, kM / 8, 0xABCD + k);
+
+    DecodeOptions exact_options;
+    exact_options.mode = DecodeMode::kBlocked;
+    const OdMatrix exact = estimate_od_matrix(states, 2, 1.96, exact_options);
+
+    DecodeOptions options;
+    options.mode = DecodeMode::kPruned;
+    // Well above the sampled noise of a zero-overlap pair at m = 2^13,
+    // well below the roads' kM/8 shared vehicles.
+    options.prune.sample_stride = 2;
+    options.prune.min_volume = 700.0;
+    DecodeStats stats;
+    const OdMatrix pruned =
+        estimate_od_matrix(states, 2, 1.96, options, &stats);
+
+    EXPECT_EQ(stats.pairs_survived + stats.pairs_pruned, k * (k - 1) / 2)
+        << "k=" << k;
+    EXPECT_EQ(pruned.measured_pairs(), stats.pairs_survived);
+    double survivor_total = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        ASSERT_EQ(pruned.measured(a, b), pruned.measured(b, a));
+        if (pruned.measured(a, b)) {
+          expect_cells_equal(pruned.at(a, b), exact.at(a, b), a, b);
+          expect_cells_equal(pruned.at(b, a), exact.at(a, b), b, a);
+          survivor_total += pruned.at(a, b).n_c_hat;
+        } else {
+          // Skipped pairs answer with the shared zero interval.
+          EXPECT_EQ(pruned.at(a, b).n_c_hat, 0.0);
+          EXPECT_EQ(pruned.at(b, a).n_c_hat, 0.0);
+          EXPECT_EQ(pruned.at(a, b).upper, 0.0);
+        }
+      }
+    }
+    EXPECT_DOUBLE_EQ(pruned.total_estimated_common(), survivor_total);
+    // Every road pair carries kM/8 shared vehicles — far above the
+    // floor, so the prune must have kept them all.
+    for (const Road& road : roads) {
+      EXPECT_TRUE(pruned.measured(road.a, road.b))
+          << "k=" << k << " road (" << road.a << "," << road.b << ")";
+    }
+    // The diagonal and out-of-range guards hold on sparse storage too.
+    EXPECT_THROW((void)pruned.at(0, 0), std::invalid_argument);
+    EXPECT_THROW((void)pruned.at(0, k), std::invalid_argument);
+  }
+}
+
+// The accuracy gate, with adversarial near-threshold pairs: overlaps
+// placed just above and just below the volume floor. The prune promises
+// it never skips a pair whose EXACT estimate exceeds min_volume — the
+// z_prune-inflated bound must absorb the sampling noise even right at
+// the threshold — and that every survivor is bit-identical to the
+// exact sweep.
+TEST(OdMatrixPruned, NeverDropsPairsAboveMinVolume) {
+  if (pruned_mode_unavailable()) {
+    GTEST_SKIP() << "VLM_DECODE pins a non-pruned path";
+  }
+  constexpr std::size_t kM = 1 << 14;
+  constexpr double kFloor = 2000.0;
+  // Overlap ladder: zero, well below, just below, just above, and far
+  // above the floor (in recorded shared vehicles; the exact estimate
+  // lands near each rung with hash-collision noise).
+  const Road roads[] = {{0, 1, 200},  {0, 2, 1200}, {1, 2, 2600},
+                        {2, 3, 4000}, {3, 4, kM / 4}};
+  const auto states = sparse_fleet(6, kM, roads, kM / 8, 0xFEED);
+
+  DecodeOptions exact_options;
+  exact_options.mode = DecodeMode::kBlocked;
+  const OdMatrix exact = estimate_od_matrix(states, 2, 1.96, exact_options);
+
+  for (const std::size_t stride : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    DecodeOptions options;
+    options.mode = DecodeMode::kPruned;
+    options.prune.sample_stride = stride;
+    options.prune.min_volume = kFloor;
+    DecodeStats stats;
+    const OdMatrix pruned =
+        estimate_od_matrix(states, 2, 1.96, options, &stats);
+    for (std::size_t a = 0; a < 6; ++a) {
+      for (std::size_t b = a + 1; b < 6; ++b) {
+        if (!pruned.measured(a, b)) {
+          // The gate: nothing real may be dropped.
+          EXPECT_LE(exact.at(a, b).n_c_hat, kFloor)
+              << "stride=" << stride << " dropped pair (" << a << "," << b
+              << ")";
+          continue;
+        }
+        expect_cells_equal(pruned.at(a, b), exact.at(a, b), a, b);
+      }
+    }
+    // stride = 1 samples every word: the sampled fraction IS the exact
+    // union fraction, so at least the far-above-floor road must survive
+    // and at least the zero-overlap pairs must be skipped.
+    if (stride == 1) {
+      EXPECT_TRUE(pruned.measured(3, 4));
+      EXPECT_LT(stats.pairs_survived, 15u);
+      EXPECT_GT(stats.pairs_pruned, 0u);
+    }
+  }
+}
+
+// Prune decisions are per-pair and worker-independent, so the pruned
+// path must produce the identical survivor set AND identical cells for
+// any worker count — same promise the blocked path makes.
+TEST(OdMatrixPruned, ParallelBitIdenticalToSerial) {
+  if (pruned_mode_unavailable()) {
+    GTEST_SKIP() << "VLM_DECODE pins a non-pruned path";
+  }
+  constexpr std::size_t kM = 1 << 13;
+  const Road roads[] = {{0, 1, kM / 8}, {3, 7, kM / 8}, {2, 9, kM / 8}};
+  const auto states = sparse_fleet(10, kM, roads, kM / 8, 0xBEEF);
+
+  DecodeOptions options;
+  options.mode = DecodeMode::kPruned;
+  options.prune.sample_stride = 2;
+  options.prune.min_volume = 700.0;
+  DecodeStats serial_stats;
+  const OdMatrix serial =
+      estimate_od_matrix(states, 2, 1.96, options, &serial_stats);
+  options.workers = 8;
+  DecodeStats parallel_stats;
+  const OdMatrix parallel =
+      estimate_od_matrix(states, 2, 1.96, options, &parallel_stats);
+
+  EXPECT_EQ(parallel_stats.pairs_pruned, serial_stats.pairs_pruned);
+  EXPECT_EQ(parallel_stats.pairs_survived, serial_stats.pairs_survived);
+  EXPECT_EQ(parallel_stats.words_scanned, serial_stats.words_scanned);
+  EXPECT_STREQ(parallel_stats.storage, serial_stats.storage);
+  for (std::size_t a = 0; a < 10; ++a) {
+    for (std::size_t b = a + 1; b < 10; ++b) {
+      ASSERT_EQ(serial.measured(a, b), parallel.measured(a, b))
+          << "pair (" << a << "," << b << ")";
+      if (serial.measured(a, b)) {
+        expect_cells_equal(parallel.at(a, b), serial.at(a, b), a, b);
+      }
+    }
+  }
+}
+
+// Pruned-path stats wiring: path/storage strings, the phase seconds,
+// and the pairs_decoded == pairs_survived contract.
+TEST(OdMatrixPruned, StatsReportPhasesAndStorage) {
+  if (pruned_mode_unavailable()) {
+    GTEST_SKIP() << "VLM_DECODE pins a non-pruned path";
+  }
+  constexpr std::size_t kM = 1 << 13;
+  const Road roads[] = {{0, 1, kM / 8}};
+  const auto states = sparse_fleet(8, kM, roads, kM / 8, 0xCAFE);
+
+  DecodeOptions options;
+  options.mode = DecodeMode::kPruned;
+  options.prune.sample_stride = 2;
+  options.prune.min_volume = 700.0;
+  DecodeStats stats;
+  const OdMatrix pruned = estimate_od_matrix(states, 2, 1.96, options, &stats);
+
+  EXPECT_STREQ(stats.path, "pruned");
+  EXPECT_EQ(stats.sample_stride, 2u);
+  EXPECT_EQ(stats.pairs_decoded, stats.pairs_survived);
+  EXPECT_EQ(stats.pairs_pruned + stats.pairs_survived, 28u);
+  EXPECT_GT(stats.pairs_pruned, 0u);
+  EXPECT_GE(stats.prune_seconds, 0.0);
+  EXPECT_GE(stats.sweep_seconds, 0.0);
+  EXPECT_GE(stats.estimate_seconds, 0.0);
+  EXPECT_LE(stats.prune_seconds + stats.sweep_seconds + stats.estimate_seconds,
+            stats.wall_seconds + 1e-9);
+  // 28 pairs, few survivors: CSR storage pays for itself.
+  if (stats.pairs_survived * 4 < 28) {
+    EXPECT_STREQ(stats.storage, "sparse");
+    EXPECT_TRUE(pruned.sparse());
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
@@ -67,6 +68,60 @@ TEST(MetricsStatsView, DecodeStatsEqualRegistryDelta) {
   EXPECT_EQ(std::string(registry.info("decode/path").value()), stats.path);
   EXPECT_EQ(std::string(registry.info("kernel/isa").value()),
             stats.kernel_isa);
+}
+
+// The pruned decode feeds its extra counters and phase span through the
+// same sites as the struct fields, so the registry delta must match
+// there too — and the prune counters must stay untouched by non-pruned
+// runs (the call above added 0 to both).
+TEST(MetricsStatsView, PrunedDecodeStatsEqualRegistryDelta) {
+  constexpr std::size_t kRsus = 8;
+  constexpr std::size_t kM = 1 << 12;
+  std::vector<core::RsuState> states;
+  for (std::size_t r = 0; r < kRsus; ++r) {
+    core::RsuState state(kM);
+    for (std::size_t i = 0; i < kM / 8; ++i) {
+      state.record((i * (r + 3) * 2654435761u) % kM);
+    }
+    states.push_back(std::move(state));
+  }
+
+  const std::uint64_t pairs_before = counter_value("decode/pairs");
+  const std::uint64_t pruned_before = counter_value("decode/pairs_pruned");
+  const std::uint64_t survived_before =
+      counter_value("decode/pairs_survived");
+  const obs::HistogramSummary prune_before = phase_summary("decode/prune");
+
+  core::DecodeOptions options;
+  options.mode = core::DecodeMode::kPruned;
+  options.prune.sample_stride = 2;
+  options.prune.min_volume = 50.0;
+  core::DecodeStats stats;
+  core::estimate_od_matrix(states, 2, 1.96, options, &stats);
+
+  EXPECT_EQ(counter_value("decode/pairs") - pairs_before,
+            stats.pairs_decoded);
+  EXPECT_EQ(counter_value("decode/pairs_pruned") - pruned_before,
+            stats.pairs_pruned);
+  EXPECT_EQ(counter_value("decode/pairs_survived") - survived_before,
+            stats.pairs_survived);
+  // The pin-aware expectations: a VLM_DECODE override to a non-pruned
+  // path legitimately rewrites the mode, leaving the prune counters at
+  // zero — the registry deltas above stay exact either way.
+  if (const char* pin = std::getenv("VLM_DECODE");
+      pin == nullptr || std::string(pin) == "pruned") {
+    EXPECT_STREQ(stats.path, "pruned");
+    EXPECT_EQ(stats.pairs_pruned + stats.pairs_survived,
+              kRsus * (kRsus - 1) / 2);
+    const obs::HistogramSummary prune_after = phase_summary("decode/prune");
+    EXPECT_EQ(prune_after.count - prune_before.count, 1u);
+    EXPECT_NEAR(prune_after.total - prune_before.total, stats.prune_seconds,
+                1e-6);
+    EXPECT_EQ(std::string(obs::MetricsRegistry::global()
+                              .info("decode/path")
+                              .value()),
+              "pruned");
+  }
 }
 
 TEST(MetricsStatsView, IngestAndPipelineStatsEqualRegistryDelta) {

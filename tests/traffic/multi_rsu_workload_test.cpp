@@ -123,7 +123,7 @@ TEST(MultiRsuWorkload, BulkItinerariesMatchPerVehicleAndFuseCounts) {
   for (const MultiRsuConfig& config : {small_config(), wide}) {
     MultiRsuWorkload workload(config);
     common::VisitedMask visited(config.rsu_count);
-    std::vector<std::uint32_t> positions;
+    common::UninitVector<std::uint32_t> positions;
     std::vector<std::uint64_t> offsets;
     std::vector<std::uint64_t> counts;
     const struct { std::uint64_t begin, end; } ranges[] = {

@@ -75,7 +75,7 @@ ItineraryProvider provider_for(const traffic::MultiRsuWorkload& workload) {
 BulkItineraryProvider bulk_provider_for(
     const traffic::MultiRsuWorkload& workload) {
   return [&workload](std::uint64_t begin, std::uint64_t end,
-                     std::vector<std::uint32_t>& positions,
+                     common::UninitVector<std::uint32_t>& positions,
                      std::vector<std::uint64_t>& offsets,
                      std::vector<std::uint64_t>& counts) {
     thread_local common::VisitedMask visited(0);

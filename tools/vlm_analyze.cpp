@@ -63,6 +63,17 @@ int main(int argc, char** argv) {
   parser.add_int("workers", 0,
                  "decode threads for --matrix (0 = one per core, 1 = serial; "
                  "any value gives bit-identical estimates)");
+  parser.add_string("decode", "auto",
+                    "decode path for --matrix: pairwise|blocked|pruned|auto "
+                    "(VLM_DECODE, when set, overrides this)");
+  parser.add_int("prune-stride", 16,
+                 "--decode pruned: sample every Nth 8-word block");
+  parser.add_double("prune-z", 4.0,
+                    "--decode pruned: confidence multiplier on the sampled "
+                    "union (higher keeps more pairs)");
+  parser.add_double("min-volume", 0.0,
+                    "--decode pruned: skip pairs whose overlap upper bound "
+                    "is at or below this");
   parser.add_string("csv", "", "with --matrix: also write every pair to CSV");
   parser.add_string("metrics", "",
                     "write the metrics snapshot here (VLM_METRICS when empty)");
@@ -179,9 +190,29 @@ int main(int argc, char** argv) {
       for (const LoadedReport& r : rsus) states.push_back(r.state);
       const auto workers =
           static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers")));
+      core::DecodeOptions decode_options;
+      decode_options.workers = workers;
+      const std::string decode_name = parser.get_string("decode");
+      if (decode_name == "pairwise") {
+        decode_options.mode = core::DecodeMode::kPairwise;
+      } else if (decode_name == "blocked") {
+        decode_options.mode = core::DecodeMode::kBlocked;
+      } else if (decode_name == "pruned") {
+        decode_options.mode = core::DecodeMode::kPruned;
+      } else if (decode_name == "auto") {
+        decode_options.mode = core::DecodeMode::kAuto;
+      } else {
+        std::fprintf(stderr,
+                     "error: --decode expects pairwise|blocked|pruned|auto\n");
+        return 1;
+      }
+      decode_options.prune.sample_stride = static_cast<std::size_t>(
+          std::max<std::int64_t>(1, parser.get_int("prune-stride")));
+      decode_options.prune.z_prune = parser.get_double("prune-z");
+      decode_options.prune.min_volume = parser.get_double("min-volume");
       core::DecodeStats decode_stats;
       const core::OdMatrix matrix =
-          core::estimate_od_matrix(states, s, z, workers, &decode_stats);
+          core::estimate_od_matrix(states, s, z, decode_options, &decode_stats);
       struct Flow {
         std::size_t a, b;
         double estimate;
@@ -216,7 +247,7 @@ int main(int argc, char** argv) {
       if (!parser.get_string("csv").empty()) {
         common::CsvWriter csv(parser.get_string("csv"),
                               {"rsu_a", "rsu_b", "estimate", "lower", "upper",
-                               "stddev", "degraded"});
+                               "stddev", "degraded", "measured"});
         for (const Flow& flow : flows) {
           const auto& e = matrix.at(flow.a, flow.b);
           csv.add_row({std::to_string(rsus[flow.a].id.value),
@@ -225,7 +256,8 @@ int main(int argc, char** argv) {
                        common::TextTable::fmt(e.lower, 2),
                        common::TextTable::fmt(e.upper, 2),
                        common::TextTable::fmt(e.stddev, 2),
-                       e.degraded ? "1" : "0"});
+                       e.degraded ? "1" : "0",
+                       matrix.measured(flow.a, flow.b) ? "1" : "0"});
         }
         std::printf("wrote %zu pairs to %s\n", flows.size(),
                     parser.get_string("csv").c_str());

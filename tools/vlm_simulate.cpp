@@ -141,6 +141,9 @@ int main(int argc, char** argv) {
   parser.add_int("seed", 1, "simulation seed");
   parser.add_int("workers", 0, "ingest worker threads (0 = one per core)");
   parser.add_int("periods", 1, "measurement periods to simulate");
+  parser.add_flag("decode-matrix", false,
+                  "decode the full OD matrix after the last period and print "
+                  "the decode stats (path steered by VLM_DECODE)");
   parser.add_string("metrics", "",
                     "write the metrics/phase trace here (VLM_METRICS when "
                     "empty)");
@@ -281,6 +284,17 @@ int main(int argc, char** argv) {
         sim->rsu_count(), static_cast<unsigned long long>(periods),
         parser.get_string("out").c_str());
     std::printf("%s", obs::format_ingest_stats(ingest).c_str());
+    if (parser.get_flag("decode-matrix") && sim->rsu_count() >= 2) {
+      // Decode the archived period's matrix through the server — the
+      // same estimate path vlm_analyze runs offline — and surface the
+      // decode phase stats (including the prune counters when
+      // VLM_DECODE=pruned steers the path).
+      const core::OdMatrix matrix = sim->server().estimate_matrix();
+      std::printf("total estimated pairwise common traffic: %.0f\n",
+                  matrix.total_estimated_common());
+      std::printf(
+          "%s", obs::format_decode_stats(sim->server().stats().decode).c_str());
+    }
     std::printf("%s", obs::format_pipeline_stats(sim->scheme().name(),
                                                  sim->server().stats())
                           .c_str());
