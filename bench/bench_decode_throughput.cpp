@@ -46,6 +46,7 @@
 #include "core/rsu_state.h"
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -362,6 +363,17 @@ int main(int argc, char** argv) {
   const double min_speedup = parser.get_double("min-speedup");
   const bool speedup_ok = min_speedup <= 0.0 || pruned_speedup >= min_speedup;
 
+  // Estimator-health telemetry over the main fleet and its decoded
+  // matrix: the synthetic states sit at load factor ~8, so this tracks
+  // the accuracy model's predicted relative error at the paper's
+  // operating point run to run.
+  obs::health::HealthOptions health_options;
+  health_options.s = 2;
+  obs::health::HealthSummary health_summary =
+      obs::health::assess_rsus(main_states, health_options);
+  obs::health::assess_pairs(main_states, blocked_parallel, health_options,
+                            health_summary);
+
   char pruned_json[768];
   std::snprintf(
       pruned_json, sizeof pruned_json,
@@ -402,6 +414,10 @@ int main(int argc, char** argv) {
       " \"pool_lifetime_dispatches\": %llu,\n"
       " \"blocked_bit_identical_to_pairwise\": %s,\n"
       " \"parallel_bit_identical_to_serial\": %s%s,\n"
+      " \"health\": {\"rsus_assessed\": %zu, \"rsus_saturated\": %zu, "
+      "\"max_fill_fraction\": %.4f, \"min_load_factor\": %.2f, "
+      "\"pairs_assessed\": %zu, \"pairs_degraded\": %zu, "
+      "\"predicted_rel_err_max\": %.4f, \"predicted_rel_err_mean\": %.4f},\n"
       " \"metrics\": %s}\n",
       k, m, pairwise_stats.pairs_decoded, blocked_parallel_stats.workers,
       blocked_parallel_stats.kernel_isa, blocked_serial_stats.tile_words,
@@ -419,6 +435,11 @@ int main(int argc, char** argv) {
           blocked_parallel_stats.pool_lifetime_dispatches),
       blocked_identical ? "true" : "false",
       parallel_identical ? "true" : "false", sweep_json.c_str(),
+      health_summary.rsus_assessed, health_summary.rsus_saturated,
+      health_summary.max_fill_fraction, health_summary.min_load_factor,
+      health_summary.pairs_assessed, health_summary.pairs_degraded,
+      health_summary.max_predicted_rel_err,
+      health_summary.mean_predicted_rel_err,
       obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
   return blocked_identical && parallel_identical && sweep_identical &&
                  pruned_no_dropped && pruned_survivors_identical && speedup_ok

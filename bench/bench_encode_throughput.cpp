@@ -18,6 +18,7 @@
 //   - "raw_*": the protocol-free encode kernel on the largest RSU.
 // Exits non-zero if any run's reports disagree.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <span>
@@ -31,6 +32,7 @@
 #include "obs/clock.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "traffic/multi_rsu_workload.h"
 #include "vcps/simulation.h"
 
@@ -247,6 +249,36 @@ int main(int argc, char** argv) {
   }
   const bool raw_identical = raw_serial_bits == raw_parallel_bits;
 
+  // Flight-recorder disabled-overhead bound. Every instrumented site
+  // compiles down to one relaxed load of the trace-enabled flag when the
+  // recorder is off (the state all the timed runs above executed in).
+  // Measure that per-check cost directly, count the checks a parallel
+  // batch period performs (four per-stage scopes per 16 Ki-vehicle
+  // sub-slice, plus the Span sites and the pool queue-wait probes), and
+  // bound the fraction of the timed run they can account for. The gate
+  // feeds the exit status: instrumentation that stops being free when
+  // disabled fails the bench.
+  double trace_scope_ns = 0.0;
+  {
+    constexpr int kProbes = 1 << 21;
+    const obs::Stopwatch tp;
+    for (int i = 0; i < kProbes; ++i) {
+      const obs::trace::TraceScope probe("bench/noop");
+      (void)probe;
+    }
+    trace_scope_ns = tp.seconds() * 1e9 / static_cast<double>(kProbes);
+  }
+  const double trace_sub_slices =
+      std::ceil(static_cast<double>(vehicles) / 16384.0) +
+      static_cast<double>(workers);
+  const double trace_checks = 4.0 * trace_sub_slices +
+                              16.0 * static_cast<double>(workers) + 64.0;
+  const double trace_disabled_overhead =
+      batch_parallel_best > 0.0
+          ? trace_checks * trace_scope_ns * 1e-9 / batch_parallel_best
+          : 0.0;
+  const bool trace_overhead_ok = trace_disabled_overhead < 0.02;
+
   const auto per_sec = [&](double seconds) {
     return static_cast<double>(vehicles) / seconds;
   };
@@ -287,6 +319,9 @@ int main(int argc, char** argv) {
       " \"batch_stage_vehicles_per_second\": {\"materialize\": %.0f, "
       "\"hash\": %.0f, \"channel\": %.0f, \"scatter\": %.0f},\n"
       " \"pipeline_overlap_efficiency\": %.3f,\n"
+      " \"trace_disabled_scope_ns\": %.3f,\n"
+      " \"trace_disabled_overhead\": %.6f,\n"
+      " \"trace_disabled_overhead_ok\": %s,\n"
       " \"raw_encode_serial_seconds\": %.6f,\n"
       " \"raw_encode_parallel_seconds\": %.6f,\n"
       " \"raw_encode_parallel_vehicles_per_second\": %.0f,\n"
@@ -310,11 +345,14 @@ int main(int argc, char** argv) {
       stage_per_sec(batch_stats.hash_seconds),
       stage_per_sec(batch_stats.channel_seconds),
       stage_per_sec(batch_stats.scatter_seconds), overlap_efficiency,
+      trace_scope_ns, trace_disabled_overhead,
+      trace_overhead_ok ? "true" : "false",
       raw_serial_best, raw_parallel_best, per_sec(raw_parallel_best),
       identical ? "true" : "false", batch_identical ? "true" : "false",
       pipelined_identical ? "true" : "false", raw_identical ? "true" : "false",
       obs::to_json(obs::MetricsRegistry::global().snapshot(), {}, 2).c_str());
-  return identical && batch_identical && pipelined_identical && raw_identical
+  return identical && batch_identical && pipelined_identical &&
+                 raw_identical && trace_overhead_ok
              ? 0
              : 1;
 }

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/require.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vlm::common {
 
@@ -370,6 +371,7 @@ std::vector<JointZeroCounts> joint_zero_counts_batch(
         [&](unsigned worker, std::size_t tile_begin, std::size_t tile_end) {
           std::vector<std::size_t>& slab = acc[worker];
           for (std::size_t t = tile_begin; t < tile_end; ++t) {
+            const obs::trace::TraceScope tile_scope("decode/tile");
             const std::size_t begin = t * tile_words;
             for (const AnchorBatch& batch : batches) {
               if (begin >= batch.anchor_n) continue;

@@ -12,6 +12,7 @@
 #include "common/require.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vlm::common {
 
@@ -134,7 +135,10 @@ WorkerPool::WorkerPool() : state_(new State) {
   const unsigned helpers = default_worker_count() - 1;
   state_->threads.reserve(helpers);
   for (unsigned t = 0; t < helpers; ++t) {
-    state_->threads.emplace_back([this] { state_->worker_loop(); });
+    state_->threads.emplace_back([this, t] {
+      obs::trace::set_thread_name("pool-worker-" + std::to_string(t));
+      state_->worker_loop();
+    });
   }
 }
 
@@ -181,9 +185,14 @@ void WorkerPool::run(unsigned used,
   }
 
   PoolMetrics& metrics = pool_metrics();
-  obs::Stopwatch queue_wait;
+  const obs::MonotonicClock::TimePoint queue_start = obs::MonotonicClock::now();
   const std::lock_guard<std::mutex> run_lock(state_->run_mutex);
-  metrics.queue_wait.observe(queue_wait.nanos());
+  const std::uint64_t queue_ns = obs::MonotonicClock::nanos_since(queue_start);
+  metrics.queue_wait.observe(queue_ns);
+  // queue_wait is a Stopwatch site, not a Span, so it traces explicitly.
+  if (obs::trace::enabled()) {
+    obs::trace::emit_complete("pool/queue_wait", queue_start, queue_ns);
+  }
   const obs::Span region_span(metrics.region);
   metrics.dispatches.inc();
   metrics.tasks.add(used);

@@ -29,6 +29,7 @@ struct DecodeMetrics {
   obs::Counter& words_scanned;
   obs::Counter& pairs_pruned;    // pruned path: pairs the sample skipped
   obs::Counter& pairs_survived;  // pruned path: pairs the exact sweep ran
+  obs::Counter& pairs_saturated;  // pairs whose MLE hit the saturation floor
   obs::Gauge& workers;
   obs::Gauge& tile_words;
   obs::Gauge& dram_passes_saved;
@@ -48,6 +49,7 @@ DecodeMetrics& decode_metrics() {
                              r.counter("decode/words_scanned"),
                              r.counter("decode/pairs_pruned"),
                              r.counter("decode/pairs_survived"),
+                             r.counter("decode/pairs_saturated"),
                              r.gauge("decode/workers"),
                              r.gauge("decode/tile_words"),
                              r.gauge("decode/dram_passes_saved"),
@@ -328,6 +330,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
                         : OdMatrix(k);
 
   std::vector<std::size_t> words_per_pair(pairs.size(), 0);
+  std::vector<std::uint8_t> pair_saturated(pairs.size(), 0);
   common::BatchDecodeStats batch_stats;
   double sweep_seconds = 0.0;
   double estimate_seconds = 0.0;
@@ -359,6 +362,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
           counts[p], static_cast<double>(states[a].counter()),
           static_cast<double>(states[b].counter()), &point);
       words_per_pair[p] = point.words_scanned;
+      pair_saturated[p] = point.saturated ? 1 : 0;
     });
     estimate_seconds = estimate_span.finish();
   } else {
@@ -368,6 +372,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
       PairEstimate point;
       matrix.cell(a, b) = estimator.estimate(states[a], states[b], &point);
       words_per_pair[p] = point.words_scanned;
+      pair_saturated[p] = point.saturated ? 1 : 0;
     });
     estimate_seconds = estimate_span.finish();
   }
@@ -377,11 +382,15 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
   const std::size_t words_scanned =
       prune_words + std::accumulate(words_per_pair.begin(),
                                     words_per_pair.end(), std::size_t{0});
+  const std::size_t pairs_saturated = static_cast<std::size_t>(
+      std::accumulate(pair_saturated.begin(), pair_saturated.end(),
+                      std::size_t{0}));
   metrics.runs.inc();
   metrics.pairs.add(pairs.size());
   metrics.words_scanned.add(words_scanned);
   metrics.pairs_pruned.add(pairs_pruned);
   metrics.pairs_survived.add(mode == DecodeMode::kPruned ? pairs.size() : 0);
+  metrics.pairs_saturated.add(pairs_saturated);
   metrics.workers.set(static_cast<double>(used));
   metrics.tile_words.set(static_cast<double>(batch_stats.tile_words));
   metrics.dram_passes_saved.set(
@@ -392,6 +401,7 @@ OdMatrix estimate_od_matrix(std::span<const RsuState> states, std::uint32_t s,
 
   if (stats != nullptr) {
     stats->pairs_decoded = pairs.size();
+    stats->pairs_saturated = pairs_saturated;
     stats->words_scanned = words_scanned;
     stats->workers = used;
     stats->kernel_isa = common::kernels::active_name();

@@ -75,6 +75,10 @@ struct PruneOptions {
 // Observability for one decode (K×K estimation) run.
 struct DecodeStats {
   std::size_t pairs_decoded = 0;
+  // Pairs whose Eq. 5 MLE degenerated (joint OR array with zero count 0
+  // — the estimate is a saturation floor, not a measurement). Health
+  // telemetry counts these as `decode/pairs_saturated`.
+  std::size_t pairs_saturated = 0;
   std::size_t words_scanned = 0;  // 64-bit words the fused kernels touched
   unsigned workers = 1;           // threads the work was spread over
   double wall_seconds = 0.0;

@@ -41,6 +41,11 @@ class Scheme {
   // m_x for an RSU with historical average volume `history_volume`.
   virtual std::size_t array_size_for(double history_volume) const = 0;
 
+  // The sizing plan's target load factor f̄ (the f̄ of m = 2^ceil(log2(
+  // n̄·f̄))), for health telemetry's drift check. 0 means the scheme has
+  // no per-RSU load-factor plan (FBM's global m) and drift is undefined.
+  virtual double target_load_factor() const { return 0.0; }
+
   // The logical-bit-array size s shared by encoder and estimator.
   std::uint32_t s() const { return estimator().s(); }
 
@@ -77,6 +82,7 @@ class VlmScheme final : public Scheme {
   std::size_t array_size_for(double history_volume) const override {
     return sizing_.array_size_for(history_volume);
   }
+  double target_load_factor() const override { return sizing_.load_factor(); }
 
   const VlmSizingPolicy& sizing() const { return sizing_; }
 

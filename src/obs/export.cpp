@@ -227,6 +227,24 @@ ExportConfig resolve_export_config(std::string_view cli_path,
   return config;
 }
 
+MetricsExportGuard::~MetricsExportGuard() {
+  if (!armed_ || config_.path.empty()) return;
+  const Snapshot snapshot = MetricsRegistry::global().snapshot();
+  std::string content;
+  switch (config_.format) {
+    case ExportFormat::kJson:
+      content = to_json(snapshot) + "\n";
+      break;
+    case ExportFormat::kPrometheus:
+      content = to_prometheus_text(snapshot);
+      break;
+    case ExportFormat::kCsv:
+      content = csv_header() + to_csv_rows(snapshot, 0);
+      break;
+  }
+  write_text_file(config_.path, content);
+}
+
 bool write_text_file(const std::string& path, std::string_view content) {
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {

@@ -65,4 +65,27 @@ ExportConfig resolve_export_config(std::string_view cli_path,
 // stderr if the file cannot be written.
 bool write_text_file(const std::string& path, std::string_view content);
 
+// RAII backstop for the CLI tools' --metrics flush: construct it as soon
+// as the export destination is resolved, and if the tool leaves scope
+// without reaching its rich success-path write (bad flag, unreadable
+// archive, any exception), the destructor exports a plain snapshot of
+// the global registry so whatever was measured before the failure is
+// not lost. Call disarm() after the success-path write to make the
+// destructor a no-op. A guard with an empty path never writes.
+class MetricsExportGuard {
+ public:
+  explicit MetricsExportGuard(ExportConfig config)
+      : config_(std::move(config)) {}
+  MetricsExportGuard(const MetricsExportGuard&) = delete;
+  MetricsExportGuard& operator=(const MetricsExportGuard&) = delete;
+  ~MetricsExportGuard();
+
+  void disarm() { armed_ = false; }
+  const ExportConfig& config() const { return config_; }
+
+ private:
+  ExportConfig config_;
+  bool armed_ = true;
+};
+
 }  // namespace vlm::obs

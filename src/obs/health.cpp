@@ -1,0 +1,206 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "core/accuracy_model.h"
+#include "obs/metrics.h"
+
+namespace vlm::obs::health {
+
+namespace {
+
+// Dimensionless ratios land in micro-unit histograms: raw observations
+// are parts-per-million, exporters scale back to units.
+std::uint64_t to_micro(double ratio) {
+  if (!(ratio > 0.0)) return 0;
+  const double micro = ratio * 1e6;
+  if (micro >= 9e18) return UINT64_MAX;
+  return static_cast<std::uint64_t>(std::llround(micro));
+}
+
+// The two metric groups register lazily and independently: a run that
+// closes periods but never decodes must not export decode-only
+// histograms (CI asserts every exported span histogram has count > 0).
+struct RsuGroup {
+  Counter& assessed;
+  Counter& saturated;
+  Counter& drifted;
+  Histogram& fill_fraction;
+  Gauge& fill_fraction_max;
+  Gauge& load_factor_min;
+};
+
+RsuGroup& rsu_group() {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  static RsuGroup* group = new RsuGroup{
+      reg.counter("health/rsus_assessed"),
+      reg.counter("health/rsu_saturated"),
+      reg.counter("health/load_factor_drift"),
+      reg.histogram("health/fill_fraction", Unit::kMicro),
+      reg.gauge("health/fill_fraction_max"),
+      reg.gauge("health/load_factor_min"),
+  };
+  return *group;
+}
+
+struct PairGroup {
+  Counter& assessed;
+  Counter& degraded;
+  Histogram& predicted_rel_err;
+  Gauge& predicted_rel_err_max;
+};
+
+PairGroup& pair_group() {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  static PairGroup* group = new PairGroup{
+      reg.counter("health/pairs_assessed"),
+      reg.counter("health/pairs_degraded"),
+      reg.histogram("health/predicted_rel_err", Unit::kMicro),
+      reg.gauge("health/predicted_rel_err_max"),
+  };
+  return *group;
+}
+
+}  // namespace
+
+HealthSummary assess_rsus(std::span<const core::RsuState> states,
+                          const HealthOptions& options,
+                          std::vector<RsuHealth>* out_per_rsu) {
+  std::vector<const core::RsuState*> pointers;
+  pointers.reserve(states.size());
+  for (const core::RsuState& state : states) pointers.push_back(&state);
+  return assess_rsus(std::span<const core::RsuState* const>(pointers), options,
+                     out_per_rsu);
+}
+
+HealthSummary assess_rsus(std::span<const core::RsuState* const> states,
+                          const HealthOptions& options,
+                          std::vector<RsuHealth>* out_per_rsu) {
+  HealthSummary summary;
+  if (out_per_rsu != nullptr) {
+    out_per_rsu->clear();
+    out_per_rsu->reserve(states.size());
+  }
+  RsuGroup& metrics = rsu_group();
+  double min_load_factor = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const core::RsuState& state = *states[i];
+    RsuHealth rsu;
+    rsu.rsu = i;
+    rsu.fill_fraction = 1.0 - state.zero_fraction();
+    rsu.load_factor = state.load_factor();
+    const bool has_traffic = state.counter() > 0;
+    // Saturation: the zero fraction V_x is the observable Eq. 5 takes
+    // the log of; at or below the threshold the MLE is numerically
+    // degenerate regardless of the true volume.
+    rsu.saturated =
+        has_traffic && state.zero_fraction() <= options.saturation_zero_fraction;
+    rsu.drifted = has_traffic && options.target_load_factor > 0.0 &&
+                  (rsu.load_factor < options.target_load_factor /
+                                         options.load_factor_drift_tolerance ||
+                   rsu.load_factor > options.target_load_factor *
+                                         options.load_factor_drift_tolerance);
+
+    ++summary.rsus_assessed;
+    summary.rsus_saturated += rsu.saturated ? 1 : 0;
+    summary.rsus_drifted += rsu.drifted ? 1 : 0;
+    summary.max_fill_fraction =
+        std::max(summary.max_fill_fraction, rsu.fill_fraction);
+    if (has_traffic) min_load_factor = std::min(min_load_factor, rsu.load_factor);
+
+    metrics.fill_fraction.observe(to_micro(rsu.fill_fraction));
+    if (out_per_rsu != nullptr) out_per_rsu->push_back(rsu);
+  }
+  summary.min_load_factor =
+      std::isfinite(min_load_factor) ? min_load_factor : 0.0;
+
+  metrics.assessed.add(summary.rsus_assessed);
+  metrics.saturated.add(summary.rsus_saturated);
+  metrics.drifted.add(summary.rsus_drifted);
+  metrics.fill_fraction_max.set(summary.max_fill_fraction);
+  metrics.load_factor_min.set(summary.min_load_factor);
+  return summary;
+}
+
+void assess_pairs(std::span<const core::RsuState> states,
+                  const core::OdMatrix& matrix, const HealthOptions& options,
+                  HealthSummary& summary) {
+  PairGroup& metrics = pair_group();
+  const std::size_t k = matrix.rsu_count();
+  double rel_err_sum = 0.0;
+  for (std::size_t a = 0; a + 1 < k; ++a) {
+    for (std::size_t b = a + 1; b < k; ++b) {
+      if (!matrix.measured(a, b)) continue;
+      const core::EstimateInterval& cell = matrix.at(a, b);
+      const double n_x = static_cast<double>(states[a].counter());
+      const double n_y = static_cast<double>(states[b].counter());
+      const double n_min = std::min(n_x, n_y);
+      if (cell.degraded || cell.n_c_hat <= 0.0 || n_min <= 0.0) {
+        ++summary.pairs_degraded;
+        continue;
+      }
+      core::PairScenario scenario;
+      scenario.n_x = n_x;
+      scenario.n_y = n_y;
+      // The raw MLE can exceed min(n_x, n_y) by sampling noise; the
+      // model's domain requires n_c <= min, so evaluate at the boundary.
+      scenario.n_c = std::min(cell.n_c_hat, n_min);
+      scenario.m_x = states[a].array_size();
+      scenario.m_y = states[b].array_size();
+      scenario.s = options.s;
+      double rel_err = 0.0;
+      try {
+        rel_err = core::AccuracyModel::predict(
+                      scenario, core::VarianceModel::kPaperBinomial)
+                      .stddev_ratio;
+      } catch (const std::invalid_argument&) {
+        ++summary.pairs_degraded;
+        continue;
+      }
+      if (!std::isfinite(rel_err)) {
+        ++summary.pairs_degraded;
+        continue;
+      }
+      ++summary.pairs_assessed;
+      rel_err_sum += rel_err;
+      summary.max_predicted_rel_err =
+          std::max(summary.max_predicted_rel_err, rel_err);
+      metrics.predicted_rel_err.observe(to_micro(rel_err));
+    }
+  }
+  summary.mean_predicted_rel_err =
+      summary.pairs_assessed > 0
+          ? rel_err_sum / static_cast<double>(summary.pairs_assessed)
+          : 0.0;
+  metrics.assessed.add(summary.pairs_assessed);
+  metrics.degraded.add(summary.pairs_degraded);
+  metrics.predicted_rel_err_max.set(summary.max_predicted_rel_err);
+}
+
+std::string format_health_summary(const HealthSummary& summary) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "health: %zu RSU(s), %zu saturated, %zu drifted, max fill "
+                "%.3f, min load factor %.2f",
+                summary.rsus_assessed, summary.rsus_saturated,
+                summary.rsus_drifted, summary.max_fill_fraction,
+                summary.min_load_factor);
+  std::string out = buffer;
+  if (summary.pairs_assessed > 0 || summary.pairs_degraded > 0) {
+    std::snprintf(buffer, sizeof buffer,
+                  "; %zu pair(s) assessed, %zu degraded, predicted rel err "
+                  "max %.3f mean %.3f",
+                  summary.pairs_assessed, summary.pairs_degraded,
+                  summary.max_predicted_rel_err,
+                  summary.mean_predicted_rel_err);
+    out += buffer;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace vlm::obs::health

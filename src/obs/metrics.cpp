@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace vlm::obs {
 
 unsigned this_thread_slot() {
@@ -63,6 +65,7 @@ namespace {
 // mass boundary; otherwise correct to within the bucket.
 double bucket_quantile(const std::uint64_t (&buckets)[kHistogramBuckets],
                        std::uint64_t count, double q) {
+  // Empty histogram: 0 by convention, never the top-bucket fallthrough.
   if (count == 0) return 0.0;
   const double target = q * static_cast<double>(count);
   std::uint64_t cumulative = 0;
@@ -84,7 +87,12 @@ double bucket_quantile(const std::uint64_t (&buckets)[kHistogramBuckets],
 }
 
 double scaled(Unit unit, double raw) {
-  return unit == Unit::kNanoseconds ? raw * 1e-9 : raw;
+  switch (unit) {
+    case Unit::kNanoseconds: return raw * 1e-9;
+    case Unit::kMicro: return raw * 1e-6;
+    case Unit::kNone: break;
+  }
+  return raw;
 }
 
 }  // namespace
@@ -108,6 +116,8 @@ HistogramSummary Histogram::summary() const {
   HistogramSummary out;
   out.unit = unit_;
   out.count = count;
+  // Empty histogram: every statistic stays exactly 0.0 (the min slab's
+  // UINT64_MAX sentinel must not leak into out.min).
   if (count == 0) return out;
   out.total = scaled(unit_, static_cast<double>(total));
   out.min = scaled(unit_, static_cast<double>(min));
@@ -161,6 +171,9 @@ Histogram& MetricsRegistry::histogram(std::string_view name, Unit unit) {
              .emplace(std::string(name),
                       std::unique_ptr<Histogram>(new Histogram(unit)))
              .first;
+    // The map is node-based, so the key's c_str() is stable for the
+    // registry's lifetime — safe for trace events to alias.
+    it->second->name_ = it->first.c_str();
   }
   return *it->second;
 }
@@ -206,6 +219,10 @@ double Span::finish() {
   --t_span_depth;
   const std::uint64_t ns = MonotonicClock::nanos_since(start_);
   phase_->observe(ns);
+  // Every Span site doubles as a flight-recorder instrumentation point:
+  // the phase name is registry-owned (static storage), so the trace can
+  // alias it without copying.
+  if (trace::enabled()) trace::emit_complete(phase_->name(), start_, ns);
   return static_cast<double>(ns) * 1e-9;
 }
 

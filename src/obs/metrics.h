@@ -104,13 +104,20 @@ class Info {
 };
 
 // What a histogram's raw uint64 observations mean; exporters scale
-// nanosecond histograms to seconds.
-enum class Unit { kNone, kNanoseconds };
+// nanosecond histograms to seconds and micro (parts-per-million, used
+// for dimensionless ratios like fill fractions) histograms to units.
+enum class Unit { kNone, kNanoseconds, kMicro };
 
 // Aggregated view of one histogram, already scaled to export units
-// (seconds for Unit::kNanoseconds, raw values otherwise). p50/p99 are
-// log2-bucket interpolations: exact to within the observation's power-of
-// -two bucket, which is the right fidelity for latency tails.
+// (seconds for Unit::kNanoseconds, units for Unit::kMicro, raw values
+// otherwise). p50/p99 are log2-bucket interpolations: exact to within
+// the observation's power-of-two bucket, which is the right fidelity
+// for latency tails.
+//
+// Empty-histogram convention (pinned by MetricsTest.EmptySummary): with
+// count == 0 every statistic — total, min, max, p50, p99 — is exactly
+// 0.0, never a sentinel like +inf or UINT64_MAX leaking from the
+// internal accumulators.
 struct HistogramSummary {
   Unit unit = Unit::kNone;
   std::uint64_t count = 0;
@@ -135,6 +142,11 @@ class Histogram {
   }
 
   Unit unit() const { return unit_; }
+  // The registry key this histogram was registered under ("" for none).
+  // Stable storage: the registry's node-based map owns the string, so
+  // the pointer is valid for the registry's lifetime — trace events
+  // reference it without copying.
+  const char* name() const { return name_; }
   HistogramSummary summary() const;
 
   // Bucket index for a raw value (bit width; see kHistogramBuckets).
@@ -157,6 +169,7 @@ class Histogram {
   };
 
   Unit unit_;
+  const char* name_ = "";
   Slab slabs_[kSlabSlots];
 };
 

@@ -13,6 +13,7 @@
 #include <string_view>
 
 #include "core/od_matrix.h"
+#include "obs/health.h"
 #include "vcps/central_server.h"
 #include "vcps/simulation.h"
 
@@ -81,15 +82,20 @@ inline std::string format_decode_stats(const core::DecodeStats& stats) {
   return out;
 }
 
-// "pipeline [scheme]: ..." line for one period's server-side counters.
+// "pipeline [scheme]: ..." line for one period's server-side counters,
+// plus the decode-time health verdicts when a matrix was estimated.
 inline std::string format_pipeline_stats(std::string_view scheme_name,
                                          const vcps::PipelineStats& stats) {
-  return detail::format_line(
+  std::string out = detail::format_line(
       "pipeline [%.*s]: %zu reports ingested, %zu quarantined, ingest "
       "%.1f ms\n",
       static_cast<int>(scheme_name.size()), scheme_name.data(),
       stats.reports_ingested, stats.reports_quarantined,
       stats.ingest_seconds * 1e3);
+  if (stats.health.rsus_assessed > 0) {
+    out += health::format_health_summary(stats.health);
+  }
+  return out;
 }
 
 }  // namespace vlm::obs

@@ -1,0 +1,332 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace vlm::obs::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+// One ring slot. The owning thread writes the three fields relaxed and
+// publishes them with a release store of the ring head; a drain that
+// races with the writer discards any slot the second head read proves
+// overwritten, so a torn slot is never exported.
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> duration_ns{0};
+};
+
+struct Ring {
+  explicit Ring(std::uint64_t tid_, std::size_t capacity_)
+      : tid(tid_), capacity(capacity_), slots(new Slot[capacity_]) {}
+
+  const std::uint64_t tid;
+  const std::size_t capacity;  // power of two
+  std::atomic<std::uint64_t> head{0};
+  std::unique_ptr<Slot[]> slots;
+  // Written by the owning thread, read by drain — both under the
+  // registry mutex (naming is a cold path).
+  std::string thread_name;
+};
+
+// Global ring registry. Rings are never destroyed (threads may exit
+// while their events are still undrained), so the vector only grows;
+// it is intentionally leaked like MetricsRegistry::global().
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::uint64_t next_tid = 1;
+  std::size_t capacity = kDefaultRingCapacity;
+  // Bumped by reset_for_testing() so cached thread-local ring pointers
+  // from a previous generation are abandoned, not dereferenced.
+  std::uint64_t generation = 0;
+  bool env_capacity_applied = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// The epoch all timestamps are relative to. Latched on first use (the
+// first enable), so exported ts values start near zero.
+MonotonicClock::TimePoint epoch() {
+  static const MonotonicClock::TimePoint t0 = MonotonicClock::now();
+  return t0;
+}
+
+thread_local Ring* t_ring = nullptr;
+thread_local std::uint64_t t_ring_generation = 0;
+// Name requested before this thread's ring existed; applied (and freed)
+// at ring creation, or freed at thread exit if no ring was ever made.
+// The wrapper nulls the pointer in its destructor so a straggler ring
+// creation during thread teardown sees "no pending name" instead of a
+// destroyed string.
+struct PendingName {
+  std::string* value = nullptr;
+  ~PendingName() {
+    delete value;
+    value = nullptr;
+  }
+};
+thread_local PendingName t_pending_name;
+
+std::size_t round_capacity(std::size_t slots) {
+  std::size_t cap = 16;
+  while (cap < slots && cap < (std::size_t{1} << 30)) cap <<= 1;
+  return cap;
+}
+
+// The calling thread's ring, created on first use. Cold path: takes the
+// registry mutex once per (thread, generation).
+Ring& this_thread_ring() {
+  Registry& reg = registry();
+  if (t_ring != nullptr && t_ring_generation == reg.generation) {
+    return *t_ring;
+  }
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto ring = std::make_unique<Ring>(reg.next_tid++, reg.capacity);
+  if (t_pending_name.value != nullptr) {
+    ring->thread_name = std::move(*t_pending_name.value);
+    delete t_pending_name.value;
+    t_pending_name.value = nullptr;
+  }
+  t_ring = ring.get();
+  t_ring_generation = reg.generation;
+  reg.rings.push_back(std::move(ring));
+  return *t_ring;
+}
+
+}  // namespace
+
+void set_enabled(bool enabled) {
+  if (enabled) {
+    (void)epoch();  // fix the timestamp origin before any event
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!reg.env_capacity_applied) {
+      reg.env_capacity_applied = true;
+      if (const char* env = std::getenv("VLM_TRACE_CAPACITY");
+          env != nullptr && *env != '\0') {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0) {
+          reg.capacity = round_capacity(static_cast<std::size_t>(parsed));
+        } else {
+          std::fprintf(stderr,
+                       "vlm: warning: ignoring VLM_TRACE_CAPACITY='%s' "
+                       "(expected a positive slot count)\n",
+                       env);
+        }
+      }
+    }
+  }
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_capacity(std::size_t slots) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.capacity = round_capacity(slots);
+  reg.env_capacity_applied = true;  // an explicit request beats the env
+}
+
+void set_thread_name(std::string name) {
+  Registry& reg = registry();
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    if (t_ring != nullptr && t_ring_generation == reg.generation) {
+      t_ring->thread_name = std::move(name);
+      return;
+    }
+  }
+  // No ring yet: remember the name for when one is created.
+  if (t_pending_name.value == nullptr) t_pending_name.value = new std::string();
+  *t_pending_name.value = std::move(name);
+}
+
+std::uint64_t now_ns() { return MonotonicClock::nanos_since(epoch()); }
+
+void emit_complete(const char* name, MonotonicClock::TimePoint start,
+                   std::uint64_t duration_ns) {
+  if (!enabled()) return;
+  Ring& ring = this_thread_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[head & (ring.capacity - 1)];
+  const auto since_epoch = start - epoch();
+  const auto start_count =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(since_epoch)
+          .count();
+  slot.start_ns.store(
+      start_count > 0 ? static_cast<std::uint64_t>(start_count) : 0,
+      std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<ThreadTrace> drain() {
+  Registry& reg = registry();
+  std::vector<ThreadTrace> out;
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  out.reserve(reg.rings.size());
+  for (const std::unique_ptr<Ring>& ring : reg.rings) {
+    ThreadTrace trace;
+    trace.tid = ring->tid;
+    trace.thread_name = ring->thread_name.empty()
+                            ? "thread-" + std::to_string(ring->tid)
+                            : ring->thread_name;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin = head > ring->capacity ? head - ring->capacity
+                                                      : 0;
+    trace.events.reserve(static_cast<std::size_t>(head - begin));
+    for (std::uint64_t i = begin; i < head; ++i) {
+      const Slot& slot = ring->slots[i & (ring->capacity - 1)];
+      TraceEvent event;
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      event.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+      if (event.name != nullptr) trace.events.push_back(event);
+    }
+    // A writer may have lapped us mid-read: discard everything a second
+    // head read proves overwritten. The discard index is relative to
+    // `begin`, so only the (possibly torn) oldest entries go.
+    const std::uint64_t head2 = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin2 =
+        head2 > ring->capacity ? head2 - ring->capacity : 0;
+    if (begin2 > begin) {
+      const std::size_t torn = static_cast<std::size_t>(
+          std::min<std::uint64_t>(begin2 - begin, trace.events.size()));
+      trace.events.erase(trace.events.begin(),
+                         trace.events.begin() + static_cast<std::ptrdiff_t>(torn));
+    }
+    trace.dropped = std::max(begin, begin2);
+    // Completion order inverts nested scopes; the timeline wants start
+    // order. stable_sort keeps equal-start nesting (outer emitted last,
+    // and Perfetto nests equal-ts events by emission order) deterministic.
+    std::stable_sort(trace.events.begin(), trace.events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       return a.start_ns < b.start_ns;
+                     });
+    out.push_back(std::move(trace));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<ThreadTrace>& threads) {
+  // ts/dur are microseconds (the Trace Event Format unit); three
+  // decimals keep nanosecond resolution.
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  char buf[160];
+  for (const ThreadTrace& thread : threads) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  " {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                  "\"tid\": %llu, \"ts\": 0, \"dur\": 0, \"args\": {\"name\": "
+                  "\"",
+                  static_cast<unsigned long long>(thread.tid));
+    out += buf;
+    append_json_escaped(out, thread.thread_name);
+    out += "\"}}";
+    if (thread.dropped > 0) {
+      out += ",\n";
+      std::snprintf(
+          buf, sizeof buf,
+          " {\"name\": \"trace_dropped_events\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": %llu, \"ts\": 0, \"dur\": 0, \"args\": {\"dropped\": "
+          "%llu}}",
+          static_cast<unsigned long long>(thread.tid),
+          static_cast<unsigned long long>(thread.dropped));
+      out += buf;
+    }
+    for (const TraceEvent& event : thread.events) {
+      out += ",\n {\"name\": \"";
+      append_json_escaped(out, event.name);
+      std::snprintf(buf, sizeof buf,
+                    "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %llu, "
+                    "\"ts\": %.3f, \"dur\": %.3f}",
+                    static_cast<unsigned long long>(thread.tid),
+                    static_cast<double>(event.start_ns) * 1e-3,
+                    static_cast<double>(event.duration_ns) * 1e-3);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const std::string content = to_chrome_json(drain());
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "vlm: warning: cannot write trace to '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "vlm: warning: short write of trace to '%s'\n",
+                 path.c_str());
+  }
+  return ok;
+}
+
+std::string resolve_trace_path(std::string_view cli_path) {
+  if (!cli_path.empty()) return std::string(cli_path);
+  if (const char* env = std::getenv("VLM_TRACE");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  return {};
+}
+
+void reset_for_testing() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.rings.clear();
+  reg.next_tid = 1;
+  reg.capacity = kDefaultRingCapacity;
+  reg.env_capacity_applied = true;  // tests control capacity explicitly
+  ++reg.generation;
+}
+
+}  // namespace vlm::obs::trace

@@ -1,0 +1,149 @@
+// Flight-recorder tracing: per-thread, wait-free rings of timestamped
+// complete events, drained into Chrome Trace Event Format JSON that
+// Perfetto / chrome://tracing load directly.
+//
+// The aggregate metrics in obs/metrics.h answer "how much, how long on
+// average"; this module answers "when, on which thread" — a zoomable
+// per-worker timeline of ingest sub-slices, decode tiles, pool
+// queue-waits, and period boundaries from a single run.
+//
+// Design constraints, in order:
+//   - Near-zero cost when disabled: tracing is compiled in but off by
+//     default, and the disabled path is ONE relaxed atomic load per
+//     instrumentation point (bench_encode_throughput measures and gates
+//     the bound). No ring is allocated until a thread actually emits
+//     while tracing is enabled.
+//   - Wait-free emit: each thread owns a fixed-capacity power-of-two
+//     ring of relaxed-atomic slots and is its only writer; publishing
+//     an event is a handful of relaxed stores plus one release store of
+//     the head. No locks, no allocation, TSan-clean against a
+//     concurrent drain.
+//   - Bounded memory: when a ring wraps, the oldest events are
+//     overwritten and counted as dropped — a flight recorder keeps the
+//     latest window, never stalls the instrumented thread.
+//   - Static-string names only: an event's name must outlive the
+//     registry (string literals, or the registry-owned histogram names
+//     the Span piggyback uses), so emit never copies.
+//
+// Wiring: obs::Span::finish() emits a trace event automatically for
+// every phase histogram when tracing is enabled, so every existing Span
+// site is already on the timeline; TraceScope covers the sites that are
+// not Spans (per-sub-slice pipeline stages, decode tiles, queue waits).
+// The registry is process-global, like MetricsRegistry: rings outlive
+// their threads so a drain after a pool quiesces still sees everything.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace vlm::obs::trace {
+
+namespace detail {
+// The one branch every disabled instrumentation point pays.
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// Default slots per thread ring (power of two). ~64Ki events x 24 bytes
+// is ~1.5 MiB per traced thread — hours of period-level events, minutes
+// of per-sub-slice events.
+inline constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Turns tracing on or off. The first enable fixes the trace epoch (all
+// timestamps are nanoseconds since it) and latches the ring capacity;
+// events emitted while disabled are discarded at the emit site.
+void set_enabled(bool enabled);
+
+// Slots per ring for rings created AFTER this call (existing rings keep
+// their size). Rounded up to a power of two, floored at 16. The
+// VLM_TRACE_CAPACITY environment variable, when set, overrides the
+// default at first enable.
+void set_capacity(std::size_t slots);
+
+// Names the calling thread's track in the exported timeline ("main",
+// "pool-worker-3"). Safe to call whether or not tracing is enabled or a
+// ring exists yet; unnamed threads export as "thread-<tid>".
+void set_thread_name(std::string name);
+
+// Nanoseconds since the trace epoch (0 before the first enable).
+std::uint64_t now_ns();
+
+// Records one complete event on the calling thread's ring. `name` must
+// have static storage duration. No-op when tracing is disabled.
+void emit_complete(const char* name, MonotonicClock::TimePoint start,
+                   std::uint64_t duration_ns);
+
+// RAII event: construction stamps the start, destruction emits the
+// event. The enabled() check happens at construction, so a disabled
+// scope costs one relaxed load and two member writes.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (enabled()) {
+      name_ = name;
+      start_ = MonotonicClock::now();
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope() {
+    if (name_ != nullptr) {
+      emit_complete(name_, start_, MonotonicClock::nanos_since(start_));
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  MonotonicClock::TimePoint start_;
+};
+
+// One drained event: start/duration in nanoseconds since the epoch.
+struct TraceEvent {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+// One thread's drained ring, events sorted by start time (emission
+// order is completion order, which inverts nested scopes).
+struct ThreadTrace {
+  std::uint64_t tid = 0;
+  std::string thread_name;
+  std::uint64_t dropped = 0;  // events overwritten before this drain
+  std::vector<TraceEvent> events;
+};
+
+// Snapshot of every ring in the process, sorted by tid. Safe to call
+// while other threads emit: events published after the per-ring head
+// read are simply not included, and slots overwritten mid-read are
+// discarded via a second head read.
+std::vector<ThreadTrace> drain();
+
+// Chrome Trace Event Format: {"traceEvents": [...]} with one "M"
+// thread_name metadata event per thread and one "X" complete event per
+// drained event (ts/dur in microseconds). Every event carries
+// name/ph/ts/dur/pid/tid, and events are sorted by ts within each tid.
+std::string to_chrome_json(const std::vector<ThreadTrace>& threads);
+
+// drain() + to_chrome_json() + write to `path`. Returns false (with a
+// warning on stderr) if the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+// Combines a CLI --trace flag (wins when non-empty) with VLM_TRACE.
+// Empty result means tracing stays off.
+std::string resolve_trace_path(std::string_view cli_path);
+
+// Drops every ring and disables tracing; new emits build fresh rings.
+// Only tests call this — rings are process-lifetime otherwise.
+void reset_for_testing();
+
+}  // namespace vlm::obs::trace

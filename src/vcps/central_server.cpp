@@ -191,8 +191,16 @@ core::OdMatrix CentralServer::estimate_matrix(double z) const {
   std::vector<core::RsuState> states;
   states.reserve(order.size());
   for (core::RsuId id : order) states.push_back(rebuild_state(report_for(id)));
-  return core::estimate_od_matrix(states, scheme_->s(), z, decode_workers_,
-                                  &stats_.decode);
+  core::OdMatrix matrix = core::estimate_od_matrix(
+      states, scheme_->s(), z, decode_workers_, &stats_.decode);
+  // Decode-time estimator health: saturation/drift over the decoded
+  // states plus the Section V predicted relative error per measured pair.
+  obs::health::HealthOptions health_options;
+  health_options.target_load_factor = scheme_->target_load_factor();
+  health_options.s = scheme_->s();
+  stats_.health = obs::health::assess_rsus(states, health_options);
+  obs::health::assess_pairs(states, matrix, health_options, stats_.health);
+  return matrix;
 }
 
 }  // namespace vlm::vcps

@@ -21,6 +21,7 @@
 #include "core/report_validator.h"
 #include "core/scheme.h"
 #include "core/types.h"
+#include "obs/health.h"
 #include "vcps/messages.h"
 
 namespace vlm::vcps {
@@ -68,6 +69,10 @@ struct PipelineStats {
   std::size_t reports_quarantined = 0;
   double ingest_seconds = 0.0;  // cumulative wall time inside ingest()
   core::DecodeStats decode;
+  // Estimator-health verdicts of the most recent estimate_matrix() call:
+  // per-RSU saturation / load-factor drift plus the accuracy model's
+  // predicted relative error over the decoded pairs.
+  obs::health::HealthSummary health;
 };
 
 class CentralServer {

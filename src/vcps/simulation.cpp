@@ -11,7 +11,9 @@
 #include "common/require.h"
 #include "core/pair_simulation.h"
 #include "obs/clock.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "vcps/ingest_batch.h"
 #include "vcps/vehicle.h"
 
@@ -331,8 +333,12 @@ IngestStats VcpsSimulation::drive_vehicles(
           // ONE observation per worker (below) whichever schedule ran,
           // so the exported key set and sample counts match across
           // modes.
+          // Each stage body is also a flight-recorder scope per
+          // sub-slice: the histograms keep one observation per worker,
+          // the trace shows every individual sub-slice iteration.
           const auto materialize = [&](std::size_t b, std::size_t e,
                                        ExchangeColumns& cols) {
+            const obs::trace::TraceScope scope("ingest/materialize");
             const obs::Stopwatch watch;
             materialize_exchanges(seed_, base, b, e, itineraries, rsu_count,
                                   !channel_.lossless(), cols);
@@ -340,15 +346,24 @@ IngestStats VcpsSimulation::drive_vehicles(
           };
           const auto drain = [&](ExchangeColumns& cols) {
             obs::Stopwatch watch;
-            hash_bit_indices(encoder(), contexts, cols);
+            {
+              const obs::trace::TraceScope scope("ingest/hash");
+              hash_bit_indices(encoder(), contexts, cols);
+            }
             secs.hash += watch.seconds();
             watch.restart();
-            draw_channel_outcomes(channel_, period_, contexts, cols,
-                                  tallies[worker]);
+            {
+              const obs::trace::TraceScope scope("ingest/channel");
+              draw_channel_outcomes(channel_, period_, contexts, cols,
+                                    tallies[worker]);
+            }
             secs.channel += watch.seconds();
             watch.restart();
-            exchanges[worker] +=
-                scatter_into_shards(contexts, cols, shards[worker]);
+            {
+              const obs::trace::TraceScope scope("ingest/scatter");
+              exchanges[worker] +=
+                  scatter_into_shards(contexts, cols, shards[worker]);
+            }
             secs.scatter += watch.seconds();
           };
           if (!overlap) {
@@ -441,6 +456,17 @@ void VcpsSimulation::end_period() {
   for (const Rsu& rsu : rsus_) {
     server_.ingest(rsu.make_report(period_));
   }
+  // Period-close estimator health (inside the close span — the span
+  // tiling gate budgets it as part of closing the period): saturation
+  // and load-factor drift over the fleet's just-reported states.
+  obs::health::HealthOptions health_options;
+  health_options.target_load_factor = scheme().target_load_factor();
+  health_options.s = scheme().s();
+  std::vector<const core::RsuState*> states;
+  states.reserve(rsus_.size());
+  for (const Rsu& rsu : rsus_) states.push_back(&rsu.state());
+  last_health_ = obs::health::assess_rsus(
+      std::span<const core::RsuState* const>(states), health_options);
   period_open_ = false;
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/uninit.h"
 #include "core/encoder.h"
+#include "obs/health.h"
 #include "vcps/central_server.h"
 #include "vcps/channel.h"
 #include "vcps/pki.h"
@@ -207,8 +208,15 @@ class VcpsSimulation {
                              IngestMode mode = IngestMode::kAuto,
                              PipelineMode pipeline = PipelineMode::kAuto);
 
-  // Ends the period: every RSU reports to the central server.
+  // Ends the period: every RSU reports to the central server, then the
+  // fleet's states get a period-close health assessment (saturation /
+  // load-factor drift), retrievable via last_health().
   void end_period();
+
+  // Health verdicts of the most recent end_period() call.
+  const obs::health::HealthSummary& last_health() const {
+    return last_health_;
+  }
 
   // Post-report estimate between two sites.
   core::PairEstimate estimate(std::size_t position_a,
@@ -225,6 +233,7 @@ class VcpsSimulation {
   std::uint64_t period_ = 0;
   std::uint64_t vehicles_driven_ = 0;
   bool period_open_ = false;
+  obs::health::HealthSummary last_health_;
 };
 
 }  // namespace vlm::vcps

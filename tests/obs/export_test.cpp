@@ -131,6 +131,73 @@ TEST(ExportTest, UnrecognizedFormatWarnsOnceAndKeepsJson) {
   EXPECT_EQ(warnings.find("yaml"), warnings.rfind("yaml"));
 }
 
+namespace {
+std::string slurp(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t read;
+  while ((read = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    out.append(buffer, read);
+  }
+  std::fclose(file);
+  return out;
+}
+}  // namespace
+
+// The guard backstops the tools' early-error exits: destruction writes a
+// plain registry snapshot unless the success path disarmed it first.
+TEST(ExportTest, ExportGuardFlushesOnUnwind) {
+  const std::string path = ::testing::TempDir() + "/vlm_guard_flush.json";
+  std::remove(path.c_str());
+  ExportConfig config;
+  config.path = path;
+  config.format = ExportFormat::kJson;
+  {
+    MetricsExportGuard guard(config);
+    // Simulated early error: scope exits without disarm().
+  }
+  const std::string written = slurp(path);
+  EXPECT_NE(written.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(written.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, DisarmedGuardWritesNothing) {
+  const std::string path = ::testing::TempDir() + "/vlm_guard_disarmed.json";
+  std::remove(path.c_str());
+  ExportConfig config;
+  config.path = path;
+  config.format = ExportFormat::kJson;
+  {
+    MetricsExportGuard guard(config);
+    guard.disarm();
+  }
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+}
+
+TEST(ExportTest, GuardWithEmptyPathIsANoOp) {
+  // No --metrics flag: the guard must not invent an output file.
+  { MetricsExportGuard guard(ExportConfig{}); }
+  SUCCEED();
+}
+
+TEST(ExportTest, GuardHonorsConfiguredFormat) {
+  const std::string path = ::testing::TempDir() + "/vlm_guard_format.prom";
+  std::remove(path.c_str());
+  ExportConfig config;
+  config.path = path;
+  config.format = ExportFormat::kPrometheus;
+  { MetricsExportGuard guard(config); }
+  // The global registry always carries at least the pool/span phases by
+  // the time any tool runs; for the test it may be empty, so only the
+  // format (no JSON braces) is asserted.
+  const std::string written = slurp(path);
+  EXPECT_EQ(written.find("\"counters\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(ExportTest, WriteTextFileRoundTrips) {
   const std::string path =
       ::testing::TempDir() + "/vlm_export_test_metrics.json";

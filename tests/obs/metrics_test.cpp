@@ -58,6 +58,22 @@ TEST(MetricsTest, QuantilesMatchRankInterpolationOracle) {
   EXPECT_DOUBLE_EQ(s.p99, 64.0 + (99.0 - 63.0) / 37.0 * 64.0);
 }
 
+// Pins the empty-histogram convention the exporters and stats lines rely
+// on: no observations means every summary statistic is exactly 0.0 — not
+// NaN, not an interpolated bucket bound. Quantile code that divides by
+// the (zero) count or walks buckets unguarded regresses here.
+TEST(MetricsTest, EmptySummary) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("t/empty");
+  const HistogramSummary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.total, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
 TEST(MetricsTest, QuantileOfAllZerosIsZero) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("t/zeros");

@@ -1,0 +1,161 @@
+// Flight-recorder tracing: disabled emits are discarded, ring
+// wrap-around keeps the newest window and counts the dropped prefix,
+// the Chrome JSON carries the full ph/ts/dur/pid/tid/name schema, and —
+// under the TSan CI job — concurrent emitters against a concurrent
+// drain stay race-free.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace vlm::obs::trace {
+namespace {
+
+// Each test owns the process-global trace registry for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_for_testing(); }
+  void TearDown() override { reset_for_testing(); }
+};
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST_F(TraceTest, DisabledEmitsAreDiscarded) {
+  ASSERT_FALSE(enabled());
+  for (int i = 0; i < 100; ++i) {
+    const TraceScope scope("test/disabled");
+  }
+  emit_complete("test/disabled", MonotonicClock::now(), 5);
+  const std::vector<ThreadTrace> threads = drain();
+  for (const ThreadTrace& t : threads) EXPECT_TRUE(t.events.empty());
+}
+
+TEST_F(TraceTest, ScopesLandOnTheCallingThreadsRing) {
+  set_enabled(true);
+  set_thread_name("trace-test-main");
+  {
+    const TraceScope outer("test/outer");
+    // Force a later start for the inner scope so the sorted order is
+    // deterministic even on a coarse monotonic clock.
+    const std::uint64_t mark = now_ns();
+    while (now_ns() == mark) {
+    }
+    const TraceScope inner("test/inner");
+  }
+  emit_complete("test/explicit", MonotonicClock::now(), 42);
+  const std::vector<ThreadTrace> threads = drain();
+  ASSERT_EQ(threads.size(), 1u);
+  const ThreadTrace& t = threads[0];
+  EXPECT_EQ(t.thread_name, "trace-test-main");
+  EXPECT_EQ(t.dropped, 0u);
+  ASSERT_EQ(t.events.size(), 3u);
+  // Drained events are sorted by start time: the outer scope started
+  // first even though it emitted last (destruction order).
+  EXPECT_STREQ(t.events[0].name, "test/outer");
+  EXPECT_STREQ(t.events[1].name, "test/inner");
+  EXPECT_STREQ(t.events[2].name, "test/explicit");
+  EXPECT_GE(t.events[0].duration_ns, t.events[1].duration_ns);
+  for (std::size_t i = 1; i < t.events.size(); ++i) {
+    EXPECT_GE(t.events[i].start_ns, t.events[i - 1].start_ns);
+  }
+}
+
+TEST_F(TraceTest, WrapAroundDropsOldestAndCountsThem) {
+  set_capacity(16);
+  set_enabled(true);
+  // 24 old events, then 16 new ones: a 16-slot ring must hold exactly
+  // the 16 newest and report the 24 overwritten as dropped.
+  for (int i = 0; i < 24; ++i) {
+    emit_complete("test/old", MonotonicClock::now(), 1);
+  }
+  for (int i = 0; i < 16; ++i) {
+    emit_complete("test/new", MonotonicClock::now(), 1);
+  }
+  const std::vector<ThreadTrace> threads = drain();
+  ASSERT_EQ(threads.size(), 1u);
+  const ThreadTrace& t = threads[0];
+  EXPECT_EQ(t.dropped, 24u);
+  ASSERT_EQ(t.events.size(), 16u);
+  for (const TraceEvent& e : t.events) EXPECT_STREQ(e.name, "test/new");
+}
+
+TEST_F(TraceTest, ChromeJsonCarriesFullSchemaForEveryEvent) {
+  set_enabled(true);
+  set_thread_name("schema-thread");
+  {
+    const TraceScope scope("test/phase");
+  }
+  emit_complete("test/other", MonotonicClock::now(), 1'234'567);
+  const std::vector<ThreadTrace> threads = drain();
+  const std::string json = to_chrome_json(threads);
+  // {"traceEvents": [...]} wrapper with one "M" thread-name metadata
+  // event plus two "X" complete events, each carrying every field the
+  // CI jq gate checks for.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("schema-thread"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\": \"X\""), 2u);
+  EXPECT_GE(count_occurrences(json, "\"ph\": \"M\""), 1u);
+  const std::size_t events = count_occurrences(json, "\"ph\": ");
+  EXPECT_EQ(count_occurrences(json, "\"ts\": "), events);
+  EXPECT_EQ(count_occurrences(json, "\"dur\": "), events);
+  EXPECT_EQ(count_occurrences(json, "\"pid\": "), events);
+  EXPECT_EQ(count_occurrences(json, "\"tid\": "), events);
+  // Metadata events carry a second "name" inside args, so the count is
+  // at least one per event.
+  EXPECT_GE(count_occurrences(json, "\"name\": "), events);
+}
+
+TEST_F(TraceTest, ResolveTracePathPrefersCliOverEnvironment) {
+  ::setenv("VLM_TRACE", "/tmp/from_env.json", 1);
+  EXPECT_EQ(resolve_trace_path("/tmp/from_cli.json"), "/tmp/from_cli.json");
+  EXPECT_EQ(resolve_trace_path(""), "/tmp/from_env.json");
+  ::unsetenv("VLM_TRACE");
+  EXPECT_EQ(resolve_trace_path(""), "");
+}
+
+// Runs under the TSan CI job: per-thread rings mean concurrent emitters
+// never touch each other's slots, and a drain racing the emitters reads
+// only published (release-stored) heads.
+TEST_F(TraceTest, ConcurrentEmittersKeepExactPerThreadCounts) {
+  set_enabled(true);
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kEach = 1'000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      set_thread_name("emitter-" + std::to_string(t));
+      for (unsigned i = 0; i < kEach; ++i) {
+        const TraceScope scope("test/concurrent");
+      }
+    });
+  }
+  // Drain concurrently with the emitters; the result only needs to be
+  // race-free, not complete.
+  const std::vector<ThreadTrace> racing = drain();
+  for (std::thread& t : threads) t.join();
+  const std::vector<ThreadTrace> settled = drain();
+  std::size_t emitter_rings = 0;
+  for (const ThreadTrace& t : settled) {
+    if (t.thread_name.rfind("emitter-", 0) != 0) continue;
+    ++emitter_rings;
+    EXPECT_EQ(t.events.size() + t.dropped, kEach);
+  }
+  EXPECT_EQ(emitter_rings, kThreads);
+}
+
+}  // namespace
+}  // namespace vlm::obs::trace

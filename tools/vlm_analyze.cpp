@@ -9,6 +9,7 @@
 // side of the paper, run from files instead of a live deployment.
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,10 @@
 #include "core/od_matrix.h"
 #include "core/report_validator.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/stats_text.h"
+#include "obs/trace.h"
 #include "vcps/archive.h"
 
 namespace {
@@ -80,7 +83,23 @@ int main(int argc, char** argv) {
   parser.add_string("metrics-format", "",
                     "json|prom|csv (VLM_METRICS_FORMAT when empty; default "
                     "json)");
+  parser.add_string("trace", "",
+                    "write a Chrome Trace Event JSON flight-recorder timeline "
+                    "here (VLM_TRACE when empty)");
   if (!parser.parse(argc, argv)) return 0;
+
+  // Resolve export destinations before any fallible work: a bad flag or
+  // unreadable archive must still flush the metrics measured so far (the
+  // guard's plain snapshot) instead of silently skipping --metrics.
+  const obs::ExportConfig metrics_config = obs::resolve_export_config(
+      parser.get_string("metrics"), parser.get_string("metrics-format"));
+  obs::MetricsExportGuard metrics_guard(metrics_config);
+  const std::string trace_path =
+      obs::trace::resolve_trace_path(parser.get_string("trace"));
+  if (!trace_path.empty()) {
+    obs::trace::set_thread_name("main");
+    obs::trace::set_enabled(true);
+  }
 
   try {
     // Split --in on commas: one or more period archives.
@@ -146,6 +165,18 @@ int main(int argc, char** argv) {
            common::TextTable::fmt(a.z_score, 2), verdict});
     }
     std::printf("%s", health.to_string().c_str());
+
+    // Estimator-health telemetry over the archived states. Offline
+    // archives do not carry the deployment's sizing plan, so the drift
+    // check stays off (target_load_factor 0); saturation and fill still
+    // publish through health/*.
+    obs::health::HealthOptions health_options;
+    health_options.s = s;
+    std::vector<const core::RsuState*> state_ptrs;
+    state_ptrs.reserve(rsus.size());
+    for (const LoadedReport& r : rsus) state_ptrs.push_back(&r.state);
+    obs::health::HealthSummary health_summary = obs::health::assess_rsus(
+        std::span<const core::RsuState* const>(state_ptrs), health_options);
 
     if (!parser.get_string("pair").empty()) {
       std::uint64_t a = 0, b = 0;
@@ -213,6 +244,7 @@ int main(int argc, char** argv) {
       core::DecodeStats decode_stats;
       const core::OdMatrix matrix =
           core::estimate_od_matrix(states, s, z, decode_options, &decode_stats);
+      obs::health::assess_pairs(states, matrix, health_options, health_summary);
       struct Flow {
         std::size_t a, b;
         double estimate;
@@ -264,10 +296,11 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::printf("%s",
+                obs::health::format_health_summary(health_summary).c_str());
+
     // One registry snapshot covering the whole run (decode spans, pool
     // counters); format/destination shared with vlm_simulate.
-    const obs::ExportConfig metrics_config = obs::resolve_export_config(
-        parser.get_string("metrics"), parser.get_string("metrics-format"));
     if (!metrics_config.path.empty()) {
       const obs::Snapshot snapshot = obs::MetricsRegistry::global().snapshot();
       std::string content;
@@ -294,9 +327,17 @@ int main(int argc, char** argv) {
                     metrics_config.path.c_str());
       }
     }
+    metrics_guard.disarm();
+    if (!trace_path.empty() &&
+        obs::trace::write_chrome_trace(trace_path)) {
+      std::printf("wrote chrome trace to %s\n", trace_path.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Flush whatever the flight recorder captured before the failure;
+    // the export guard does the same for the metrics registry.
+    if (!trace_path.empty()) obs::trace::write_chrome_trace(trace_path);
     return 1;
   }
 }

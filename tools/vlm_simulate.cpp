@@ -22,8 +22,10 @@
 #include "common/visited_mask.h"
 #include "obs/clock.h"
 #include "obs/export.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/stats_text.h"
+#include "obs/trace.h"
 #include "roadnet/assignment.h"
 #include "roadnet/sioux_falls.h"
 #include "roadnet/synthetic_city.h"
@@ -150,7 +152,24 @@ int main(int argc, char** argv) {
   parser.add_string("metrics-format", "",
                     "json|prom|csv (VLM_METRICS_FORMAT when empty; default "
                     "json)");
+  parser.add_string("trace", "",
+                    "write a Chrome Trace Event JSON flight-recorder timeline "
+                    "here (VLM_TRACE when empty)");
   if (!parser.parse(argc, argv)) return 0;
+
+  // Export destinations resolve before any fallible work so a run that
+  // dies partway (bad flag value, unwritable archive) still flushes what
+  // it measured: the guard writes a plain registry snapshot unless the
+  // success path disarms it after the rich per-period write.
+  const obs::ExportConfig metrics_config = obs::resolve_export_config(
+      parser.get_string("metrics"), parser.get_string("metrics-format"));
+  obs::MetricsExportGuard metrics_guard(metrics_config);
+  const std::string trace_path =
+      obs::trace::resolve_trace_path(parser.get_string("trace"));
+  if (!trace_path.empty()) {
+    obs::trace::set_thread_name("main");
+    obs::trace::set_enabled(true);
+  }
 
   try {
     const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
@@ -170,8 +189,6 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(std::max<std::int64_t>(0, parser.get_int("workers"))));
     const auto periods = static_cast<std::uint64_t>(
         std::max<std::int64_t>(1, parser.get_int("periods")));
-    const obs::ExportConfig metrics_config = obs::resolve_export_config(
-        parser.get_string("metrics"), parser.get_string("metrics-format"));
     const std::string network = parser.get_string("network");
 
     // Workload setup happens entirely BEFORE the period loop, so the
@@ -284,6 +301,10 @@ int main(int argc, char** argv) {
         sim->rsu_count(), static_cast<unsigned long long>(periods),
         parser.get_string("out").c_str());
     std::printf("%s", obs::format_ingest_stats(ingest).c_str());
+    // Period-close estimator health for the final period (the decode
+    // path below prints its own pair-level line via the pipeline stats).
+    std::printf("%s",
+                obs::health::format_health_summary(sim->last_health()).c_str());
     if (parser.get_flag("decode-matrix") && sim->rsu_count() >= 2) {
       // Decode the archived period's matrix through the server — the
       // same estimate path vlm_analyze runs offline — and surface the
@@ -298,10 +319,25 @@ int main(int argc, char** argv) {
     std::printf("%s", obs::format_pipeline_stats(sim->scheme().name(),
                                                  sim->server().stats())
                           .c_str());
+    if (!metrics_config.path.empty() && !traces.empty()) {
+      // The optional decode (and its pair-health pass) ran after the last
+      // period's snapshot was captured; refresh that snapshot so the
+      // exported series carries the decode-side metrics. Snapshots are
+      // cumulative, so the period spans and wall tiling are unchanged.
+      traces.back().snapshot = obs::MetricsRegistry::global().snapshot();
+    }
     write_metrics(metrics_config, ingest.workers, traces);
+    metrics_guard.disarm();
+    if (!trace_path.empty() &&
+        obs::trace::write_chrome_trace(trace_path)) {
+      std::printf("wrote chrome trace to %s\n", trace_path.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // The flight recorder's whole point is the failing run: flush
+    // whatever the rings hold. (metrics_guard flushes on unwind.)
+    if (!trace_path.empty()) obs::trace::write_chrome_trace(trace_path);
     return 1;
   }
 }
